@@ -1,0 +1,165 @@
+//! Shared embedding-space utilities for the structure-based baselines.
+
+use sdea_core::align::AlignmentResult;
+use sdea_kg::{EntityId, KnowledgeGraph};
+use sdea_tensor::Tensor;
+
+/// A joint embedding row space over two KGs. Training seed pairs can be
+/// *merged* (both entities share one row — the parameter-sharing trick of
+/// JAPE/BootEA-style shared-space methods).
+#[derive(Clone, Debug)]
+pub struct UnionSpace {
+    row_of_1: Vec<usize>,
+    row_of_2: Vec<usize>,
+    n_rows: usize,
+    n_rels_1: usize,
+}
+
+impl UnionSpace {
+    /// Builds the space. `merged` pairs (typically the training seeds)
+    /// share rows; everything else gets its own row.
+    pub fn new(
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        merged: &[(EntityId, EntityId)],
+    ) -> Self {
+        let n1 = kg1.num_entities();
+        let n2 = kg2.num_entities();
+        let row_of_1: Vec<usize> = (0..n1).collect();
+        let mut row_of_2: Vec<usize> = (n1..n1 + n2).collect();
+        for &(e1, e2) in merged {
+            row_of_2[e2.0 as usize] = e1.0 as usize;
+        }
+        UnionSpace { row_of_1, row_of_2, n_rows: n1 + n2, n_rels_1: kg1.num_relations() }
+    }
+
+    /// A space with no merging (separate rows for every entity).
+    pub fn disjoint(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> Self {
+        Self::new(kg1, kg2, &[])
+    }
+
+    /// Total number of entity rows (merged rows counted once — unused rows
+    /// for merged KG2 entities simply never receive gradients).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Row of a KG1 entity.
+    pub fn row1(&self, e: EntityId) -> usize {
+        self.row_of_1[e.0 as usize]
+    }
+
+    /// Row of a KG2 entity.
+    pub fn row2(&self, e: EntityId) -> usize {
+        self.row_of_2[e.0 as usize]
+    }
+
+    /// All triples of both KGs as `(head_row, rel_index, tail_row)`, with
+    /// KG2 relation indices offset so the two schemas stay distinct.
+    pub fn union_triples(
+        &self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+    ) -> (Vec<(usize, usize, usize)>, usize) {
+        let mut triples = Vec::with_capacity(kg1.rel_triples().len() + kg2.rel_triples().len());
+        for t in kg1.rel_triples() {
+            triples.push((self.row1(t.head), t.rel.0 as usize, self.row1(t.tail)));
+        }
+        let off = self.n_rels_1;
+        for t in kg2.rel_triples() {
+            triples.push((self.row2(t.head), off + t.rel.0 as usize, self.row2(t.tail)));
+        }
+        let n_rels = off + kg2.num_relations();
+        (triples, n_rels)
+    }
+
+    /// Splits a trained `[n_rows, d]` table back into per-KG tables.
+    pub fn split_tables(&self, table: &Tensor, n1: usize, n2: usize) -> (Tensor, Tensor) {
+        let rows1: Vec<usize> = (0..n1).map(|i| self.row_of_1[i]).collect();
+        let rows2: Vec<usize> = (0..n2).map(|i| self.row_of_2[i]).collect();
+        (table.gather_rows(&rows1), table.gather_rows(&rows2))
+    }
+}
+
+/// Ranks KG2 entities for the test sources given per-KG embedding tables.
+pub fn rank_test(
+    emb1: &Tensor,
+    emb2: &Tensor,
+    test: &[(EntityId, EntityId)],
+) -> AlignmentResult {
+    let rows: Vec<usize> = test.iter().map(|&(e, _)| e.0 as usize).collect();
+    let gold: Vec<usize> = test.iter().map(|&(_, e)| e.0 as usize).collect();
+    AlignmentResult::rank(&emb1.gather_rows(&rows), emb2, gold)
+}
+
+/// In-place row L2 normalization (the TransE convention after each epoch).
+pub fn normalize_rows(t: &mut Tensor) {
+    let d = t.shape()[1];
+    for row in t.data_mut().chunks_mut(d) {
+        let n: f32 = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        if n > 1e-9 {
+            let inv = 1.0 / n;
+            row.iter_mut().for_each(|x| *x *= inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    fn kgs() -> (KnowledgeGraph, KnowledgeGraph) {
+        let mut b1 = KgBuilder::new();
+        b1.rel_triple("a", "r", "b");
+        let mut b2 = KgBuilder::new();
+        b2.rel_triple("x", "s", "y");
+        (b1.build(), b2.build())
+    }
+
+    #[test]
+    fn merged_pairs_share_rows() {
+        let (kg1, kg2) = kgs();
+        let a = kg1.find_entity("a").unwrap();
+        let x = kg2.find_entity("x").unwrap();
+        let space = UnionSpace::new(&kg1, &kg2, &[(a, x)]);
+        assert_eq!(space.row1(a), space.row2(x));
+        let b = kg1.find_entity("b").unwrap();
+        let y = kg2.find_entity("y").unwrap();
+        assert_ne!(space.row1(b), space.row2(y));
+    }
+
+    #[test]
+    fn union_triples_offsets_relations() {
+        let (kg1, kg2) = kgs();
+        let space = UnionSpace::disjoint(&kg1, &kg2);
+        let (triples, n_rels) = space.union_triples(&kg1, &kg2);
+        assert_eq!(triples.len(), 2);
+        assert_eq!(n_rels, 2);
+        assert_eq!(triples[0].1, 0);
+        assert_eq!(triples[1].1, 1);
+    }
+
+    #[test]
+    fn split_tables_recovers_rows() {
+        let (kg1, kg2) = kgs();
+        let a = kg1.find_entity("a").unwrap();
+        let x = kg2.find_entity("x").unwrap();
+        let space = UnionSpace::new(&kg1, &kg2, &[(a, x)]);
+        let mut table = Tensor::zeros(&[space.n_rows(), 2]);
+        for i in 0..space.n_rows() {
+            table.row_mut(i)[0] = i as f32;
+        }
+        let (t1, t2) = space.split_tables(&table, 2, 2);
+        // merged: row of x == row of a
+        assert_eq!(t2.row(x.0 as usize)[0], t1.row(a.0 as usize)[0]);
+    }
+
+    #[test]
+    fn normalize_rows_unit() {
+        let mut t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        normalize_rows(&mut t);
+        assert!((t.row(0).iter().map(|x| x * x).sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(t.row(1), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Feature builders shared by several baselines: ridge regression (MTransE
+//! mapping), attribute-correlation embeddings (JAPE), character-n-gram
+//! name embeddings (RDGCN/HGCN/CEA's GloVe/fastText stand-in), attribute
+//! multi-hot features (GCN-Align/HMAN) and Levenshtein name similarity
+//! (CEA's string channel).
+
+use crate::method::MethodInput;
+use sdea_eval::strings::edit_similarity;
+use sdea_kg::KnowledgeGraph;
+use sdea_tensor::{Rng, Tensor};
+
+/// Solves `min_M ||X M − Y||² + λ||M||²` in closed form via
+/// `(XᵀX + λI)⁻¹ Xᵀ Y` (Gauss-Jordan with partial pivoting).
+pub fn ridge_regression(x: &Tensor, y: &Tensor, lambda: f32) -> Tensor {
+    let d = x.shape()[1];
+    let mut a = x.t_matmul(x); // [d, d]
+    for i in 0..d {
+        a.row_mut(i)[i] += lambda;
+    }
+    let b = x.t_matmul(y); // [d, m]
+    solve_linear(&a, &b)
+}
+
+/// Solves `A X = B` for square `A` (`[d,d]`) and `B` (`[d,m]`).
+pub fn solve_linear(a: &Tensor, b: &Tensor) -> Tensor {
+    let d = a.shape()[0];
+    assert_eq!(a.shape(), &[d, d]);
+    assert_eq!(b.shape()[0], d);
+    let m = b.shape()[1];
+    // augmented system, row-major
+    let mut aug = vec![0.0f64; d * (d + m)];
+    for i in 0..d {
+        for j in 0..d {
+            aug[i * (d + m) + j] = a.at2(i, j) as f64;
+        }
+        for j in 0..m {
+            aug[i * (d + m) + d + j] = b.at2(i, j) as f64;
+        }
+    }
+    let w = d + m;
+    for col in 0..d {
+        // partial pivot
+        let mut pivot = col;
+        for r in col + 1..d {
+            if aug[r * w + col].abs() > aug[pivot * w + col].abs() {
+                pivot = r;
+            }
+        }
+        if aug[pivot * w + col].abs() < 1e-12 {
+            continue; // singular direction; leave as-is (ridge prevents this)
+        }
+        if pivot != col {
+            for j in 0..w {
+                aug.swap(col * w + j, pivot * w + j);
+            }
+        }
+        let pv = aug[col * w + col];
+        for j in col..w {
+            aug[col * w + j] /= pv;
+        }
+        for r in 0..d {
+            if r == col {
+                continue;
+            }
+            let f = aug[r * w + col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..w {
+                aug[r * w + j] -= f * aug[col * w + j];
+            }
+        }
+    }
+    let mut out = Tensor::zeros(&[d, m]);
+    for i in 0..d {
+        for j in 0..m {
+            out.row_mut(i)[j] = aug[i * w + d + j] as f32;
+        }
+    }
+    out
+}
+
+/// JAPE's attribute-correlation channel: skip-gram-with-negative-sampling
+/// over attribute co-occurrence (attributes of the same entity co-occur;
+/// training-seed pairs merge the two entities' attribute sets, which is
+/// what correlates the two schemas). Returns per-entity signatures
+/// (mean of its attributes' embeddings) for both KGs.
+pub fn attr_correlation_embeddings(input: &MethodInput<'_>, dim: usize) -> (Tensor, Tensor) {
+    let mut rng = Rng::seed_from_u64(input.seed ^ 0xA77);
+    let off = input.kg1.num_attributes();
+    let n_attrs = off + input.kg2.num_attributes();
+    // co-occurring attribute-id pairs
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let collect = |kg: &KnowledgeGraph, offset: usize, pairs: &mut Vec<(usize, usize)>| {
+        for e in kg.entities() {
+            let attrs: Vec<usize> =
+                kg.attr_triples_of(e).map(|t| offset + t.attr.0 as usize).collect();
+            for i in 0..attrs.len() {
+                for j in 0..attrs.len() {
+                    if i != j {
+                        pairs.push((attrs[i], attrs[j]));
+                    }
+                }
+            }
+        }
+    };
+    collect(input.kg1, 0, &mut pairs);
+    collect(input.kg2, off, &mut pairs);
+    // cross-KG co-occurrence through merged training pairs
+    for &(e1, e2) in &input.split.train {
+        let a1: Vec<usize> =
+            input.kg1.attr_triples_of(e1).map(|t| t.attr.0 as usize).collect();
+        let a2: Vec<usize> =
+            input.kg2.attr_triples_of(e2).map(|t| off + t.attr.0 as usize).collect();
+        for &x in &a1 {
+            for &y in &a2 {
+                pairs.push((x, y));
+                pairs.push((y, x));
+            }
+        }
+    }
+    // SGNS with manual gradients
+    let mut emb = Tensor::rand_uniform(&[n_attrs.max(1), dim], -0.5, 0.5, &mut rng);
+    let mut ctx = Tensor::rand_uniform(&[n_attrs.max(1), dim], -0.5, 0.5, &mut rng);
+    let lr = 0.05f32;
+    for _ in 0..3 {
+        rng.shuffle(&mut pairs);
+        for &(a, b) in &pairs {
+            sgns_update(&mut emb, &mut ctx, a, b, true, lr);
+            let neg = rng.below(n_attrs.max(1));
+            sgns_update(&mut emb, &mut ctx, a, neg, false, lr);
+        }
+    }
+    // entity signatures
+    let sig = |kg: &KnowledgeGraph, offset: usize| -> Tensor {
+        let mut t = Tensor::zeros(&[kg.num_entities(), dim]);
+        for e in kg.entities() {
+            let attrs: Vec<usize> =
+                kg.attr_triples_of(e).map(|a| offset + a.attr.0 as usize).collect();
+            if attrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / attrs.len() as f32;
+            for &a in &attrs {
+                for (o, &v) in t.row_mut(e.0 as usize).iter_mut().zip(emb.row(a)) {
+                    *o += v * inv;
+                }
+            }
+        }
+        t
+    };
+    (sig(input.kg1, 0), sig(input.kg2, off))
+}
+
+fn sgns_update(emb: &mut Tensor, ctx: &mut Tensor, a: usize, b: usize, positive: bool, lr: f32) {
+    let dot: f32 = emb.row(a).iter().zip(ctx.row(b)).map(|(&x, &y)| x * y).sum();
+    let p = 1.0 / (1.0 + (-dot).exp());
+    let g = if positive { p - 1.0 } else { p } * lr;
+    let av: Vec<f32> = emb.row(a).to_vec();
+    for (e, &c) in emb.row_mut(a).iter_mut().zip(ctx.row(b)) {
+        *e -= g * c;
+    }
+    for (c, &e) in ctx.row_mut(b).iter_mut().zip(av.iter()) {
+        *c -= g * e;
+    }
+}
+
+/// Character-trigram hashed name embeddings — the stand-in for the GloVe /
+/// fastText word vectors the literal baselines initialize from. Entities
+/// with literally similar names land close; ciphered or Q-id names do not
+/// (which is exactly the failure mode the paper demonstrates in Table V).
+pub fn name_embeddings(kg: &KnowledgeGraph, dim: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[kg.num_entities(), dim]);
+    for e in kg.entities() {
+        let name = kg.entity_name(e).replace('_', " ").to_lowercase();
+        let row = out.row_mut(e.0 as usize);
+        let padded: Vec<char> = format!("^{name}$").chars().collect();
+        let mut count = 0.0f32;
+        for win in padded.windows(3) {
+            let h = hash3(win);
+            let idx = (h % dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            row[idx] += sign;
+            count += 1.0;
+        }
+        if count > 0.0 {
+            row.iter_mut().for_each(|v| *v /= count.sqrt());
+        }
+    }
+    out
+}
+
+/// Word-identity hashed name embeddings — the stand-in for *word-level*
+/// GloVe vectors (RDGCN/HGCN). Unlike the trigram features, a word that is
+/// spelled even slightly differently gets an unrelated vector, reproducing
+/// GloVe's out-of-vocabulary brittleness on proper names.
+pub fn word_hash_embeddings(kg: &KnowledgeGraph, dim: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[kg.num_entities(), dim]);
+    for e in kg.entities() {
+        let name = kg.entity_name(e).replace('_', " ").to_lowercase();
+        let row = out.row_mut(e.0 as usize);
+        let mut count = 0.0f32;
+        for word in name.split_whitespace() {
+            let chars: Vec<char> = word.chars().collect();
+            let h = hash3(&chars);
+            // a few pseudo-random coordinates per word
+            let mut state = h;
+            for _ in 0..4 {
+                state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x9E37);
+                let idx = (state % dim as u64) as usize;
+                let sign = if (state >> 63) == 0 { 1.0 } else { -1.0 };
+                row[idx] += sign;
+            }
+            count += 1.0;
+        }
+        if count > 0.0 {
+            row.iter_mut().for_each(|v| *v /= (count * 4.0).sqrt());
+        }
+    }
+    out
+}
+
+fn hash3(win: &[char]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in win {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Attribute multi-hot features (GCN-Align's attribute channel): a shared
+/// feature axis over the union of attribute names, 1 when the entity has
+/// the attribute.
+pub fn attr_multihot(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> (Tensor, Tensor) {
+    let width = kg1.num_attributes() + kg2.num_attributes();
+    let build = |kg: &KnowledgeGraph, offset: usize| -> Tensor {
+        let mut t = Tensor::zeros(&[kg.num_entities(), width]);
+        for e in kg.entities() {
+            for a in kg.attr_triples_of(e) {
+                t.row_mut(e.0 as usize)[offset + a.attr.0 as usize] = 1.0;
+            }
+        }
+        t
+    };
+    (build(kg1, 0), build(kg2, kg1.num_attributes()))
+}
+
+/// Levenshtein name-similarity matrix for the given source rows against
+/// all KG2 entities (CEA's string feature).
+pub fn name_similarity_matrix(
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    src_rows: &[usize],
+) -> Tensor {
+    let m = kg2.num_entities();
+    let names2: Vec<String> = kg2
+        .entities()
+        .map(|e| kg2.entity_name(e).replace('_', " ").to_lowercase())
+        .collect();
+    let mut out = Tensor::zeros(&[src_rows.len(), m]);
+    for (i, &r) in src_rows.iter().enumerate() {
+        let n1 = kg1.entity_name(sdea_kg::EntityId(r as u32)).replace('_', " ").to_lowercase();
+        let row = out.row_mut(i);
+        for (j, n2) in names2.iter().enumerate() {
+            // cheap length pre-filter: wildly different lengths can't be
+            // similar; avoids the full DP in the common case
+            let (l1, l2) = (n1.chars().count(), n2.chars().count());
+            if l1.abs_diff(l2) * 2 > l1.max(l2) {
+                continue;
+            }
+            row[j] = edit_similarity(&n1, n2) as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    #[test]
+    fn solve_linear_identity() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]);
+        let x = solve_linear(&a, &b);
+        assert!((x.at2(0, 0) - 3.0).abs() < 1e-5);
+        assert!((x.at2(1, 0) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_linear_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 3.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 10.0], &[2, 1]);
+        let x = solve_linear(&a, &b);
+        assert!((x.at2(0, 0) - 1.0).abs() < 1e-4, "{:?}", x.data());
+        assert!((x.at2(1, 0) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ridge_recovers_linear_map() {
+        let mut rng = Rng::seed_from_u64(1);
+        let x = Tensor::rand_normal(&[50, 4], 1.0, &mut rng);
+        let m_true = Tensor::rand_normal(&[4, 4], 1.0, &mut rng);
+        let y = x.matmul(&m_true);
+        let m_hat = ridge_regression(&x, &y, 1e-4);
+        for (a, b) in m_hat.data().iter().zip(m_true.data()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn name_embeddings_similar_names_close() {
+        let mut b = KgBuilder::new();
+        b.entity("Cristiano_Ronaldo");
+        b.entity("Cristiano_Ronaldo_Jr");
+        b.entity("Berlin");
+        let kg = b.build();
+        let e = name_embeddings(&kg, 64);
+        let sim = sdea_eval::cosine_matrix(&e, &e);
+        assert!(
+            sim.at2(0, 1) > sim.at2(0, 2) + 0.2,
+            "similar names should be closer: {} vs {}",
+            sim.at2(0, 1),
+            sim.at2(0, 2)
+        );
+    }
+
+    #[test]
+    fn attr_multihot_disjoint_columns() {
+        let mut b1 = KgBuilder::new();
+        b1.attr_triple("a", "name", "X");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new();
+        b2.attr_triple("b", "label", "Y");
+        let kg2 = b2.build();
+        let (f1, f2) = attr_multihot(&kg1, &kg2);
+        assert_eq!(f1.shape()[1], 2);
+        assert_eq!(f1.row(0), &[1.0, 0.0]);
+        assert_eq!(f2.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn name_similarity_matrix_identity_names() {
+        let mut b1 = KgBuilder::new();
+        b1.entity("alpha");
+        b1.entity("beta");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new();
+        b2.entity("beta");
+        b2.entity("alpha");
+        let kg2 = b2.build();
+        let sim = name_similarity_matrix(&kg1, &kg2, &[0, 1]);
+        assert!((sim.at2(0, 1) - 1.0).abs() < 1e-6);
+        assert!((sim.at2(1, 0) - 1.0).abs() < 1e-6);
+        assert!(sim.at2(0, 0) < 0.6);
+    }
+}

@@ -1,0 +1,625 @@
+//! The GNN family of baselines (paper Table II, rows 9–13).
+//!
+//! * **GCN** — structure-only: learnable input features propagated by two
+//!   symmetric-normalized graph-convolution layers with *shared weights*
+//!   across the KGs, margin loss on seeds (= the paper's "GCN" row, the
+//!   structure-only variant of GCN-Align).
+//! * **GCN-Align** — adds an attribute channel: multi-hot attribute
+//!   features through their own GCN; the two channels' similarities
+//!   combine.
+//! * **MuGNN\*/KECG\*** — GAT-based representatives: graph attention
+//!   computes structural neighbour weights; KECG\* additionally trains a
+//!   TransE objective on the same embeddings (its joint-model design).
+//! * **HMAN** — GCN topology channel + feed-forward channels over
+//!   attribute and relation multi-hot features (the configuration the
+//!   benchmark study uses when descriptions are unavailable).
+
+use crate::emb::rank_test;
+use crate::features::attr_multihot;
+use crate::method::{AlignmentMethod, MethodInput};
+use sdea_core::align::AlignmentResult;
+use sdea_core::loss::margin_ranking_loss;
+use sdea_eval::cosine_matrix;
+use sdea_kg::KnowledgeGraph;
+use sdea_tensor::{
+    init, Adam, CsrMatrix, GradClip, Graph, Optimizer, ParamId, ParamStore, Rng, Tensor, Var,
+};
+use std::sync::Arc;
+
+/// Hyper-parameters of the GNN baselines.
+#[derive(Clone, Debug)]
+pub struct GnnParams {
+    /// Input feature width (learnable features).
+    pub in_dim: usize,
+    /// Hidden/output width.
+    pub dim: usize,
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Ranking margin.
+    pub margin: f32,
+    /// Negatives per positive seed.
+    pub negs: usize,
+}
+
+impl Default for GnnParams {
+    fn default() -> Self {
+        GnnParams { in_dim: 64, dim: 64, epochs: 60, lr: 1e-2, margin: 1.0, negs: 5 }
+    }
+}
+
+/// Sym-normalized adjacency with self loops.
+pub fn gcn_adjacency(kg: &KnowledgeGraph) -> Arc<CsrMatrix> {
+    let n = kg.num_entities();
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(kg.rel_triples().len() * 2 + n);
+    for t in kg.rel_triples() {
+        triplets.push((t.head.0 as usize, t.tail.0 as usize, 1.0));
+        triplets.push((t.tail.0 as usize, t.head.0 as usize, 1.0));
+    }
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+    }
+    let mut adj = CsrMatrix::from_triplets(n, n, &triplets);
+    adj.sym_normalize();
+    Arc::new(adj)
+}
+
+/// A two-layer GCN with shared weights over both KGs and learnable input
+/// features, trained with the seed margin loss. Returns final embeddings.
+struct GcnCore {
+    feat1: ParamId,
+    feat2: ParamId,
+    w1: ParamId,
+    w2: ParamId,
+}
+
+impl GcnCore {
+    fn new(
+        n1: usize,
+        n2: usize,
+        p: &GnnParams,
+        store: &mut ParamStore,
+        rng: &mut Rng,
+    ) -> Self {
+        GcnCore {
+            feat1: store.add("gcn.feat1", Tensor::rand_normal(&[n1, p.in_dim], 0.3, rng)),
+            feat2: store.add("gcn.feat2", Tensor::rand_normal(&[n2, p.in_dim], 0.3, rng)),
+            w1: store.add("gcn.w1", init::xavier_uniform(&[p.in_dim, p.dim], rng)),
+            w2: store.add("gcn.w2", init::xavier_uniform(&[p.dim, p.dim], rng)),
+        }
+    }
+
+    fn forward(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        adj: &Arc<CsrMatrix>,
+        feat: ParamId,
+    ) -> Var {
+        let x = g.param(store, feat);
+        let w1 = g.param(store, self.w1);
+        let w2 = g.param(store, self.w2);
+        let h = g.relu(g.spmm(Arc::clone(adj), g.matmul(x, w1)));
+        g.spmm(Arc::clone(adj), g.matmul(h, w2))
+    }
+}
+
+/// Shared training loop: full-batch forward on both KGs, margin loss on
+/// train seeds with sampled negatives.
+#[allow(clippy::too_many_arguments)]
+fn train_seed_margin(
+    store: &mut ParamStore,
+    p: &GnnParams,
+    rng: &mut Rng,
+    mut forward: impl FnMut(&Graph, &ParamStore) -> (Var, Var),
+    train: &[(sdea_kg::EntityId, sdea_kg::EntityId)],
+    n2: usize,
+) {
+    let mut opt = Adam::new(p.lr).with_clip(GradClip::GlobalNorm(2.0));
+    for _ in 0..p.epochs {
+        let g = Graph::new();
+        let (z1, z2) = forward(&g, store);
+        let rows_a: Vec<usize> = train.iter().map(|&(e, _)| e.0 as usize).collect();
+        let rows_p: Vec<usize> = train.iter().map(|&(_, e)| e.0 as usize).collect();
+        let mut loss_acc: Option<Var> = None;
+        for _ in 0..p.negs {
+            let rows_n: Vec<usize> = (0..train.len()).map(|_| rng.below(n2)).collect();
+            let anchor = g.gather_rows(z1, &rows_a);
+            let pos = g.gather_rows(z2, &rows_p);
+            let neg = g.gather_rows(z2, &rows_n);
+            let l = margin_ranking_loss(&g, anchor, pos, neg, p.margin);
+            loss_acc = Some(match loss_acc {
+                Some(acc) => g.add(acc, l),
+                None => l,
+            });
+        }
+        let loss = loss_acc.expect("negs >= 1");
+        g.backward(loss);
+        g.accumulate_param_grads(store);
+        opt.step(store);
+    }
+}
+
+/// GCN (structure only).
+pub struct Gcn(pub GnnParams);
+
+impl Default for Gcn {
+    fn default() -> Self {
+        Gcn(GnnParams::default())
+    }
+}
+
+impl AlignmentMethod for Gcn {
+    fn name(&self) -> &'static str {
+        "GCN"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let p = &self.0;
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x0009);
+        let (n1, n2) = (input.kg1.num_entities(), input.kg2.num_entities());
+        let adj1 = gcn_adjacency(input.kg1);
+        let adj2 = gcn_adjacency(input.kg2);
+        let mut store = ParamStore::new();
+        let core = GcnCore::new(n1, n2, p, &mut store, &mut rng);
+        train_seed_margin(
+            &mut store,
+            p,
+            &mut rng,
+            |g, store| {
+                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+            },
+            &input.split.train,
+            n2,
+        );
+        // final embeddings
+        let g = Graph::new();
+        let z1 = g.value_cloned(core.forward(&g, &store, &adj1, core.feat1));
+        let z2 = g.value_cloned(core.forward(&g, &store, &adj2, core.feat2));
+        rank_test(&z1, &z2, &input.split.test)
+    }
+}
+
+/// GCN-Align: structure channel + attribute channel.
+pub struct GcnAlign {
+    /// Shared parameters.
+    pub params: GnnParams,
+    /// Weight of the structure channel.
+    pub struct_weight: f32,
+}
+
+impl Default for GcnAlign {
+    fn default() -> Self {
+        GcnAlign { params: GnnParams::default(), struct_weight: 0.7 }
+    }
+}
+
+impl AlignmentMethod for GcnAlign {
+    fn name(&self) -> &'static str {
+        "GCN-Align"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let p = &self.params;
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x000A);
+        let (n1, n2) = (input.kg1.num_entities(), input.kg2.num_entities());
+        let adj1 = gcn_adjacency(input.kg1);
+        let adj2 = gcn_adjacency(input.kg2);
+        // structure channel
+        let mut store = ParamStore::new();
+        let core = GcnCore::new(n1, n2, p, &mut store, &mut rng);
+        train_seed_margin(
+            &mut store,
+            p,
+            &mut rng,
+            |g, store| {
+                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+            },
+            &input.split.train,
+            n2,
+        );
+        let g = Graph::new();
+        let z1 = g.value_cloned(core.forward(&g, &store, &adj1, core.feat1));
+        let z2 = g.value_cloned(core.forward(&g, &store, &adj2, core.feat2));
+
+        // attribute channel: multi-hot propagated by one GCN layer with a
+        // trained projection
+        let (a1, a2) = attr_multihot(input.kg1, input.kg2);
+        let width = a1.shape()[1];
+        let mut astore = ParamStore::new();
+        let aw = astore.add("gcnalign.attr.w", init::xavier_uniform(&[width, p.dim], &mut rng));
+        let a1c = a1.clone();
+        let a2c = a2.clone();
+        let adj1c = Arc::clone(&adj1);
+        let adj2c = Arc::clone(&adj2);
+        train_seed_margin(
+            &mut astore,
+            p,
+            &mut rng,
+            move |g, store| {
+                let w = g.param(store, aw);
+                let x1 = g.constant(a1c.clone());
+                let x2 = g.constant(a2c.clone());
+                (
+                    g.spmm(Arc::clone(&adj1c), g.matmul(x1, w)),
+                    g.spmm(Arc::clone(&adj2c), g.matmul(x2, w)),
+                )
+            },
+            &input.split.train,
+            n2,
+        );
+        let g2m = Graph::new();
+        let w = g2m.param(&astore, aw);
+        let av1 = g2m.value_cloned(g2m.spmm(Arc::clone(&adj1), g2m.matmul(g2m.constant(a1), w)));
+        let av2 = g2m.value_cloned(g2m.spmm(Arc::clone(&adj2), g2m.matmul(g2m.constant(a2), w)));
+
+        let rows: Vec<usize> = input.split.test.iter().map(|&(e, _)| e.0 as usize).collect();
+        let gold: Vec<usize> = input.split.test.iter().map(|&(_, e)| e.0 as usize).collect();
+        let sim_s = cosine_matrix(&z1.gather_rows(&rows), &z2);
+        let sim_a = cosine_matrix(&av1.gather_rows(&rows), &av2);
+        let ws = self.struct_weight;
+        let sim = sim_s.zip(&sim_a, |s, a| ws * s + (1.0 - ws) * a);
+        AlignmentResult { sim, gold }
+    }
+}
+
+// --------------------------------------------------------------- GAT
+
+/// Padded neighbour lists (incl. self) for GAT layers.
+fn gat_neighbors(kg: &KnowledgeGraph, cap: usize) -> Vec<Vec<usize>> {
+    kg.entities()
+        .map(|e| {
+            let mut l = vec![e.0 as usize];
+            l.extend(kg.neighbors(e).iter().take(cap).map(|&(n, _, _)| n.0 as usize));
+            l
+        })
+        .collect()
+}
+
+/// One GAT layer over padded neighbour lists.
+#[allow(clippy::too_many_arguments)]
+fn gat_layer(
+    g: &Graph,
+    store: &ParamStore,
+    x: Var,
+    w: ParamId,
+    a_self: ParamId,
+    a_nbr: ParamId,
+    neigh: &[Vec<usize>],
+) -> Var {
+    let wh = g.matmul(x, g.param(store, w));
+    let asv = g.param(store, a_self); // [d,1]
+    let anv = g.param(store, a_nbr); // [d,1]
+    let n = neigh.len();
+    let t_max = neigh.iter().map(|l| l.len()).max().unwrap_or(1);
+    let s_self = g.reshape(g.matmul(wh, asv), &[n]);
+    let s_nbr_all = g.reshape(g.matmul(wh, anv), &[n]);
+    // leaky relu helper
+    let leaky = |g: &Graph, v: Var| {
+        let pos = g.relu(v);
+        let negpart = g.relu(g.neg(v));
+        g.sub(pos, g.scale(negpart, 0.2))
+    };
+    let mut score_cols: Vec<Var> = Vec::with_capacity(t_max);
+    let mut mask = Tensor::zeros(&[n, t_max]);
+    let mut col_indices: Vec<Vec<usize>> = Vec::with_capacity(t_max);
+    for t in 0..t_max {
+        let idx: Vec<usize> = neigh
+            .iter()
+            .enumerate()
+            .map(|(_i, l)| if t < l.len() { l[t] } else { 0 })
+            .collect();
+        for (i, l) in neigh.iter().enumerate() {
+            if t >= l.len() {
+                mask.row_mut(i)[t] = -1e9;
+            }
+        }
+        // s_self[i] + s_nbr[j(t,i)]
+        let s_j = g.gather_rows_vec(s_nbr_all, &idx);
+        let sum = g.add(s_self, s_j);
+        score_cols.push(leaky(g, sum));
+        col_indices.push(idx);
+    }
+    let scores = g.stack_cols(&score_cols);
+    let alpha = g.softmax_lastdim(g.add(scores, g.constant(mask)));
+    let mut acc: Option<Var> = None;
+    for (t, idx) in col_indices.iter().enumerate() {
+        let nb = g.gather_rows(wh, idx);
+        let a_t = g.select_col(alpha, t);
+        let term = g.mul_col(nb, a_t);
+        acc = Some(match acc {
+            Some(s) => g.add(s, term),
+            None => term,
+        });
+    }
+    g.relu(acc.expect("t_max >= 1"))
+}
+
+/// GAT-based structure baseline (MuGNN* when `transe_joint` is false,
+/// KECG* when true).
+pub struct GatAligner {
+    /// Shared parameters.
+    pub params: GnnParams,
+    /// Add a TransE objective on the same embeddings (KECG's joint model).
+    pub transe_joint: bool,
+    /// Neighbour cap per node.
+    pub cap: usize,
+}
+
+impl GatAligner {
+    /// MuGNN representative (GAT only).
+    pub fn mugnn() -> Self {
+        GatAligner { params: GnnParams::default(), transe_joint: false, cap: 10 }
+    }
+
+    /// KECG representative (GAT + TransE joint loss).
+    pub fn kecg() -> Self {
+        GatAligner { params: GnnParams::default(), transe_joint: true, cap: 10 }
+    }
+}
+
+impl AlignmentMethod for GatAligner {
+    fn name(&self) -> &'static str {
+        if self.transe_joint {
+            "KECG*"
+        } else {
+            "MuGNN*"
+        }
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let p = &self.params;
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x000B);
+        let (n1, n2) = (input.kg1.num_entities(), input.kg2.num_entities());
+        let neigh1 = gat_neighbors(input.kg1, self.cap);
+        let neigh2 = gat_neighbors(input.kg2, self.cap);
+        let mut store = ParamStore::new();
+        let feat1 = store.add("gat.feat1", Tensor::rand_normal(&[n1, p.in_dim], 0.3, &mut rng));
+        let feat2 = store.add("gat.feat2", Tensor::rand_normal(&[n2, p.in_dim], 0.3, &mut rng));
+        let w = store.add("gat.w", init::xavier_uniform(&[p.in_dim, p.dim], &mut rng));
+        let a_self = store.add("gat.a_self", init::xavier_uniform(&[p.dim, 1], &mut rng));
+        let a_nbr = store.add("gat.a_nbr", init::xavier_uniform(&[p.dim, 1], &mut rng));
+        let n_rels = input.kg1.num_relations() + input.kg2.num_relations();
+        let rel = store.add("gat.rel", Tensor::rand_normal(&[n_rels.max(1), p.dim], 0.3, &mut rng));
+        // union triples in per-KG row spaces for the joint TransE term
+        let triples1: Vec<(usize, usize, usize)> = input
+            .kg1
+            .rel_triples()
+            .iter()
+            .map(|t| (t.head.0 as usize, t.rel.0 as usize, t.tail.0 as usize))
+            .collect();
+        let off = input.kg1.num_relations();
+        let triples2: Vec<(usize, usize, usize)> = input
+            .kg2
+            .rel_triples()
+            .iter()
+            .map(|t| (t.head.0 as usize, off + t.rel.0 as usize, t.tail.0 as usize))
+            .collect();
+
+        let mut opt = Adam::new(p.lr).with_clip(GradClip::GlobalNorm(2.0));
+        for _ in 0..p.epochs {
+            let g = Graph::new();
+            let x1 = g.param(&store, feat1);
+            let x2 = g.param(&store, feat2);
+            let z1 = gat_layer(&g, &store, x1, w, a_self, a_nbr, &neigh1);
+            let z2 = gat_layer(&g, &store, x2, w, a_self, a_nbr, &neigh2);
+            let rows_a: Vec<usize> =
+                input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
+            let rows_p: Vec<usize> =
+                input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
+            let rows_n: Vec<usize> =
+                (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
+            let anchor = g.gather_rows(z1, &rows_a);
+            let pos = g.gather_rows(z2, &rows_p);
+            let neg = g.gather_rows(z2, &rows_n);
+            let mut loss = margin_ranking_loss(&g, anchor, pos, neg, p.margin);
+            if self.transe_joint {
+                let relv = g.param(&store, rel);
+                let mut add_transe = |z: Var, triples: &[(usize, usize, usize)]| {
+                    if triples.is_empty() {
+                        return None;
+                    }
+                    let take = triples.len().min(256);
+                    let sample: Vec<(usize, usize, usize)> =
+                        (0..take).map(|_| triples[rng.below(triples.len())]).collect();
+                    let hs: Vec<usize> = sample.iter().map(|&(h, _, _)| h).collect();
+                    let rs: Vec<usize> = sample.iter().map(|&(_, r, _)| r).collect();
+                    let ts: Vec<usize> = sample.iter().map(|&(_, _, t)| t).collect();
+                    let h = g.gather_rows(z, &hs);
+                    let r = g.gather_rows(relv, &rs);
+                    let t = g.gather_rows(z, &ts);
+                    let diff = g.sub(g.add(h, r), t);
+                    Some(g.mean_all(g.square(diff)))
+                };
+                if let Some(l1) = add_transe(z1, &triples1) {
+                    loss = g.add(loss, g.scale(l1, 0.3));
+                }
+                if let Some(l2) = add_transe(z2, &triples2) {
+                    loss = g.add(loss, g.scale(l2, 0.3));
+                }
+            }
+            g.backward(loss);
+            g.accumulate_param_grads(&mut store);
+            opt.step(&mut store);
+        }
+        // final embeddings
+        let g = Graph::new();
+        let x1 = g.param(&store, feat1);
+        let x2 = g.param(&store, feat2);
+        let z1 = g.value_cloned(gat_layer(&g, &store, x1, w, a_self, a_nbr, &neigh1));
+        let z2 = g.value_cloned(gat_layer(&g, &store, x2, w, a_self, a_nbr, &neigh2));
+        rank_test(&z1, &z2, &input.split.test)
+    }
+}
+
+/// HMAN: GCN topology channel + FNN channels over attribute and relation
+/// multi-hot features.
+pub struct Hman(pub GnnParams);
+
+impl Default for Hman {
+    fn default() -> Self {
+        Hman(GnnParams::default())
+    }
+}
+
+/// Relation multi-hot: 1 if the entity has an incident edge of that
+/// relation (union feature axis).
+fn rel_multihot(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> (Tensor, Tensor) {
+    let width = kg1.num_relations() + kg2.num_relations();
+    let build = |kg: &KnowledgeGraph, offset: usize| -> Tensor {
+        let mut t = Tensor::zeros(&[kg.num_entities(), width.max(1)]);
+        for e in kg.entities() {
+            for &(_, r, _) in kg.neighbors(e) {
+                t.row_mut(e.0 as usize)[offset + r.0 as usize] = 1.0;
+            }
+        }
+        t
+    };
+    (build(kg1, 0), build(kg2, kg1.num_relations()))
+}
+
+impl AlignmentMethod for Hman {
+    fn name(&self) -> &'static str {
+        "HMAN"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let p = &self.0;
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x000C);
+        let (n1, n2) = (input.kg1.num_entities(), input.kg2.num_entities());
+        let adj1 = gcn_adjacency(input.kg1);
+        let adj2 = gcn_adjacency(input.kg2);
+        // topology channel (GCN)
+        let mut store = ParamStore::new();
+        let core = GcnCore::new(n1, n2, p, &mut store, &mut rng);
+        train_seed_margin(
+            &mut store,
+            p,
+            &mut rng,
+            |g, store| {
+                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+            },
+            &input.split.train,
+            n2,
+        );
+        let gf = Graph::new();
+        let z1 = gf.value_cloned(core.forward(&gf, &store, &adj1, core.feat1));
+        let z2 = gf.value_cloned(core.forward(&gf, &store, &adj2, core.feat2));
+
+        // feature channels: FNN over attr + rel multi-hot
+        let (a1, a2) = attr_multihot(input.kg1, input.kg2);
+        let (r1, r2) = rel_multihot(input.kg1, input.kg2);
+        let f1 = Tensor::concat_cols(&[&a1, &r1]);
+        let f2 = Tensor::concat_cols(&[&a2, &r2]);
+        let width = f1.shape()[1];
+        let mut fstore = ParamStore::new();
+        let fw = fstore.add("hman.fnn.w", init::xavier_uniform(&[width, p.dim], &mut rng));
+        let fb = fstore.add("hman.fnn.b", Tensor::zeros(&[p.dim]));
+        let f1c = f1.clone();
+        let f2c = f2.clone();
+        train_seed_margin(
+            &mut fstore,
+            p,
+            &mut rng,
+            move |g, store| {
+                let w = g.param(store, fw);
+                let b = g.param(store, fb);
+                let x1 = g.constant(f1c.clone());
+                let x2 = g.constant(f2c.clone());
+                (g.tanh(g.add_bias(g.matmul(x1, w), b)), g.tanh(g.add_bias(g.matmul(x2, w), b)))
+            },
+            &input.split.train,
+            n2,
+        );
+        let gf2 = Graph::new();
+        let w = gf2.param(&fstore, fw);
+        let b = gf2.param(&fstore, fb);
+        let fv1 =
+            gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f1), w), b)));
+        let fv2 =
+            gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f2), w), b)));
+
+        // concatenate channels
+        let e1 = Tensor::concat_cols(&[&z1, &fv1]);
+        let e2 = Tensor::concat_cols(&[&z2, &fv2]);
+        rank_test(&e1, &e2, &input.split.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::testkit::assert_beats_random;
+
+    fn quick(p: &mut GnnParams) {
+        p.epochs = 25;
+        p.in_dim = 32;
+        p.dim = 32;
+    }
+
+    #[test]
+    fn gcn_beats_random() {
+        let mut p = GnnParams::default();
+        quick(&mut p);
+        assert_beats_random(&Gcn(p), 3.0);
+    }
+
+    #[test]
+    fn gcn_align_beats_random() {
+        let mut p = GnnParams::default();
+        quick(&mut p);
+        assert_beats_random(&GcnAlign { params: p, struct_weight: 0.7 }, 3.0);
+    }
+
+    #[test]
+    fn gat_runs_and_beats_random() {
+        let mut m = GatAligner::mugnn();
+        quick(&mut m.params);
+        m.params.epochs = 15;
+        assert_beats_random(&m, 2.0);
+    }
+
+    #[test]
+    fn kecg_runs() {
+        let mut m = GatAligner::kecg();
+        quick(&mut m.params);
+        m.params.epochs = 12;
+        assert_beats_random(&m, 2.0);
+    }
+
+    #[test]
+    fn hman_beats_random() {
+        let mut p = GnnParams::default();
+        quick(&mut p);
+        assert_beats_random(&Hman(p), 3.0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_normalized() {
+        let mut b = sdea_kg::KgBuilder::new();
+        b.rel_triple("a", "r", "b");
+        b.rel_triple("b", "r", "c");
+        let kg = b.build();
+        let adj = gcn_adjacency(&kg);
+        // D^{-1/2} A D^{-1/2} is symmetric with entries in (0, 1] and
+        // diagonal 1/deg(i) (self-loop weight scaled by both endpoints).
+        let dense: Vec<Vec<f32>> = (0..3)
+            .map(|r| {
+                let mut row = vec![0.0f32; 3];
+                for (c, v) in adj.row_entries(r) {
+                    row[c] = v;
+                }
+                row
+            })
+            .collect();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((dense[r][c] - dense[c][r]).abs() < 1e-6, "symmetry ({r},{c})");
+                assert!((0.0..=1.0 + 1e-6).contains(&dense[r][c]));
+            }
+        }
+        // b has degree 3 (a, c, self) -> diagonal 1/3
+        assert!((dense[1][1] - 1.0 / 3.0).abs() < 1e-5, "diag {}", dense[1][1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sdea-baselines
+//!
+//! Re-implementations of the baseline entity-alignment methods the SDEA
+//! paper compares against (Tables II–V), one representative per technique
+//! family, all built on the same substrates as SDEA itself:
+//!
+//! * **TransE family** ([`transe`]): MTransE (separate spaces + learned
+//!   linear mapping), JAPE-Stru (shared space + seed merging + negative
+//!   sampling), JAPE (adds attribute-correlation embeddings), NAEA
+//!   (neighbourhood-aware attention aggregation), BootEA (bootstrapped
+//!   self-training), TransEdge (head-contextualized translations),
+//!   IPTransE (2-hop path composition).
+//! * **Path family** ([`rsn`]): RSN4EA-style GRU over cross-KG random
+//!   walks ([`walks`]).
+//! * **GNN family** ([`gnn`]): GCN (structure only), GCN-Align (adds an
+//!   attribute channel), GAT-based MuGNN*/KECG* representatives, HMAN
+//!   (GCN + attribute/relation feature FNN).
+//! * **Literal family** ([`name_gcn`], [`cea`], [`bert_int`]):
+//!   RDGCN*/HGCN* (name-initialized GCN, optionally with highway gates),
+//!   CEA (structural + semantic + string features, with Gale–Shapley
+//!   stable matching), BERT-INT* (name/attribute interaction on the same
+//!   mini-LM SDEA uses).
+//!
+//! `*` marks simplified representatives: they reproduce the mechanism the
+//! paper credits or blames for the method's behaviour, not every auxiliary
+//! trick (DESIGN.md lists the simplifications).
+//!
+//! All methods implement [`method::AlignmentMethod`] so the bench harness
+//! can sweep them uniformly.
+
+pub mod bert_int;
+pub mod cea;
+pub mod emb;
+pub mod features;
+pub mod gnn;
+pub mod method;
+pub mod name_gcn;
+pub mod rsn;
+pub mod transe;
+pub mod walks;
+
+pub use method::{AlignmentMethod, MethodInput};

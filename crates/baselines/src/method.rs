@@ -1,0 +1,91 @@
+//! The common interface every baseline implements.
+
+use sdea_core::align::AlignmentResult;
+use sdea_kg::{KnowledgeGraph, SplitSeeds};
+
+/// Everything a method may use: the two KGs, the seed split, the unlabeled
+/// corpus (literal methods), and a seed for reproducibility.
+pub struct MethodInput<'a> {
+    /// First KG (source side).
+    pub kg1: &'a KnowledgeGraph,
+    /// Second KG (target side).
+    pub kg2: &'a KnowledgeGraph,
+    /// 2:1:7 seed split. Methods may train on `train`, tune on `valid`,
+    /// and are evaluated on `test`.
+    pub split: &'a SplitSeeds,
+    /// Unlabeled text corpus (attribute values of both KGs).
+    pub corpus: &'a [String],
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// A baseline entity-alignment method.
+pub trait AlignmentMethod {
+    /// The method's display name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Trains on the input and returns the ranking of all KG2 entities for
+    /// each test source entity.
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult;
+}
+
+/// Helper: the gold target column per test source (KG2 entity ids are the
+/// similarity-matrix columns).
+pub fn test_gold(input: &MethodInput<'_>) -> Vec<usize> {
+    input.split.test.iter().map(|&(_, e)| e.0 as usize).collect()
+}
+
+/// Helper: test source entity ids as row indices.
+pub fn test_rows(input: &MethodInput<'_>) -> Vec<usize> {
+    input.split.test.iter().map(|&(e, _)| e.0 as usize).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use super::*;
+    use sdea_kg::{AlignmentSeeds, SplitSeeds};
+    use sdea_synth::{generate, DatasetProfile, GeneratedDataset};
+    use sdea_tensor::Rng;
+
+    /// A small dataset every baseline test can share.
+    pub fn tiny_dataset(links: usize, seed: u64) -> (GeneratedDataset, SplitSeeds, Vec<String>) {
+        let ds = generate(&DatasetProfile::dbp15k_fr_en(links, seed));
+        let mut rng = Rng::seed_from_u64(seed);
+        let split = ds.seeds.split_paper(&mut rng);
+        let corpus = sdea_synth::corpus::dataset_corpus(&ds);
+        (ds, split, corpus)
+    }
+
+    /// Random-chance Hits@1 for the dataset.
+    pub fn chance(ds: &GeneratedDataset) -> f64 {
+        1.0 / ds.kg2().num_entities() as f64
+    }
+
+    /// Asserts a method clearly beats random ranking on the tiny dataset.
+    pub fn assert_beats_random(method: &dyn AlignmentMethod, factor: f64) {
+        let (ds, split, corpus) = tiny_dataset(120, 33);
+        let input = MethodInput {
+            kg1: ds.kg1(),
+            kg2: ds.kg2(),
+            split: &split,
+            corpus: &corpus,
+            seed: 33,
+        };
+        let result = method.align(&input);
+        let m = result.metrics();
+        let c = chance(&ds);
+        assert!(
+            m.hits1 > factor * c || m.hits10 > factor * 5.0 * c,
+            "{} too weak: H@1 {:.3} H@10 {:.3} (chance {:.4})",
+            method.name(),
+            m.hits1,
+            m.hits10,
+            c
+        );
+        assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+    }
+
+    /// Keeps `AlignmentSeeds` import used.
+    #[allow(dead_code)]
+    fn _touch(_: AlignmentSeeds) {}
+}

@@ -1,0 +1,670 @@
+//! The TransE family of baselines (paper Table II, rows 1–7).
+//!
+//! All share a translational scoring core `||h + r − t||²` trained with a
+//! margin loss and uniform head/tail corruption, using hand-derived SGD
+//! updates (orders of magnitude faster than taping millions of tiny ops).
+//! The variants differ exactly where the paper says they differ:
+//!
+//! * **MTransE** — separate spaces per KG, linear mapping learned from
+//!   seeds by ridge regression, *no negative sampling on alignment* (the
+//!   paper attributes its weakness to this).
+//! * **JAPE-Stru** — one shared space, training seeds merged into single
+//!   rows, negative sampling throughout.
+//! * **JAPE** — JAPE-Stru plus attribute-correlation embeddings
+//!   (skip-gram over attribute co-occurrence) blended into the similarity.
+//! * **NAEA** — shared space plus neighbourhood-attention aggregation of
+//!   entity representations.
+//! * **BootEA** — shared space plus bootstrapped self-training: confident
+//!   mutual-nearest pairs are added as soft alignment constraints.
+//! * **TransEdge** — contextualized translations
+//!   `h + r + α(h⊙t) − t` (edge-centric scoring).
+//! * **IPTransE** — adds 2-hop path triples with composed relations
+//!   `r₁ + r₂`.
+
+use crate::emb::{normalize_rows, rank_test, UnionSpace};
+use crate::features::attr_correlation_embeddings;
+use crate::method::{AlignmentMethod, MethodInput};
+use sdea_core::align::AlignmentResult;
+use sdea_eval::cosine_matrix;
+use sdea_tensor::{Rng, Tensor};
+
+/// Shared hyper-parameters of the family.
+#[derive(Clone, Debug)]
+pub struct TransEParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Training epochs over the triple set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Margin γ.
+    pub margin: f32,
+}
+
+impl Default for TransEParams {
+    fn default() -> Self {
+        TransEParams { dim: 64, epochs: 60, lr: 0.02, margin: 1.0 }
+    }
+}
+
+/// The translational embedding core.
+pub struct TransECore {
+    /// Entity rows `[n, d]`.
+    pub ent: Tensor,
+    /// Relation rows `[m, d]`.
+    pub rel: Tensor,
+    dim: usize,
+}
+
+/// Scoring variants.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum ScoreMode {
+    /// Plain TransE.
+    Plain,
+    /// TransEdge-style context: `h + r + α(h⊙t) − t`.
+    EdgeContext(f32),
+}
+
+impl TransECore {
+    /// Uniform init in `[-6/√d, 6/√d]` (Bordes et al.).
+    pub fn new(n_rows: usize, n_rels: usize, dim: usize, rng: &mut Rng) -> Self {
+        let bound = 6.0 / (dim as f32).sqrt();
+        let mut ent = Tensor::rand_uniform(&[n_rows, dim], -bound, bound, rng);
+        let rel = Tensor::rand_uniform(&[n_rels, dim], -bound, bound, rng);
+        normalize_rows(&mut ent);
+        TransECore { ent, rel, dim }
+    }
+
+    fn residual(&self, h: usize, r: usize, t: usize, mode: ScoreMode, out: &mut [f32]) -> f32 {
+        let (hv, rv, tv) = (self.ent.row(h), self.rel.row(r), self.ent.row(t));
+        let mut d = 0.0f32;
+        match mode {
+            ScoreMode::Plain => {
+                for i in 0..self.dim {
+                    out[i] = hv[i] + rv[i] - tv[i];
+                    d += out[i] * out[i];
+                }
+            }
+            ScoreMode::EdgeContext(alpha) => {
+                for i in 0..self.dim {
+                    out[i] = hv[i] + rv[i] + alpha * hv[i] * tv[i] - tv[i];
+                    d += out[i] * out[i];
+                }
+            }
+        }
+        d
+    }
+
+    fn apply_grad(
+        &mut self,
+        h: usize,
+        r: usize,
+        t: usize,
+        e: &[f32],
+        sign: f32,
+        lr: f32,
+        mode: ScoreMode,
+    ) {
+        // d(d²)/dh etc.; sign +1 decreases pos distance, -1 increases neg.
+        let dim = self.dim;
+        match mode {
+            ScoreMode::Plain => {
+                for i in 0..dim {
+                    let g = 2.0 * e[i] * sign * lr;
+                    self.ent.row_mut(h)[i] -= g;
+                    self.rel.row_mut(r)[i] -= g;
+                    self.ent.row_mut(t)[i] += g;
+                }
+            }
+            ScoreMode::EdgeContext(alpha) => {
+                // cache h,t before mutation
+                let hv: Vec<f32> = self.ent.row(h).to_vec();
+                let tv: Vec<f32> = self.ent.row(t).to_vec();
+                for i in 0..dim {
+                    let ge = 2.0 * e[i] * sign * lr;
+                    self.ent.row_mut(h)[i] -= ge * (1.0 + alpha * tv[i]);
+                    self.rel.row_mut(r)[i] -= ge;
+                    self.ent.row_mut(t)[i] -= ge * (alpha * hv[i] - 1.0);
+                }
+            }
+        }
+    }
+
+    /// One SGD epoch over the triples with uniform corruption.
+    ///
+    /// `side_boundary`: when training a union space, corruption samples a
+    /// replacement from the corrupted entity's own KG row range (rows below
+    /// vs at/above the boundary). Cross-KG corruptions are systematically
+    /// far away and would never violate the margin, starving training.
+    pub fn epoch(
+        &mut self,
+        triples: &[(usize, usize, usize)],
+        p: &TransEParams,
+        mode: ScoreMode,
+        side_boundary: Option<usize>,
+        rng: &mut Rng,
+    ) {
+        let n_rows = self.ent.shape()[0];
+        let sample_like = |row: usize, rng: &mut Rng| -> usize {
+            match side_boundary {
+                Some(b) if row < b => rng.below(b),
+                Some(b) => b + rng.below(n_rows - b),
+                None => rng.below(n_rows),
+            }
+        };
+        let mut e_pos = vec![0.0f32; self.dim];
+        let mut e_neg = vec![0.0f32; self.dim];
+        let mut order: Vec<usize> = (0..triples.len()).collect();
+        rng.shuffle(&mut order);
+        for &ti in &order {
+            let (h, r, t) = triples[ti];
+            // corrupt head or tail
+            let corrupt_head = rng.chance(0.5);
+            let (nh, nt) =
+                if corrupt_head { (sample_like(h, rng), t) } else { (h, sample_like(t, rng)) };
+            if (nh, nt) == (h, t) {
+                continue;
+            }
+            let d_pos = self.residual(h, r, t, mode, &mut e_pos);
+            let d_neg = self.residual(nh, r, nt, mode, &mut e_neg);
+            if p.margin + d_pos - d_neg > 0.0 {
+                self.apply_grad(h, r, t, &e_pos, 1.0, p.lr, mode);
+                self.apply_grad(nh, r, nt, &e_neg, -1.0, p.lr, mode);
+            }
+        }
+        normalize_rows(&mut self.ent);
+    }
+
+    /// One epoch over 2-hop path triples (IPTransE): loss on
+    /// `||h + (r₁ + r₂) − t||²` with tail corruption.
+    pub fn epoch_paths(
+        &mut self,
+        paths: &[(usize, usize, usize, usize)], // (h, r1, r2, t)
+        p: &TransEParams,
+        rng: &mut Rng,
+    ) {
+        let n_rows = self.ent.shape()[0];
+        let dim = self.dim;
+        let mut e_pos = vec![0.0f32; dim];
+        let mut e_neg = vec![0.0f32; dim];
+        for &(h, r1, r2, t) in paths {
+            let nt = rng.below(n_rows);
+            if nt == t {
+                continue;
+            }
+            let mut d_pos = 0.0;
+            let mut d_neg = 0.0;
+            for i in 0..dim {
+                let rsum = self.rel.row(r1)[i] + self.rel.row(r2)[i];
+                e_pos[i] = self.ent.row(h)[i] + rsum - self.ent.row(t)[i];
+                e_neg[i] = self.ent.row(h)[i] + rsum - self.ent.row(nt)[i];
+                d_pos += e_pos[i] * e_pos[i];
+                d_neg += e_neg[i] * e_neg[i];
+            }
+            if p.margin + d_pos - d_neg > 0.0 {
+                for i in 0..dim {
+                    let gp = 2.0 * e_pos[i] * p.lr;
+                    let gn = 2.0 * e_neg[i] * p.lr;
+                    self.ent.row_mut(h)[i] -= gp - gn;
+                    self.rel.row_mut(r1)[i] -= gp - gn;
+                    self.rel.row_mut(r2)[i] -= gp - gn;
+                    self.ent.row_mut(t)[i] += gp;
+                    self.ent.row_mut(nt)[i] -= gn;
+                }
+            }
+        }
+    }
+
+    /// Pulls row pairs together (soft alignment constraint; used by
+    /// BootEA's bootstrapping).
+    pub fn align_pull(&mut self, pairs: &[(usize, usize)], lr: f32) {
+        let dim = self.dim;
+        for &(a, b) in pairs {
+            for i in 0..dim {
+                let diff = self.ent.row(a)[i] - self.ent.row(b)[i];
+                self.ent.row_mut(a)[i] -= lr * diff;
+                self.ent.row_mut(b)[i] += lr * diff;
+            }
+        }
+    }
+
+    /// One pass of the *alignment* margin loss over seed pairs — pull the
+    /// aligned pair together, push a random negative away when it violates
+    /// the margin. Every OpenEA-framework implementation of the TransE
+    /// family trains this objective alongside the triple loss; translation
+    /// alone cannot couple two disjoint relation schemas through a handful
+    /// of merged rows.
+    pub fn epoch_alignment(
+        &mut self,
+        pairs: &[(usize, usize)],
+        n_rows: usize,
+        p: &TransEParams,
+        rng: &mut Rng,
+    ) {
+        let dim = self.dim;
+        for &(a, b) in pairs {
+            let neg = rng.below(n_rows);
+            if neg == b {
+                continue;
+            }
+            let mut d_pos = 0.0f32;
+            let mut d_neg = 0.0f32;
+            for i in 0..dim {
+                let dp = self.ent.row(a)[i] - self.ent.row(b)[i];
+                let dn = self.ent.row(a)[i] - self.ent.row(neg)[i];
+                d_pos += dp * dp;
+                d_neg += dn * dn;
+            }
+            if p.margin + d_pos - d_neg > 0.0 {
+                for i in 0..dim {
+                    let dp = self.ent.row(a)[i] - self.ent.row(b)[i];
+                    let dn = self.ent.row(a)[i] - self.ent.row(neg)[i];
+                    let g = 2.0 * p.lr;
+                    self.ent.row_mut(a)[i] -= g * (dp - dn);
+                    self.ent.row_mut(b)[i] += g * dp;
+                    self.ent.row_mut(neg)[i] -= g * dn;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- methods
+
+/// MTransE: separate spaces + ridge-regression mapping from seeds.
+pub struct MTransE(pub TransEParams);
+
+impl Default for MTransE {
+    fn default() -> Self {
+        MTransE(TransEParams::default())
+    }
+}
+
+impl AlignmentMethod for MTransE {
+    fn name(&self) -> &'static str {
+        "MTransE"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x0001);
+        let space = UnionSpace::disjoint(input.kg1, input.kg2);
+        let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
+        let mut core = TransECore::new(space.n_rows(), n_rels, self.0.dim, &mut rng);
+        for _ in 0..self.0.epochs {
+            core.epoch(&triples, &self.0, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+        }
+        let (e1, e2) = space.split_tables(&core.ent, input.kg1.num_entities(), input.kg2.num_entities());
+        // Mapping M: minimize ||X1 M − X2||² + λ||M||² over train seeds.
+        let rows1: Vec<usize> = input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
+        let rows2: Vec<usize> = input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
+        let x1 = e1.gather_rows(&rows1);
+        let x2 = e2.gather_rows(&rows2);
+        let m = crate::features::ridge_regression(&x1, &x2, 0.1);
+        let mapped = e1.matmul(&m);
+        rank_test(&mapped, &e2, &input.split.test)
+    }
+}
+
+/// JAPE-Stru: shared space with seed merging.
+pub struct JapeStru(pub TransEParams);
+
+impl Default for JapeStru {
+    fn default() -> Self {
+        JapeStru(TransEParams::default())
+    }
+}
+
+fn shared_space_embeddings(
+    input: &MethodInput<'_>,
+    p: &TransEParams,
+    mode: ScoreMode,
+    seed_salt: u64,
+) -> (Tensor, Tensor) {
+    let mut rng = Rng::seed_from_u64(input.seed ^ seed_salt);
+    let space = UnionSpace::new(input.kg1, input.kg2, &input.split.train);
+    let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
+    let boundary = input.kg1.num_entities();
+    let mut core = TransECore::new(space.n_rows(), n_rels, p.dim, &mut rng);
+    for _ in 0..p.epochs {
+        core.epoch(&triples, p, mode, Some(boundary), &mut rng);
+    }
+    space.split_tables(&core.ent, input.kg1.num_entities(), input.kg2.num_entities())
+}
+
+impl AlignmentMethod for JapeStru {
+    fn name(&self) -> &'static str {
+        "JAPE-Stru"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let (e1, e2) = shared_space_embeddings(input, &self.0, ScoreMode::Plain, 0x0002);
+        rank_test(&e1, &e2, &input.split.test)
+    }
+}
+
+/// JAPE: JAPE-Stru + attribute-correlation similarity channel.
+pub struct Jape {
+    /// Structural parameters.
+    pub params: TransEParams,
+    /// Weight of the structural channel (attribute gets `1 − w`).
+    pub struct_weight: f64,
+}
+
+impl Default for Jape {
+    fn default() -> Self {
+        Jape { params: TransEParams::default(), struct_weight: 0.75 }
+    }
+}
+
+impl AlignmentMethod for Jape {
+    fn name(&self) -> &'static str {
+        "JAPE"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let (e1, e2) = shared_space_embeddings(input, &self.params, ScoreMode::Plain, 0x0003);
+        let rows: Vec<usize> = input.split.test.iter().map(|&(e, _)| e.0 as usize).collect();
+        let gold: Vec<usize> = input.split.test.iter().map(|&(_, e)| e.0 as usize).collect();
+        let sim_struct = cosine_matrix(&e1.gather_rows(&rows), &e2);
+        let (a1, a2) = attr_correlation_embeddings(input, 32);
+        let sim_attr = cosine_matrix(&a1.gather_rows(&rows), &a2);
+        let w = self.struct_weight as f32;
+        let sim = sim_struct.zip(&sim_attr, |s, a| w * s + (1.0 - w) * a);
+        AlignmentResult { sim, gold }
+    }
+}
+
+/// NAEA: shared space + neighbourhood attention aggregation.
+pub struct Naea(pub TransEParams);
+
+impl Default for Naea {
+    fn default() -> Self {
+        Naea(TransEParams::default())
+    }
+}
+
+impl AlignmentMethod for Naea {
+    fn name(&self) -> &'static str {
+        "NAEA"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let (e1, e2) = shared_space_embeddings(input, &self.0, ScoreMode::Plain, 0x0004);
+        let agg1 = attention_aggregate(input.kg1, &e1);
+        let agg2 = attention_aggregate(input.kg2, &e2);
+        rank_test(&agg1, &agg2, &input.split.test)
+    }
+}
+
+/// `[own ; softmax(own·nbr) -weighted neighbour mean]`.
+fn attention_aggregate(kg: &sdea_kg::KnowledgeGraph, emb: &Tensor) -> Tensor {
+    let (n, d) = (emb.shape()[0], emb.shape()[1]);
+    let mut out = Tensor::zeros(&[n, 2 * d]);
+    for e in kg.entities() {
+        let i = e.0 as usize;
+        let own = emb.row(i);
+        out.row_mut(i)[..d].copy_from_slice(own);
+        let neigh = kg.neighbors(e);
+        if neigh.is_empty() {
+            continue;
+        }
+        // attention over neighbours
+        let mut scores: Vec<f32> = neigh
+            .iter()
+            .map(|&(nb, _, _)| {
+                let nv = emb.row(nb.0 as usize);
+                own.iter().zip(nv).map(|(&a, &b)| a * b).sum()
+            })
+            .collect();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        for (k, &(nb, _, _)) in neigh.iter().enumerate() {
+            let w = scores[k] / sum;
+            let nv = emb.row(nb.0 as usize);
+            for (o, &v) in out.row_mut(i)[d..].iter_mut().zip(nv) {
+                *o += w * v;
+            }
+        }
+    }
+    out
+}
+
+/// BootEA: shared space + bootstrapped alignment constraints.
+pub struct BootEa {
+    /// Structural parameters.
+    pub params: TransEParams,
+    /// Epoch interval between bootstrap rounds.
+    pub boot_every: usize,
+    /// Similarity threshold for accepting a mutual-nearest pair.
+    pub threshold: f32,
+}
+
+impl Default for BootEa {
+    fn default() -> Self {
+        BootEa { params: TransEParams::default(), boot_every: 15, threshold: 0.9 }
+    }
+}
+
+impl AlignmentMethod for BootEa {
+    fn name(&self) -> &'static str {
+        "BootEA"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x0005);
+        let space = UnionSpace::new(input.kg1, input.kg2, &input.split.train);
+        let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
+        let mut core = TransECore::new(space.n_rows(), n_rels, self.params.dim, &mut rng);
+        let n1 = input.kg1.num_entities();
+        let n2 = input.kg2.num_entities();
+        let mut boot_pairs: Vec<(usize, usize)> = Vec::new();
+        for epoch in 0..self.params.epochs {
+            core.epoch(&triples, &self.params, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+            if !boot_pairs.is_empty() {
+                // gentle pull: bootstrapped labels are noisy
+                core.align_pull(&boot_pairs, self.params.lr * 0.5);
+            }
+            if epoch > 0 && epoch % self.boot_every == 0 {
+                let (e1, e2) = space.split_tables(&core.ent, n1, n2);
+                boot_pairs = mutual_nearest(&e1, &e2, self.threshold)
+                    .into_iter()
+                    .map(|(a, b)| (a, n1 + b)) // row of KG2 entity b (unmerged rows)
+                    .collect();
+            }
+        }
+        let (e1, e2) = space.split_tables(&core.ent, n1, n2);
+        rank_test(&e1, &e2, &input.split.test)
+    }
+}
+
+/// Mutual nearest neighbours above a cosine threshold.
+pub fn mutual_nearest(e1: &Tensor, e2: &Tensor, threshold: f32) -> Vec<(usize, usize)> {
+    let sim = cosine_matrix(e1, e2);
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    let mut best_col = vec![(0usize, f32::NEG_INFINITY); m];
+    let mut best_row = vec![(0usize, f32::NEG_INFINITY); n];
+    for i in 0..n {
+        for j in 0..m {
+            let s = sim.at2(i, j);
+            if s > best_row[i].1 {
+                best_row[i] = (j, s);
+            }
+            if s > best_col[j].1 {
+                best_col[j] = (i, s);
+            }
+        }
+    }
+    (0..n)
+        .filter_map(|i| {
+            let (j, s) = best_row[i];
+            (s >= threshold && best_col[j].0 == i).then_some((i, j))
+        })
+        .collect()
+}
+
+/// TransEdge: edge-contextualized translations.
+pub struct TransEdge {
+    /// Structural parameters.
+    pub params: TransEParams,
+    /// Context strength α.
+    pub alpha: f32,
+}
+
+impl Default for TransEdge {
+    fn default() -> Self {
+        TransEdge { params: TransEParams::default(), alpha: 0.3 }
+    }
+}
+
+impl AlignmentMethod for TransEdge {
+    fn name(&self) -> &'static str {
+        "TransEdge"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let (e1, e2) =
+            shared_space_embeddings(input, &self.params, ScoreMode::EdgeContext(self.alpha), 0x0006);
+        rank_test(&e1, &e2, &input.split.test)
+    }
+}
+
+/// IPTransE: shared space + 2-hop path composition.
+pub struct IpTransE {
+    /// Structural parameters.
+    pub params: TransEParams,
+    /// Number of sampled 2-hop paths per epoch.
+    pub paths_per_epoch: usize,
+}
+
+impl Default for IpTransE {
+    fn default() -> Self {
+        IpTransE { params: TransEParams::default(), paths_per_epoch: 2000 }
+    }
+}
+
+impl AlignmentMethod for IpTransE {
+    fn name(&self) -> &'static str {
+        "IPTransE"
+    }
+
+    fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
+        let mut rng = Rng::seed_from_u64(input.seed ^ 0x0007);
+        let space = UnionSpace::new(input.kg1, input.kg2, &input.split.train);
+        let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
+        // index triples by head for path sampling
+        let mut by_head: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        for (i, &(h, _, _)) in triples.iter().enumerate() {
+            by_head.entry(h).or_default().push(i);
+        }
+        let mut core = TransECore::new(space.n_rows(), n_rels, self.params.dim, &mut rng);
+        for _ in 0..self.params.epochs {
+            core.epoch(&triples, &self.params, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+            // sample 2-hop paths
+            let mut paths = Vec::with_capacity(self.paths_per_epoch);
+            for _ in 0..self.paths_per_epoch {
+                let &(h, r1, mid) = &triples[rng.below(triples.len())];
+                if let Some(next) = by_head.get(&mid) {
+                    let &(_, r2, t) = &triples[*rng.choose(next)];
+                    paths.push((h, r1, r2, t));
+                }
+            }
+            core.epoch_paths(&paths, &self.params, &mut rng);
+        }
+        let (e1, e2) =
+            space.split_tables(&core.ent, input.kg1.num_entities(), input.kg2.num_entities());
+        rank_test(&e1, &e2, &input.split.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::testkit::assert_beats_random;
+
+    #[test]
+    fn transe_core_separates_pos_from_neg() {
+        let mut rng = Rng::seed_from_u64(1);
+        // tiny deterministic graph: chain 0-1-2-3 with one relation
+        let triples = vec![(0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 0, 0)];
+        let p = TransEParams { dim: 16, epochs: 1, lr: 0.05, margin: 1.0 };
+        let mut core = TransECore::new(5, 1, 16, &mut rng);
+        let mut e = vec![0.0f32; 16];
+        let before: f32 =
+            triples.iter().map(|&(h, r, t)| core.residual(h, r, t, ScoreMode::Plain, &mut e)).sum();
+        for _ in 0..100 {
+            core.epoch(&triples, &p, ScoreMode::Plain, None, &mut rng);
+        }
+        let after: f32 =
+            triples.iter().map(|&(h, r, t)| core.residual(h, r, t, ScoreMode::Plain, &mut e)).sum();
+        assert!(after < before, "training should reduce positive distances: {before} -> {after}");
+    }
+
+    #[test]
+    fn mutual_nearest_finds_identity() {
+        let mut rng = Rng::seed_from_u64(2);
+        let e = Tensor::rand_normal(&[10, 8], 1.0, &mut rng);
+        let pairs = mutual_nearest(&e, &e, 0.99);
+        assert_eq!(pairs.len(), 10);
+        assert!(pairs.iter().all(|&(a, b)| a == b));
+    }
+
+    #[test]
+    fn jape_stru_beats_random() {
+        let mut p = TransEParams::default();
+        p.epochs = 30;
+        p.dim = 32;
+        assert_beats_random(&JapeStru(p), 3.0);
+    }
+
+    #[test]
+    fn mtranse_runs_and_is_sane() {
+        let mut p = TransEParams::default();
+        p.epochs = 20;
+        p.dim = 32;
+        // MTransE is the weakest method in the paper; only require a valid
+        // run with non-degenerate metrics.
+        let (ds, split, corpus) = crate::method::testkit::tiny_dataset(120, 33);
+        let input = MethodInput {
+            kg1: ds.kg1(),
+            kg2: ds.kg2(),
+            split: &split,
+            corpus: &corpus,
+            seed: 33,
+        };
+        let m = MTransE(p).align(&input).metrics();
+        assert!(m.mrr > 0.0 && m.hits10 <= 1.0);
+    }
+
+    #[test]
+    fn bootea_collects_boot_pairs_and_runs() {
+        let mut params = TransEParams::default();
+        params.epochs = 40;
+        params.dim = 32;
+        let method = BootEa { params, boot_every: 12, threshold: 0.9 };
+        assert_beats_random(&method, 2.0);
+    }
+
+    #[test]
+    fn transedge_edge_context_differs_from_plain() {
+        let mut rng = Rng::seed_from_u64(3);
+        let core = TransECore::new(4, 1, 8, &mut rng);
+        let mut e1 = vec![0.0f32; 8];
+        let mut e2 = vec![0.0f32; 8];
+        let d_plain = core.residual(0, 0, 1, ScoreMode::Plain, &mut e1);
+        let d_edge = core.residual(0, 0, 1, ScoreMode::EdgeContext(0.3), &mut e2);
+        assert_ne!(d_plain, d_edge);
+    }
+
+    #[test]
+    fn iptranse_paths_run() {
+        let mut p = TransEParams::default();
+        p.epochs = 15;
+        p.dim = 32;
+        let method = IpTransE { params: p, paths_per_epoch: 300 };
+        assert_beats_random(&method, 2.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random-walk generation over the union of both KGs — the corpus for the
+//! RSN4EA baseline. Walks cross between KGs through merged training-seed
+//! entities, which is how RSN transmits alignment information over long
+//! relational paths.
+
+use crate::emb::UnionSpace;
+use sdea_kg::KnowledgeGraph;
+use sdea_tensor::Rng;
+
+/// A walk is an alternating entity/relation row sequence
+/// `e0 r0 e1 r1 e2 …` encoded as `(entity_rows, relation_indices)`.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    /// Entity rows (length `hops + 1`).
+    pub entities: Vec<usize>,
+    /// Relation indices (length `hops`).
+    pub relations: Vec<usize>,
+}
+
+/// Generates `count` walks of `hops` hops over the union graph.
+pub fn generate_walks(
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    space: &UnionSpace,
+    count: usize,
+    hops: usize,
+    rng: &mut Rng,
+) -> Vec<Walk> {
+    let (triples, _) = space.union_triples(kg1, kg2);
+    // adjacency by head row
+    let mut adj: std::collections::HashMap<usize, Vec<(usize, usize)>> =
+        std::collections::HashMap::new();
+    for &(h, r, t) in &triples {
+        adj.entry(h).or_default().push((r, t));
+        // biased walks also traverse inverse edges (standard in RSN)
+        adj.entry(t).or_default().push((r, h));
+    }
+    let starts: Vec<usize> = adj.keys().copied().collect();
+    if starts.is_empty() {
+        return Vec::new();
+    }
+    let mut walks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut e = *rng.choose(&starts);
+        let mut entities = vec![e];
+        let mut relations = Vec::with_capacity(hops);
+        for _ in 0..hops {
+            let Some(nexts) = adj.get(&e) else { break };
+            let &(r, t) = rng.choose(nexts);
+            relations.push(r);
+            entities.push(t);
+            e = t;
+        }
+        if entities.len() > 1 {
+            walks.push(Walk { entities, relations });
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    fn ring(tag: &str, n: usize) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        for i in 0..n {
+            b.rel_triple(&format!("{tag}{i}"), "r", &format!("{tag}{}", (i + 1) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn walks_have_consistent_lengths() {
+        let kg1 = ring("a", 6);
+        let kg2 = ring("b", 6);
+        let space = UnionSpace::disjoint(&kg1, &kg2);
+        let mut rng = Rng::seed_from_u64(1);
+        let walks = generate_walks(&kg1, &kg2, &space, 50, 4, &mut rng);
+        assert!(!walks.is_empty());
+        for w in &walks {
+            assert_eq!(w.entities.len(), w.relations.len() + 1);
+            assert!(w.entities.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn walks_cross_kgs_through_merged_seeds() {
+        let kg1 = ring("a", 6);
+        let kg2 = ring("b", 6);
+        let a0 = kg1.find_entity("a0").unwrap();
+        let b0 = kg2.find_entity("b0").unwrap();
+        let space = UnionSpace::new(&kg1, &kg2, &[(a0, b0)]);
+        let mut rng = Rng::seed_from_u64(2);
+        let walks = generate_walks(&kg1, &kg2, &space, 500, 6, &mut rng);
+        let n1 = kg1.num_entities();
+        // some walk must contain both a row < n1 and a row >= n1
+        let crossing = walks.iter().any(|w| {
+            w.entities.iter().any(|&e| e < n1) && w.entities.iter().any(|&e| e >= n1)
+        });
+        assert!(crossing, "walks should cross KGs via the merged seed");
+    }
+
+    #[test]
+    fn walks_are_valid_rows() {
+        let kg1 = ring("a", 4);
+        let kg2 = ring("b", 4);
+        let space = UnionSpace::disjoint(&kg1, &kg2);
+        let mut rng = Rng::seed_from_u64(3);
+        for w in generate_walks(&kg1, &kg2, &space, 100, 3, &mut rng) {
+            assert!(w.entities.iter().all(|&e| e < space.n_rows()));
+        }
+    }
+}

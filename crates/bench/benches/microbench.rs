@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks over the system's hot kernels: dense matmul,
+//! transformer forward, GRU relation module forward, tokenization,
+//! candidate generation and alignment scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sdea_core::rel_module::{NeighborBatch, RelModule, RelVariant};
+use sdea_eval::{cosine_matrix, top_k_indices};
+use sdea_kg::EntityId;
+use sdea_lm::{LmConfig, TokenBatch, TransformerLm};
+use sdea_tensor::{Graph, ParamStore, Rng, Tensor};
+use sdea_text::{Tokenizer, WordPieceTrainer};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let a = Tensor::rand_normal(&[128, 128], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[128, 128], 1.0, &mut rng);
+    c.bench_function("matmul_128x128", |bch| bch.iter(|| std::hint::black_box(a.matmul(&b))));
+    let a2 = Tensor::rand_normal(&[512, 128], 1.0, &mut rng);
+    let b2 = Tensor::rand_normal(&[128, 256], 1.0, &mut rng);
+    c.bench_function("matmul_512x128x256", |bch| {
+        bch.iter(|| std::hint::black_box(a2.matmul(&b2)))
+    });
+}
+
+fn bench_transformer_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let cfg = LmConfig::small(2000);
+    let lm = TransformerLm::new(cfg.clone(), &mut store, &mut rng);
+    let rows: Vec<sdea_text::Encoded> = (0..8)
+        .map(|i| {
+            let ids: Vec<u32> = (0..cfg.max_seq as u32).map(|j| 5 + (i * 31 + j) % 1900).collect();
+            sdea_text::Encoded { ids, mask: vec![1; cfg.max_seq] }
+        })
+        .collect();
+    let batch = TokenBatch::from_encoded(&rows);
+    c.bench_function("transformer_fwd_b8_s64_h128", |bch| {
+        bch.iter(|| {
+            let g = Graph::new();
+            let h = lm.forward(&g, &store, &batch, false, &mut rng);
+            std::hint::black_box(g.value_cloned(h))
+        })
+    });
+}
+
+fn bench_gru_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let rel = RelModule::new(128, RelVariant::Full, &mut store, &mut rng);
+    let table = Tensor::rand_normal(&[1000, 128], 0.5, &mut rng);
+    let lists: Vec<Vec<usize>> =
+        (0..128).map(|i| (0..8).map(|j| (i * 13 + j * 7) % 1000).collect()).collect();
+    let batch = NeighborBatch::from_lists(&lists);
+    c.bench_function("bigru_attention_fwd_b128_t8_d128", |bch| {
+        bch.iter(|| {
+            let g = Graph::new();
+            let t = g.constant(table.clone());
+            let out = rel.forward(&g, &store, t, &batch);
+            std::hint::black_box(g.value_cloned(out))
+        })
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let corpus: Vec<String> = (0..200)
+        .map(|i| format!("entity number {i} born {} in settlement alpha{}", 1900 + i % 100, i % 17))
+        .collect();
+    let vocab = WordPieceTrainer::new(1500).train(corpus.iter().map(|s| s.as_str()));
+    let tok = Tokenizer::new(vocab);
+    let text = "cristiano ronaldo dos santos aveiro born 1985-02-05 in funchal madeira portugal plays for real madrid and al nassr";
+    c.bench_function("tokenize_sentence", |bch| {
+        bch.iter(|| std::hint::black_box(tok.encode(text, 64)))
+    });
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(4);
+    let src = Tensor::rand_normal(&[300, 128], 1.0, &mut rng);
+    let tgt = Tensor::rand_normal(&[1500, 128], 1.0, &mut rng);
+    let sources: Vec<EntityId> = (0..300u32).map(EntityId).collect();
+    c.bench_function("candidate_gen_300x1500_top20", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(sdea_core::CandidateSet::generate(&sources, &src, &tgt, 20))
+        })
+    });
+}
+
+fn bench_alignment_scoring(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(5);
+    let a = Tensor::rand_normal(&[1000, 384], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[1000, 384], 1.0, &mut rng);
+    c.bench_function("cosine_matrix_1000x1000_d384", |bch| {
+        bch.iter(|| std::hint::black_box(cosine_matrix(&a, &b)))
+    });
+    let sim = cosine_matrix(&a, &b);
+    c.bench_function("top10_per_row_1000x1000", |bch| {
+        bch.iter_batched(
+            || sim.clone(),
+            |s| {
+                let m = s.shape()[1];
+                for i in 0..s.shape()[0] {
+                    std::hint::black_box(top_k_indices(&s.data()[i * m..(i + 1) * m], 10));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("stable_matching_1000x1000", |bch| {
+        bch.iter(|| std::hint::black_box(sdea_core::stable_matching(&sim)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_matmul,
+        bench_transformer_forward,
+        bench_gru_forward,
+        bench_tokenizer,
+        bench_candidate_generation,
+        bench_alignment_scoring
+}
+criterion_main!(benches);

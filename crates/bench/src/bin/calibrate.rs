@@ -1,0 +1,73 @@
+//! Calibration tool: runs SDEA (full + w/o rel) on one dataset profile and
+//! prints metrics + timing. Used to tune generator difficulty and the
+//! default configuration; not itself a paper table.
+//!
+//! Usage: `calibrate [profile] [links]` where profile is one of
+//! `zh_en ja_en fr_en en_fr en_de dbp_wd dbp_yg d_w`.
+
+use sdea_bench::runner::{bench_sdea_config, bench_seed, load_dataset, run_sdea};
+use sdea_core::rel_module::RelVariant;
+use sdea_synth::DatasetProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("fr_en");
+    let links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed = bench_seed();
+    let profile = match which {
+        "zh_en" => DatasetProfile::dbp15k_zh_en(links, seed),
+        "ja_en" => DatasetProfile::dbp15k_ja_en(links, seed),
+        "fr_en" => DatasetProfile::dbp15k_fr_en(links, seed),
+        "en_fr" => DatasetProfile::srprs_en_fr(links, seed),
+        "en_de" => DatasetProfile::srprs_en_de(links, seed),
+        "dbp_wd" => DatasetProfile::srprs_dbp_wd(links, seed),
+        "dbp_yg" => DatasetProfile::srprs_dbp_yg(links, seed),
+        "d_w" => DatasetProfile::openea_d_w(links, seed),
+        other => {
+            eprintln!("unknown profile {other}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let bundle = load_dataset(&profile);
+    println!(
+        "dataset {} generated in {:.1}s: |E1|={} |E2|={} links={} rel1={} attr1={}",
+        profile.name,
+        t0.elapsed().as_secs_f64(),
+        bundle.ds.kg1().num_entities(),
+        bundle.ds.kg2().num_entities(),
+        bundle.ds.seeds.len(),
+        bundle.ds.kg1().rel_triples().len(),
+        bundle.ds.kg1().attr_triples().len(),
+    );
+    let cfg = bench_sdea_config(seed);
+    println!(
+        "cfg: mlm_epochs={} attr_epochs={} max_seq={} hidden={} vocab={} lr={} margin={}",
+        cfg.mlm_epochs, cfg.attr_epochs, cfg.max_seq, cfg.lm_hidden, cfg.vocab_budget,
+        cfg.attr_lr, cfg.margin
+    );
+    let (outcome, model) = run_sdea(&bundle, &cfg, RelVariant::Full);
+    println!(
+        "SDEA           H@1 {:5.1}  H@10 {:5.1}  MRR {:.2}   ({:.0}s, stable H@1 {:.1})",
+        outcome.metrics.hits1 * 100.0,
+        outcome.metrics.hits10 * 100.0,
+        outcome.metrics.mrr,
+        outcome.seconds,
+        outcome.stable_hits1.unwrap_or(0.0) * 100.0
+    );
+    let attr_only = model.align_test_attr_only(&bundle.split.test).metrics();
+    println!(
+        "SDEA w/o rel.  H@1 {:5.1}  H@10 {:5.1}  MRR {:.2}",
+        attr_only.hits1 * 100.0,
+        attr_only.hits10 * 100.0,
+        attr_only.mrr
+    );
+    println!(
+        "attr epochs: {:?} valid H@1 {:?}",
+        model.attr_report.epoch_losses, model.attr_report.valid_hits1
+    );
+    println!(
+        "rel epochs: {:?} valid H@1 {:?}",
+        model.rel_report.epoch_losses, model.rel_report.valid_hits1
+    );
+}

@@ -1,0 +1,39 @@
+//! Diagnostic: runs one named baseline on one dataset profile.
+//! Usage: `debug_baseline <method-index|name> <profile> [links]`.
+
+use sdea_bench::runner::{baseline_suite, bench_seed, load_dataset, run_baseline};
+use sdea_synth::DatasetProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which_method = args.get(1).cloned().unwrap_or_else(|| "JAPE-Stru".into());
+    let which = args.get(2).map(|s| s.as_str()).unwrap_or("fr_en").to_string();
+    let links: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed = bench_seed();
+    let profile = match which.as_str() {
+        "zh_en" => DatasetProfile::dbp15k_zh_en(links, seed),
+        "ja_en" => DatasetProfile::dbp15k_ja_en(links, seed),
+        "fr_en" => DatasetProfile::dbp15k_fr_en(links, seed),
+        "en_fr" => DatasetProfile::srprs_en_fr(links, seed),
+        "en_de" => DatasetProfile::srprs_en_de(links, seed),
+        "dbp_wd" => DatasetProfile::srprs_dbp_wd(links, seed),
+        "dbp_yg" => DatasetProfile::srprs_dbp_yg(links, seed),
+        "d_w" => DatasetProfile::openea_d_w(links, seed),
+        _ => panic!("unknown profile"),
+    };
+    let bundle = load_dataset(&profile);
+    for m in baseline_suite() {
+        if m.name() == which_method || which_method == "all" {
+            let out = run_baseline(m.as_ref(), &bundle, seed, false);
+            println!(
+                "{:<12} on {}: H@1 {:5.1} H@10 {:5.1} MRR {:.2} ({:.0}s)",
+                m.name(),
+                profile.name,
+                out.metrics.hits1 * 100.0,
+                out.metrics.hits10 * 100.0,
+                out.metrics.mrr,
+                out.seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Diagnostic: ranks test pairs by TF-IDF-weighted bag-of-subwords cosine
+//! over the Algorithm-1 attribute sequences. This is the *lexical ceiling*
+//! of the attribute signal — what a perfect identity-preserving encoder
+//! could extract without any cross-lingual learning.
+
+use sdea_bench::runner::{bench_seed, load_dataset};
+use sdea_core::attr_seq::AttrSequencer;
+use sdea_eval::evaluate_ranking;
+use sdea_synth::DatasetProfile;
+use sdea_tensor::{Rng, Tensor};
+use sdea_text::{Tokenizer, WordPieceTrainer};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("fr_en");
+    let links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed = bench_seed();
+    let profile = match which {
+        "zh_en" => DatasetProfile::dbp15k_zh_en(links, seed),
+        "ja_en" => DatasetProfile::dbp15k_ja_en(links, seed),
+        "fr_en" => DatasetProfile::dbp15k_fr_en(links, seed),
+        "en_fr" => DatasetProfile::srprs_en_fr(links, seed),
+        "en_de" => DatasetProfile::srprs_en_de(links, seed),
+        "dbp_wd" => DatasetProfile::srprs_dbp_wd(links, seed),
+        "dbp_yg" => DatasetProfile::srprs_dbp_yg(links, seed),
+        "d_w" => DatasetProfile::openea_d_w(links, seed),
+        _ => panic!("unknown profile"),
+    };
+    let bundle = load_dataset(&profile);
+    let vocab = WordPieceTrainer::new(3000).train(bundle.corpus.iter().map(|s| s.as_str()));
+    let tok = Tokenizer::new(vocab);
+    let mut rng = Rng::seed_from_u64(1);
+    let seq1 = AttrSequencer::new(bundle.ds.kg1(), &mut rng);
+    let seq2 = AttrSequencer::new(bundle.ds.kg2(), &mut rng);
+    let v = tok.vocab().len();
+
+    // document frequency over both sides
+    let docs1: Vec<Vec<u32>> = seq1.sequences().iter().map(|s| tok.text_to_ids(s)).collect();
+    let docs2: Vec<Vec<u32>> = seq2.sequences().iter().map(|s| tok.text_to_ids(s)).collect();
+    let mut df = vec![0f32; v];
+    for d in docs1.iter().chain(&docs2) {
+        let set: std::collections::HashSet<&u32> = d.iter().collect();
+        for &t in set {
+            df[t as usize] += 1.0;
+        }
+    }
+    let n_docs = (docs1.len() + docs2.len()) as f32;
+    let idf: Vec<f32> = df.iter().map(|&d| ((n_docs + 1.0) / (d + 1.0)).ln()).collect();
+
+    let embed = |docs: &[Vec<u32>]| -> Tensor {
+        let mut t = Tensor::zeros(&[docs.len(), v]);
+        for (i, d) in docs.iter().enumerate() {
+            let mut counts: HashMap<u32, f32> = HashMap::new();
+            for &x in d {
+                *counts.entry(x).or_insert(0.0) += 1.0;
+            }
+            for (x, c) in counts {
+                t.row_mut(i)[x as usize] = c.ln_1p() * idf[x as usize];
+            }
+        }
+        t
+    };
+    let e1 = embed(&docs1);
+    let e2 = embed(&docs2);
+    let rows: Vec<usize> = bundle.split.test.iter().map(|&(e, _)| e.0 as usize).collect();
+    let gold: Vec<usize> = bundle.split.test.iter().map(|&(_, e)| e.0 as usize).collect();
+    let sim = sdea_eval::cosine_matrix(&e1.gather_rows(&rows), &e2);
+    let m = evaluate_ranking(&sim, &gold);
+    println!(
+        "lexical TF-IDF ceiling on {}: H@1 {:.1} H@10 {:.1} MRR {:.2}",
+        profile.name,
+        m.hits1 * 100.0,
+        m.hits10 * 100.0,
+        m.mrr
+    );
+}

@@ -1,0 +1,31 @@
+//! The paper's Section V-B1 stable-matching claim: applying Gale–Shapley
+//! to SDEA's similarity matrix lifts Hits@1 (the paper reports
+//! 84.8 → 89.8 on JA-EN, overtaking CEA's 86.3).
+
+use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset, run_sdea};
+use sdea_core::rel_module::RelVariant;
+use sdea_synth::DatasetProfile;
+
+fn main() {
+    let links = bench_scale().links_15k();
+    let seed = bench_seed();
+    let profile = DatasetProfile::dbp15k_ja_en(links, seed);
+    eprintln!("[stable-matching] generating {} ...", profile.name);
+    let bundle = load_dataset(&profile);
+    let cfg = bench_sdea_config(seed);
+    eprintln!("[stable-matching] training SDEA ...");
+    let (out, model) = run_sdea(&bundle, &cfg, RelVariant::Full);
+    let result = model.align_test(&bundle.split.test);
+    let greedy = result.metrics();
+    let matched = result.stable_matching_hits1();
+    println!("== Stable matching boost on {} ({} links) ==", profile.name, links);
+    println!("SDEA greedy ranking      H@1 {:5.1}", greedy.hits1 * 100.0);
+    println!("SDEA + stable matching   H@1 {:5.1}", matched * 100.0);
+    println!("paper: 84.8 -> 89.8 (JA-EN, full scale)");
+    println!(
+        "boost: {:+.1} points ({})",
+        (matched - greedy.hits1) * 100.0,
+        if matched >= greedy.hits1 { "matches the paper's direction" } else { "NO boost" }
+    );
+    let _ = out;
+}

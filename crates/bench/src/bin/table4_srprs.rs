@@ -1,0 +1,19 @@
+//! Regenerates **Table IV** — experimental results on the SRPRS benchmark
+//! (EN-FR, EN-DE, DBP-WD, DBP-YG).
+
+use sdea_bench::paper::TABLE4;
+use sdea_bench::runner::{bench_scale, bench_seed, run_full_table};
+use sdea_synth::DatasetProfile;
+
+fn main() {
+    let links = bench_scale().links_15k();
+    let seed = bench_seed();
+    let profiles = [
+        DatasetProfile::srprs_en_fr(links, seed),
+        DatasetProfile::srprs_en_de(links, seed),
+        DatasetProfile::srprs_dbp_wd(links, seed),
+        DatasetProfile::srprs_dbp_yg(links, seed),
+    ];
+    let table = run_full_table("Table IV: SRPRS", &profiles, TABLE4);
+    println!("{table}");
+}

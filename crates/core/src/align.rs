@@ -1,0 +1,165 @@
+//! Alignment inference (paper Section IV-B): cosine ranking over final
+//! embeddings, plus the Gale–Shapley stable matching the paper applies to
+//! boost 1-1 alignment ("we improve Hits@1 on JA-EN from 84.8% to 89.8%
+//! when applying the stable matching algorithm").
+
+use sdea_eval::{cosine_matrix, evaluate_ranking, AlignmentMetrics, SimilarityMatrix};
+use sdea_tensor::Tensor;
+
+/// Result of aligning a set of source entities against all targets.
+#[derive(Clone, Debug)]
+pub struct AlignmentResult {
+    /// Similarity matrix `[n_src, n_tgt]`.
+    pub sim: SimilarityMatrix,
+    /// Gold target column per source row.
+    pub gold: Vec<usize>,
+}
+
+impl AlignmentResult {
+    /// Ranks targets for each source by cosine similarity of embeddings.
+    pub fn rank(src_emb: &Tensor, tgt_emb: &Tensor, gold: Vec<usize>) -> Self {
+        let sim = cosine_matrix(src_emb, tgt_emb);
+        AlignmentResult { sim, gold }
+    }
+
+    /// Hits@K / MRR metrics.
+    pub fn metrics(&self) -> AlignmentMetrics {
+        evaluate_ranking(&self.sim, &self.gold)
+    }
+
+    /// Hits@1 after 1-1 stable matching (only Hits@1 is defined for a
+    /// matching, as in the paper's CEA rows).
+    pub fn stable_matching_hits1(&self) -> f64 {
+        let matched = stable_matching(&self.sim);
+        let n = self.gold.len().max(1) as f64;
+        let correct = matched
+            .iter()
+            .zip(&self.gold)
+            .filter(|&(&m, &g)| m == Some(g))
+            .count();
+        correct as f64 / n
+    }
+}
+
+/// Gale–Shapley stable matching on a similarity matrix: rows propose to
+/// columns in preference order; columns keep their best proposer. Returns
+/// the matched column per row (`None` only when columns < rows).
+pub fn stable_matching(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    // Preference lists (descending similarity), computed once.
+    let prefs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let row = &sim.data()[i * m..(i + 1) * m];
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.sort_by(|&a, &b| {
+                row[b].partial_cmp(&row[a]).expect("finite sims").then(a.cmp(&b))
+            });
+            idx
+        })
+        .collect();
+    let mut next_choice = vec![0usize; n];
+    let mut col_holder: Vec<Option<usize>> = vec![None; m];
+    let mut row_match: Vec<Option<usize>> = vec![None; n];
+    let mut free: Vec<usize> = (0..n).collect();
+    while let Some(r) = free.pop() {
+        // r proposes to its best not-yet-tried column.
+        while next_choice[r] < m {
+            let c = prefs[r][next_choice[r]];
+            next_choice[r] += 1;
+            match col_holder[c] {
+                None => {
+                    col_holder[c] = Some(r);
+                    row_match[r] = Some(c);
+                    break;
+                }
+                Some(current) => {
+                    // column prefers the higher-similarity proposer
+                    let keep_new = sim.at2(r, c) > sim.at2(current, c);
+                    if keep_new {
+                        col_holder[c] = Some(r);
+                        row_match[r] = Some(c);
+                        row_match[current] = None;
+                        free.push(current);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    row_match
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(rows: &[&[f32]]) -> SimilarityMatrix {
+        let m = rows[0].len();
+        Tensor::from_vec(rows.iter().flat_map(|r| r.iter().copied()).collect(), &[rows.len(), m])
+    }
+
+    #[test]
+    fn stable_matching_resolves_conflict() {
+        // Both rows prefer column 0, but row 1 is a better match for it;
+        // row 0 must settle for column 1.
+        let s = sim(&[&[0.8, 0.7], &[0.9, 0.1]]);
+        let m = stable_matching(&s);
+        assert_eq!(m, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn stable_matching_has_no_blocking_pair() {
+        // Random-ish matrix; verify stability: no (r, c) both preferring
+        // each other over their matches.
+        let data: Vec<f32> = (0..64).map(|i| ((i * 2654435761u64 % 97) as f32) / 97.0).collect();
+        let s = Tensor::from_vec(data, &[8, 8]);
+        let m = stable_matching(&s);
+        for r in 0..8 {
+            let rc = m[r].unwrap();
+            for c in 0..8 {
+                if c == rc {
+                    continue;
+                }
+                let holder = m.iter().position(|&x| x == Some(c));
+                let r_prefers_c = s.at2(r, c) > s.at2(r, rc);
+                let c_prefers_r = match holder {
+                    Some(h) => s.at2(r, c) > s.at2(h, c),
+                    None => true,
+                };
+                assert!(!(r_prefers_c && c_prefers_r), "blocking pair ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_injective() {
+        let data: Vec<f32> = (0..30).map(|i| ((i * 31 % 17) as f32) / 17.0).collect();
+        let s = Tensor::from_vec(data, &[5, 6]);
+        let m = stable_matching(&s);
+        let assigned: Vec<usize> = m.iter().flatten().copied().collect();
+        let set: std::collections::HashSet<_> = assigned.iter().collect();
+        assert_eq!(set.len(), assigned.len(), "columns assigned at most once");
+        assert_eq!(assigned.len(), 5, "all rows matched when m >= n");
+    }
+
+    #[test]
+    fn stable_matching_can_beat_greedy_hits1() {
+        // Greedy argmax sends both rows to column 0 (row 0 wrongly);
+        // matching forces the correct 1-1 assignment.
+        let s = sim(&[&[0.8, 0.7], &[0.9, 0.1]]);
+        let result = AlignmentResult { sim: s, gold: vec![1, 0] };
+        let greedy = result.metrics().hits1;
+        let matched = result.stable_matching_hits1();
+        assert!(matched > greedy, "matching {matched} vs greedy {greedy}");
+        assert_eq!(matched, 1.0);
+    }
+
+    #[test]
+    fn rank_uses_cosine() {
+        let src = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let tgt = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], &[2, 2]);
+        let r = AlignmentResult::rank(&src, &tgt, vec![1]);
+        let m = r.metrics();
+        assert_eq!(m.hits1, 1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The attribute embedding module (paper Section III-A and Algorithm 2).
+//!
+//! `H_a(e) = MLP(BERT("[CLS]" || S(e)))` — Eq. 5–7 — where the transformer
+//! is our pre-trained [`sdea_lm::TransformerLm`]. [`AttrModule::fit`]
+//! implements Algorithm 2: per epoch, embed all entities, regenerate the
+//! nearest-neighbour candidate set, then fine-tune the transformer + MLP
+//! end-to-end with the margin ranking loss (Eq. 18), early-stopping on
+//! validation Hits@1.
+
+use crate::candidates::CandidateSet;
+use crate::config::{Pooling, SdeaConfig};
+use crate::loss::margin_ranking_loss;
+use sdea_eval::{cosine_matrix, evaluate_ranking};
+use sdea_kg::EntityId;
+use sdea_lm::{MlmPretrainer, TokenBatch, TransformerLm};
+use sdea_tensor::{
+    init, Adam, CsrMatrix, GradClip, Graph, Optimizer, ParamId, ParamStore, Rng, Tensor, Var,
+};
+use sdea_text::{Tokenizer, WordPieceTrainer};
+use std::sync::Arc;
+
+/// Progress record of one fine-tuning run.
+#[derive(Clone, Debug, Default)]
+pub struct AttrFitReport {
+    /// Mean margin loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation Hits@1 per epoch.
+    pub valid_hits1: Vec<f64>,
+    /// Epoch whose checkpoint was restored.
+    pub best_epoch: usize,
+}
+
+/// The attribute embedding module: tokenizer + pre-trained transformer +
+/// projection MLP.
+pub struct AttrModule {
+    /// All trainable weights (LM + head).
+    pub store: ParamStore,
+    lm: TransformerLm,
+    tokenizer: Tokenizer,
+    mlp_w: ParamId,
+    mlp_b: ParamId,
+    /// Per-token-id inverse document frequency over the build corpus
+    /// (used by [`crate::config::Pooling::IdfMean`]).
+    idf: Vec<f32>,
+    cfg: SdeaConfig,
+}
+
+impl AttrModule {
+    /// Builds the module: trains a WordPiece vocabulary on `corpus`,
+    /// pre-trains the transformer with masked-LM (the paper's "pre-trained
+    /// BERT"), and attaches the `hidden -> embed_dim` projection.
+    pub fn build(cfg: &SdeaConfig, corpus: &[String], rng: &mut Rng) -> Self {
+        let vocab = WordPieceTrainer::new(cfg.vocab_budget)
+            .train(corpus.iter().map(|s| s.as_str()));
+        let tokenizer = Tokenizer::new(vocab);
+        let mut store = ParamStore::new();
+        let lm = TransformerLm::new(cfg.lm_config(tokenizer.vocab().len()), &mut store, rng);
+
+        // --- masked-LM pre-training ---
+        // Token/position embeddings stay frozen during MLM: with a tiny
+        // model, distributional training would collapse the identity of
+        // anchor tokens (all years become alike), destroying the lexical
+        // signal entity alignment depends on. The encoder blocks still
+        // learn contextual processing. (A 110M-parameter BERT does not
+        // have this problem; see DESIGN.md.)
+        if cfg.mlm_epochs > 0 && !corpus.is_empty() {
+            store.set_trainable(lm.token_embedding_id(), false);
+            store.set_trainable(lm.position_embedding_id(), false);
+            let mut order: Vec<usize> = (0..corpus.len()).collect();
+            rng.shuffle(&mut order);
+            order.truncate(cfg.mlm_corpus_cap);
+            let rows: Vec<(Vec<u32>, Vec<u8>)> = order
+                .iter()
+                .map(|&i| {
+                    let e = tokenizer.encode(&corpus[i], cfg.max_seq);
+                    (e.ids, e.mask)
+                })
+                .collect();
+            let pre = MlmPretrainer::new(&lm, &mut store, rng);
+            pre.pretrain(
+                &lm,
+                &mut store,
+                &rows,
+                tokenizer.vocab(),
+                cfg.mlm_epochs,
+                cfg.mlm_batch,
+                cfg.mlm_lr,
+                rng,
+            );
+            store.set_trainable(lm.token_embedding_id(), true);
+            store.set_trainable(lm.position_embedding_id(), true);
+        }
+
+        let mlp_w = store.add(
+            "attr.mlp.w",
+            init::xavier_uniform(&[cfg.lm_hidden, cfg.embed_dim], rng),
+        );
+        let mlp_b = store.add("attr.mlp.b", Tensor::zeros(&[cfg.embed_dim]));
+
+        // IDF over the corpus for weighted pooling.
+        let v = tokenizer.vocab().len();
+        let mut df = vec![0.0f32; v];
+        let mut n_docs = 0.0f32;
+        for line in corpus {
+            let ids = tokenizer.text_to_ids(line);
+            let set: std::collections::HashSet<u32> = ids.into_iter().collect();
+            for t in set {
+                df[t as usize] += 1.0;
+            }
+            n_docs += 1.0;
+        }
+        let idf: Vec<f32> = df.iter().map(|&d| ((n_docs + 1.0) / (d + 1.0)).ln().max(0.05)).collect();
+        AttrModule { store, lm, tokenizer, mlp_w, mlp_b, idf, cfg: cfg.clone() }
+    }
+
+    /// The trained tokenizer.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Pre-tokenizes all entity attribute sequences of a KG.
+    pub fn token_cache(&self, sequences: &[String]) -> Vec<Vec<u32>> {
+        sequences.iter().map(|s| self.tokenizer.text_to_ids(s)).collect()
+    }
+
+    /// Forward pass on a batch of token rows: returns `H_a` as `[b, d]`.
+    fn embed_batch_var(
+        &self,
+        g: &Graph,
+        cache: &[Vec<u32>],
+        ids: &[EntityId],
+        training: bool,
+        rng: &mut Rng,
+    ) -> Var {
+        let rows: Vec<sdea_text::Encoded> = ids
+            .iter()
+            .map(|&e| self.tokenizer.encode_ids(&cache[e.0 as usize], self.cfg.max_seq))
+            .collect();
+        let batch = TokenBatch::from_encoded(&rows);
+        let (embedded, final_hidden) = self.lm.forward_layers(g, &self.store, &batch, training, rng);
+        // Layer mix: average of the embedding-layer states (identity
+        // preserving) and the final contextual states. A deep pre-trained
+        // BERT keeps token identity through its residual stream; a small
+        // MLM-trained encoder does not, so we tap both ends explicitly.
+        let hidden = g.scale(g.add(embedded, final_hidden), 0.5);
+        let pooled = match self.cfg.pooling {
+            Pooling::Cls => self.lm.cls_states(g, hidden, &batch),
+            Pooling::Mean | Pooling::IdfMean => {
+                // (Weighted) masked mean over token states via a constant
+                // sparse averaging matrix [b, b*s].
+                let (b, s) = (batch.b, batch.s);
+                let idf_weight = |tok: u32| -> f32 {
+                    if self.cfg.pooling == Pooling::IdfMean {
+                        self.idf.get(tok as usize).copied().unwrap_or(1.0)
+                    } else {
+                        1.0
+                    }
+                };
+                let mut triplets = Vec::with_capacity(b * s);
+                for i in 0..b {
+                    let mut total = 0.0f32;
+                    for j in 0..s {
+                        if batch.mask[i * s + j] == 1 && j > 0 {
+                            total += idf_weight(batch.ids[i * s + j]);
+                        }
+                    }
+                    if total <= 0.0 {
+                        // only [CLS] present (empty attribute sequence)
+                        triplets.push((i, i * s, 1.0));
+                        continue;
+                    }
+                    for j in 1..s {
+                        if batch.mask[i * s + j] == 1 {
+                            let w = idf_weight(batch.ids[i * s + j]) / total;
+                            triplets.push((i, i * s + j, w));
+                        }
+                    }
+                }
+                let avg = Arc::new(CsrMatrix::from_triplets(b, b * s, &triplets));
+                g.spmm(avg, hidden)
+            }
+        };
+        let w = g.param(&self.store, self.mlp_w);
+        let b = g.param(&self.store, self.mlp_b);
+        let out = g.add_bias(g.matmul(pooled, w), b);
+        if self.cfg.normalize_embeddings {
+            g.l2_normalize_rows(out)
+        } else {
+            out
+        }
+    }
+
+    /// Embeds every entity (rows = entity ids) in eval mode.
+    pub fn embed_all(&self, cache: &[Vec<u32>], rng: &mut Rng) -> Tensor {
+        let n = cache.len();
+        let d = self.cfg.embed_dim;
+        let mut out = Tensor::zeros(&[n, d]);
+        let batch = 64usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let ids: Vec<EntityId> = (start..end).map(|i| EntityId(i as u32)).collect();
+            let g = Graph::new();
+            let v = self.embed_batch_var(&g, cache, &ids, false, rng);
+            let val = g.value(v);
+            out.data_mut()[start * d..end * d].copy_from_slice(val.data());
+            start = end;
+        }
+        out
+    }
+
+    /// Algorithm 2: fine-tunes the module on seed alignments.
+    ///
+    /// `cache1`/`cache2` are the token caches of KG1/KG2 (row = entity id);
+    /// `train`/`valid` are seed pairs `(e in KG1, e' in KG2)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &mut self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+    ) -> AttrFitReport {
+        let cfg = self.cfg.clone();
+        let mut opt = Adam::new(cfg.attr_lr).with_clip(GradClip::GlobalNorm(1.0));
+        let mut report = AttrFitReport::default();
+        // The pre-trained state itself is the first early-stopping
+        // candidate: if fine-tuning only hurts (possible with few seeds),
+        // it is rolled back entirely.
+        let mut best_hits = self.validate(cache1, cache2, valid, rng);
+        let mut best_snapshot = self.store.snapshot();
+        let mut strikes = 0usize;
+        let n_targets = cache2.len();
+        let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
+        // Only the train sources' embeddings are needed for candidate
+        // generation (Algorithm 2 line 4); embedding the rest of KG1 every
+        // epoch would be wasted work.
+        let src_cache: Vec<Vec<u32>> =
+            sources.iter().map(|e| cache1[e.0 as usize].clone()).collect();
+
+        for epoch in 0..cfg.attr_epochs {
+            // Lines 2–4: embed, regenerate candidates.
+            let emb2_all = self.embed_all(cache2, rng);
+            let src_emb = self.embed_all(&src_cache, rng);
+            let cands =
+                CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates);
+
+            // Lines 5–10: margin-loss updates over shuffled train pairs.
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            let mut steps = 0usize;
+            for chunk in order.chunks(cfg.attr_batch) {
+                let anchors: Vec<EntityId> = chunk.iter().map(|&i| train[i].0).collect();
+                let pos: Vec<EntityId> = chunk.iter().map(|&i| train[i].1).collect();
+                let neg: Vec<EntityId> = chunk
+                    .iter()
+                    .map(|&i| {
+                        cands.sample_negative(train[i].0, train[i].1, n_targets, rng)
+                    })
+                    .collect();
+                let g = Graph::new();
+                let ha = self.embed_batch_var(&g, cache1, &anchors, true, rng);
+                let hp = self.embed_batch_var(&g, cache2, &pos, true, rng);
+                let hn = self.embed_batch_var(&g, cache2, &neg, true, rng);
+                let loss = margin_ranking_loss(&g, ha, hp, hn, cfg.margin);
+                let lv = g.value_cloned(loss).item();
+                g.backward(loss);
+                g.accumulate_param_grads(&mut self.store);
+                opt.step(&mut self.store);
+                epoch_loss += lv as f64;
+                steps += 1;
+            }
+            report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
+
+            // Line 11: validation Hits@1; early stopping (Section V-A3).
+            let hits1 = self.validate(cache1, cache2, valid, rng);
+            report.valid_hits1.push(hits1);
+            if hits1 > best_hits {
+                best_hits = hits1;
+                best_snapshot = self.store.snapshot();
+                report.best_epoch = epoch;
+                strikes = 0;
+            } else {
+                strikes += 1;
+                if strikes >= cfg.patience {
+                    break;
+                }
+            }
+        }
+        self.store.restore(&best_snapshot);
+        report
+    }
+
+    /// Validation Hits@1 of the current weights.
+    pub fn validate(
+        &self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+    ) -> f64 {
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let emb2_all = self.embed_all(cache2, rng);
+        let src_rows: Vec<usize> = valid.iter().map(|&(e, _)| e.0 as usize).collect();
+        // embed only the validation sources
+        let mut src_cache: Vec<Vec<u32>> = Vec::with_capacity(src_rows.len());
+        for &r in &src_rows {
+            src_cache.push(cache1[r].clone());
+        }
+        let src_emb = self.embed_all(&src_cache, rng);
+        let sim = cosine_matrix(&src_emb, &emb2_all);
+        let gold: Vec<usize> = valid.iter().map(|&(_, e)| e.0 as usize).collect();
+        evaluate_ranking(&sim, &gold).hits1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A micro "two KGs" setup where aligned entities share anchor tokens.
+    fn toy() -> (Vec<String>, Vec<String>, Vec<(EntityId, EntityId)>) {
+        let n = 24usize;
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            // Same "birth year" anchor on both sides, different phrasing.
+            s1.push(format!("person alpha{i} born {}", 1900 + i));
+            s2.push(format!("celui beta{i} naissance {}", 1900 + i));
+            pairs.push((EntityId(i as u32), EntityId(i as u32)));
+        }
+        (s1, s2, pairs)
+    }
+
+    #[test]
+    fn build_and_embed_shapes() {
+        let (s1, _, _) = toy();
+        let mut rng = Rng::seed_from_u64(1);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        let module = AttrModule::build(&cfg, &s1, &mut rng);
+        let cache = module.token_cache(&s1);
+        let emb = module.embed_all(&cache, &mut rng);
+        assert_eq!(emb.shape(), &[s1.len(), cfg.embed_dim]);
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn fit_improves_validation_hits() {
+        let (s1, s2, pairs) = toy();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.attr_epochs = 6;
+        cfg.mlm_epochs = 1;
+        let corpus: Vec<String> = s1.iter().chain(&s2).cloned().collect();
+        let mut module = AttrModule::build(&cfg, &corpus, &mut rng);
+        let cache1 = module.token_cache(&s1);
+        let cache2 = module.token_cache(&s2);
+        let train = &pairs[..16];
+        let valid = &pairs[16..];
+        let before = module.validate(&cache1, &cache2, valid, &mut rng);
+        let report = module.fit(&cache1, &cache2, train, valid, &mut rng);
+        let after = module.validate(&cache1, &cache2, valid, &mut rng);
+        assert!(
+            after >= before,
+            "fine-tuning should not hurt validation: {before} -> {after} ({report:?})"
+        );
+        assert!(!report.epoch_losses.is_empty());
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn embed_all_is_deterministic_in_eval() {
+        let (s1, _, _) = toy();
+        let mut rng = Rng::seed_from_u64(3);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        let module = AttrModule::build(&cfg, &s1, &mut rng);
+        let cache = module.token_cache(&s1);
+        let a = module.embed_all(&cache, &mut rng);
+        let b = module.embed_all(&cache, &mut rng);
+        assert_eq!(a, b);
+    }
+}

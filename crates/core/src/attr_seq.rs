@@ -1,0 +1,151 @@
+//! Algorithm 1 — KG transformation: attribute triples to token sequences.
+//!
+//! A fixed random order `Ô(A)` of the KG's attributes is drawn once; every
+//! entity's attribute values are concatenated in that order (entities thus
+//! share a consistent "contextual relationship between attribute values",
+//! Section III-A1) and tokenized.
+
+use sdea_kg::{AttributeId, EntityId, KnowledgeGraph};
+use sdea_tensor::Rng;
+use sdea_text::Tokenizer;
+
+/// Produces and caches entity attribute sequences for one KG.
+#[derive(Clone, Debug)]
+pub struct AttrSequencer {
+    /// Position of each attribute in `Ô(A)`.
+    order: Vec<usize>,
+    /// Raw text sequence per entity (Algorithm 1's `S(e_i)`).
+    sequences: Vec<String>,
+}
+
+impl AttrSequencer {
+    /// Runs Algorithm 1 on a KG: draws `Ô(A)` with `rng` and builds
+    /// `S(e_i)` for every entity.
+    pub fn new(kg: &KnowledgeGraph, rng: &mut Rng) -> Self {
+        let mut order: Vec<usize> = (0..kg.num_attributes()).collect();
+        rng.shuffle(&mut order);
+        // rank of each attribute in the shuffled order
+        let mut rank = vec![0usize; kg.num_attributes()];
+        for (pos, &a) in order.iter().enumerate() {
+            rank[a] = pos;
+        }
+        Self::with_rank(kg, rank)
+    }
+
+    /// Builds sequences with an explicit attribute ranking (used by the
+    /// attribute-order ablation).
+    pub fn with_rank(kg: &KnowledgeGraph, rank: Vec<usize>) -> Self {
+        assert_eq!(rank.len(), kg.num_attributes());
+        let mut sequences = Vec::with_capacity(kg.num_entities());
+        let mut buf: Vec<(usize, &str)> = Vec::new();
+        for e in kg.entities() {
+            buf.clear();
+            for t in kg.attr_triples_of(e) {
+                buf.push((rank[t.attr.0 as usize], &t.value));
+            }
+            // stable by (rank, original encounter order)
+            buf.sort_by_key(|&(r, _)| r);
+            let mut s = String::new();
+            for (i, (_, v)) in buf.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(v);
+            }
+            sequences.push(s);
+        }
+        AttrSequencer { order: rank, sequences }
+    }
+
+    /// The sequence `S(e)` of an entity.
+    pub fn sequence(&self, e: EntityId) -> &str {
+        &self.sequences[e.0 as usize]
+    }
+
+    /// All sequences (indexed by entity id).
+    pub fn sequences(&self) -> &[String] {
+        &self.sequences
+    }
+
+    /// The rank of an attribute in `Ô(A)`.
+    pub fn rank_of(&self, a: AttributeId) -> usize {
+        self.order[a.0 as usize]
+    }
+
+    /// Tokenizes every sequence once (subword ids without specials) for
+    /// cheap re-encoding at different batch shapes.
+    pub fn tokenize_all(&self, tok: &Tokenizer) -> Vec<Vec<u32>> {
+        self.sequences.iter().map(|s| tok.text_to_ids(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        b.attr_triple("e1", "name", "Fabian Wendelin Bruskewitz");
+        b.attr_triple("e1", "workPlace", "Roman Catholic Church");
+        b.attr_triple("e1", "nationality", "American");
+        b.attr_triple("e2", "nationality", "Portuguese");
+        b.attr_triple("e2", "name", "Cristiano Ronaldo");
+        b.build()
+    }
+
+    #[test]
+    fn paper_fig4_example_order() {
+        // Force order [name, nationality, workPlace] as in Fig. 4.
+        let kg = kg();
+        let name = kg.attr_triples()[0].attr;
+        let wp = kg.attr_triples()[1].attr;
+        let nat = kg.attr_triples()[2].attr;
+        let mut rank = vec![0usize; 3];
+        rank[name.0 as usize] = 0;
+        rank[nat.0 as usize] = 1;
+        rank[wp.0 as usize] = 2;
+        let seq = AttrSequencer::with_rank(&kg, rank);
+        assert_eq!(
+            seq.sequence(kg.find_entity("e1").unwrap()),
+            "Fabian Wendelin Bruskewitz American Roman Catholic Church"
+        );
+    }
+
+    #[test]
+    fn all_entities_share_the_same_order() {
+        let kg = kg();
+        let mut rng = Rng::seed_from_u64(3);
+        let seq = AttrSequencer::new(&kg, &mut rng);
+        let e1 = kg.find_entity("e1").unwrap();
+        let e2 = kg.find_entity("e2").unwrap();
+        let s1 = seq.sequence(e1);
+        let s2 = seq.sequence(e2);
+        // e1 and e2 both have name + nationality; their relative order must
+        // agree across entities.
+        let n1 = s1.find("Fabian").unwrap();
+        let a1 = s1.find("American").unwrap();
+        let n2 = s2.find("Cristiano").unwrap();
+        let a2 = s2.find("Portuguese").unwrap();
+        assert_eq!(n1 < a1, n2 < a2, "attribute order differs between entities");
+    }
+
+    #[test]
+    fn entity_without_attributes_gets_empty_sequence() {
+        let mut b = KgBuilder::new();
+        b.entity("lonely");
+        b.attr_triple("other", "name", "X");
+        let kg = b.build();
+        let mut rng = Rng::seed_from_u64(1);
+        let seq = AttrSequencer::new(&kg, &mut rng);
+        assert_eq!(seq.sequence(kg.find_entity("lonely").unwrap()), "");
+    }
+
+    #[test]
+    fn order_is_rng_dependent_but_reproducible() {
+        let kg = kg();
+        let a = AttrSequencer::new(&kg, &mut Rng::seed_from_u64(5));
+        let b = AttrSequencer::new(&kg, &mut Rng::seed_from_u64(5));
+        assert_eq!(a.sequences(), b.sequences());
+    }
+}

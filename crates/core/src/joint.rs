@@ -1,0 +1,93 @@
+//! Joint entity representation (paper Section III-C, Eq. 16–17).
+//!
+//! `H_m(e) = MLP([H_a(e); H_r(e)])` and the final embedding
+//! `H_ent(e) = [H_r(e); H_a(e); H_m(e)]`. During Algorithm 3 the loss is
+//! computed on `[H_r; H_m]` (the trainable parts); `H_a` is frozen.
+
+use sdea_tensor::{init, Graph, ParamId, ParamStore, Rng, Tensor, Var};
+
+/// The joint MLP head.
+pub struct JointHead {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl JointHead {
+    /// Registers the `[2d -> d]` joint projection.
+    pub fn new(d: usize, store: &mut ParamStore, rng: &mut Rng) -> Self {
+        JointHead {
+            w: store.add("joint.w", init::xavier_uniform(&[2 * d, d], rng)),
+            b: store.add("joint.b", Tensor::zeros(&[d])),
+        }
+    }
+
+    /// `H_m = MLP([H_a; H_r])` (Eq. 16).
+    pub fn h_m(&self, g: &Graph, store: &ParamStore, h_a: Var, h_r: Var) -> Var {
+        let cat = g.concat_cols(&[h_a, h_r]);
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        g.tanh(g.add_bias(g.matmul(cat, w), b))
+    }
+
+    /// The training-time embedding `[H_r; H_m]` (Algorithm 3, line 9).
+    pub fn train_embedding(&self, g: &Graph, store: &ParamStore, h_a: Var, h_r: Var) -> Var {
+        let h_m = self.h_m(g, store, h_a, h_r);
+        g.concat_cols(&[h_r, h_m])
+    }
+
+    /// The final embedding `H_ent = [H_r; H_a; H_m]` (Eq. 17).
+    pub fn full_embedding(&self, g: &Graph, store: &ParamStore, h_a: Var, h_r: Var) -> Var {
+        let h_m = self.h_m(g, store, h_a, h_r);
+        g.concat_cols(&[h_r, h_a, h_m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let head = JointHead::new(8, &mut store, &mut rng);
+        let g = Graph::new();
+        let ha = g.constant(Tensor::rand_normal(&[3, 8], 1.0, &mut rng));
+        let hr = g.constant(Tensor::rand_normal(&[3, 8], 1.0, &mut rng));
+        assert_eq!(g.value(head.h_m(&g, &store, ha, hr)).shape(), &[3, 8]);
+        assert_eq!(g.value(head.train_embedding(&g, &store, ha, hr)).shape(), &[3, 16]);
+        assert_eq!(g.value(head.full_embedding(&g, &store, ha, hr)).shape(), &[3, 24]);
+    }
+
+    #[test]
+    fn full_embedding_contains_h_a_verbatim() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let head = JointHead::new(4, &mut store, &mut rng);
+        let g = Graph::new();
+        let ha_t = Tensor::rand_normal(&[2, 4], 1.0, &mut rng);
+        let ha = g.constant(ha_t.clone());
+        let hr = g.constant(Tensor::rand_normal(&[2, 4], 1.0, &mut rng));
+        let full = g.value_cloned(head.full_embedding(&g, &store, ha, hr));
+        // columns 4..8 are H_a
+        for i in 0..2 {
+            for j in 0..4 {
+                assert_eq!(full.at2(i, 4 + j), ha_t.at2(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn grads_reach_joint_weights() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let head = JointHead::new(4, &mut store, &mut rng);
+        let g = Graph::new();
+        let ha = g.constant(Tensor::rand_normal(&[2, 4], 1.0, &mut rng));
+        let hr = g.constant(Tensor::rand_normal(&[2, 4], 1.0, &mut rng));
+        let emb = head.train_embedding(&g, &store, ha, hr);
+        let loss = g.mean_all(g.square(emb));
+        g.backward(loss);
+        assert_eq!(g.accumulate_param_grads(&mut store), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! The margin-based ranking loss of Eq. 18:
+//!
+//! `L = Σ max(0, ρ(H(e), H'(e')) − ρ(H(e), H'(e'')) + β)`
+//!
+//! with `ρ` the `l2` distance, `e'` the aligned entity and `e''` a sampled
+//! negative.
+
+use sdea_tensor::{Graph, Var};
+
+/// Squared `l2` distance per row of two `[n,d]` batches, as a `[n]` vector.
+pub fn row_sq_distance(g: &Graph, a: Var, b: Var) -> Var {
+    let diff = g.sub(a, b);
+    let sq = g.square(diff);
+    g.rows_sum(sq)
+}
+
+/// `l2` distance (non-squared) per row. The paper's ρ; we add a small
+/// epsilon inside the square root for gradient stability at zero.
+pub fn row_distance(g: &Graph, a: Var, b: Var) -> Var {
+    let sq = row_sq_distance(g, a, b);
+    g.sqrt_eps(sq, 1e-9)
+}
+
+/// Mean margin ranking loss over a batch:
+/// `mean(relu(ρ(anchor, pos) − ρ(anchor, neg) + margin))`.
+///
+/// `anchor`, `pos`, `neg` are `[n,d]` embedding batches.
+pub fn margin_ranking_loss(g: &Graph, anchor: Var, pos: Var, neg: Var, margin: f32) -> Var {
+    let d_pos = row_distance(g, anchor, pos);
+    let d_neg = row_distance(g, anchor, neg);
+    let gap = g.add_scalar(g.sub(d_pos, d_neg), margin);
+    let hinge = g.relu(gap);
+    g.mean_all(hinge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_tensor::Tensor;
+
+    #[test]
+    fn loss_zero_when_separated_beyond_margin() {
+        let g = Graph::new();
+        let anchor = g.leaf(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]), false);
+        let pos = g.leaf(Tensor::from_vec(vec![0.1, 0.0], &[1, 2]), false);
+        let neg = g.leaf(Tensor::from_vec(vec![10.0, 0.0], &[1, 2]), false);
+        let loss = margin_ranking_loss(&g, anchor, pos, neg, 1.0);
+        assert!(g.value_cloned(loss).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_positive_when_negative_is_closer() {
+        let g = Graph::new();
+        let anchor = g.leaf(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]), false);
+        let pos = g.leaf(Tensor::from_vec(vec![5.0, 0.0], &[1, 2]), false);
+        let neg = g.leaf(Tensor::from_vec(vec![0.5, 0.0], &[1, 2]), false);
+        let loss = margin_ranking_loss(&g, anchor, pos, neg, 1.0);
+        // 5 - 0.5 + 1 = 5.5
+        assert!((g.value_cloned(loss).item() - 5.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_pulls_positive_closer() {
+        let g = Graph::new();
+        let anchor = g.leaf(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]), false);
+        let pos = g.leaf(Tensor::from_vec(vec![2.0, 0.0], &[1, 2]), true);
+        let neg = g.leaf(Tensor::from_vec(vec![1.0, 0.0], &[1, 2]), true);
+        let loss = margin_ranking_loss(&g, anchor, pos, neg, 1.0);
+        g.backward(loss);
+        let gp = g.grad(pos).unwrap();
+        let gn = g.grad(neg).unwrap();
+        // Moving pos toward anchor (-x direction) decreases loss -> positive
+        // gradient on pos x; moving neg away increases distance -> negative
+        // gradient on neg x.
+        assert!(gp.data()[0] > 0.0, "pos grad {:?}", gp.data());
+        assert!(gn.data()[0] < 0.0, "neg grad {:?}", gn.data());
+    }
+
+    #[test]
+    fn distance_matches_euclid() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![0.0, 0.0, 3.0, 4.0], &[2, 2]), false);
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 4.0, 3.0, 4.0], &[2, 2]), false);
+        let d = row_distance(&g, a, b);
+        let v = g.value_cloned(d);
+        assert!((v.data()[0] - 5.0).abs() < 1e-4);
+        assert!(v.data()[1].abs() < 1e-3);
+    }
+}

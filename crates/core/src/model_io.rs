@@ -1,0 +1,103 @@
+//! Persistence for trained SDEA models.
+//!
+//! A trained [`crate::SdeaModel`]'s value is its embedding tables; saving
+//! them lets alignment be served (ranking, stable matching, incremental
+//! queries) without re-training. The format reuses the tensor crate's
+//! checkpoint container.
+
+use crate::pipeline::SdeaModel;
+use sdea_tensor::serialize::{load_store, save_store};
+use sdea_tensor::{ParamId, ParamStore};
+use std::io;
+use std::path::Path;
+
+const KEYS: [&str; 4] = ["sdea.h_a1", "sdea.h_a2", "sdea.ent1", "sdea.ent2"];
+
+/// Saves the model's embedding tables to `path`.
+pub fn save_model(model: &SdeaModel, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut store = ParamStore::new();
+    store.add(KEYS[0], model.h_a1.clone());
+    store.add(KEYS[1], model.h_a2.clone());
+    store.add(KEYS[2], model.ent1.clone());
+    store.add(KEYS[3], model.ent2.clone());
+    save_store(&store, path)
+}
+
+/// Loads embedding tables saved by [`save_model`]. Training reports are
+/// not persisted and come back empty.
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<SdeaModel> {
+    let store = load_store(path)?;
+    if store.len() != 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected 4 tables, found {}", store.len()),
+        ));
+    }
+    for (i, key) in KEYS.iter().enumerate() {
+        if store.name(ParamId(i)) != *key {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("table {i} is {:?}, expected {key:?}", store.name(ParamId(i))),
+            ));
+        }
+    }
+    Ok(SdeaModel {
+        h_a1: store.value(ParamId(0)).clone(),
+        h_a2: store.value(ParamId(1)).clone(),
+        ent1: store.value(ParamId(2)).clone(),
+        ent2: store.value(ParamId(3)).clone(),
+        attr_report: Default::default(),
+        rel_report: Default::default(),
+        rel_stage: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_tensor::{Rng, Tensor};
+
+    fn fake_model(seed: u64) -> SdeaModel {
+        let mut rng = Rng::seed_from_u64(seed);
+        let d = 8;
+        SdeaModel {
+            h_a1: Tensor::rand_normal(&[5, d], 1.0, &mut rng),
+            h_a2: Tensor::rand_normal(&[6, d], 1.0, &mut rng),
+            ent1: Tensor::rand_normal(&[5, 3 * d], 1.0, &mut rng),
+            ent2: Tensor::rand_normal(&[6, 3 * d], 1.0, &mut rng),
+            attr_report: Default::default(),
+            rel_report: Default::default(),
+            rel_stage: None,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let model = fake_model(1);
+        let dir = std::env::temp_dir().join(format!("sdea_model_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.sdt");
+        save_model(&model, &path).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(back.h_a1, model.h_a1);
+        assert_eq!(back.ent2, model.ent2);
+        // loaded model still ranks
+        let test = vec![(sdea_kg::EntityId(0), sdea_kg::EntityId(0))];
+        let m = back.test_metrics(&test);
+        assert!(m.mrr > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("sdea_model_io_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sdt");
+        // a store with the wrong arity
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::scalar(1.0));
+        sdea_tensor::serialize::save_store(&store, &path).unwrap();
+        assert!(load_model(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,190 @@
+//! Numeric-aware matching — the paper's first future-work direction
+//! (Section III-A remarks: BERT "may not work well for numeric values";
+//! "handling the numeric values separately" is proposed as the remedy,
+//! and the D-W error analysis blames numerals for much of the remaining
+//! error).
+//!
+//! This module extracts each entity's numeric attribute profile (numbers,
+//! years inside dates, unit-normalized quantities) and scores pairs by
+//! tolerant profile overlap; the score can be blended into any similarity
+//! matrix as an extra channel.
+
+use sdea_eval::SimilarityMatrix;
+use sdea_kg::{EntityId, KnowledgeGraph};
+
+/// Per-entity sorted numeric profiles.
+#[derive(Clone, Debug)]
+pub struct NumericProfiles {
+    profiles: Vec<Vec<f64>>,
+}
+
+/// Extracts every number appearing in a literal (handles `1985-02-05`,
+/// `05.02.1985`, `1.85`, `185`, `12,345` loosely).
+pub fn extract_numbers(value: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = value.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() {
+            cur.push(c);
+        } else if c == '.' && !cur.is_empty() && chars.peek().is_some_and(|n| n.is_ascii_digit()) {
+            cur.push('.');
+        } else if !cur.is_empty() {
+            if let Ok(v) = cur.trim_end_matches('.').parse::<f64>() {
+                out.push(v);
+            }
+            cur.clear();
+        }
+    }
+    if let Ok(v) = cur.trim_end_matches('.').parse::<f64>() {
+        out.push(v);
+    }
+    out
+}
+
+impl NumericProfiles {
+    /// Builds profiles for every entity of a KG.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        let mut profiles = vec![Vec::new(); kg.num_entities()];
+        for e in kg.entities() {
+            let p = &mut profiles[e.0 as usize];
+            for t in kg.attr_triples_of(e) {
+                p.extend(extract_numbers(&t.value));
+            }
+            p.sort_by(|a, b| a.partial_cmp(b).expect("finite numbers"));
+        }
+        NumericProfiles { profiles }
+    }
+
+    /// An entity's profile.
+    pub fn profile(&self, e: EntityId) -> &[f64] {
+        &self.profiles[e.0 as usize]
+    }
+
+    /// Tolerant overlap score in `[0,1]`: the fraction of the smaller
+    /// profile that finds a counterpart within relative tolerance `tol`
+    /// (greedy two-pointer over the sorted profiles). Unit differences
+    /// (1.85 m vs 185 cm) are bridged by also accepting ×100 / ÷100
+    /// counterparts.
+    pub fn overlap(&self, a: EntityId, other: &NumericProfiles, b: EntityId, tol: f64) -> f64 {
+        let pa = self.profile(a);
+        let pb = other.profile(b);
+        if pa.is_empty() || pb.is_empty() {
+            return 0.0;
+        }
+        let close = |x: f64, y: f64| -> bool {
+            let rel = |p: f64, q: f64| (p - q).abs() <= tol * p.abs().max(q.abs()).max(1.0);
+            rel(x, y) || rel(x * 100.0, y) || rel(x, y * 100.0)
+        };
+        let (small, large) = if pa.len() <= pb.len() { (pa, pb) } else { (pb, pa) };
+        let mut used = vec![false; large.len()];
+        let mut matched = 0usize;
+        for &x in small {
+            if let Some(j) = large
+                .iter()
+                .enumerate()
+                .position(|(j, &y)| !used[j] && close(x, y))
+            {
+                used[j] = true;
+                matched += 1;
+            }
+        }
+        matched as f64 / small.len() as f64
+    }
+}
+
+/// Blends a numeric-overlap channel into an existing similarity matrix:
+/// `sim' = (1 − w)·sim + w·overlap`, for the given source rows.
+pub fn blend_numeric_channel(
+    sim: &SimilarityMatrix,
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    src_rows: &[usize],
+    weight: f32,
+    tol: f64,
+) -> SimilarityMatrix {
+    assert_eq!(sim.shape()[0], src_rows.len());
+    let p1 = NumericProfiles::of(kg1);
+    let p2 = NumericProfiles::of(kg2);
+    let m = sim.shape()[1];
+    let mut out = sim.clone();
+    for (i, &r) in src_rows.iter().enumerate() {
+        let row = &mut out.data_mut()[i * m..(i + 1) * m];
+        for (j, cell) in row.iter_mut().enumerate() {
+            let ov = p1.overlap(EntityId(r as u32), &p2, EntityId(j as u32), tol) as f32;
+            *cell = (1.0 - weight) * *cell + weight * ov;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    #[test]
+    fn extract_numbers_variants() {
+        assert_eq!(extract_numbers("1985-02-05"), vec![1985.0, 2.0, 5.0]);
+        assert_eq!(extract_numbers("05.02.1985"), vec![5.02, 1985.0]);
+        assert_eq!(extract_numbers("1.85"), vec![1.85]);
+        assert_eq!(extract_numbers("no numbers here"), Vec::<f64>::new());
+        assert_eq!(extract_numbers("abc123def45"), vec![123.0, 45.0]);
+    }
+
+    #[test]
+    fn unit_mismatch_is_bridged() {
+        let mut b1 = KgBuilder::new();
+        b1.attr_triple("p", "height", "185");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new();
+        b2.attr_triple("q", "heightValue", "1.85");
+        let kg2 = b2.build();
+        let p1 = NumericProfiles::of(&kg1);
+        let p2 = NumericProfiles::of(&kg2);
+        let s = p1.overlap(EntityId(0), &p2, EntityId(0), 0.01);
+        assert!(s > 0.99, "185 cm should match 1.85 m, got {s}");
+    }
+
+    #[test]
+    fn overlap_discriminates() {
+        let mut b1 = KgBuilder::new();
+        b1.attr_triple("p", "birth", "1985-02-05");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new();
+        b2.attr_triple("same", "dob", "05.02.1985");
+        b2.attr_triple("other", "dob", "12.11.1955");
+        let kg2 = b2.build();
+        let p1 = NumericProfiles::of(&kg1);
+        let p2 = NumericProfiles::of(&kg2);
+        let same = p1.overlap(EntityId(0), &p2, kg2.find_entity("same").unwrap(), 0.01);
+        let other = p1.overlap(EntityId(0), &p2, kg2.find_entity("other").unwrap(), 0.01);
+        assert!(same > other, "same {same} vs other {other}");
+    }
+
+    #[test]
+    fn empty_profiles_score_zero() {
+        let mut b = KgBuilder::new();
+        b.attr_triple("p", "name", "no digits");
+        let kg = b.build();
+        let p = NumericProfiles::of(&kg);
+        assert_eq!(p.overlap(EntityId(0), &p, EntityId(0), 0.01), 0.0);
+    }
+
+    #[test]
+    fn blend_preserves_shape_and_range() {
+        let mut b1 = KgBuilder::new();
+        b1.attr_triple("a", "x", "1985");
+        b1.attr_triple("b", "x", "2001");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new();
+        b2.attr_triple("c", "y", "1985");
+        b2.attr_triple("d", "y", "1777");
+        let kg2 = b2.build();
+        let sim = sdea_tensor::Tensor::zeros(&[2, 2]);
+        let blended = blend_numeric_channel(&sim, &kg1, &kg2, &[0, 1], 0.5, 0.01);
+        assert_eq!(blended.shape(), &[2, 2]);
+        // a (1985) matches c (1985) but not d
+        assert!(blended.at2(0, 0) > blended.at2(0, 1));
+    }
+}

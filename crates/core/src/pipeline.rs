@@ -1,0 +1,188 @@
+//! End-to-end SDEA pipeline: tokenizer + LM pre-training, Algorithm 2,
+//! Algorithm 3, final alignment — the whole of the paper's Fig. 3 behind
+//! one call.
+
+use crate::align::AlignmentResult;
+use crate::attr_module::{AttrFitReport, AttrModule};
+use crate::attr_seq::AttrSequencer;
+use crate::config::SdeaConfig;
+use crate::rel_module::RelVariant;
+use crate::trainer::{RelFitReport, RelStage};
+use sdea_eval::AlignmentMetrics;
+use sdea_kg::{EntityId, KnowledgeGraph, SplitSeeds};
+use sdea_tensor::{Rng, Tensor};
+
+/// Everything the pipeline needs as input.
+pub struct SdeaPipeline<'a> {
+    /// First knowledge graph (source side).
+    pub kg1: &'a KnowledgeGraph,
+    /// Second knowledge graph (target side).
+    pub kg2: &'a KnowledgeGraph,
+    /// Seed alignment split (2:1:7 in the paper).
+    pub split: &'a SplitSeeds,
+    /// Unlabeled pre-training corpus (typically
+    /// [`sdea_synth::corpus::dataset_corpus`], or any text).
+    pub corpus: &'a [String],
+    /// Hyper-parameters.
+    pub cfg: SdeaConfig,
+    /// Relation-module variant (for ablations; `Full` = the paper).
+    pub variant: RelVariant,
+}
+
+/// A trained SDEA model with cached embeddings.
+pub struct SdeaModel {
+    /// Attribute embeddings of every KG1 entity.
+    pub h_a1: Tensor,
+    /// Attribute embeddings of every KG2 entity.
+    pub h_a2: Tensor,
+    /// Full `H_ent` table for KG1.
+    pub ent1: Tensor,
+    /// Full `H_ent` table for KG2.
+    pub ent2: Tensor,
+    /// Attribute-stage training report.
+    pub attr_report: AttrFitReport,
+    /// Relation-stage training report.
+    pub rel_report: RelFitReport,
+    /// The trained relation stage (for attention introspection). Absent on
+    /// models loaded from disk.
+    pub rel_stage: Option<crate::trainer::RelStage>,
+}
+
+impl SdeaModel {
+    /// Ranks targets for the given test pairs using the full embeddings
+    /// (SDEA row of the paper's tables).
+    pub fn align_test(&self, test: &[(EntityId, EntityId)]) -> AlignmentResult {
+        let rows: Vec<usize> = test.iter().map(|&(e, _)| e.0 as usize).collect();
+        let gold: Vec<usize> = test.iter().map(|&(_, e)| e.0 as usize).collect();
+        AlignmentResult::rank(&self.ent1.gather_rows(&rows), &self.ent2, gold)
+    }
+
+    /// Ranks using only the attribute embeddings (the paper's
+    /// "SDEA w/o rel." ablation row).
+    pub fn align_test_attr_only(&self, test: &[(EntityId, EntityId)]) -> AlignmentResult {
+        let rows: Vec<usize> = test.iter().map(|&(e, _)| e.0 as usize).collect();
+        let gold: Vec<usize> = test.iter().map(|&(_, e)| e.0 as usize).collect();
+        AlignmentResult::rank(&self.h_a1.gather_rows(&rows), &self.h_a2, gold)
+    }
+
+    /// Convenience: metrics of the full model on test pairs.
+    pub fn test_metrics(&self, test: &[(EntityId, EntityId)]) -> AlignmentMetrics {
+        self.align_test(test).metrics()
+    }
+}
+
+impl<'a> SdeaPipeline<'a> {
+    /// Runs the full pipeline. Deterministic given `cfg.seed`.
+    pub fn run(&self) -> SdeaModel {
+        self.execute(None)
+    }
+
+    /// Semi-supervised variant (extension): after the attribute stage,
+    /// augments the training seeds with mutual-nearest entity pairs whose
+    /// `H_a` cosine exceeds `threshold` (BootEA-style bootstrapping applied
+    /// to SDEA), then trains the relation stage on the augmented set.
+    pub fn run_bootstrapped(&self, threshold: f32) -> SdeaModel {
+        self.execute(Some(threshold))
+    }
+
+    fn execute(&self, bootstrap_threshold: Option<f32>) -> SdeaModel {
+        let mut rng = Rng::seed_from_u64(self.cfg.seed);
+        let mut seq_rng = rng.split();
+        let mut build_rng = rng.split();
+        let mut fit_rng = rng.split();
+        let mut rel_rng = rng.split();
+
+        // Algorithm 1 on both KGs (each KG draws its own attribute order).
+        let seq1 = AttrSequencer::new(self.kg1, &mut seq_rng);
+        let seq2 = AttrSequencer::new(self.kg2, &mut seq_rng);
+
+        // Pre-trained transformer + projection.
+        let mut attr = AttrModule::build(&self.cfg, self.corpus, &mut build_rng);
+        let cache1 = attr.token_cache(seq1.sequences());
+        let cache2 = attr.token_cache(seq2.sequences());
+
+        // Algorithm 2.
+        let attr_report =
+            attr.fit(&cache1, &cache2, &self.split.train, &self.split.valid, &mut fit_rng);
+        let h_a1 = attr.embed_all(&cache1, &mut fit_rng);
+        let h_a2 = attr.embed_all(&cache2, &mut fit_rng);
+
+        // Optional bootstrapping: confident mutual-nearest pairs under the
+        // attribute embeddings become extra (noisy) training seeds.
+        let mut train = self.split.train.clone();
+        if let Some(threshold) = bootstrap_threshold {
+            let known1: std::collections::HashSet<EntityId> =
+                self.split.train.iter().map(|&(a, _)| a).collect();
+            let known2: std::collections::HashSet<EntityId> =
+                self.split.train.iter().map(|&(_, b)| b).collect();
+            for (a, b) in crate::bootstrap::mutual_nearest_pairs(&h_a1, &h_a2, threshold) {
+                if !known1.contains(&a) && !known2.contains(&b) {
+                    train.push((a, b));
+                }
+            }
+        }
+
+        // Algorithm 3.
+        let mut stage = RelStage::new(&self.cfg, self.variant, self.kg1, self.kg2, &mut rel_rng);
+        let rel_report = stage.fit(
+            &self.cfg,
+            &h_a1,
+            &h_a2,
+            &train,
+            &self.split.valid,
+            &mut rel_rng,
+        );
+
+        // Final embedding tables.
+        let ids1: Vec<EntityId> = (0..self.kg1.num_entities() as u32).map(EntityId).collect();
+        let ids2: Vec<EntityId> = (0..self.kg2.num_entities() as u32).map(EntityId).collect();
+        let ent1 = stage.full_embeddings(&h_a1, true, &ids1);
+        let ent2 = stage.full_embeddings(&h_a2, false, &ids2);
+
+        SdeaModel { h_a1, h_a2, ent1, ent2, attr_report, rel_report, rel_stage: Some(stage) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_synth::{generate, DatasetProfile};
+
+    /// Full end-to-end smoke test on a miniature DBP15K-style dataset.
+    /// This is the system's most important invariant: the pipeline must
+    /// beat random ranking by a wide margin.
+    #[test]
+    fn end_to_end_beats_random() {
+        let ds = generate(&DatasetProfile::dbp15k_fr_en(80, 42));
+        let mut split_rng = Rng::seed_from_u64(1);
+        let split = ds.seeds.split_paper(&mut split_rng);
+        let corpus = sdea_synth::corpus::dataset_corpus(&ds);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.attr_epochs = 5;
+        cfg.rel_epochs = 6;
+        let pipeline = SdeaPipeline {
+            kg1: ds.kg1(),
+            kg2: ds.kg2(),
+            split: &split,
+            corpus: &corpus,
+            cfg,
+            variant: RelVariant::Full,
+        };
+        let model = pipeline.run();
+        let metrics = model.test_metrics(&split.test);
+        let random_h1 = 1.0 / ds.kg2().num_entities() as f64;
+        // The test config is deliberately tiny (1 MLM epoch, 32-dim model,
+        // 16 train pairs); at bench scale SDEA reaches far higher — here we
+        // only require a decisive margin over chance.
+        assert!(
+            metrics.hits1 > 8.0 * random_h1,
+            "SDEA H@1 {:.3} not better than random {:.5}",
+            metrics.hits1,
+            random_h1
+        );
+        assert!(metrics.mrr > 0.05, "MRR {:.3}", metrics.mrr);
+        // ablation path also works
+        let attr_only = model.align_test_attr_only(&split.test).metrics();
+        assert!(attr_only.hits1 >= 0.0 && attr_only.hits10 <= 1.0);
+    }
+}

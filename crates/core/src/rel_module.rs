@@ -1,0 +1,432 @@
+//! The relation embedding module (paper Section III-B, Eq. 8–15).
+//!
+//! Input: the (frozen) attribute embeddings of an entity's neighbours,
+//! as a padded sequence. A bidirectional GRU produces entity-specific
+//! neighbour states `h_t` (forward + backward outputs summed, as in the
+//! paper); a global attention vector `ĥ = MLP(h_n)` scores each neighbour
+//! by inner product, and `H_r = Σ_t α_t h_t`.
+//!
+//! Note on Eq. 9: the paper's formula as printed (`h̃ = φ(Wx) + U(r⊙h+b)`)
+//! places the candidate-state nonlinearity oddly; it cites the standard
+//! GRU of Cho et al. [33], which we implement:
+//! `h̃ = φ(W_h x + U_h (r ⊙ h) + b_h)`.
+//!
+//! [`RelVariant`] provides the ablation switches used by the bench
+//! harness: mean pooling instead of attention, and attention directly over
+//! attribute embeddings without the BiGRU.
+
+use sdea_tensor::{init, Graph, ParamId, ParamStore, Rng, Tensor, Var};
+
+/// Which aggregation the module uses (Full = the paper's design).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RelVariant {
+    /// BiGRU + attention (the paper).
+    Full,
+    /// BiGRU + uniform mean pooling (ablation: no attention).
+    MeanPool,
+    /// Attention directly over neighbour attribute embeddings
+    /// (ablation: no BiGRU context).
+    NoGru,
+}
+
+struct GruDir {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+}
+
+/// The relation embedding module.
+pub struct RelModule {
+    fwd: GruDir,
+    bwd: GruDir,
+    att_w: ParamId,
+    att_b: ParamId,
+    d: usize,
+    variant: RelVariant,
+}
+
+/// A padded neighbour batch: `rows[i]` = attr-table row indices of entity
+/// i's neighbours (already capped); all rows padded to the max length.
+#[derive(Clone, Debug)]
+pub struct NeighborBatch {
+    /// Padded neighbour indices, row-major `[b, t_max]` (pad = 0).
+    pub indices: Vec<usize>,
+    /// 1.0 for real neighbours, 0.0 for padding, `[b, t_max]`.
+    pub mask: Vec<f32>,
+    /// Batch size.
+    pub b: usize,
+    /// Padded sequence length (>= 1).
+    pub t: usize,
+}
+
+impl NeighborBatch {
+    /// Builds a padded batch from ragged neighbour lists. Empty lists are
+    /// padded to length 1 with a zero mask (their `H_r` is then the zero
+    /// vector — callers usually substitute the entity itself instead).
+    pub fn from_lists(lists: &[Vec<usize>]) -> Self {
+        let b = lists.len();
+        let t = lists.iter().map(|l| l.len()).max().unwrap_or(0).max(1);
+        let mut indices = vec![0usize; b * t];
+        let mut mask = vec![0.0f32; b * t];
+        for (i, l) in lists.iter().enumerate() {
+            for (j, &n) in l.iter().enumerate() {
+                indices[i * t + j] = n;
+                mask[i * t + j] = 1.0;
+            }
+        }
+        NeighborBatch { indices, mask, b, t }
+    }
+
+    fn col_indices(&self, j: usize) -> Vec<usize> {
+        (0..self.b).map(|i| self.indices[i * self.t + j]).collect()
+    }
+
+    fn col_mask(&self, j: usize) -> Tensor {
+        Tensor::from_vec((0..self.b).map(|i| self.mask[i * self.t + j]).collect(), &[self.b])
+    }
+}
+
+impl RelModule {
+    /// Registers all weights (`d` = attribute embedding dim = GRU width).
+    pub fn new(d: usize, variant: RelVariant, store: &mut ParamStore, rng: &mut Rng) -> Self {
+        let dir = |tag: &str, store: &mut ParamStore, rng: &mut Rng| GruDir {
+            wz: store.add(format!("rel.{tag}.wz"), init::xavier_uniform(&[d, d], rng)),
+            uz: store.add(format!("rel.{tag}.uz"), init::xavier_uniform(&[d, d], rng)),
+            bz: store.add(format!("rel.{tag}.bz"), Tensor::zeros(&[d])),
+            wr: store.add(format!("rel.{tag}.wr"), init::xavier_uniform(&[d, d], rng)),
+            ur: store.add(format!("rel.{tag}.ur"), init::xavier_uniform(&[d, d], rng)),
+            br: store.add(format!("rel.{tag}.br"), Tensor::zeros(&[d])),
+            wh: store.add(format!("rel.{tag}.wh"), init::xavier_uniform(&[d, d], rng)),
+            uh: store.add(format!("rel.{tag}.uh"), init::xavier_uniform(&[d, d], rng)),
+            bh: store.add(format!("rel.{tag}.bh"), Tensor::zeros(&[d])),
+        };
+        let fwd = dir("fwd", store, rng);
+        let bwd = dir("bwd", store, rng);
+        let att_w = store.add("rel.att.w", init::xavier_uniform(&[d, d], rng));
+        let att_b = store.add("rel.att.b", Tensor::zeros(&[d]));
+        RelModule { fwd, bwd, att_w, att_b, d, variant }
+    }
+
+    /// The module's variant.
+    pub fn variant(&self) -> RelVariant {
+        self.variant
+    }
+
+    /// One masked GRU step (Eq. 8–11): positions with mask 0 keep their
+    /// previous state.
+    fn gru_step(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        dir: &GruDir,
+        x: Var,
+        h: Var,
+        mask_col: Var,
+    ) -> Var {
+        let lin = |w: ParamId, u: ParamId, b: ParamId, rh: Var| {
+            let wv = g.param(store, w);
+            let uv = g.param(store, u);
+            let bv = g.param(store, b);
+            g.add_bias(g.add(g.matmul(x, wv), g.matmul(rh, uv)), bv)
+        };
+        let z = g.sigmoid(lin(dir.wz, dir.uz, dir.bz, h)); // update gate, Eq. 10
+        let r = g.sigmoid(lin(dir.wr, dir.ur, dir.br, h)); // reset gate, Eq. 8
+        let rh = g.mul(r, h);
+        let h_tilde = g.tanh(lin(dir.wh, dir.uh, dir.bh, rh)); // Eq. 9
+        let one_minus_z = g.one_minus(z);
+        let h_new = g.add(g.mul(one_minus_z, h), g.mul(z, h_tilde)); // Eq. 11
+        // masked update
+        let inv_mask = g.one_minus(mask_col);
+        let keep = g.mul_col(h, inv_mask);
+        let upd = g.mul_col(h_new, mask_col);
+        g.add(keep, upd)
+    }
+
+    /// Computes the attention weights `α_t` (Eq. 14) for a batch, as a
+    /// `[b, t]` tensor (padded positions get ≈0). Used to inspect which
+    /// neighbours the trained model attends to — the paper's central
+    /// mechanism claim is that general-concept hubs receive low weight.
+    pub fn attention_weights(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        attr_table: Var,
+        batch: &NeighborBatch,
+    ) -> Tensor {
+        let (_, alpha) = self.forward_with_attention(g, store, attr_table, batch);
+        alpha.unwrap_or_else(|| {
+            // MeanPool variant: uniform weights over valid neighbours.
+            let (b, t) = (batch.b, batch.t);
+            let mut w = Tensor::zeros(&[b, t]);
+            for i in 0..b {
+                let valid: f32 = batch.mask[i * t..(i + 1) * t].iter().sum();
+                for j in 0..t {
+                    if batch.mask[i * t + j] > 0.0 {
+                        w.row_mut(i)[j] = 1.0 / valid.max(1.0);
+                    }
+                }
+            }
+            w
+        })
+    }
+
+    /// Forward pass: `H_r` for a batch, `[b, d]` (Eq. 15).
+    ///
+    /// `attr_table` is a tape node holding the `[n, d]` attribute
+    /// embeddings (a constant during Algorithm 3, per the paper's two-stage
+    /// training).
+    pub fn forward(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        attr_table: Var,
+        batch: &NeighborBatch,
+    ) -> Var {
+        self.forward_with_attention(g, store, attr_table, batch).0
+    }
+
+    fn forward_with_attention(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        attr_table: Var,
+        batch: &NeighborBatch,
+    ) -> (Var, Option<Tensor>) {
+        let (b, t) = (batch.b, batch.t);
+        let zero = g.constant(Tensor::zeros(&[b, self.d]));
+        // per-step inputs
+        let xs: Vec<Var> = (0..t)
+            .map(|j| g.gather_rows(attr_table, &batch.col_indices(j)))
+            .collect();
+        let masks: Vec<Var> = (0..t).map(|j| g.constant(batch.col_mask(j))).collect();
+
+        let outputs: Vec<Var>;
+        let h_n: Var;
+        match self.variant {
+            RelVariant::Full | RelVariant::MeanPool => {
+                // forward direction
+                let mut h = zero;
+                let mut fwd_states = Vec::with_capacity(t);
+                for j in 0..t {
+                    h = self.gru_step(g, store, &self.fwd, xs[j], h, masks[j]);
+                    fwd_states.push(h);
+                }
+                // backward direction
+                let mut hb = zero;
+                let mut bwd_states = vec![zero; t];
+                for j in (0..t).rev() {
+                    hb = self.gru_step(g, store, &self.bwd, xs[j], hb, masks[j]);
+                    bwd_states[j] = hb;
+                }
+                // h_t = fwd_t + bwd_t (paper: "the sum of h→ and h←")
+                outputs = (0..t).map(|j| g.add(fwd_states[j], bwd_states[j])).collect();
+                // h_n: final forward state (last valid, thanks to masking)
+                // plus final backward state.
+                h_n = g.add(fwd_states[t - 1], bwd_states[0]);
+            }
+            RelVariant::NoGru => {
+                outputs = xs.clone();
+                // mean of valid inputs as the global context
+                h_n = masked_mean(g, &xs, &masks);
+            }
+        }
+
+        match self.variant {
+            RelVariant::MeanPool => (masked_mean_v(g, &outputs, &masks), None),
+            RelVariant::Full | RelVariant::NoGru => {
+                // attention (Eq. 12–14)
+                let aw = g.param(store, self.att_w);
+                let ab = g.param(store, self.att_b);
+                let h_hat = g.tanh(g.add_bias(g.matmul(h_n, aw), ab)); // Eq. 12
+                let scores: Vec<Var> =
+                    outputs.iter().map(|&o| g.rows_dot(o, h_hat)).collect(); // Eq. 13
+                let score_mat = g.stack_cols(&scores);
+                // mask out padding with a large negative bias
+                let bias = {
+                    let mut m = Tensor::zeros(&[b, t]);
+                    for (v, &mk) in m.data_mut().iter_mut().zip(batch.mask.iter()) {
+                        if mk == 0.0 {
+                            *v = -1e9;
+                        }
+                    }
+                    g.constant(m)
+                };
+                let alpha = g.softmax_lastdim(g.add(score_mat, bias)); // Eq. 14
+                // H_r = sum_t alpha_t * h_t (Eq. 15)
+                let mut acc: Option<Var> = None;
+                for (j, &o) in outputs.iter().enumerate() {
+                    let a_j = g.select_col(alpha, j);
+                    let term = g.mul_col(o, a_j);
+                    acc = Some(match acc {
+                        Some(s) => g.add(s, term),
+                        None => term,
+                    });
+                }
+                (acc.expect("t >= 1"), Some(g.value_cloned(alpha)))
+            }
+        }
+    }
+}
+
+/// Masked mean over a list of `[b,d]` step tensors.
+fn masked_mean(g: &Graph, xs: &[Var], masks: &[Var]) -> Var {
+    masked_mean_v(g, xs, masks)
+}
+
+fn masked_mean_v(g: &Graph, xs: &[Var], masks: &[Var]) -> Var {
+    let mut num: Option<Var> = None;
+    let mut den: Option<Var> = None;
+    for (&x, &m) in xs.iter().zip(masks) {
+        let xm = g.mul_col(x, m);
+        num = Some(match num {
+            Some(s) => g.add(s, xm),
+            None => xm,
+        });
+        den = Some(match den {
+            Some(s) => g.add(s, m),
+            None => m,
+        });
+    }
+    let num = num.expect("non-empty");
+    let den = den.expect("non-empty");
+    // 1 / max(den, 1): implemented via reciprocal on (den + tiny) after
+    // clamping zeros to one (zero-neighbour rows produce zero output).
+    let inv = g.recip_clamped(den);
+    g.mul_col(num, inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(variant: RelVariant) -> (RelModule, ParamStore, Rng) {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let m = RelModule::new(16, variant, &mut store, &mut rng);
+        (m, store, rng)
+    }
+
+    fn table(n: usize, rng: &mut Rng) -> Tensor {
+        Tensor::rand_normal(&[n, 16], 0.5, rng)
+    }
+
+    #[test]
+    fn forward_shape_all_variants() {
+        for v in [RelVariant::Full, RelVariant::MeanPool, RelVariant::NoGru] {
+            let (m, store, mut rng) = setup(v);
+            let tbl = table(10, &mut rng);
+            let batch = NeighborBatch::from_lists(&[vec![1, 2, 3], vec![4], vec![5, 6]]);
+            let g = Graph::new();
+            let t = g.constant(tbl);
+            let out = m.forward(&g, &store, t, &batch);
+            assert_eq!(g.value(out).shape(), &[3, 16], "{v:?}");
+            assert!(g.value(out).all_finite());
+        }
+    }
+
+    #[test]
+    fn padding_is_invisible() {
+        // An entity with 2 neighbours must embed identically whether the
+        // batch pads to length 2 or 5.
+        let (m, store, mut rng) = setup(RelVariant::Full);
+        let tbl = table(10, &mut rng);
+        let short = NeighborBatch::from_lists(&[vec![1, 2], vec![3, 4]]);
+        let long = NeighborBatch::from_lists(&[vec![1, 2], vec![3, 4, 5, 6, 7]]);
+        let ga = Graph::new();
+        let ta = ga.constant(tbl.clone());
+        let a = ga.value_cloned(m.forward(&ga, &store, ta, &short));
+        let gb = Graph::new();
+        let tb = gb.constant(tbl);
+        let b = gb.value_cloned(m.forward(&gb, &store, tb, &long));
+        for (x, y) in a.row(0).iter().zip(b.row(0)) {
+            assert!((x - y).abs() < 1e-4, "padding changed row 0: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_neighbor_list_gives_zero() {
+        let (m, store, mut rng) = setup(RelVariant::MeanPool);
+        let tbl = table(4, &mut rng);
+        let batch = NeighborBatch::from_lists(&[vec![]]);
+        let g = Graph::new();
+        let t = g.constant(tbl);
+        let out = g.value_cloned(m.forward(&g, &store, t, &batch));
+        assert!(out.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one_over_valid_neighbors() {
+        for v in [RelVariant::Full, RelVariant::NoGru, RelVariant::MeanPool] {
+            let (m, store, mut rng) = setup(v);
+            let tbl = table(10, &mut rng);
+            let batch = NeighborBatch::from_lists(&[vec![1, 2, 3], vec![4], vec![]]);
+            let g = Graph::new();
+            let t = g.constant(tbl);
+            let w = m.attention_weights(&g, &store, t, &batch);
+            assert_eq!(w.shape(), &[3, 3], "{v:?}");
+            // rows with neighbours sum to ~1; padded positions ~0
+            let s0: f32 = w.row(0).iter().sum();
+            assert!((s0 - 1.0).abs() < 1e-4, "{v:?} row0 {s0}");
+            let s1: f32 = w.row(1).iter().sum();
+            assert!((s1 - 1.0).abs() < 1e-4, "{v:?} row1 {s1}");
+            assert!(w.row(1)[1] < 1e-4 && w.row(1)[2] < 1e-4, "{v:?} padding weighted");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_gru_and_attention() {
+        let (m, mut store, mut rng) = setup(RelVariant::Full);
+        let tbl = table(10, &mut rng);
+        let batch = NeighborBatch::from_lists(&[vec![1, 2, 3], vec![4, 5]]);
+        let g = Graph::new();
+        let t = g.constant(tbl);
+        let out = m.forward(&g, &store, t, &batch);
+        let loss = g.mean_all(g.square(out));
+        g.backward(loss);
+        let n = g.accumulate_param_grads(&mut store);
+        assert!(n >= 18, "all GRU dirs + attention should receive grads, got {n}");
+        assert!(store.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn attention_downweights_after_training_signal() {
+        // Sanity: outputs differ between Full and MeanPool (the attention
+        // path is live).
+        let (mf, sf, mut rng) = setup(RelVariant::Full);
+        let tbl = table(10, &mut rng);
+        let batch = NeighborBatch::from_lists(&[vec![1, 2, 3]]);
+        let g1 = Graph::new();
+        let t1 = g1.constant(tbl.clone());
+        let full = g1.value_cloned(mf.forward(&g1, &sf, t1, &batch));
+        let (mm, sm, _) = setup(RelVariant::MeanPool);
+        let g2 = Graph::new();
+        let t2 = g2.constant(tbl);
+        let mean = g2.value_cloned(mm.forward(&g2, &sm, t2, &batch));
+        assert_ne!(full, mean);
+    }
+
+    #[test]
+    fn neighbor_order_affects_gru_but_not_nogru_mean() {
+        let (m, store, mut rng) = setup(RelVariant::NoGru);
+        let tbl = table(10, &mut rng);
+        let a = NeighborBatch::from_lists(&[vec![1, 2, 3]]);
+        let b = NeighborBatch::from_lists(&[vec![3, 1, 2]]);
+        let ga = Graph::new();
+        let ta = ga.constant(tbl.clone());
+        let ea = ga.value_cloned(m.forward(&ga, &store, ta, &a));
+        let gb = Graph::new();
+        let tb = gb.constant(tbl);
+        let eb = gb.value_cloned(m.forward(&gb, &store, tb, &b));
+        // NoGru attention is permutation-equivariant: same set of
+        // neighbours => same weighted sum.
+        for (x, y) in ea.data().iter().zip(eb.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Algorithm 3 — model training with pre-trained attribute embeddings.
+//!
+//! The attribute embeddings `H_a` are frozen (the paper separates the two
+//! stages for GPU-memory reasons; the separation is part of the method).
+//! The relation module and the joint MLP train with the margin ranking
+//! loss computed on `[H_r; H_m]`, candidates generated **once** up front
+//! from `H_a` (Algorithm 3 line 1), early stopping on validation Hits@1.
+
+use crate::candidates::CandidateSet;
+use crate::config::SdeaConfig;
+use crate::joint::JointHead;
+use crate::loss::margin_ranking_loss;
+use crate::rel_module::{NeighborBatch, RelModule, RelVariant};
+use sdea_eval::{cosine_matrix, evaluate_ranking};
+use sdea_kg::{EntityId, KnowledgeGraph};
+use sdea_tensor::{Adam, GradClip, Graph, Optimizer, ParamStore, Rng, Tensor};
+
+/// Progress record of the relation-stage training.
+#[derive(Clone, Debug, Default)]
+pub struct RelFitReport {
+    /// Mean margin loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation Hits@1 (on full `H_ent`) per epoch.
+    pub valid_hits1: Vec<f64>,
+    /// Best epoch restored.
+    pub best_epoch: usize,
+}
+
+/// The trained relation stage: module + joint head + their weights.
+pub struct RelStage {
+    /// Relation module (BiGRU + attention).
+    pub rel: RelModule,
+    /// Joint MLP head.
+    pub joint: JointHead,
+    /// Weights of both.
+    pub store: ParamStore,
+    /// Neighbour lists per entity for KG1/KG2 (attr-table row indices).
+    pub neigh1: Vec<Vec<usize>>,
+    /// Neighbour lists for KG2.
+    pub neigh2: Vec<Vec<usize>>,
+}
+
+/// Builds capped neighbour lists for every entity. Entities without
+/// neighbours fall back to themselves (their own attribute embedding),
+/// so `H_r` degrades gracefully to attribute information.
+pub fn neighbor_lists(kg: &KnowledgeGraph, cap: usize) -> Vec<Vec<usize>> {
+    kg.entities()
+        .map(|e| {
+            let mut l: Vec<usize> =
+                kg.neighbors(e).iter().map(|&(n, _, _)| n.0 as usize).collect();
+            l.truncate(cap);
+            if l.is_empty() {
+                l.push(e.0 as usize);
+            }
+            l
+        })
+        .collect()
+}
+
+impl RelStage {
+    /// Registers the relation module and joint head.
+    pub fn new(
+        cfg: &SdeaConfig,
+        variant: RelVariant,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        rng: &mut Rng,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let rel = RelModule::new(cfg.embed_dim, variant, &mut store, rng);
+        let joint = JointHead::new(cfg.embed_dim, &mut store, rng);
+        RelStage {
+            rel,
+            joint,
+            store,
+            neigh1: neighbor_lists(kg1, cfg.max_neighbors),
+            neigh2: neighbor_lists(kg2, cfg.max_neighbors),
+        }
+    }
+
+    /// Computes the full `H_ent` for the given entities of one side.
+    /// `h_a` is the side's complete attribute embedding table.
+    pub fn full_embeddings(&self, h_a: &Tensor, side1: bool, ids: &[EntityId]) -> Tensor {
+        let neigh = if side1 { &self.neigh1 } else { &self.neigh2 };
+        let d3 = 3 * h_a.shape()[1];
+        let mut out = Tensor::zeros(&[ids.len(), d3]);
+        let batch_size = 256usize;
+        let mut start = 0usize;
+        while start < ids.len() {
+            let end = (start + batch_size).min(ids.len());
+            let lists: Vec<Vec<usize>> =
+                ids[start..end].iter().map(|e| neigh[e.0 as usize].clone()).collect();
+            let rows: Vec<usize> = ids[start..end].iter().map(|e| e.0 as usize).collect();
+            let g = Graph::new();
+            let table = g.constant(h_a.clone());
+            let nb = NeighborBatch::from_lists(&lists);
+            let h_r = self.rel.forward(&g, &self.store, table, &nb);
+            let h_a_batch = g.constant(h_a.gather_rows(&rows));
+            let full = self.joint.full_embedding(&g, &self.store, h_a_batch, h_r);
+            let v = g.value(full);
+            out.data_mut()[start * d3..end * d3].copy_from_slice(v.data());
+            start = end;
+        }
+        out
+    }
+
+    /// Algorithm 3: trains the relation module + joint head.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &mut self,
+        cfg: &SdeaConfig,
+        h_a1: &Tensor,
+        h_a2: &Tensor,
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+    ) -> RelFitReport {
+        let mut opt = Adam::new(cfg.rel_lr).with_clip(GradClip::GlobalNorm(2.0));
+        let mut report = RelFitReport::default();
+        // Line 1: candidates once, from the pre-trained attribute
+        // embeddings.
+        let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
+        let src_rows: Vec<usize> = sources.iter().map(|e| e.0 as usize).collect();
+        let cands = CandidateSet::generate(
+            &sources,
+            &h_a1.gather_rows(&src_rows),
+            h_a2,
+            cfg.n_candidates,
+        );
+        let n_targets = h_a2.shape()[0];
+
+        let mut best_hits = -1.0f64;
+        let mut best_snapshot = self.store.snapshot();
+        let mut strikes = 0usize;
+        for epoch in 0..cfg.rel_epochs {
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            let mut steps = 0usize;
+            for chunk in order.chunks(cfg.rel_batch) {
+                let anchors: Vec<EntityId> = chunk.iter().map(|&i| train[i].0).collect();
+                let pos: Vec<EntityId> = chunk.iter().map(|&i| train[i].1).collect();
+                let neg: Vec<EntityId> = chunk
+                    .iter()
+                    .map(|&i| cands.sample_negative(train[i].0, train[i].1, n_targets, rng))
+                    .collect();
+                let g = Graph::new();
+                let t1 = g.constant(h_a1.clone());
+                let t2 = g.constant(h_a2.clone());
+                let emb = |g: &Graph,
+                           table: sdea_tensor::Var,
+                           h_a: &Tensor,
+                           neigh: &[Vec<usize>],
+                           ids: &[EntityId]| {
+                    let lists: Vec<Vec<usize>> =
+                        ids.iter().map(|e| neigh[e.0 as usize].clone()).collect();
+                    let nb = NeighborBatch::from_lists(&lists);
+                    let h_r = self.rel.forward(g, &self.store, table, &nb);
+                    let rows: Vec<usize> = ids.iter().map(|e| e.0 as usize).collect();
+                    let h_a_batch = g.constant(h_a.gather_rows(&rows));
+                    // Loss embedding: [H_r; H_m] (Algorithm 3 line 9)
+                    self.joint.train_embedding(g, &self.store, h_a_batch, h_r)
+                };
+                let ea = emb(&g, t1, h_a1, &self.neigh1, &anchors);
+                let ep = emb(&g, t2, h_a2, &self.neigh2, &pos);
+                let en = emb(&g, t2, h_a2, &self.neigh2, &neg);
+                let loss = margin_ranking_loss(&g, ea, ep, en, cfg.margin);
+                let lv = g.value_cloned(loss).item();
+                g.backward(loss);
+                g.accumulate_param_grads(&mut self.store);
+                opt.step(&mut self.store);
+                epoch_loss += lv as f64;
+                steps += 1;
+            }
+            report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
+
+            // Line 12: validation on the full embedding.
+            let hits1 = self.validate(h_a1, h_a2, valid);
+            report.valid_hits1.push(hits1);
+            if hits1 > best_hits {
+                best_hits = hits1;
+                best_snapshot = self.store.snapshot();
+                report.best_epoch = epoch;
+                strikes = 0;
+            } else {
+                strikes += 1;
+                if strikes >= cfg.patience {
+                    break;
+                }
+            }
+        }
+        self.store.restore(&best_snapshot);
+        report
+    }
+
+    /// Validation Hits@1 on the full `H_ent`.
+    pub fn validate(
+        &self,
+        h_a1: &Tensor,
+        h_a2: &Tensor,
+        valid: &[(EntityId, EntityId)],
+    ) -> f64 {
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let sources: Vec<EntityId> = valid.iter().map(|&(e, _)| e).collect();
+        let all_targets: Vec<EntityId> =
+            (0..h_a2.shape()[0] as u32).map(EntityId).collect();
+        let src = self.full_embeddings(h_a1, true, &sources);
+        let tgt = self.full_embeddings(h_a2, false, &all_targets);
+        let sim = cosine_matrix(&src, &tgt);
+        let gold: Vec<usize> = valid.iter().map(|&(_, e)| e.0 as usize).collect();
+        evaluate_ranking(&sim, &gold).hits1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_kg::KgBuilder;
+
+    /// Builds twin star-shaped KGs whose attribute embeddings are synthetic
+    /// and already informative; checks the relation stage trains.
+    fn twin_kgs(n: usize) -> (KnowledgeGraph, KnowledgeGraph) {
+        let mk = |tag: &str| {
+            let mut b = KgBuilder::new();
+            for i in 0..n {
+                // ring so everyone has neighbours
+                b.rel_triple(
+                    &format!("{tag}{i}"),
+                    "r",
+                    &format!("{tag}{}", (i + 1) % n),
+                );
+            }
+            b.build()
+        };
+        (mk("a"), mk("b"))
+    }
+
+    fn synthetic_h_a(n: usize, d: usize, noise: f32, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let base = Tensor::rand_normal(&[n, d], 1.0, &mut rng);
+        let n1 = Tensor::rand_normal(&[n, d], noise, &mut rng);
+        let n2 = Tensor::rand_normal(&[n, d], noise, &mut rng);
+        (base.add(&n1), base.add(&n2))
+    }
+
+    #[test]
+    fn rel_stage_end_to_end_improves_or_holds() {
+        let n = 40;
+        let (kg1, kg2) = twin_kgs(n);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.embed_dim = 16;
+        cfg.rel_epochs = 8;
+        let (h1, h2) = synthetic_h_a(n, 16, 0.4, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut stage = RelStage::new(&cfg, RelVariant::Full, &kg1, &kg2, &mut rng);
+        let pairs: Vec<(EntityId, EntityId)> =
+            (0..n as u32).map(|i| (EntityId(i), EntityId(i))).collect();
+        let train = &pairs[..24];
+        let valid = &pairs[24..];
+        let before = stage.validate(&h1, &h2, valid);
+        let report = stage.fit(&cfg, &h1, &h2, train, valid, &mut rng);
+        let after = stage.validate(&h1, &h2, valid);
+        assert!(after >= before * 0.9, "rel stage regressed: {before} -> {after}");
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn neighbor_lists_fall_back_to_self() {
+        let mut b = KgBuilder::new();
+        b.entity("lonely");
+        b.rel_triple("x", "r", "y");
+        let kg = b.build();
+        let lists = neighbor_lists(&kg, 5);
+        let lonely = kg.find_entity("lonely").unwrap();
+        assert_eq!(lists[lonely.0 as usize], vec![lonely.0 as usize]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_capped() {
+        let mut b = KgBuilder::new();
+        for i in 0..20 {
+            b.rel_triple("hub", "r", &format!("leaf{i}"));
+        }
+        let kg = b.build();
+        let lists = neighbor_lists(&kg, 4);
+        let hub = kg.find_entity("hub").unwrap();
+        assert_eq!(lists[hub.0 as usize].len(), 4);
+    }
+
+    #[test]
+    fn full_embeddings_shape() {
+        let (kg1, kg2) = twin_kgs(10);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.embed_dim = 8;
+        let (h1, _h2) = synthetic_h_a(10, 8, 0.1, 5);
+        let mut rng = Rng::seed_from_u64(6);
+        let stage = RelStage::new(&cfg, RelVariant::Full, &kg1, &kg2, &mut rng);
+        let ids: Vec<EntityId> = (0..10u32).map(EntityId).collect();
+        let emb = stage.full_embeddings(&h1, true, &ids);
+        assert_eq!(emb.shape(), &[10, 24]);
+        assert!(emb.all_finite());
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-domain similarity local scaling (CSLS), the hubness correction of
+//! Lample et al. used by several literal-based baselines (CEA's MUSE
+//! embeddings are trained with it).
+//!
+//! `csls(x, y) = 2·cos(x, y) − r(x) − r(y)` where `r(·)` is the mean cosine
+//! similarity to the k nearest neighbours in the *other* domain.
+
+use crate::similarity::SimilarityMatrix;
+#[cfg(test)]
+use sdea_tensor::Tensor;
+
+/// Re-scales a cosine similarity matrix with CSLS (k nearest neighbours).
+pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
+    assert!(k >= 1, "CSLS needs k >= 1");
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    let k_row = k.min(m);
+    let k_col = k.min(n);
+    // r_src[i]: mean of top-k entries of row i.
+    let mut r_src = vec![0.0f32; n];
+    for i in 0..n {
+        r_src[i] = mean_top_k(&sim.data()[i * m..(i + 1) * m], k_row);
+    }
+    // r_tgt[j]: mean of top-k entries of column j.
+    let mut col = vec![0.0f32; n];
+    let mut r_tgt = vec![0.0f32; m];
+    for j in 0..m {
+        for (i, c) in col.iter_mut().enumerate() {
+            *c = sim.at2(i, j);
+        }
+        r_tgt[j] = mean_top_k(&col, k_col);
+    }
+    let mut out = sim.clone();
+    for i in 0..n {
+        for j in 0..m {
+            let v = 2.0 * sim.at2(i, j) - r_src[i] - r_tgt[j];
+            out.data_mut()[i * m + j] = v;
+        }
+    }
+    out
+}
+
+fn mean_top_k(scores: &[f32], k: usize) -> f32 {
+    let idx = crate::similarity::top_k_indices(scores, k);
+    let sum: f32 = idx.iter().map(|&i| scores[i]).sum();
+    sum / idx.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate_ranking;
+
+    #[test]
+    fn csls_penalizes_hubs() {
+        // Column 0 is a "hub": similar to everything. Column 1 is the true
+        // match of row 0 but slightly below the hub. CSLS should flip them.
+        let sim = Tensor::from_vec(
+            vec![
+                0.90, 0.89, 0.10, //
+                0.90, 0.10, 0.80, //
+                0.90, 0.15, 0.05,
+            ],
+            &[3, 3],
+        );
+        let before = evaluate_ranking(&sim, &[1, 2, 0]);
+        let after = evaluate_ranking(&csls_rescale(&sim, 2), &[1, 2, 0]);
+        assert!(after.hits1 >= before.hits1, "CSLS should not hurt this case");
+        // row 0: the hub column's r_tgt is large, demoting it.
+        let rescaled = csls_rescale(&sim, 2);
+        assert!(
+            rescaled.at2(0, 1) > rescaled.at2(0, 0),
+            "true match should outrank hub after CSLS"
+        );
+    }
+
+    #[test]
+    fn csls_preserves_shape() {
+        let sim = Tensor::from_vec(vec![0.5; 12], &[3, 4]);
+        let r = csls_rescale(&sim, 1);
+        assert_eq!(r.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn uniform_matrix_stays_uniform() {
+        let sim = Tensor::from_vec(vec![0.3; 9], &[3, 3]);
+        let r = csls_rescale(&sim, 2);
+        let first = r.data()[0];
+        assert!(r.data().iter().all(|&v| (v - first).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,20 @@
+//! # sdea-eval
+//!
+//! Evaluation metrics and similarity computation for entity alignment.
+//!
+//! Implements the paper's protocol (Section V-A2): for each source entity,
+//! target entities are ranked by cosine similarity of their embeddings; the
+//! reported metrics are Hits@1, Hits@10 and MRR over the test seed links.
+//! Also provides CSLS re-ranking (a standard hubness correction used by
+//! several baselines) and paper-style table formatting.
+
+pub mod csls;
+pub mod metrics;
+pub mod report;
+pub mod similarity;
+pub mod strings;
+
+pub use csls::csls_rescale;
+pub use metrics::{evaluate_ranking, rank_of, AlignmentMetrics};
+pub use report::{format_table, TableRow};
+pub use similarity::{cosine_matrix, top_k_indices, SimilarityMatrix};

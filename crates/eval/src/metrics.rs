@@ -1,0 +1,118 @@
+//! Hits@K and MRR over similarity rankings (paper Section V-A2).
+
+use crate::similarity::SimilarityMatrix;
+
+/// The paper's three reported metrics.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct AlignmentMetrics {
+    /// Hits@1 in `[0,1]`.
+    pub hits1: f64,
+    /// Hits@10 in `[0,1]`.
+    pub hits10: f64,
+    /// Mean reciprocal rank in `(0,1]`.
+    pub mrr: f64,
+}
+
+impl AlignmentMetrics {
+    /// Formats as the paper's percentage row `H@1 H@10 MRR`.
+    pub fn paper_row(&self) -> String {
+        format!("{:5.1} {:5.1} {:.2}", self.hits1 * 100.0, self.hits10 * 100.0, self.mrr)
+    }
+}
+
+/// 1-based rank of `gold` within `scores` (descending). Ties are broken
+/// pessimistically for indices before `gold` and optimistically after —
+/// i.e. rank = 1 + |{j : s_j > s_gold}| + |{j < gold : s_j == s_gold}|,
+/// which is deterministic and matches a stable descending sort.
+pub fn rank_of(scores: &[f32], gold: usize) -> usize {
+    let g = scores[gold];
+    let mut rank = 1usize;
+    for (j, &s) in scores.iter().enumerate() {
+        if s > g || (s == g && j < gold) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Evaluates a similarity matrix against gold targets: `gold[i]` is the
+/// column index of source row `i`'s true match.
+pub fn evaluate_ranking(sim: &SimilarityMatrix, gold: &[usize]) -> AlignmentMetrics {
+    assert_eq!(sim.shape()[0], gold.len(), "one gold target per source row");
+    let m = sim.shape()[1];
+    let n = gold.len().max(1) as f64;
+    let mut h1 = 0usize;
+    let mut h10 = 0usize;
+    let mut mrr = 0.0f64;
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "gold column {g} out of range {m}");
+        let rank = rank_of(&sim.data()[i * m..(i + 1) * m], g);
+        if rank == 1 {
+            h1 += 1;
+        }
+        if rank <= 10 {
+            h10 += 1;
+        }
+        mrr += 1.0 / rank as f64;
+    }
+    AlignmentMetrics { hits1: h1 as f64 / n, hits10: h10 as f64 / n, mrr: mrr / n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_tensor::Tensor;
+
+    #[test]
+    fn rank_of_basics() {
+        assert_eq!(rank_of(&[0.9, 0.5, 0.1], 0), 1);
+        assert_eq!(rank_of(&[0.9, 0.5, 0.1], 1), 2);
+        assert_eq!(rank_of(&[0.9, 0.5, 0.1], 2), 3);
+    }
+
+    #[test]
+    fn rank_of_ties_are_stable() {
+        // Equal scores: earlier index wins.
+        assert_eq!(rank_of(&[0.5, 0.5], 0), 1);
+        assert_eq!(rank_of(&[0.5, 0.5], 1), 2);
+    }
+
+    #[test]
+    fn perfect_ranking_gives_ones() {
+        let sim = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        let m = evaluate_ranking(&sim, &[0, 1, 2]);
+        assert_eq!(m.hits1, 1.0);
+        assert_eq!(m.hits10, 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_metrics() {
+        // gold always last of 12 candidates -> rank 12 (> 10)
+        let mut data = vec![0.0f32; 12];
+        data[..11].iter_mut().enumerate().for_each(|(i, v)| *v = 1.0 + i as f32);
+        data[11] = -1.0;
+        let sim = Tensor::from_vec(data, &[1, 12]);
+        let m = evaluate_ranking(&sim, &[11]);
+        assert_eq!(m.hits1, 0.0);
+        assert_eq!(m.hits10, 0.0);
+        assert!((m.mrr - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits1_le_hits10_and_mrr_bounds() {
+        // random-ish matrix
+        let data: Vec<f32> = (0..50).map(|i| ((i * 37 % 17) as f32).sin()).collect();
+        let sim = Tensor::from_vec(data, &[5, 10]);
+        let m = evaluate_ranking(&sim, &[3, 1, 4, 0, 9]);
+        assert!(m.hits1 <= m.hits10);
+        assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        assert!(m.hits1 <= m.mrr + 1e-12, "MRR >= Hits@1 always");
+    }
+
+    #[test]
+    fn paper_row_format() {
+        let m = AlignmentMetrics { hits1: 0.87, hits10: 0.966, mrr: 0.91 };
+        assert_eq!(m.paper_row(), " 87.0  96.6 0.91");
+    }
+}

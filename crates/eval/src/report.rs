@@ -1,0 +1,139 @@
+//! Paper-style result table formatting.
+
+use crate::metrics::AlignmentMetrics;
+
+/// One method's results on one or more datasets.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Method name as printed in the paper.
+    pub method: String,
+    /// Metrics per dataset column; `None` renders as `--` (the paper leaves
+    /// H@10/MRR blank for CEA's stable-matching variant).
+    pub cells: Vec<Option<AlignmentMetrics>>,
+}
+
+impl TableRow {
+    /// A row with metrics for every dataset.
+    pub fn full(method: impl Into<String>, cells: Vec<AlignmentMetrics>) -> Self {
+        TableRow { method: method.into(), cells: cells.into_iter().map(Some).collect() }
+    }
+}
+
+/// Renders rows in the layout of the paper's Tables III–V:
+/// one `H@1 H@10 MRR` triple per dataset.
+pub fn format_table(title: &str, datasets: &[&str], rows: &[TableRow]) -> String {
+    let method_w = rows
+        .iter()
+        .map(|r| r.method.len())
+        .chain(std::iter::once("Method".len()))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:<method_w$}", "Method"));
+    for d in datasets {
+        out.push_str(&format!("| {:^18} ", d));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<method_w$}", ""));
+    for _ in datasets {
+        out.push_str(&format!("| {:>5} {:>5} {:>5} ", "H@1", "H@10", "MRR"));
+    }
+    out.push('\n');
+    let total_w = method_w + datasets.len() * 21;
+    out.push_str(&"-".repeat(total_w));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<method_w$}", row.method));
+        for cell in &row.cells {
+            match cell {
+                Some(m) => {
+                    let fmt = |v: f64, scale: f64, decimals: usize| {
+                        if v.is_nan() {
+                            format!("{:>5}", "--")
+                        } else {
+                            format!("{:>5.*}", decimals, v * scale)
+                        }
+                    };
+                    out.push_str(&format!(
+                        "| {} {} {} ",
+                        fmt(m.hits1, 100.0, 1),
+                        fmt(m.hits10, 100.0, 1),
+                        fmt(m.mrr, 1.0, 2)
+                    ));
+                }
+                None => out.push_str(&format!("| {:>5} {:>5} {:>5} ", "--", "--", "--")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a `paper vs measured` comparison line for EXPERIMENTS.md.
+pub fn paper_vs_measured(
+    method: &str,
+    dataset: &str,
+    paper_h1: Option<f64>,
+    measured: &AlignmentMetrics,
+) -> String {
+    match paper_h1 {
+        Some(p) => format!(
+            "{method} on {dataset}: paper H@1 {:.1}%, measured H@1 {:.1}% (H@10 {:.1}%, MRR {:.2})",
+            p,
+            measured.hits1 * 100.0,
+            measured.hits10 * 100.0,
+            measured.mrr
+        ),
+        None => format!(
+            "{method} on {dataset}: measured H@1 {:.1}% (H@10 {:.1}%, MRR {:.2})",
+            measured.hits1 * 100.0,
+            measured.hits10 * 100.0,
+            measured.mrr
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(h1: f64) -> AlignmentMetrics {
+        AlignmentMetrics { hits1: h1, hits10: (h1 + 0.1).min(1.0), mrr: h1 + 0.02 }
+    }
+
+    #[test]
+    fn table_contains_all_methods_and_datasets() {
+        let rows = vec![
+            TableRow::full("SDEA", vec![m(0.87), m(0.848)]),
+            TableRow { method: "CEA".into(), cells: vec![Some(m(0.787)), None] },
+        ];
+        let table = format_table("DBP15K", &["ZH-EN", "JA-EN"], &rows);
+        assert!(table.contains("SDEA"));
+        assert!(table.contains("CEA"));
+        assert!(table.contains("ZH-EN"));
+        assert!(table.contains("87.0"));
+        assert!(table.contains("--"), "missing cells render as --");
+    }
+
+    #[test]
+    fn rows_align() {
+        let rows = vec![TableRow::full("A", vec![m(0.5)]), TableRow::full("LongMethodName", vec![m(0.6)])];
+        let table = format_table("t", &["d"], &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        // lines: 0 title, 1 header, 2 metric header, 3 separator, 4.. data
+        let pipe_cols: Vec<usize> = lines[4..]
+            .iter()
+            .map(|l| l.find('|').expect("data rows have pipes"))
+            .collect();
+        assert!(pipe_cols.windows(2).all(|w| w[0] == w[1]), "columns must align");
+    }
+
+    #[test]
+    fn paper_vs_measured_formats() {
+        let s = paper_vs_measured("SDEA", "ZH-EN", Some(87.0), &m(0.85));
+        assert!(s.contains("paper H@1 87.0%"));
+        assert!(s.contains("measured H@1 85.0%"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Pairwise cosine similarity and top-k retrieval.
+
+use sdea_tensor::Tensor;
+
+/// A dense `[n, m]` similarity matrix between `n` source and `m` target
+/// entities. Row-major like [`Tensor`].
+pub type SimilarityMatrix = Tensor;
+
+/// Cosine similarity of every row of `a: [n,d]` against every row of
+/// `b: [m,d]`, computed as normalized `a · bᵀ`. Rows are split across
+/// threads for large inputs.
+pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
+    assert_eq!(a.rank(), 2, "cosine_matrix lhs rank");
+    assert_eq!(b.rank(), 2, "cosine_matrix rhs rank");
+    assert_eq!(a.shape()[1], b.shape()[1], "embedding width mismatch");
+    let an = a.l2_normalize_rows();
+    let bn = b.l2_normalize_rows();
+    let (n, m, d) = (an.shape()[0], bn.shape()[0], an.shape()[1]);
+    let mut out = vec![0.0f32; n * m];
+    let threads = available_threads().min(n.max(1));
+    if threads <= 1 || n * m < 1 << 16 {
+        fill_rows(an.data(), bn.data(), &mut out, 0, n, m, d);
+    } else {
+        let chunk_rows = n.div_ceil(threads);
+        let a_data = an.data();
+        let b_data = bn.data();
+        std::thread::scope(|scope| {
+            let mut rest = &mut out[..];
+            let mut start = 0usize;
+            while start < n {
+                let rows = chunk_rows.min(n - start);
+                let (mine, tail) = rest.split_at_mut(rows * m);
+                rest = tail;
+                let s = start;
+                scope.spawn(move || fill_rows(a_data, b_data, mine, s, rows, m, d));
+                start += rows;
+            }
+        });
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+fn fill_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, m: usize, d: usize) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * d..(row0 + i + 1) * d];
+        let orow = &mut out[i * m..(i + 1) * m];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Indices of the `k` largest values of `scores`, descending, ties broken by
+/// lower index. `k` is clamped to `scores.len()`.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Partial selection: maintain a small sorted buffer (k is small).
+    let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if best.len() < k || s > best[best.len() - 1].1 {
+            let pos = best
+                .iter()
+                .position(|&(_, bs)| s > bs)
+                .unwrap_or(best.len());
+            best.insert(pos, (i, s));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    best.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_tensor::Rng;
+
+    #[test]
+    fn cosine_identity_rows() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let sim = cosine_matrix(&a, &a);
+        assert!((sim.at2(0, 0) - 1.0).abs() < 1e-6);
+        assert!((sim.at2(1, 1) - 1.0).abs() < 1e-6);
+        assert!(sim.at2(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]);
+        let sim = cosine_matrix(&a, &b);
+        assert!((sim.item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = Rng::seed_from_u64(1);
+        // big enough to trigger the threaded path
+        let a = Tensor::rand_normal(&[300, 16], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[300, 16], 1.0, &mut rng);
+        let sim = cosine_matrix(&a, &b);
+        // spot-check against direct computation
+        for &(i, j) in &[(0usize, 0usize), (7, 123), (299, 299), (150, 3)] {
+            let ai = a.row(i);
+            let bj = b.row(j);
+            let dot: f32 = ai.iter().zip(bj).map(|(&x, &y)| x * y).sum();
+            let na: f32 = ai.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = bj.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            let expected = dot / (na * nb);
+            assert!((sim.at2(i, j) - expected).abs() < 1e-4, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1, 0.9, 0.5, 0.9, -1.0];
+        let top = top_k_indices(&scores, 3);
+        assert_eq!(top, vec![1, 3, 2]); // tie at 0.9 broken by index
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![1, 0]);
+        assert!(top_k_indices(&[], 3).is_empty());
+        assert!(top_k_indices(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let mut rng = Rng::seed_from_u64(2);
+        let scores: Vec<f32> = (0..200).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let top = top_k_indices(&scores, 10);
+        let mut idx: Vec<usize> = (0..200).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+        assert_eq!(top, idx[..10].to_vec());
+    }
+}

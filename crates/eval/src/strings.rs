@@ -1,0 +1,61 @@
+//! String similarity utilities shared by the lexical baselines (CEA's
+//! Levenshtein feature) and the benchmark generator's own checks.
+
+/// Plain Levenshtein edit distance (two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity in `[0,1]` (1 = identical).
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let dist = levenshtein(a, b) as f64;
+    let max_len = a.chars().count().max(b.chars().count()).max(1) as f64;
+    1.0 - dist / max_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "xyz"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn similarity_bounds_and_symmetry() {
+        for (a, b) in [("abc", "abd"), ("a", "abcdef"), ("", "x")] {
+            let s = edit_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, edit_similarity(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_distance() {
+        let (a, b, c) = ("ronaldo", "ronalda", "renaldo");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

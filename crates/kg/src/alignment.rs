@@ -1,0 +1,125 @@
+//! Seed alignments (inter-KG ground-truth links) and the paper's
+//! train/validation/test split.
+
+use crate::graph::EntityId;
+use sdea_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth equivalent entity pairs `(e in KG1, e' in KG2)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignmentSeeds {
+    /// The aligned pairs.
+    pub pairs: Vec<(EntityId, EntityId)>,
+}
+
+/// A 3-way split of seeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitSeeds {
+    /// Training pairs.
+    pub train: Vec<(EntityId, EntityId)>,
+    /// Validation pairs (early stopping).
+    pub valid: Vec<(EntityId, EntityId)>,
+    /// Test pairs (all reported metrics).
+    pub test: Vec<(EntityId, EntityId)>,
+}
+
+impl AlignmentSeeds {
+    /// Wraps a pair list.
+    pub fn new(pairs: Vec<(EntityId, EntityId)>) -> Self {
+        AlignmentSeeds { pairs }
+    }
+
+    /// Number of seed links.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no links.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Splits into train : valid : test with the given integer ratio,
+    /// shuffling first. The paper uses 2:1:7 (Section V-A3).
+    pub fn split(&self, ratio: (usize, usize, usize), rng: &mut Rng) -> SplitSeeds {
+        let (a, b, c) = ratio;
+        let total = a + b + c;
+        assert!(total > 0, "zero split ratio");
+        let mut pairs = self.pairs.clone();
+        rng.shuffle(&mut pairs);
+        let n = pairs.len();
+        let n_train = n * a / total;
+        let n_valid = n * b / total;
+        let valid_end = n_train + n_valid;
+        SplitSeeds {
+            train: pairs[..n_train].to_vec(),
+            valid: pairs[n_train..valid_end].to_vec(),
+            test: pairs[valid_end..].to_vec(),
+        }
+    }
+
+    /// The paper's split: 2:1:7.
+    pub fn split_paper(&self, rng: &mut Rng) -> SplitSeeds {
+        self.split((2, 1, 7), rng)
+    }
+}
+
+impl SplitSeeds {
+    /// Total number of pairs across the three splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// True when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(n: u32) -> AlignmentSeeds {
+        AlignmentSeeds::new((0..n).map(|i| (EntityId(i), EntityId(i + 1000))).collect())
+    }
+
+    #[test]
+    fn split_ratio_217() {
+        let s = seeds(1000);
+        let mut rng = Rng::seed_from_u64(1);
+        let sp = s.split_paper(&mut rng);
+        assert_eq!(sp.train.len(), 200);
+        assert_eq!(sp.valid.len(), 100);
+        assert_eq!(sp.test.len(), 700);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = seeds(137);
+        let mut rng = Rng::seed_from_u64(2);
+        let sp = s.split_paper(&mut rng);
+        assert_eq!(sp.len(), 137);
+        let mut all: Vec<_> = sp
+            .train
+            .iter()
+            .chain(&sp.valid)
+            .chain(&sp.test)
+            .cloned()
+            .collect();
+        all.sort();
+        let mut orig = s.pairs.clone();
+        orig.sort();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let s = seeds(100);
+        let sp1 = s.split_paper(&mut Rng::seed_from_u64(7));
+        let sp2 = s.split_paper(&mut Rng::seed_from_u64(7));
+        assert_eq!(sp1, sp2);
+        let sp3 = s.split_paper(&mut Rng::seed_from_u64(8));
+        assert_ne!(sp1.train, sp3.train);
+    }
+}

@@ -1,0 +1,342 @@
+//! Entity/relation/attribute stores and triple adjacency.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of an entity within its [`KnowledgeGraph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Index of a relation within its [`KnowledgeGraph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+/// Index of an attribute within its [`KnowledgeGraph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttributeId(pub u32);
+
+/// A relational triple `(head, relation, tail)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelTriple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation.
+    pub rel: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+/// An attributed triple `(entity, attribute, value)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrTriple {
+    /// Subject entity.
+    pub entity: EntityId,
+    /// Attribute.
+    pub attr: AttributeId,
+    /// Literal value.
+    pub value: String,
+}
+
+/// A knowledge graph per Definition 1 of the paper.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    entity_names: Vec<String>,
+    relation_names: Vec<String>,
+    attribute_names: Vec<String>,
+    rel_triples: Vec<RelTriple>,
+    attr_triples: Vec<AttrTriple>,
+    // CSR adjacency over *undirected* neighbourhood (out + in), built lazily.
+    #[serde(skip)]
+    adj: std::sync::OnceLock<Adjacency>,
+    #[serde(skip)]
+    attr_index: std::sync::OnceLock<Vec<Vec<usize>>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Adjacency {
+    // neighbor entity + connecting relation + direction (true = outgoing)
+    offsets: Vec<usize>,
+    entries: Vec<(EntityId, RelationId, bool)>,
+}
+
+impl KnowledgeGraph {
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attribute_names.len()
+    }
+
+    /// All relational triples.
+    pub fn rel_triples(&self) -> &[RelTriple] {
+        &self.rel_triples
+    }
+
+    /// All attributed triples.
+    pub fn attr_triples(&self) -> &[AttrTriple] {
+        &self.attr_triples
+    }
+
+    /// The entity's canonical name/IRI.
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        &self.entity_names[e.0 as usize]
+    }
+
+    /// The relation's name.
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relation_names[r.0 as usize]
+    }
+
+    /// The attribute's name.
+    pub fn attribute_name(&self, a: AttributeId) -> &str {
+        &self.attribute_names[a.0 as usize]
+    }
+
+    /// Iterates all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entity_names.len() as u32).map(EntityId)
+    }
+
+    /// Undirected neighbourhood of `e`: `(neighbor, relation, outgoing)`.
+    pub fn neighbors(&self, e: EntityId) -> &[(EntityId, RelationId, bool)] {
+        let adj = self.adj.get_or_init(|| self.build_adjacency());
+        let i = e.0 as usize;
+        &adj.entries[adj.offsets[i]..adj.offsets[i + 1]]
+    }
+
+    /// Degree (number of incident relational triples) of `e`.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.neighbors(e).len()
+    }
+
+    /// Indices (into [`KnowledgeGraph::attr_triples`]) of `e`'s attributes.
+    pub fn attr_triples_of(&self, e: EntityId) -> impl Iterator<Item = &AttrTriple> {
+        let index = self.attr_index.get_or_init(|| {
+            let mut idx = vec![Vec::new(); self.entity_names.len()];
+            for (i, t) in self.attr_triples.iter().enumerate() {
+                idx[t.entity.0 as usize].push(i);
+            }
+            idx
+        });
+        index[e.0 as usize].iter().map(move |&i| &self.attr_triples[i])
+    }
+
+    fn build_adjacency(&self) -> Adjacency {
+        let n = self.entity_names.len();
+        let mut counts = vec![0usize; n];
+        for t in &self.rel_triples {
+            counts[t.head.0 as usize] += 1;
+            counts[t.tail.0 as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut entries = vec![(EntityId(0), RelationId(0), false); offsets[n]];
+        let mut cursor = offsets.clone();
+        for t in &self.rel_triples {
+            let h = t.head.0 as usize;
+            entries[cursor[h]] = (t.tail, t.rel, true);
+            cursor[h] += 1;
+            let ta = t.tail.0 as usize;
+            entries[cursor[ta]] = (t.head, t.rel, false);
+            cursor[ta] += 1;
+        }
+        Adjacency { offsets, entries }
+    }
+
+    /// Looks up an entity by exact name (linear scan cache-free variant is
+    /// avoided: builds a map on first call would need interior mutability,
+    /// so this is provided for tests/tools only).
+    pub fn find_entity(&self, name: &str) -> Option<EntityId> {
+        self.entity_names.iter().position(|n| n == name).map(|i| EntityId(i as u32))
+    }
+}
+
+/// Incremental builder for a [`KnowledgeGraph`]; interns names to ids.
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    entity_names: Vec<String>,
+    entity_index: HashMap<String, EntityId>,
+    relation_names: Vec<String>,
+    relation_index: HashMap<String, RelationId>,
+    attribute_names: Vec<String>,
+    attribute_index: HashMap<String, AttributeId>,
+    rel_triples: Vec<RelTriple>,
+    attr_triples: Vec<AttrTriple>,
+}
+
+impl KgBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an entity by name.
+    pub fn entity(&mut self, name: &str) -> EntityId {
+        if let Some(&id) = self.entity_index.get(name) {
+            return id;
+        }
+        let id = EntityId(self.entity_names.len() as u32);
+        self.entity_names.push(name.to_string());
+        self.entity_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns a relation by name.
+    pub fn relation(&mut self, name: &str) -> RelationId {
+        if let Some(&id) = self.relation_index.get(name) {
+            return id;
+        }
+        let id = RelationId(self.relation_names.len() as u32);
+        self.relation_names.push(name.to_string());
+        self.relation_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns an attribute by name.
+    pub fn attribute(&mut self, name: &str) -> AttributeId {
+        if let Some(&id) = self.attribute_index.get(name) {
+            return id;
+        }
+        let id = AttributeId(self.attribute_names.len() as u32);
+        self.attribute_names.push(name.to_string());
+        self.attribute_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a relational triple by names.
+    pub fn rel_triple(&mut self, head: &str, rel: &str, tail: &str) {
+        let t = RelTriple {
+            head: self.entity(head),
+            rel: self.relation(rel),
+            tail: self.entity(tail),
+        };
+        self.rel_triples.push(t);
+    }
+
+    /// Adds a relational triple by pre-interned ids.
+    pub fn rel_triple_ids(&mut self, head: EntityId, rel: RelationId, tail: EntityId) {
+        debug_assert!((head.0 as usize) < self.entity_names.len());
+        debug_assert!((tail.0 as usize) < self.entity_names.len());
+        self.rel_triples.push(RelTriple { head, rel, tail });
+    }
+
+    /// Adds an attributed triple by names.
+    pub fn attr_triple(&mut self, entity: &str, attr: &str, value: &str) {
+        let t = AttrTriple {
+            entity: self.entity(entity),
+            attr: self.attribute(attr),
+            value: value.to_string(),
+        };
+        self.attr_triples.push(t);
+    }
+
+    /// Adds an attributed triple by pre-interned ids.
+    pub fn attr_triple_ids(&mut self, entity: EntityId, attr: AttributeId, value: String) {
+        debug_assert!((entity.0 as usize) < self.entity_names.len());
+        self.attr_triples.push(AttrTriple { entity, attr, value });
+    }
+
+    /// Number of entities interned so far.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Finalizes into an immutable [`KnowledgeGraph`].
+    pub fn build(self) -> KnowledgeGraph {
+        KnowledgeGraph {
+            entity_names: self.entity_names,
+            relation_names: self.relation_names,
+            attribute_names: self.attribute_names,
+            rel_triples: self.rel_triples,
+            attr_triples: self.attr_triples,
+            adj: std::sync::OnceLock::new(),
+            attr_index: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        b.rel_triple("ronaldo", "playsFor", "madrid");
+        b.rel_triple("ronaldo", "bornIn", "portugal");
+        b.rel_triple("madrid", "locatedIn", "spain");
+        b.attr_triple("ronaldo", "name", "Cristiano Ronaldo");
+        b.attr_triple("ronaldo", "birthYear", "1985");
+        b.attr_triple("madrid", "name", "Real Madrid");
+        b.build()
+    }
+
+    #[test]
+    fn builder_interns_names() {
+        let kg = toy();
+        assert_eq!(kg.num_entities(), 4);
+        assert_eq!(kg.num_relations(), 3);
+        assert_eq!(kg.num_attributes(), 2);
+        assert_eq!(kg.rel_triples().len(), 3);
+        assert_eq!(kg.attr_triples().len(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let kg = toy();
+        let ronaldo = kg.find_entity("ronaldo").unwrap();
+        let madrid = kg.find_entity("madrid").unwrap();
+        assert_eq!(kg.degree(ronaldo), 2);
+        // madrid has one incoming (playsFor) and one outgoing (locatedIn)
+        assert_eq!(kg.degree(madrid), 2);
+        let dirs: Vec<bool> = kg.neighbors(madrid).iter().map(|&(_, _, d)| d).collect();
+        assert!(dirs.contains(&true) && dirs.contains(&false));
+    }
+
+    #[test]
+    fn attr_triples_of_entity() {
+        let kg = toy();
+        let ronaldo = kg.find_entity("ronaldo").unwrap();
+        let values: Vec<&str> =
+            kg.attr_triples_of(ronaldo).map(|t| t.value.as_str()).collect();
+        assert_eq!(values, vec!["Cristiano Ronaldo", "1985"]);
+    }
+
+    #[test]
+    fn isolated_entity_has_no_neighbors() {
+        let mut b = KgBuilder::new();
+        let lonely = b.entity("lonely");
+        b.rel_triple("a", "r", "b");
+        let kg = b.build();
+        assert_eq!(kg.degree(lonely), 0);
+        assert!(kg.neighbors(lonely).is_empty());
+    }
+
+    #[test]
+    fn duplicate_interning_returns_same_id() {
+        let mut b = KgBuilder::new();
+        let e1 = b.entity("x");
+        let e2 = b.entity("x");
+        assert_eq!(e1, e2);
+        let r1 = b.relation("r");
+        let r2 = b.relation("r");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let kg = toy();
+        for e in kg.entities() {
+            assert_eq!(kg.find_entity(kg.entity_name(e)), Some(e));
+        }
+    }
+}

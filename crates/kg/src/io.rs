@@ -1,0 +1,219 @@
+//! OpenEA-style TSV interchange:
+//!
+//! * `rel_triples_N`:  `head \t relation \t tail`
+//! * `attr_triples_N`: `entity \t attribute \t value`
+//! * `ent_links`:      `entity_kg1 \t entity_kg2`
+//!
+//! This lets generated benchmarks be inspected with standard tooling and
+//! real OpenEA/SRPRS dumps be loaded when available.
+
+use crate::alignment::AlignmentSeeds;
+use crate::graph::{KgBuilder, KnowledgeGraph};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a KG's relational and attributed triples to two TSV files.
+pub fn save_kg(kg: &KnowledgeGraph, rel_path: &Path, attr_path: &Path) -> io::Result<()> {
+    let mut rel = BufWriter::new(std::fs::File::create(rel_path)?);
+    for t in kg.rel_triples() {
+        writeln!(
+            rel,
+            "{}\t{}\t{}",
+            escape(kg.entity_name(t.head)),
+            escape(kg.relation_name(t.rel)),
+            escape(kg.entity_name(t.tail))
+        )?;
+    }
+    rel.flush()?;
+    let mut attr = BufWriter::new(std::fs::File::create(attr_path)?);
+    for t in kg.attr_triples() {
+        writeln!(
+            attr,
+            "{}\t{}\t{}",
+            escape(kg.entity_name(t.entity)),
+            escape(kg.attribute_name(t.attr)),
+            escape(&t.value)
+        )?;
+    }
+    attr.flush()
+}
+
+/// Loads a KG from the two TSV files produced by [`save_kg`].
+pub fn load_kg(rel_path: &Path, attr_path: &Path) -> io::Result<KnowledgeGraph> {
+    let mut b = KgBuilder::new();
+    for line in read_lines(rel_path)? {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (h, r, t) = (
+            parts.next().ok_or_else(|| bad(&line))?,
+            parts.next().ok_or_else(|| bad(&line))?,
+            parts.next().ok_or_else(|| bad(&line))?,
+        );
+        b.rel_triple(&unescape(h), &unescape(r), &unescape(t));
+    }
+    for line in read_lines(attr_path)? {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (e, a, v) = (
+            parts.next().ok_or_else(|| bad(&line))?,
+            parts.next().ok_or_else(|| bad(&line))?,
+            parts.next().ok_or_else(|| bad(&line))?,
+        );
+        b.attr_triple(&unescape(e), &unescape(a), &unescape(v));
+    }
+    Ok(b.build())
+}
+
+/// Writes seed links as `name1 \t name2` rows.
+pub fn save_links(
+    seeds: &AlignmentSeeds,
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    path: &Path,
+) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for &(e1, e2) in &seeds.pairs {
+        writeln!(out, "{}\t{}", escape(kg1.entity_name(e1)), escape(kg2.entity_name(e2)))?;
+    }
+    out.flush()
+}
+
+/// Reads seed links written by [`save_links`]; entity names must resolve in
+/// the given KGs.
+pub fn load_links(
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    path: &Path,
+) -> io::Result<AlignmentSeeds> {
+    let mut pairs = Vec::new();
+    // Build name -> id maps once (find_entity is O(n)).
+    let map1: std::collections::HashMap<&str, _> =
+        kg1.entities().map(|e| (kg1.entity_name(e), e)).collect();
+    let map2: std::collections::HashMap<&str, _> =
+        kg2.entities().map(|e| (kg2.entity_name(e), e)).collect();
+    for line in read_lines(path)? {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, '\t');
+        let n1 = unescape(parts.next().ok_or_else(|| bad(&line))?);
+        let n2 = unescape(parts.next().ok_or_else(|| bad(&line))?);
+        let e1 = *map1
+            .get(n1.as_str())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n1}")))?;
+        let e2 = *map2
+            .get(n2.as_str())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n2}")))?;
+        pairs.push((e1, e2));
+    }
+    Ok(AlignmentSeeds::new(pairs))
+}
+
+fn read_lines(path: &Path) -> io::Result<io::Lines<io::BufReader<std::fs::File>>> {
+    Ok(io::BufReader::new(std::fs::File::open(path)?).lines())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn bad(line: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed TSV line: {line:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KgBuilder;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sdea_kg_io_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn toy() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        b.rel_triple("ronaldo", "playsFor", "madrid");
+        b.attr_triple("ronaldo", "comment", "born in\tMadeira\nPortugal");
+        b.build()
+    }
+
+    #[test]
+    fn kg_round_trip() {
+        let d = tmpdir();
+        let kg = toy();
+        let rel = d.join("rel.tsv");
+        let attr = d.join("attr.tsv");
+        save_kg(&kg, &rel, &attr).unwrap();
+        let back = load_kg(&rel, &attr).unwrap();
+        assert_eq!(back.num_entities(), kg.num_entities());
+        assert_eq!(back.rel_triples().len(), 1);
+        let v = back.attr_triples()[0].value.clone();
+        assert_eq!(v, "born in\tMadeira\nPortugal", "escaping must round-trip");
+    }
+
+    #[test]
+    fn links_round_trip() {
+        let d = tmpdir();
+        let kg1 = toy();
+        let kg2 = toy();
+        let seeds = AlignmentSeeds::new(vec![(
+            kg1.find_entity("ronaldo").unwrap(),
+            kg2.find_entity("madrid").unwrap(),
+        )]);
+        let path = d.join("links.tsv");
+        save_links(&seeds, &kg1, &kg2, &path).unwrap();
+        let back = load_links(&kg1, &kg2, &path).unwrap();
+        assert_eq!(back, seeds);
+    }
+
+    #[test]
+    fn unknown_entity_in_links_is_error() {
+        let d = tmpdir();
+        let path = d.join("bad_links.tsv");
+        std::fs::write(&path, "nosuch\tentity\n").unwrap();
+        let kg1 = toy();
+        let kg2 = toy();
+        assert!(load_links(&kg1, &kg2, &path).is_err());
+    }
+
+    #[test]
+    fn malformed_line_is_error_not_panic() {
+        let d = tmpdir();
+        let rel = d.join("malformed_rel.tsv");
+        let attr = d.join("empty_attr.tsv");
+        std::fs::write(&rel, "only_two\tcolumns\n").unwrap();
+        std::fs::write(&attr, "").unwrap();
+        assert!(load_kg(&rel, &attr).is_err());
+    }
+}

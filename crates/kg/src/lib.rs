@@ -1,0 +1,20 @@
+//! # sdea-kg
+//!
+//! Knowledge-graph substrate for the SDEA entity-alignment system.
+//!
+//! Implements Definition 1 of the paper: a KG is
+//! `{E, R, A, V, T_r, T_a}` — entities, relations, attributes, values,
+//! relational triples and attributed triples. On top of the stores this
+//! crate provides CSR-style adjacency ([`graph::KnowledgeGraph::neighbors`]),
+//! benchmark statistics (Tables I and VI of the paper), an OpenEA-style TSV
+//! interchange format, and seed-alignment handling with the paper's
+//! 2:1:7 train/validation/test split.
+
+pub mod alignment;
+pub mod graph;
+pub mod io;
+pub mod stats;
+
+pub use alignment::{AlignmentSeeds, SplitSeeds};
+pub use graph::{AttrTriple, AttributeId, EntityId, KgBuilder, KnowledgeGraph, RelTriple, RelationId};
+pub use stats::{DegreeBuckets, KgStatistics, ValueKind};

@@ -1,0 +1,267 @@
+//! Benchmark statistics: the quantities reported in Table I (dataset
+//! statistics), Table VI (degree-range proportions) and the paper's
+//! Section V-B1 error analysis (attribute value type mix).
+
+use crate::graph::KnowledgeGraph;
+
+/// Table I row: sizes of a KG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KgStatistics {
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of distinct relations.
+    pub relations: usize,
+    /// Number of distinct attributes.
+    pub attributes: usize,
+    /// Number of relational triples.
+    pub rel_triples: usize,
+    /// Number of attributed triples.
+    pub attr_triples: usize,
+}
+
+impl KgStatistics {
+    /// Computes the Table I row for a KG.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        KgStatistics {
+            entities: kg.num_entities(),
+            relations: kg.num_relations(),
+            attributes: kg.num_attributes(),
+            rel_triples: kg.rel_triples().len(),
+            attr_triples: kg.attr_triples().len(),
+        }
+    }
+}
+
+/// Table VI row: proportion of entities with degree in 1..=3, 1..=5, 1..=10.
+/// (Entities of degree 0 are excluded, matching the paper's ranges that
+/// start at 1.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeBuckets {
+    /// Fraction of entities with 1 <= degree <= 3.
+    pub upto3: f64,
+    /// Fraction with 1 <= degree <= 5.
+    pub upto5: f64,
+    /// Fraction with 1 <= degree <= 10.
+    pub upto10: f64,
+    /// Mean degree over all entities.
+    pub mean_degree: f64,
+}
+
+impl DegreeBuckets {
+    /// Computes degree-range proportions over all entities of a KG.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        let n = kg.num_entities().max(1);
+        let mut c3 = 0usize;
+        let mut c5 = 0usize;
+        let mut c10 = 0usize;
+        let mut total = 0usize;
+        for e in kg.entities() {
+            let d = kg.degree(e);
+            total += d;
+            if (1..=3).contains(&d) {
+                c3 += 1;
+            }
+            if (1..=5).contains(&d) {
+                c5 += 1;
+            }
+            if (1..=10).contains(&d) {
+                c10 += 1;
+            }
+        }
+        DegreeBuckets {
+            upto3: c3 as f64 / n as f64,
+            upto5: c5 as f64 / n as f64,
+            upto10: c10 as f64 / n as f64,
+            mean_degree: total as f64 / n as f64,
+        }
+    }
+
+    /// Computes proportions over the union of two KGs (as the paper reports
+    /// a single row per dataset).
+    pub fn of_pair(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> Self {
+        let a = Self::of(kg1);
+        let b = Self::of(kg2);
+        let (n1, n2) = (kg1.num_entities() as f64, kg2.num_entities() as f64);
+        let total = (n1 + n2).max(1.0);
+        DegreeBuckets {
+            upto3: (a.upto3 * n1 + b.upto3 * n2) / total,
+            upto5: (a.upto5 * n1 + b.upto5 * n2) / total,
+            upto10: (a.upto10 * n1 + b.upto10 * n2) / total,
+            mean_degree: (a.mean_degree * n1 + b.mean_degree * n2) / total,
+        }
+    }
+}
+
+/// Classification of attribute values for the paper's error analysis
+/// ("about 40% of attribute values in this dataset are numerical …
+/// 9% identifiers, 23% integers and floats, and 8% dates").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// Opaque identifiers (e.g. `Q36`, alphanumeric codes).
+    Identifier,
+    /// Integers and floats.
+    Number,
+    /// Dates (`YYYY-MM-DD` and friends).
+    Date,
+    /// Short text (fewer than 50 words).
+    ShortText,
+    /// Long text (50+ words) — the paper's "long textual attributes".
+    LongText,
+}
+
+impl ValueKind {
+    /// Classifies a literal value.
+    pub fn classify(value: &str) -> ValueKind {
+        let v = value.trim();
+        if is_date(v) {
+            return ValueKind::Date;
+        }
+        if is_number(v) {
+            return ValueKind::Number;
+        }
+        if is_identifier(v) {
+            return ValueKind::Identifier;
+        }
+        if v.split_whitespace().count() >= 50 {
+            ValueKind::LongText
+        } else {
+            ValueKind::ShortText
+        }
+    }
+}
+
+fn is_number(v: &str) -> bool {
+    !v.is_empty() && v.parse::<f64>().is_ok()
+}
+
+fn is_date(v: &str) -> bool {
+    // YYYY-MM-DD / YYYY/MM/DD / DD.MM.YYYY
+    let bytes = v.as_bytes();
+    if bytes.len() != 10 {
+        return false;
+    }
+    let digits = |r: std::ops::Range<usize>| v[r].chars().all(|c| c.is_ascii_digit());
+    let iso = (bytes[4] == b'-' && bytes[7] == b'-') || (bytes[4] == b'/' && bytes[7] == b'/');
+    let dotted = bytes[2] == b'.' && bytes[5] == b'.';
+    (iso && digits(0..4) && digits(5..7) && digits(8..10))
+        || (dotted && digits(0..2) && digits(3..5) && digits(6..10))
+}
+
+fn is_identifier(v: &str) -> bool {
+    // Wikidata-style Q123 / single token mixing letters and digits, no spaces
+    if v.contains(char::is_whitespace) || v.is_empty() {
+        return false;
+    }
+    let has_digit = v.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = v.chars().any(|c| c.is_ascii_alphabetic());
+    has_digit && has_alpha && v.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Fraction of attribute triples per [`ValueKind`] for a KG.
+pub fn value_kind_mix(kg: &KnowledgeGraph) -> Vec<(ValueKind, f64)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<ValueKind, usize> = HashMap::new();
+    for t in kg.attr_triples() {
+        *counts.entry(ValueKind::classify(&t.value)).or_insert(0) += 1;
+    }
+    let total = kg.attr_triples().len().max(1) as f64;
+    let mut mix: Vec<(ValueKind, f64)> =
+        counts.into_iter().map(|(k, c)| (k, c as f64 / total)).collect();
+    mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KgBuilder;
+
+    fn chain(n: usize) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        for i in 0..n - 1 {
+            b.rel_triple(&format!("e{i}"), "r", &format!("e{}", i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_of_counts() {
+        let mut b = KgBuilder::new();
+        b.rel_triple("a", "r1", "b");
+        b.rel_triple("b", "r2", "c");
+        b.attr_triple("a", "name", "Alpha");
+        let kg = b.build();
+        let s = KgStatistics::of(&kg);
+        assert_eq!(s.entities, 3);
+        assert_eq!(s.relations, 2);
+        assert_eq!(s.attributes, 1);
+        assert_eq!(s.rel_triples, 2);
+        assert_eq!(s.attr_triples, 1);
+    }
+
+    #[test]
+    fn degree_buckets_chain() {
+        // A chain of 5: endpoints degree 1, inner degree 2 -> all <= 3.
+        let kg = chain(5);
+        let d = DegreeBuckets::of(&kg);
+        assert!((d.upto3 - 1.0).abs() < 1e-9);
+        assert!((d.upto5 - 1.0).abs() < 1e-9);
+        assert!((d.upto10 - 1.0).abs() < 1e-9);
+        assert!((d.mean_degree - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_buckets_exclude_isolated() {
+        let mut b = KgBuilder::new();
+        b.entity("isolated");
+        b.rel_triple("a", "r", "b");
+        let kg = b.build();
+        let d = DegreeBuckets::of(&kg);
+        // 2 of 3 entities have degree in 1..=3.
+        assert!((d.upto3 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_exceeds_buckets() {
+        let mut b = KgBuilder::new();
+        for i in 0..20 {
+            b.rel_triple("hub", "r", &format!("leaf{i}"));
+        }
+        let kg = b.build();
+        let d = DegreeBuckets::of(&kg);
+        // 20 leaves degree-1, hub degree-20: 20/21 within <=10.
+        assert!((d.upto10 - 20.0 / 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_kind_classification() {
+        assert_eq!(ValueKind::classify("42"), ValueKind::Number);
+        assert_eq!(ValueKind::classify("3.25"), ValueKind::Number);
+        assert_eq!(ValueKind::classify("1985-02-05"), ValueKind::Date);
+        assert_eq!(ValueKind::classify("Q36"), ValueKind::Identifier);
+        assert_eq!(ValueKind::classify("Real Madrid"), ValueKind::ShortText);
+        let long = "lorem ".repeat(60);
+        assert_eq!(ValueKind::classify(&long), ValueKind::LongText);
+    }
+
+    #[test]
+    fn value_kind_mix_sums_to_one() {
+        let mut b = KgBuilder::new();
+        b.attr_triple("a", "x", "42");
+        b.attr_triple("a", "y", "hello world");
+        b.attr_triple("b", "z", "Q7");
+        let kg = b.build();
+        let mix = value_kind_mix(&kg);
+        let total: f64 = mix.iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_buckets_weighted_average() {
+        let kg1 = chain(5);
+        let kg2 = chain(5);
+        let single = DegreeBuckets::of(&kg1);
+        let pair = DegreeBuckets::of_pair(&kg1, &kg2);
+        assert!((pair.upto3 - single.upto3).abs() < 1e-9);
+    }
+}

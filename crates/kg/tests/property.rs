@@ -1,0 +1,92 @@
+//! Property-based tests for the KG substrate.
+
+use proptest::prelude::*;
+use sdea_kg::{DegreeBuckets, KgBuilder, KgStatistics};
+
+/// Strategy: a random triple list over a small name universe.
+fn triples_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..12, 0u8..4, 0u8..12), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adjacency degree equals a naive recount over the triple list.
+    #[test]
+    fn degrees_match_naive_count(triples in triples_strategy()) {
+        let mut b = KgBuilder::new();
+        for &(h, r, t) in &triples {
+            b.rel_triple(&format!("e{h}"), &format!("r{r}"), &format!("e{t}"));
+        }
+        let kg = b.build();
+        for e in kg.entities() {
+            let name = kg.entity_name(e).to_string();
+            let naive = triples
+                .iter()
+                .filter(|&&(h, _, t)| format!("e{h}") == name || format!("e{t}") == name)
+                // self-loops touch the entity twice in the adjacency
+                .map(|&(h, _, t)| {
+                    if format!("e{h}") == name && format!("e{t}") == name { 2 } else { 1 }
+                })
+                .sum::<usize>();
+            prop_assert_eq!(kg.degree(e), naive, "entity {}", name);
+        }
+    }
+
+    /// Statistics are consistent with the builder's inputs.
+    #[test]
+    fn statistics_consistent(triples in triples_strategy()) {
+        let mut b = KgBuilder::new();
+        for &(h, r, t) in &triples {
+            b.rel_triple(&format!("e{h}"), &format!("r{r}"), &format!("e{t}"));
+        }
+        let kg = b.build();
+        let s = KgStatistics::of(&kg);
+        prop_assert_eq!(s.rel_triples, triples.len());
+        let distinct_rels: std::collections::HashSet<u8> =
+            triples.iter().map(|&(_, r, _)| r).collect();
+        prop_assert_eq!(s.relations, distinct_rels.len());
+        prop_assert!(s.entities <= 12);
+    }
+
+    /// Degree buckets are bounded and monotone for any graph.
+    #[test]
+    fn degree_buckets_bounded(triples in triples_strategy()) {
+        let mut b = KgBuilder::new();
+        b.entity("always_present");
+        for &(h, r, t) in &triples {
+            b.rel_triple(&format!("e{h}"), &format!("r{r}"), &format!("e{t}"));
+        }
+        let kg = b.build();
+        let d = DegreeBuckets::of(&kg);
+        prop_assert!(d.upto3 <= d.upto5 && d.upto5 <= d.upto10);
+        prop_assert!(d.upto10 <= 1.0);
+        prop_assert!(d.mean_degree >= 0.0);
+    }
+
+    /// TSV round trip preserves any KG (values with tabs/newlines included).
+    #[test]
+    fn io_round_trip(
+        triples in prop::collection::vec((0u8..6, 0u8..3, 0u8..6), 1..10),
+        values in prop::collection::vec("[a-z0-9\t\n ]{0,20}", 1..6),
+    ) {
+        let mut b = KgBuilder::new();
+        for &(h, r, t) in &triples {
+            b.rel_triple(&format!("e{h}"), &format!("r{r}"), &format!("e{t}"));
+        }
+        for (i, v) in values.iter().enumerate() {
+            b.attr_triple(&format!("e{}", i % 6), "note", v);
+        }
+        let kg = b.build();
+        let dir = std::env::temp_dir().join(format!("sdea_kg_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rel = dir.join("r.tsv");
+        let attr = dir.join("a.tsv");
+        sdea_kg::io::save_kg(&kg, &rel, &attr).unwrap();
+        let back = sdea_kg::io::load_kg(&rel, &attr).unwrap();
+        prop_assert_eq!(back.rel_triples().len(), kg.rel_triples().len());
+        let vals_a: Vec<&str> = kg.attr_triples().iter().map(|t| t.value.as_str()).collect();
+        let vals_b: Vec<&str> = back.attr_triples().iter().map(|t| t.value.as_str()).collect();
+        prop_assert_eq!(vals_a, vals_b);
+    }
+}

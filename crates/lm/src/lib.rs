@@ -1,0 +1,27 @@
+//! # sdea-lm
+//!
+//! A from-scratch, pre-trainable transformer encoder — the stand-in for the
+//! pre-trained BERT the SDEA paper builds on.
+//!
+//! The model is architecturally a (small) BERT: learned token + position
+//! embeddings, stacked blocks of multi-head self-attention and GELU
+//! feed-forward with residuals and LayerNorm, and a `[CLS]` pooled output.
+//! It supports:
+//!
+//! * **masked-LM pre-training** ([`mlm::MlmPretrainer`]) on a corpus, which
+//!   plays the role of the public BERT checkpoint, and
+//! * **fine-tuning** end-to-end through [`model::TransformerLm::forward`] —
+//!   exactly what SDEA's attribute embedding module does (paper Alg. 2).
+//!
+//! Capacity defaults are scaled for CPU training (2 layers, 128 hidden);
+//! everything is configurable via [`config::LmConfig`].
+
+pub mod batch;
+pub mod config;
+pub mod mlm;
+pub mod model;
+
+pub use batch::TokenBatch;
+pub use config::LmConfig;
+pub use mlm::MlmPretrainer;
+pub use model::TransformerLm;

@@ -1,0 +1,550 @@
+//! Deriving one KG side from the world.
+//!
+//! Each side of a dataset is produced by an independent, seeded pass over
+//! the same [`World`], controlled by a [`DerivationSpec`]: which entities
+//! appear, which facts survive (sparsity / disjoint fact partitions), which
+//! properties are kept, how values are rendered (language, dialect,
+//! format, precision), which entities are long-tail, and whether entity
+//! names are opaque Wikidata-style ids.
+//!
+//! Long-tail entities follow the paper's Fig. 2 example: they lose their
+//! structured attributes and most relations, keeping only a long `comment`
+//! whose text still mentions their neighbours — so the matching evidence
+//! exists, but only for a model that reads text.
+
+use crate::language::{Lang, Lexicon, SchemaDialect, TWord, ValueFormat};
+use crate::world::{EntityKind, PropKind, PropValue, WRel, World};
+use sdea_kg::{EntityId, KgBuilder, KnowledgeGraph};
+use sdea_tensor::Rng;
+use std::collections::HashMap;
+
+/// Parameters of one KG side's derivation.
+#[derive(Clone, Debug)]
+pub struct DerivationSpec {
+    /// Rendering language of all literals.
+    pub lang: Lang,
+    /// Attribute/relation naming dialect.
+    pub dialect: SchemaDialect,
+    /// Structured value formatting.
+    pub format: ValueFormat,
+    /// Probability an alignable world entity appears in this KG.
+    pub entity_keep: f64,
+    /// Probability of keeping a relational fact (both endpoints present).
+    pub rel_keep: f64,
+    /// When set, facts are partitioned across sides: this side keeps facts
+    /// hashed to `side` plus a `shared` fraction kept by both. Models the
+    /// OpenEA V1 datasets where aligned entities rarely share neighbours.
+    pub rel_partition: Option<PartitionSpec>,
+    /// Probability of keeping each structured attribute.
+    pub attr_keep: f64,
+    /// Probability the entity name appears as an attribute (`name`/`label`).
+    pub name_attr_prob: f64,
+    /// Probability an entity carries a long-text comment.
+    pub comment_prob: f64,
+    /// Fraction of persons/works demoted to long-tail.
+    pub long_tail_frac: f64,
+    /// Render entity names as opaque `Q…` ids (Wikidata side of OpenEA D-W).
+    pub qid_names: bool,
+    /// Probability a date renders as the bare year (precision mismatch).
+    pub date_year_only: f64,
+    /// Side seed (must differ between the two sides).
+    pub seed: u64,
+}
+
+/// Fact partitioning for low neighbour overlap.
+#[derive(Copy, Clone, Debug)]
+pub struct PartitionSpec {
+    /// Which half of the partition this side keeps (0 or 1).
+    pub side: u8,
+    /// Fraction of facts kept by both sides.
+    pub shared: f64,
+}
+
+impl Default for DerivationSpec {
+    fn default() -> Self {
+        DerivationSpec {
+            lang: Lang::En,
+            dialect: SchemaDialect::Dbp,
+            format: ValueFormat::IsoCm,
+            entity_keep: 1.0,
+            rel_keep: 1.0,
+            rel_partition: None,
+            attr_keep: 0.9,
+            name_attr_prob: 0.95,
+            comment_prob: 0.8,
+            long_tail_frac: 0.0,
+            qid_names: false,
+            date_year_only: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One derived KG side plus its mapping back to world entity ids.
+#[derive(Clone, Debug)]
+pub struct GeneratedKg {
+    /// The knowledge graph.
+    pub kg: KnowledgeGraph,
+    /// `world_of[entity.0] = world id`.
+    pub world_of: Vec<usize>,
+    /// Inverse map: world id -> entity id in this KG.
+    pub entity_of_world: HashMap<usize, EntityId>,
+    /// World ids of entities marked long-tail on this side.
+    pub long_tail: Vec<usize>,
+}
+
+/// Derives one KG side.
+pub fn derive_kg(world: &World, spec: &DerivationSpec) -> GeneratedKg {
+    let lex = Lexicon::new();
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0x9E37_79B9_97F4_A7C1);
+    let mut b = KgBuilder::new();
+    let mut world_of: Vec<usize> = Vec::new();
+    let mut entity_of_world: HashMap<usize, EntityId> = HashMap::new();
+    let mut long_tail: Vec<usize> = Vec::new();
+    let mut is_long_tail = vec![false; world.len()];
+
+    // --- presence + naming ---
+    let mut presence_rng = rng.split();
+    let mut naming: Vec<Option<String>> = vec![None; world.len()];
+    for (wid, ent) in world.entities.iter().enumerate() {
+        let present =
+            ent.kind == EntityKind::Concept || presence_rng.chance(spec.entity_keep);
+        if !present {
+            continue;
+        }
+        let name = entity_surface(world, wid, spec, &lex);
+        naming[wid] = Some(name);
+    }
+    // Register entities in world order. Name pools make IRI collisions
+    // possible (two "Juan_Garcia"s); disambiguate like DBpedia does.
+    let mut used: HashMap<String, usize> = HashMap::new();
+    for (wid, name) in naming.iter().enumerate() {
+        if let Some(name) = name {
+            let n = used.entry(name.clone()).or_insert(0);
+            *n += 1;
+            let unique = if *n == 1 { name.clone() } else { format!("{name}_({n})") };
+            let id = b.entity(&unique);
+            debug_assert_eq!(id.0 as usize, world_of.len(), "duplicate entity surface {unique}");
+            world_of.push(wid);
+            entity_of_world.insert(wid, id);
+        }
+    }
+
+    // --- long-tail marking (world order => deterministic) ---
+    let mut lt_rng = rng.split();
+    for wid in 0..world.len() {
+        if entity_of_world.contains_key(&wid)
+            && matches!(world.entities[wid].kind, EntityKind::Person | EntityKind::Work)
+            && lt_rng.chance(spec.long_tail_frac)
+        {
+            is_long_tail[wid] = true;
+            long_tail.push(wid);
+        }
+    }
+
+    // --- relational triples ---
+    let mut rel_rng = rng.split();
+    for (fi, &(s, r, o)) in world.facts.iter().enumerate() {
+        let (Some(&es), Some(&eo)) = (entity_of_world.get(&s), entity_of_world.get(&o)) else {
+            continue;
+        };
+        if let Some(p) = spec.rel_partition {
+            let h = fact_hash(fi);
+            let shared = ((h >> 32) as f64 / u32::MAX as f64) < p.shared;
+            let side = (h & 1) as u8;
+            if !shared && side != p.side {
+                continue;
+            }
+        }
+        if !rel_rng.chance(spec.rel_keep) {
+            continue;
+        }
+        // Long-tail entities keep their TypeOf link and rarely anything
+        // else, in either direction (the paper's F.W._Bruskewitz example:
+        // 3 triples, matching only on general concepts).
+        if (is_long_tail[s] || is_long_tail[o]) && r != WRel::TypeOf && !rel_rng.chance(0.2) {
+            continue;
+        }
+        let rel = b.relation(spec.dialect.rel_name(r));
+        b.rel_triple_ids(es, rel, eo);
+    }
+
+    // --- attributed triples ---
+    let mut attr_rng = rng.split();
+    for (&wid, &eid) in sorted_entries(&entity_of_world) {
+        let ent = &world.entities[wid];
+        let lt = is_long_tail[wid];
+        // name attribute
+        if !lt && !spec.qid_names && attr_rng.chance(spec.name_attr_prob) {
+            let attr = b.attribute(spec.dialect.attr_name(PropKind::Name));
+            let surface = readable_name(world, wid, spec.lang, &lex);
+            b.attr_triple_ids(eid, attr, surface);
+        }
+        // structured attributes
+        if !lt {
+            for &(prop, value) in &ent.props {
+                if !attr_rng.chance(spec.attr_keep) {
+                    continue;
+                }
+                let attr = b.attribute(spec.dialect.attr_name(prop));
+                let rendered = render_value(prop, value, spec, &mut attr_rng);
+                b.attr_triple_ids(eid, attr, rendered);
+            }
+        }
+        // comment
+        let wants_comment = if lt { true } else { attr_rng.chance(spec.comment_prob) };
+        if wants_comment && ent.kind != EntityKind::Concept {
+            let attr = b.attribute(spec.dialect.attr_name(PropKind::Comment));
+            let text = comment_text(world, wid, spec, &lex);
+            b.attr_triple_ids(eid, attr, text);
+        }
+    }
+
+    GeneratedKg { kg: b.build(), world_of, entity_of_world, long_tail }
+}
+
+/// Deterministically ordered view of the world->entity map.
+fn sorted_entries(map: &HashMap<usize, EntityId>) -> std::vec::IntoIter<(&usize, &EntityId)> {
+    let mut v: Vec<(&usize, &EntityId)> = map.iter().collect();
+    v.sort_by_key(|&(w, _)| *w);
+    v.into_iter()
+}
+
+fn fact_hash(fi: usize) -> u64 {
+    let mut z = (fi as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 27)
+}
+
+/// The unique IRI-like surface of an entity in a KG.
+fn entity_surface(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon) -> String {
+    let ent = &world.entities[wid];
+    if let Some(tw) = ent.concept {
+        return lex.tword(tw, spec.lang);
+    }
+    if spec.qid_names {
+        // Opaque id; keyed by side seed so the two sides never share ids.
+        return format!("Q{}", (wid as u64 * 2654435761 + spec.seed * 97) % 10_000_000);
+    }
+    let base = lex.bank().phrase(&ent.name, spec.lang);
+    // IRI convention: underscores.
+    base.replace(' ', "_")
+}
+
+/// Human-readable name (spaces) used for the name attribute.
+fn readable_name(world: &World, wid: usize, lang: Lang, lex: &Lexicon) -> String {
+    let ent = &world.entities[wid];
+    if let Some(tw) = ent.concept {
+        return lex.tword(tw, lang);
+    }
+    lex.bank().phrase(&ent.name, lang)
+}
+
+fn render_value(
+    prop: PropKind,
+    value: PropValue,
+    spec: &DerivationSpec,
+    rng: &mut Rng,
+) -> String {
+    match (prop, value) {
+        (PropKind::BirthDate, PropValue::Date { y, m, d }) => {
+            if rng.chance(spec.date_year_only) {
+                spec.format.year(y)
+            } else {
+                spec.format.date(y, m, d)
+            }
+        }
+        (PropKind::Height, PropValue::Float(cm)) => spec.format.height_cm(cm),
+        (PropKind::Population, PropValue::Int(p)) => spec.format.population(p),
+        (PropKind::Elevation, PropValue::Float(e)) => format!("{e:.0}"),
+        (PropKind::Area, PropValue::Float(a)) => spec.format.area(a),
+        (PropKind::Founded | PropKind::Established | PropKind::ReleaseYear, PropValue::Year(y)) => {
+            spec.format.year(y)
+        }
+        (p, v) => unreachable!("no renderer for {p:?} {v:?}"),
+    }
+}
+
+/// Long-text comment verbalizing the entity's world facts in the KG's
+/// language — carries the paper's direct & indirect associations.
+fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon) -> String {
+    let lang = spec.lang;
+    let ent = &world.entities[wid];
+    let name = readable_name(world, wid, lang, lex);
+    let t = |w: TWord| lex.tword(w, lang);
+    let nm = |other: usize| readable_name(world, other, lang, lex);
+    let mut sentences: Vec<String> = Vec::new();
+    match ent.kind {
+        EntityKind::Person => {
+            let mut born_place = None;
+            let mut nation = None;
+            let mut clubs = Vec::new();
+            let mut alma = None;
+            for &(_, r, o) in world.facts_of(wid) {
+                match r {
+                    WRel::BornIn => born_place = Some(o),
+                    WRel::Nationality => nation = Some(o),
+                    WRel::PlaysFor => clubs.push(o),
+                    WRel::AlmaMater => alma = Some(o),
+                    _ => {}
+                }
+            }
+            let mut first = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::PersonTw));
+            if let Some(bp) = born_place {
+                first.push_str(&format!(" {} {} {}", t(TWord::BornTw), t(TWord::In), nm(bp)));
+            }
+            if let Some(n) = nation {
+                first.push_str(&format!(" {} {}", t(TWord::FromTw), nm(n)));
+            }
+            sentences.push(first);
+            if !clubs.is_empty() {
+                let list = clubs.iter().map(|&c| nm(c)).collect::<Vec<_>>().join(&format!(" {} ", t(TWord::And)));
+                sentences.push(format!("{name} {} {list}", t(TWord::PlaysFor)));
+            }
+            if let Some(u) = alma {
+                sentences.push(format!("{name} {} {}", t(TWord::StudiedAt), nm(u)));
+            }
+            if let Some((PropKind::BirthDate, PropValue::Date { y, .. })) =
+                ent.props.iter().find(|(k, _)| *k == PropKind::BirthDate)
+            {
+                sentences.push(format!("{} {} {y}", t(TWord::BornTw), t(TWord::YearTw)));
+            }
+        }
+        EntityKind::Club => {
+            let place = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::LocatedIn).map(|&(_, _, o)| o);
+            let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::ClubTw));
+            if let Some(p) = place {
+                s.push_str(&format!(" {} {} {}", t(TWord::LocatedTw), t(TWord::In), nm(p)));
+            }
+            sentences.push(s);
+            if let Some((_, PropValue::Year(y))) =
+                ent.props.iter().find(|(k, _)| *k == PropKind::Founded)
+            {
+                sentences.push(format!("{} {} {y}", t(TWord::FoundedTw), t(TWord::YearTw)));
+            }
+        }
+        EntityKind::Settlement => {
+            let country = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CityIn).map(|&(_, _, o)| o);
+            let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::CityTw));
+            if let Some(c) = country {
+                s.push_str(&format!(" {} {}", t(TWord::In), nm(c)));
+            }
+            sentences.push(s);
+        }
+        EntityKind::Country => {
+            sentences.push(format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::CountryTw)));
+        }
+        EntityKind::University => {
+            let place = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::UnivIn).map(|&(_, _, o)| o);
+            let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::UniversityTw));
+            if let Some(p) = place {
+                s.push_str(&format!(" {} {}", t(TWord::In), nm(p)));
+            }
+            sentences.push(s);
+        }
+        EntityKind::Work => {
+            let creator = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CreatedBy).map(|&(_, _, o)| o);
+            let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::WorkTw));
+            if let Some(c) = creator {
+                s.push_str(&format!(" {} {}", t(TWord::CreatedBy), nm(c)));
+            }
+            sentences.push(s);
+            if let Some((_, PropValue::Year(y))) =
+                ent.props.iter().find(|(k, _)| *k == PropKind::ReleaseYear)
+            {
+                sentences.push(format!("{} {y}", t(TWord::YearTw)));
+            }
+        }
+        EntityKind::Concept => {}
+    }
+    sentences.join(" . ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig { n_core: 200, seed: 11 })
+    }
+
+    fn spec(seed: u64) -> DerivationSpec {
+        DerivationSpec { seed, ..Default::default() }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let w = world();
+        let a = derive_kg(&w, &spec(1));
+        let b = derive_kg(&w, &spec(1));
+        assert_eq!(a.kg.rel_triples(), b.kg.rel_triples());
+        assert_eq!(a.kg.attr_triples(), b.kg.attr_triples());
+    }
+
+    #[test]
+    fn full_keep_includes_all_alignable() {
+        let w = world();
+        let g = derive_kg(&w, &spec(2));
+        assert_eq!(g.kg.num_entities(), w.len());
+    }
+
+    #[test]
+    fn entity_keep_drops_entities() {
+        let w = world();
+        let g = derive_kg(&w, &DerivationSpec { entity_keep: 0.5, ..spec(3) });
+        let alignable = w.alignable().len();
+        let kept = g.world_of.iter().filter(|&&wid| w.entities[wid].kind != EntityKind::Concept).count();
+        assert!(kept < alignable, "should drop some");
+        assert!(kept > alignable / 3, "should keep roughly half");
+    }
+
+    #[test]
+    fn rel_keep_sparsifies() {
+        let w = world();
+        let dense = derive_kg(&w, &spec(4));
+        let sparse = derive_kg(&w, &DerivationSpec { rel_keep: 0.3, ..spec(4) });
+        assert!(sparse.kg.rel_triples().len() < dense.kg.rel_triples().len() / 2);
+    }
+
+    #[test]
+    fn partition_reduces_fact_overlap() {
+        let w = world();
+        let mk = |side: u8, seed: u64| {
+            derive_kg(
+                &w,
+                &DerivationSpec {
+                    rel_partition: Some(PartitionSpec { side, shared: 0.02 }),
+                    ..spec(seed)
+                },
+            )
+        };
+        let a = mk(0, 5);
+        let b = mk(1, 6);
+        // Count world-level fact pairs present in both.
+        let to_world = |g: &GeneratedKg| -> std::collections::HashSet<(usize, String, usize)> {
+            g.kg
+                .rel_triples()
+                .iter()
+                .map(|t| {
+                    (
+                        g.world_of[t.head.0 as usize],
+                        g.kg.relation_name(t.rel).to_string(),
+                        g.world_of[t.tail.0 as usize],
+                    )
+                })
+                .collect()
+        };
+        let sa = to_world(&a);
+        let sb = to_world(&b);
+        let inter = sa.intersection(&sb).count();
+        assert!(
+            (inter as f64) < 0.15 * sa.len().min(sb.len()) as f64,
+            "partition should leave little overlap: {inter} of {}",
+            sa.len().min(sb.len())
+        );
+    }
+
+    #[test]
+    fn long_tail_entities_keep_only_comment() {
+        let w = world();
+        let g = derive_kg(&w, &DerivationSpec { long_tail_frac: 0.5, ..spec(7) });
+        assert!(!g.long_tail.is_empty());
+        for &wid in &g.long_tail {
+            let eid = g.entity_of_world[&wid];
+            let attrs: Vec<&str> = g
+                .kg
+                .attr_triples_of(eid)
+                .map(|t| g.kg.attribute_name(t.attr))
+                .collect();
+            assert_eq!(attrs, vec!["comment"], "long-tail {wid} attrs: {attrs:?}");
+        }
+        // Relations heavily reduced on average (a few incoming edges can
+        // survive the 20% keep, but the population must be sparse).
+        let mean_deg: f64 = g
+            .long_tail
+            .iter()
+            .map(|wid| g.kg.degree(g.entity_of_world[wid]) as f64)
+            .sum::<f64>()
+            / g.long_tail.len() as f64;
+        assert!(mean_deg <= 3.0, "mean long-tail degree {mean_deg}");
+        {
+        }
+    }
+
+    #[test]
+    fn qid_names_are_opaque_and_unique() {
+        let w = world();
+        let g = derive_kg(&w, &DerivationSpec { qid_names: true, ..spec(8) });
+        let mut seen = std::collections::HashSet::new();
+        for e in g.kg.entities() {
+            let n = g.kg.entity_name(e);
+            let wid = g.world_of[e.0 as usize];
+            if w.entities[wid].kind != EntityKind::Concept {
+                assert!(n.starts_with('Q'), "{n}");
+                assert!(seen.insert(n.to_string()), "duplicate qid {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn comments_mention_neighbor_names() {
+        let w = world();
+        let g = derive_kg(&w, &DerivationSpec { comment_prob: 1.0, ..spec(9) });
+        // find a person with a birth place and check its comment mentions it
+        let mut checked = 0;
+        for (wid, ent) in w.entities.iter().enumerate() {
+            if ent.kind != EntityKind::Person {
+                continue;
+            }
+            let Some(&eid) = g.entity_of_world.get(&wid) else { continue };
+            let born = w.facts_of(wid).find(|&&(_, r, _)| r == WRel::BornIn).map(|&(_, _, o)| o);
+            let Some(bp) = born else { continue };
+            let lex = Lexicon::new();
+            let place_name = readable_name(&w, bp, Lang::En, &lex);
+            let comment = g
+                .kg
+                .attr_triples_of(eid)
+                .find(|t| g.kg.attribute_name(t.attr) == "comment")
+                .map(|t| t.value.clone());
+            if let Some(c) = comment {
+                assert!(c.contains(&place_name), "comment {c:?} missing {place_name}");
+                checked += 1;
+            }
+            if checked > 10 {
+                break;
+            }
+        }
+        assert!(checked > 0, "no persons with comments found");
+    }
+
+    #[test]
+    fn different_languages_share_digit_anchors_not_names() {
+        let w = world();
+        let en = derive_kg(&w, &spec(10));
+        let zh = derive_kg(&w, &DerivationSpec { lang: Lang::Zh, ..spec(20) });
+        // pick an aligned person and compare name attr + birthDate.
+        let mut compared = false;
+        for (wid, ent) in w.entities.iter().enumerate() {
+            if ent.kind != EntityKind::Person {
+                continue;
+            }
+            let (Some(&e1), Some(&e2)) =
+                (en.entity_of_world.get(&wid), zh.entity_of_world.get(&wid))
+            else {
+                continue;
+            };
+            let name1 = en.kg.attr_triples_of(e1).find(|t| en.kg.attribute_name(t.attr) == "name");
+            let name2 = zh.kg.attr_triples_of(e2).find(|t| zh.kg.attribute_name(t.attr) == "name");
+            let bd1 = en.kg.attr_triples_of(e1).find(|t| en.kg.attribute_name(t.attr) == "birthDate");
+            let bd2 = zh.kg.attr_triples_of(e2).find(|t| zh.kg.attribute_name(t.attr) == "birthDate");
+            if let (Some(n1), Some(n2), Some(b1), Some(b2)) = (name1, name2, bd1, bd2) {
+                assert_ne!(n1.value, n2.value, "cipher names must differ");
+                assert_eq!(b1.value, b2.value, "same format spec => same date");
+                compared = true;
+                break;
+            }
+        }
+        assert!(compared);
+    }
+}

@@ -1,0 +1,318 @@
+//! Rendering languages, template lexicons and value formats.
+
+use crate::names::{WordBank, WordId};
+
+/// The language/identifier scheme a KG side renders its literals in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Lang {
+    /// English-like base forms.
+    En,
+    /// Near-literal mutation of English (high string overlap).
+    Fr,
+    /// Near-literal mutation of English (high string overlap).
+    De,
+    /// Keyed cipher (no string overlap with English).
+    Zh,
+    /// Keyed cipher (no string overlap with English), different key than Zh.
+    Ja,
+    /// Wikidata mode: entity names are opaque `Q…` ids; other literals
+    /// render as English.
+    WdId,
+}
+
+impl Lang {
+    /// Whether entity names in this language share string material with
+    /// English (drives which baselines can exploit names).
+    pub fn literal_alignable(self) -> bool {
+        matches!(self, Lang::En | Lang::Fr | Lang::De)
+    }
+}
+
+/// Fixed template vocabulary. These render through the same word machinery
+/// so cipher languages get ciphered function words too.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TWord {
+    Is,
+    A,
+    The,
+    BornTw,
+    In,
+    PlaysFor,
+    ClubTw,
+    CityTw,
+    CountryTw,
+    FoundedTw,
+    LocatedTw,
+    StudiedAt,
+    CreatedBy,
+    PersonTw,
+    FromTw,
+    And,
+    UniversityTw,
+    WorkTw,
+    YearTw,
+}
+
+/// Template words occupy a reserved id range far above name words.
+const TWORD_BASE: u32 = 1_000_000;
+
+impl TWord {
+    fn index(self) -> u32 {
+        self as u32
+    }
+
+    /// English surface of the template word.
+    fn en(self) -> &'static str {
+        match self {
+            TWord::Is => "is",
+            TWord::A => "a",
+            TWord::The => "the",
+            TWord::BornTw => "born",
+            TWord::In => "in",
+            TWord::PlaysFor => "plays for",
+            TWord::ClubTw => "club",
+            TWord::CityTw => "city",
+            TWord::CountryTw => "country",
+            TWord::FoundedTw => "founded",
+            TWord::LocatedTw => "located",
+            TWord::StudiedAt => "studied at",
+            TWord::CreatedBy => "created by",
+            TWord::PersonTw => "person",
+            TWord::FromTw => "from",
+            TWord::And => "and",
+            TWord::UniversityTw => "university",
+            TWord::WorkTw => "work",
+            TWord::YearTw => "year",
+        }
+    }
+}
+
+/// Renders template words and values in a language.
+#[derive(Clone, Debug, Default)]
+pub struct Lexicon {
+    bank: WordBank,
+}
+
+impl Lexicon {
+    /// A lexicon over the shared word bank.
+    pub fn new() -> Self {
+        Lexicon { bank: WordBank::new() }
+    }
+
+    /// The underlying word bank.
+    pub fn bank(&self) -> &WordBank {
+        &self.bank
+    }
+
+    /// Surface of a template word. English-family languages keep the real
+    /// English function words (FR/DE KGs in the benchmarks contain mostly
+    /// cognate-free function words too, but their *names* are what matters);
+    /// cipher languages get ciphered forms.
+    pub fn tword(&self, w: TWord, lang: Lang) -> String {
+        match lang {
+            Lang::En | Lang::WdId => w.en().to_string(),
+            Lang::Fr | Lang::De | Lang::Zh | Lang::Ja => {
+                // Multi-word English templates cipher word-by-word.
+                w.en()
+                    .split(' ')
+                    .enumerate()
+                    .map(|(i, _)| {
+                        self.bank
+                            .surface(WordId(TWORD_BASE + w.index() * 4 + i as u32), lang)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        }
+    }
+}
+
+/// How a KG side formats structured values — one axis of schema
+/// heterogeneity. Dates and numbers share digit tokens across formats
+/// (anchors a language model can exploit) but are not string-identical.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ValueFormat {
+    /// `1985-02-05`, heights in centimetres, exact populations.
+    IsoCm,
+    /// `05.02.1985`, heights in metres, populations rounded to 1000.
+    DottedMetric,
+}
+
+impl ValueFormat {
+    /// Renders a date.
+    pub fn date(&self, y: i32, m: u32, d: u32) -> String {
+        match self {
+            ValueFormat::IsoCm => format!("{y:04}-{m:02}-{d:02}"),
+            ValueFormat::DottedMetric => format!("{d:02}.{m:02}.{y:04}"),
+        }
+    }
+
+    /// Renders a height given centimetres.
+    pub fn height_cm(&self, cm: f64) -> String {
+        match self {
+            ValueFormat::IsoCm => format!("{}", cm.round() as i64),
+            ValueFormat::DottedMetric => format!("{:.2}", cm / 100.0),
+        }
+    }
+
+    /// Renders a population count.
+    pub fn population(&self, p: i64) -> String {
+        match self {
+            ValueFormat::IsoCm => p.to_string(),
+            ValueFormat::DottedMetric => ((p + 500) / 1000 * 1000).to_string(),
+        }
+    }
+
+    /// Renders a plain year.
+    pub fn year(&self, y: i32) -> String {
+        y.to_string()
+    }
+
+    /// Renders an area in km².
+    pub fn area(&self, a: f64) -> String {
+        match self {
+            ValueFormat::IsoCm => format!("{a:.1}"),
+            ValueFormat::DottedMetric => format!("{}", a.round() as i64),
+        }
+    }
+}
+
+/// Attribute-name dialects — the second axis of schema heterogeneity.
+/// The two sides of every generated dataset use different dialects, so no
+/// attribute name ever matches across KGs (the paper: "more often than not,
+/// the to-be-aligned entity pairs do not have matching attributes").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchemaDialect {
+    /// DBpedia-flavoured names.
+    Dbp,
+    /// Wikidata/YAGO-flavoured names.
+    Alt,
+}
+
+impl SchemaDialect {
+    /// The attribute name for a property in this dialect.
+    pub fn attr_name(&self, prop: crate::world::PropKind) -> &'static str {
+        use crate::world::PropKind::*;
+        match (self, prop) {
+            (SchemaDialect::Dbp, Name) => "name",
+            (SchemaDialect::Alt, Name) => "label",
+            (SchemaDialect::Dbp, BirthDate) => "birthDate",
+            (SchemaDialect::Alt, BirthDate) => "dateOfBirth",
+            (SchemaDialect::Dbp, Height) => "height",
+            (SchemaDialect::Alt, Height) => "heightValue",
+            (SchemaDialect::Dbp, Founded) => "founded",
+            (SchemaDialect::Alt, Founded) => "foundingYear",
+            (SchemaDialect::Dbp, Population) => "population",
+            (SchemaDialect::Alt, Population) => "populationTotal",
+            (SchemaDialect::Dbp, Elevation) => "elevation",
+            (SchemaDialect::Alt, Elevation) => "altitude",
+            (SchemaDialect::Dbp, Area) => "areaKm2",
+            (SchemaDialect::Alt, Area) => "areaTotal",
+            (SchemaDialect::Dbp, Established) => "established",
+            (SchemaDialect::Alt, Established) => "yearEstablished",
+            (SchemaDialect::Dbp, ReleaseYear) => "releaseYear",
+            (SchemaDialect::Alt, ReleaseYear) => "published",
+            (SchemaDialect::Dbp, Comment) => "comment",
+            (SchemaDialect::Alt, Comment) => "abstract",
+        }
+    }
+
+    /// The relation name for a world relation in this dialect.
+    pub fn rel_name(&self, rel: crate::world::WRel) -> &'static str {
+        use crate::world::WRel::*;
+        match (self, rel) {
+            (SchemaDialect::Dbp, BornIn) => "birthPlace",
+            (SchemaDialect::Alt, BornIn) => "placeOfBirth",
+            (SchemaDialect::Dbp, Nationality) => "nationality",
+            (SchemaDialect::Alt, Nationality) => "countryOfCitizenship",
+            (SchemaDialect::Dbp, PlaysFor) => "team",
+            (SchemaDialect::Alt, PlaysFor) => "memberOfSportsTeam",
+            (SchemaDialect::Dbp, LocatedIn) => "ground",
+            (SchemaDialect::Alt, LocatedIn) => "headquartersLocation",
+            (SchemaDialect::Dbp, CityIn) => "country",
+            (SchemaDialect::Alt, CityIn) => "locatedInCountry",
+            (SchemaDialect::Dbp, AlmaMater) => "almaMater",
+            (SchemaDialect::Alt, AlmaMater) => "educatedAt",
+            (SchemaDialect::Dbp, UnivIn) => "campus",
+            (SchemaDialect::Alt, UnivIn) => "campusLocation",
+            (SchemaDialect::Dbp, CreatedBy) => "author",
+            (SchemaDialect::Alt, CreatedBy) => "creator",
+            (SchemaDialect::Dbp, TypeOf) => "type",
+            (SchemaDialect::Alt, TypeOf) => "instanceOf",
+            (SchemaDialect::Dbp, Spouse) => "spouse",
+            (SchemaDialect::Alt, Spouse) => "marriedTo",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{PropKind, WRel};
+
+    #[test]
+    fn value_formats_share_digit_anchors() {
+        let a = ValueFormat::IsoCm.date(1985, 2, 5);
+        let b = ValueFormat::DottedMetric.date(1985, 2, 5);
+        assert_ne!(a, b);
+        assert!(a.contains("1985") && b.contains("1985"), "year anchor shared");
+    }
+
+    #[test]
+    fn heights_differ_by_unit() {
+        assert_eq!(ValueFormat::IsoCm.height_cm(185.0), "185");
+        assert_eq!(ValueFormat::DottedMetric.height_cm(185.0), "1.85");
+    }
+
+    #[test]
+    fn population_rounding() {
+        assert_eq!(ValueFormat::IsoCm.population(123_456), "123456");
+        assert_eq!(ValueFormat::DottedMetric.population(123_456), "123000");
+    }
+
+    #[test]
+    fn dialects_never_share_attr_names() {
+        use PropKind::*;
+        for p in [Name, BirthDate, Height, Founded, Population, Elevation, Area, Established, ReleaseYear, Comment] {
+            assert_ne!(
+                SchemaDialect::Dbp.attr_name(p),
+                SchemaDialect::Alt.attr_name(p),
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dialects_never_share_rel_names() {
+        use WRel::*;
+        for r in [BornIn, Nationality, PlaysFor, LocatedIn, CityIn, AlmaMater, UnivIn, CreatedBy, TypeOf, Spouse] {
+            assert_ne!(SchemaDialect::Dbp.rel_name(r), SchemaDialect::Alt.rel_name(r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn template_words_cipher_per_language() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.tword(TWord::BornTw, Lang::En), "born");
+        let zh = lex.tword(TWord::BornTw, Lang::Zh);
+        assert_ne!(zh, "born");
+        assert_eq!(lex.tword(TWord::BornTw, Lang::Zh), zh, "deterministic");
+        assert_ne!(lex.tword(TWord::BornTw, Lang::Ja), zh, "keys differ");
+    }
+
+    #[test]
+    fn multiword_templates_have_same_arity() {
+        let lex = Lexicon::new();
+        let en = lex.tword(TWord::PlaysFor, Lang::En);
+        let zh = lex.tword(TWord::PlaysFor, Lang::Zh);
+        assert_eq!(en.split(' ').count(), zh.split(' ').count());
+    }
+
+    #[test]
+    fn literal_alignability_flags() {
+        assert!(Lang::En.literal_alignable());
+        assert!(Lang::Fr.literal_alignable());
+        assert!(!Lang::Zh.literal_alignable());
+        assert!(!Lang::WdId.literal_alignable());
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic pseudo-word generation and per-language surface forms.
+//!
+//! Every nameable thing in the world is a sequence of [`WordId`]s. A word's
+//! surface string depends on the rendering [`Lang`]:
+//!
+//! * `En` — a pronounceable pseudo-word derived from the word id;
+//! * `Fr`/`De` — the English form with small deterministic mutations
+//!   (accents, letter doubling), so string similarity is high (these are the
+//!   "well-aligned entity names" datasets of the paper);
+//! * `Zh`/`Ja` — an unrelated pseudo-word from a keyed cipher, so the two
+//!   sides share no name tokens (the paper's translated datasets);
+//!
+//! All derivations are pure functions of `(word id, language)` — no global
+//! state, fully reproducible.
+
+use crate::language::Lang;
+
+/// Index of a word in the global word space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordId(pub u32);
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "r", "s", "st", "t", "tr", "v", "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ei", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "l", "s", "m", "t", ""];
+
+const CIPHER_ONSETS: &[&str] = &[
+    "zh", "x", "q", "sh", "ts", "ry", "ky", "gy", "hy", "my", "ny", "w", "y", "j", "sz", "dz",
+];
+const CIPHER_VOWELS: &[&str] = &["ao", "uo", "ie", "ue", "ai", "o", "u", "i"];
+
+#[inline]
+fn mix(seed: u64) -> u64 {
+    // splitmix64 finalizer
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates per-language surfaces for word ids.
+#[derive(Clone, Debug, Default)]
+pub struct WordBank;
+
+impl WordBank {
+    /// A word bank (stateless; exists for API symmetry and future caching).
+    pub fn new() -> Self {
+        WordBank
+    }
+
+    /// The surface string of `word` in `lang`.
+    pub fn surface(&self, word: WordId, lang: Lang) -> String {
+        match lang {
+            Lang::En => base_word(word.0 as u64, 2 + (mix(word.0 as u64) % 2) as usize),
+            Lang::Fr => mutate_literal(&self.surface(word, Lang::En), word.0 as u64, 0xF1),
+            Lang::De => mutate_literal(&self.surface(word, Lang::En), word.0 as u64, 0xDE),
+            Lang::Zh => cipher_word(word.0 as u64, 0x5A11),
+            Lang::Ja => cipher_word(word.0 as u64, 0x3A77),
+            Lang::WdId => {
+                // Words never render in WdId mode (entity names become Q-ids
+                // upstream); fall back to English for values.
+                self.surface(word, Lang::En)
+            }
+        }
+    }
+
+    /// Renders a multi-word phrase.
+    pub fn phrase(&self, words: &[WordId], lang: Lang) -> String {
+        let parts: Vec<String> = words.iter().map(|&w| self.surface(w, lang)).collect();
+        parts.join(" ")
+    }
+}
+
+/// Pronounceable pseudo-word with `syllables` syllables, seeded by `seed`.
+fn base_word(seed: u64, syllables: usize) -> String {
+    let mut s = String::new();
+    let mut state = mix(seed ^ 0xABCD_EF01);
+    for _ in 0..syllables {
+        state = mix(state);
+        s.push_str(ONSETS[(state % ONSETS.len() as u64) as usize]);
+        state = mix(state);
+        s.push_str(VOWELS[(state % VOWELS.len() as u64) as usize]);
+        state = mix(state);
+        s.push_str(CODAS[(state % CODAS.len() as u64) as usize]);
+    }
+    s
+}
+
+/// Transliteration-style cipher: a keyed per-syllable rewrite of the
+/// English form that keeps each syllable's onset consonant but replaces
+/// vowels and codas. The result is what name translation/transliteration
+/// gives the real benchmarks' literal channels: partial, noisy string
+/// overlap (e.g. *Ronaldo* ↔ *罗纳尔多* transliterates back as *Luonaerduo*)
+/// — enough for name-based methods to be mediocre, far from exact.
+fn cipher_word(seed: u64, key: u64) -> String {
+    // Regenerate the English form from the same seed path as
+    // `WordBank::surface(_, Lang::En)`.
+    let base = {
+        let mut s = String::new();
+        let mut state = mix(seed ^ 0xABCD_EF01);
+        let syllables = 2 + (mix(seed) % 2) as usize;
+        for _ in 0..syllables {
+            state = mix(state);
+            s.push_str(ONSETS[(state % ONSETS.len() as u64) as usize]);
+            state = mix(state);
+            s.push_str(VOWELS[(state % VOWELS.len() as u64) as usize]);
+            state = mix(state);
+            s.push_str(CODAS[(state % CODAS.len() as u64) as usize]);
+        }
+        s
+    };
+    // Rewrite: keep consonants, remap vowels through the key; occasionally
+    // inject a foreign syllable.
+    let mut out = String::with_capacity(base.len() + 4);
+    let mut state = mix(seed.wrapping_mul(0x9E37_79B9).wrapping_add(key));
+    for c in base.chars() {
+        if "aeiou".contains(c) {
+            state = mix(state);
+            out.push_str(CIPHER_VOWELS[(state % CIPHER_VOWELS.len() as u64) as usize]);
+        } else {
+            out.push(c);
+        }
+    }
+    state = mix(state);
+    if state % 3 == 0 {
+        out.push_str(CIPHER_ONSETS[(state / 3 % CIPHER_ONSETS.len() as u64) as usize]);
+        out.push('u');
+    }
+    out
+}
+
+/// Small deterministic mutation preserving most characters (literal langs).
+fn mutate_literal(en: &str, seed: u64, key: u64) -> String {
+    let chars: Vec<char> = en.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let state = mix(seed ^ (key << 32));
+    let mut out: Vec<char> = chars.clone();
+    match state % 4 {
+        0 => {
+            // accent one vowel
+            let pos = (mix(state) % out.len() as u64) as usize;
+            for (i, c) in out.iter_mut().enumerate().skip(pos) {
+                let repl = match *c {
+                    'a' => Some('à'),
+                    'e' => Some('é'),
+                    'i' => Some('ï'),
+                    'o' => Some('ö'),
+                    'u' => Some('ü'),
+                    _ => None,
+                };
+                if let Some(r) = repl {
+                    *c = r;
+                    let _ = i;
+                    break;
+                }
+            }
+        }
+        1 => {
+            // double a consonant
+            let pos = (mix(state) % out.len() as u64) as usize;
+            let c = out[pos];
+            if c.is_ascii_alphabetic() && !"aeiou".contains(c) {
+                out.insert(pos, c);
+            }
+        }
+        2 => {
+            // append a silent suffix letter
+            out.push(if key == 0xF1 { 'e' } else { 'z' });
+        }
+        _ => { /* identical */ }
+    }
+    out.into_iter().collect()
+}
+
+/// Character-level edit similarity in `[0,1]` (1 = identical); used by the
+/// generator's own tests and by the CEA baseline.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let dist = levenshtein(a, b) as f64;
+    let max_len = a.chars().count().max(b.chars().count()).max(1) as f64;
+    1.0 - dist / max_len
+}
+
+/// Plain Levenshtein distance (two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfaces_are_deterministic() {
+        let bank = WordBank::new();
+        for lang in [Lang::En, Lang::Fr, Lang::De, Lang::Zh, Lang::Ja] {
+            assert_eq!(bank.surface(WordId(7), lang), bank.surface(WordId(7), lang));
+        }
+    }
+
+    #[test]
+    fn different_words_differ() {
+        let bank = WordBank::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for i in 0..500 {
+            if !seen.insert(bank.surface(WordId(i), Lang::En)) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions < 10, "{collisions} collisions in 500 words");
+    }
+
+    #[test]
+    fn literal_langs_are_string_similar() {
+        let bank = WordBank::new();
+        let mut total = 0.0;
+        for i in 0..200 {
+            let en = bank.surface(WordId(i), Lang::En);
+            let fr = bank.surface(WordId(i), Lang::Fr);
+            total += edit_similarity(&en, &fr);
+        }
+        let avg = total / 200.0;
+        assert!(avg > 0.75, "FR should be literally close to EN, avg sim {avg}");
+    }
+
+    #[test]
+    fn cipher_langs_are_transliteration_distance() {
+        // The cipher models transliterated names: partial overlap, clearly
+        // below the literal languages but above unrelated words.
+        let bank = WordBank::new();
+        let mut cipher_total = 0.0;
+        let mut literal_total = 0.0;
+        let mut unrelated_total = 0.0;
+        for i in 0..200 {
+            let en = bank.surface(WordId(i), Lang::En);
+            cipher_total += edit_similarity(&en, &bank.surface(WordId(i), Lang::Zh));
+            literal_total += edit_similarity(&en, &bank.surface(WordId(i), Lang::Fr));
+            unrelated_total += edit_similarity(&en, &bank.surface(WordId(i + 1000), Lang::En));
+        }
+        let cipher = cipher_total / 200.0;
+        let literal = literal_total / 200.0;
+        let unrelated = unrelated_total / 200.0;
+        assert!(
+            cipher < literal - 0.1,
+            "cipher sim {cipher} should be well below literal {literal}"
+        );
+        assert!(
+            cipher > unrelated + 0.1,
+            "cipher sim {cipher} should exceed unrelated-word sim {unrelated}"
+        );
+    }
+
+    #[test]
+    fn zh_and_ja_ciphers_differ() {
+        let bank = WordBank::new();
+        let same = (0..100)
+            .filter(|&i| bank.surface(WordId(i), Lang::Zh) == bank.surface(WordId(i), Lang::Ja))
+            .count();
+        assert!(same < 5, "{same} identical across cipher keys");
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("x", "x"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("kitten", "sitting");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn phrases_join_words() {
+        let bank = WordBank::new();
+        let p = bank.phrase(&[WordId(1), WordId(2)], Lang::En);
+        assert_eq!(p.split(' ').count(), 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! The ground-truth universe both KGs of a dataset are derived from.
+//!
+//! A [`World`] is a typed mini-DBpedia: people born in settlements, playing
+//! for clubs, studying at universities; settlements in countries; works
+//! created by people; everything typed against a handful of
+//! general-concept entities (`person`, `club`, …) which therefore become
+//! exactly the high-degree noisy neighbours the paper's attention mechanism
+//! is designed to discount.
+
+use crate::language::TWord;
+use crate::names::WordId;
+use sdea_tensor::Rng;
+
+/// Kind of a world entity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person (majority of alignable entities).
+    Person,
+    /// A sports club / organization.
+    Club,
+    /// A city/town.
+    Settlement,
+    /// A country.
+    Country,
+    /// A university.
+    University,
+    /// A creative work.
+    Work,
+    /// A general concept (`person`, `club`, …) — hub entities.
+    Concept,
+}
+
+/// World-level relations (rendered to per-dialect relation names later).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WRel {
+    /// Person -> Settlement.
+    BornIn,
+    /// Person -> Country.
+    Nationality,
+    /// Person -> Club.
+    PlaysFor,
+    /// Club -> Settlement.
+    LocatedIn,
+    /// Settlement -> Country.
+    CityIn,
+    /// Person -> University.
+    AlmaMater,
+    /// University -> Settlement.
+    UnivIn,
+    /// Work -> Person.
+    CreatedBy,
+    /// Any -> Concept.
+    TypeOf,
+    /// Person -> Person.
+    Spouse,
+}
+
+/// Typed properties (rendered to per-dialect attribute names later).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PropKind {
+    /// Entity name/label.
+    Name,
+    /// Person birth date.
+    BirthDate,
+    /// Person height (cm).
+    Height,
+    /// Club founding year.
+    Founded,
+    /// Settlement/country population.
+    Population,
+    /// Settlement elevation (m).
+    Elevation,
+    /// Country area (km²).
+    Area,
+    /// University establishment year.
+    Established,
+    /// Work release year.
+    ReleaseYear,
+    /// Long-text description (rendered at derivation time).
+    Comment,
+}
+
+/// A typed property value.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PropValue {
+    /// A calendar date.
+    Date {
+        /// Year.
+        y: i32,
+        /// Month (1-12).
+        m: u32,
+        /// Day (1-28).
+        d: u32,
+    },
+    /// An integer quantity.
+    Int(i64),
+    /// A real quantity.
+    Float(f64),
+    /// A year.
+    Year(i32),
+}
+
+/// A world entity.
+#[derive(Clone, Debug)]
+pub struct WEntity {
+    /// What kind of thing it is.
+    pub kind: EntityKind,
+    /// Name as a word sequence (empty for concepts).
+    pub name: Vec<WordId>,
+    /// Concept entities render their name from a template word instead.
+    pub concept: Option<TWord>,
+    /// Structured properties (excluding Name and Comment).
+    pub props: Vec<(PropKind, PropValue)>,
+}
+
+/// Configuration of world generation.
+#[derive(Copy, Clone, Debug)]
+pub struct WorldConfig {
+    /// Target number of alignable (non-concept) entities.
+    pub n_core: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The ground-truth universe.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Entities; index = world entity id.
+    pub entities: Vec<WEntity>,
+    /// Relational facts `(subject, relation, object)`.
+    pub facts: Vec<(usize, WRel, usize)>,
+    fact_index: Vec<Vec<usize>>, // facts touching each entity (as subject)
+}
+
+impl World {
+    /// Samples a world.
+    pub fn generate(cfg: WorldConfig) -> Self {
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut entities: Vec<WEntity> = Vec::new();
+        let mut facts: Vec<(usize, WRel, usize)> = Vec::new();
+        let mut next_word: u32 = 0;
+        let fresh_words = |n: usize, next_word: &mut u32| -> Vec<WordId> {
+            let ws = (0..n).map(|i| WordId(*next_word + i as u32)).collect();
+            *next_word += n as u32;
+            ws
+        };
+
+        // --- concepts (hubs) ---
+        let concept_words = [
+            (EntityKind::Person, TWord::PersonTw),
+            (EntityKind::Club, TWord::ClubTw),
+            (EntityKind::Settlement, TWord::CityTw),
+            (EntityKind::Country, TWord::CountryTw),
+            (EntityKind::University, TWord::UniversityTw),
+            (EntityKind::Work, TWord::WorkTw),
+        ];
+        let mut concept_of = std::collections::HashMap::new();
+        for &(kind, tw) in &concept_words {
+            let id = entities.len();
+            entities.push(WEntity { kind: EntityKind::Concept, name: Vec::new(), concept: Some(tw), props: Vec::new() });
+            concept_of.insert(kind, id);
+        }
+
+        // --- shared name-word pools ---
+        // Person and work names draw from pools (like real given/family
+        // names), so the same word recurs across entities. This is what
+        // makes cross-lingual word correspondences *learnable* from seed
+        // alignments: a cipher word seen in training pairs reappears in
+        // test entities, mirroring how multilingual BERT transfers.
+        let n_for_pools = cfg.n_core.max(20);
+        let given_pool = fresh_words(40, &mut next_word);
+        let family_pool = fresh_words((n_for_pools / 3).max(60), &mut next_word);
+        let noun_pool = fresh_words(80, &mut next_word);
+        let club_prefix_pool = fresh_words(25, &mut next_word);
+
+        // --- counts ---
+        let n = cfg.n_core.max(20);
+        let n_countries = (n / 60).clamp(6, 40);
+        let n_settlements = (n * 12 / 100).max(8);
+        let n_clubs = (n * 12 / 100).max(6);
+        let n_universities = (n * 5 / 100).max(3);
+        let n_works = (n * 12 / 100).max(4);
+        let n_persons = n
+            .saturating_sub(n_countries + n_settlements + n_clubs + n_universities + n_works)
+            .max(10);
+
+        // --- countries ---
+        let countries: Vec<usize> = (0..n_countries)
+            .map(|_| {
+                let id = entities.len();
+                let name = fresh_words(1, &mut next_word);
+                let props = vec![
+                    (PropKind::Area, PropValue::Float(rng.uniform(5_000.0, 2_000_000.0) as f64)),
+                    (PropKind::Population, PropValue::Int(rng.range(500_000, 200_000_000) as i64)),
+                ];
+                entities.push(WEntity { kind: EntityKind::Country, name, concept: None, props });
+                facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Country]));
+                id
+            })
+            .collect();
+
+        // --- settlements (Zipf over countries so some countries are hubs) ---
+        let settlements: Vec<usize> = (0..n_settlements)
+            .map(|_| {
+                let id = entities.len();
+                let name = fresh_words(1 + rng.below(2), &mut next_word);
+                let props = vec![
+                    (
+                        PropKind::Population,
+                        PropValue::Int((10f64.powf(rng.uniform(3.0, 7.0) as f64)) as i64),
+                    ),
+                    (PropKind::Elevation, PropValue::Float(rng.uniform(0.0, 2500.0) as f64)),
+                ];
+                entities.push(WEntity { kind: EntityKind::Settlement, name, concept: None, props });
+                let country = countries[rng.zipf(countries.len(), 1.1)];
+                facts.push((id, WRel::CityIn, country));
+                facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Settlement]));
+                id
+            })
+            .collect();
+
+        // country of a settlement (for consistent nationality)
+        let country_of_settlement: std::collections::HashMap<usize, usize> = facts
+            .iter()
+            .filter(|&&(_, r, _)| r == WRel::CityIn)
+            .map(|&(s, _, c)| (s, c))
+            .collect();
+
+        // --- clubs ---
+        let clubs: Vec<usize> = (0..n_clubs)
+            .map(|_| {
+                let id = entities.len();
+                let mut name = vec![*rng.choose(&club_prefix_pool)];
+                name.extend(fresh_words(1, &mut next_word));
+                let props = vec![(PropKind::Founded, PropValue::Year(rng.range(1850, 2000) as i32))];
+                entities.push(WEntity { kind: EntityKind::Club, name, concept: None, props });
+                let s = settlements[rng.zipf(settlements.len(), 1.05)];
+                facts.push((id, WRel::LocatedIn, s));
+                facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Club]));
+                id
+            })
+            .collect();
+
+        // --- universities ---
+        let universities: Vec<usize> = (0..n_universities)
+            .map(|_| {
+                let id = entities.len();
+                let name = fresh_words(2, &mut next_word);
+                let props =
+                    vec![(PropKind::Established, PropValue::Year(rng.range(1200, 1990) as i32))];
+                entities.push(WEntity { kind: EntityKind::University, name, concept: None, props });
+                let s = settlements[rng.below(settlements.len())];
+                facts.push((id, WRel::UnivIn, s));
+                facts.push((id, WRel::TypeOf, concept_of[&EntityKind::University]));
+                id
+            })
+            .collect();
+
+        // --- persons ---
+        let persons: Vec<usize> = (0..n_persons)
+            .map(|_| {
+                let id = entities.len();
+                let name = vec![*rng.choose(&given_pool), *rng.choose(&family_pool)];
+                let props = vec![
+                    (
+                        PropKind::BirthDate,
+                        PropValue::Date {
+                            y: rng.range(1850, 2005) as i32,
+                            m: rng.range(1, 13) as u32,
+                            d: rng.range(1, 29) as u32,
+                        },
+                    ),
+                    (PropKind::Height, PropValue::Float(rng.uniform(150.0, 210.0) as f64)),
+                ];
+                entities.push(WEntity { kind: EntityKind::Person, name, concept: None, props });
+                facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Person]));
+                let birth = settlements[rng.zipf(settlements.len(), 1.05)];
+                facts.push((id, WRel::BornIn, birth));
+                let nat = if rng.chance(0.9) {
+                    country_of_settlement[&birth]
+                } else {
+                    countries[rng.below(countries.len())]
+                };
+                facts.push((id, WRel::Nationality, nat));
+                // 70% are "athletes" with clubs
+                if rng.chance(0.7) {
+                    let n_clubs_for = 1 + rng.below(3);
+                    let picks = rng.sample_indices(clubs.len(), n_clubs_for.min(clubs.len()));
+                    for p in picks {
+                        facts.push((id, WRel::PlaysFor, clubs[p]));
+                    }
+                }
+                if rng.chance(0.35) {
+                    facts.push((id, WRel::AlmaMater, universities[rng.below(universities.len())]));
+                }
+                id
+            })
+            .collect();
+
+        // spouses among persons
+        for i in 0..persons.len() / 10 {
+            let a = persons[i * 2 % persons.len()];
+            let b = persons[(i * 2 + 1) % persons.len()];
+            if a != b {
+                facts.push((a, WRel::Spouse, b));
+            }
+        }
+
+        // --- works ---
+        for _ in 0..n_works {
+            let id = entities.len();
+            let nw = 2 + rng.below(2);
+            let name: Vec<WordId> = (0..nw).map(|_| *rng.choose(&noun_pool)).collect();
+            let props = vec![(PropKind::ReleaseYear, PropValue::Year(rng.range(1900, 2022) as i32))];
+            entities.push(WEntity { kind: EntityKind::Work, name, concept: None, props });
+            facts.push((id, WRel::CreatedBy, persons[rng.zipf(persons.len(), 1.02)]));
+            facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Work]));
+        }
+
+        let mut fact_index = vec![Vec::new(); entities.len()];
+        for (i, &(s, _, _)) in facts.iter().enumerate() {
+            fact_index[s].push(i);
+        }
+        World { entities, facts, fact_index }
+    }
+
+    /// Number of entities (including concepts).
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the world is empty (never true after generation).
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Facts with `e` as subject.
+    pub fn facts_of(&self, e: usize) -> impl Iterator<Item = &(usize, WRel, usize)> {
+        self.fact_index[e].iter().map(move |&i| &self.facts[i])
+    }
+
+    /// Ids of all alignable (non-concept) entities.
+    pub fn alignable(&self) -> Vec<usize> {
+        (0..self.entities.len())
+            .filter(|&i| self.entities[i].kind != EntityKind::Concept)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig { n_core: 300, seed: 7 })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig { n_core: 100, seed: 1 });
+        let b = World::generate(WorldConfig { n_core: 100, seed: 1 });
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.facts, b.facts);
+    }
+
+    #[test]
+    fn core_size_approximately_respected() {
+        let w = world();
+        let alignable = w.alignable().len();
+        assert!(
+            (250..=360).contains(&alignable),
+            "requested ~300 alignable, got {alignable}"
+        );
+    }
+
+    #[test]
+    fn all_fact_endpoints_valid() {
+        let w = world();
+        for &(s, _, o) in &w.facts {
+            assert!(s < w.len() && o < w.len());
+        }
+    }
+
+    #[test]
+    fn relations_respect_type_signatures() {
+        let w = world();
+        for &(s, r, o) in &w.facts {
+            let (sk, ok) = (w.entities[s].kind, w.entities[o].kind);
+            match r {
+                WRel::BornIn => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Settlement)),
+                WRel::Nationality => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Country)),
+                WRel::PlaysFor => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Club)),
+                WRel::LocatedIn => assert_eq!((sk, ok), (EntityKind::Club, EntityKind::Settlement)),
+                WRel::CityIn => assert_eq!((sk, ok), (EntityKind::Settlement, EntityKind::Country)),
+                WRel::AlmaMater => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::University)),
+                WRel::UnivIn => assert_eq!((sk, ok), (EntityKind::University, EntityKind::Settlement)),
+                WRel::CreatedBy => assert_eq!((sk, ok), (EntityKind::Work, EntityKind::Person)),
+                WRel::TypeOf => assert_eq!(ok, EntityKind::Concept),
+                WRel::Spouse => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Person)),
+            }
+        }
+    }
+
+    #[test]
+    fn concepts_are_hubs() {
+        let w = world();
+        // incoming degree of concepts must dominate
+        let mut indeg = vec![0usize; w.len()];
+        for &(_, _, o) in &w.facts {
+            indeg[o] += 1;
+        }
+        let person_concept = (0..w.len())
+            .find(|&i| w.entities[i].concept == Some(TWord::PersonTw))
+            .unwrap();
+        let max_other = (0..w.len())
+            .filter(|&i| w.entities[i].kind != EntityKind::Concept && w.entities[i].kind != EntityKind::Country)
+            .map(|i| indeg[i])
+            .max()
+            .unwrap();
+        assert!(
+            indeg[person_concept] > max_other,
+            "person concept in-degree {} should exceed any specific entity's {}",
+            indeg[person_concept],
+            max_other
+        );
+    }
+
+    #[test]
+    fn persons_have_birth_props() {
+        let w = world();
+        for e in &w.entities {
+            if e.kind == EntityKind::Person {
+                assert!(e.props.iter().any(|(k, _)| *k == PropKind::BirthDate));
+                assert!(!e.name.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn nationality_mostly_matches_birth_country() {
+        let w = world();
+        let mut consistent = 0usize;
+        let mut total = 0usize;
+        let cos: std::collections::HashMap<usize, usize> = w
+            .facts
+            .iter()
+            .filter(|&&(_, r, _)| r == WRel::CityIn)
+            .map(|&(s, _, c)| (s, c))
+            .collect();
+        for i in 0..w.len() {
+            let born = w.facts_of(i).find(|&&(_, r, _)| r == WRel::BornIn).map(|&(_, _, o)| o);
+            let nat = w.facts_of(i).find(|&&(_, r, _)| r == WRel::Nationality).map(|&(_, _, o)| o);
+            if let (Some(b), Some(n)) = (born, nat) {
+                total += 1;
+                if cos[&b] == n {
+                    consistent += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(consistent as f64 / total as f64 > 0.8);
+    }
+}

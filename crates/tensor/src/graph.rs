@@ -1,0 +1,662 @@
+//! Reverse-mode autograd tape.
+//!
+//! A [`Graph`] owns one training step's computation: every op appends a node
+//! (value + parent ids + backward closure). [`Graph::backward`] seeds the
+//! root gradient and walks the tape in reverse, calling each node's backward
+//! closure to produce per-parent gradients which are accumulated.
+//!
+//! Model weights persist across steps in a [`crate::optim::ParamStore`];
+//! [`Graph::param`] copies a parameter onto the tape and remembers the
+//! binding so [`Graph::accumulate_param_grads`] can push gradients back.
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::cell::{Ref, RefCell};
+
+/// Handle to a node on a [`Graph`] tape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+/// Backward closure: given (grad wrt output, output value, parent values),
+/// return one gradient tensor per parent (same shape as that parent).
+pub(crate) type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    pub parents: Vec<usize>,
+    pub backward: Option<BackFn>,
+    pub requires_grad: bool,
+    pub param: Option<ParamId>,
+}
+
+pub(crate) struct Inner {
+    pub values: Vec<Tensor>,
+    pub grads: Vec<Option<Tensor>>,
+    pub nodes: Vec<Node>,
+}
+
+/// An autograd tape. Create one per forward/backward pass.
+pub struct Graph {
+    pub(crate) inner: RefCell<Inner>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph {
+            inner: RefCell::new(Inner { values: Vec::new(), grads: Vec::new(), nodes: Vec::new() }),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackFn>,
+        requires_grad: bool,
+        param: Option<ParamId>,
+    ) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.values.push(value);
+        inner.grads.push(None);
+        inner.nodes.push(Node { parents, backward, requires_grad, param });
+        Var { id }
+    }
+
+    /// Records a leaf tensor. `requires_grad` controls whether a gradient is
+    /// accumulated for it during [`Graph::backward`].
+    pub fn leaf(&self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, Vec::new(), None, requires_grad, None)
+    }
+
+    /// Records a constant (no gradient).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.leaf(value, false)
+    }
+
+    /// Copies a parameter from the store onto the tape and records the
+    /// binding so its gradient can later be pushed back.
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Vec::new(), None, true, Some(id))
+    }
+
+    /// Shared read access to a node's value.
+    pub fn value(&self, v: Var) -> Ref<'_, Tensor> {
+        Ref::map(self.inner.borrow(), |i| &i.values[v.id])
+    }
+
+    /// Clones a node's value out of the tape.
+    pub fn value_cloned(&self, v: Var) -> Tensor {
+        self.inner.borrow().values[v.id].clone()
+    }
+
+    /// The gradient of a node after [`Graph::backward`], if one was produced.
+    pub fn grad(&self, v: Var) -> Option<Tensor> {
+        self.inner.borrow().grads[v.id].clone()
+    }
+
+    fn requires(&self, ids: &[usize]) -> bool {
+        let inner = self.inner.borrow();
+        ids.iter().any(|&i| inner.nodes[i].requires_grad)
+    }
+
+    /// Generic unary op.
+    pub(crate) fn unary(
+        &self,
+        a: Var,
+        forward: impl FnOnce(&Tensor) -> Tensor,
+        backward: BackFn,
+    ) -> Var {
+        let value = forward(&self.inner.borrow().values[a.id]);
+        let rg = self.requires(&[a.id]);
+        self.push(value, vec![a.id], if rg { Some(backward) } else { None }, rg, None)
+    }
+
+    /// Generic binary op.
+    pub(crate) fn binary(
+        &self,
+        a: Var,
+        b: Var,
+        forward: impl FnOnce(&Tensor, &Tensor) -> Tensor,
+        backward: BackFn,
+    ) -> Var {
+        let value = {
+            let inner = self.inner.borrow();
+            forward(&inner.values[a.id], &inner.values[b.id])
+        };
+        let rg = self.requires(&[a.id, b.id]);
+        self.push(value, vec![a.id, b.id], if rg { Some(backward) } else { None }, rg, None)
+    }
+
+    /// Runs reverse-mode differentiation from a scalar root.
+    ///
+    /// Panics if the root is not a single-element tensor.
+    pub fn backward(&self, root: Var) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.values[root.id].len(),
+            1,
+            "backward root must be scalar, got shape {:?}",
+            inner.values[root.id].shape()
+        );
+        inner.grads[root.id] = Some(Tensor::scalar(1.0));
+
+        let Inner { values, grads, nodes } = &mut *inner;
+        for id in (0..=root.id).rev() {
+            if grads[id].is_none() || nodes[id].backward.is_none() {
+                continue;
+            }
+            let gout = grads[id].take().expect("checked above");
+            {
+                let node = &nodes[id];
+                let back = node.backward.as_ref().expect("checked above");
+                let parent_vals: Vec<&Tensor> =
+                    node.parents.iter().map(|&p| &values[p]).collect();
+                let pgrads = back(&gout, &values[id], &parent_vals);
+                debug_assert_eq!(pgrads.len(), node.parents.len());
+                for (&p, pg) in node.parents.iter().zip(pgrads.into_iter()) {
+                    if !nodes[p].requires_grad {
+                        continue;
+                    }
+                    debug_assert_eq!(
+                        pg.shape(),
+                        values[p].shape(),
+                        "backward produced grad of wrong shape for node {p}"
+                    );
+                    match &mut grads[p] {
+                        Some(g) => g.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            grads[id] = Some(gout);
+        }
+    }
+
+    /// After [`Graph::backward`], adds every bound parameter's gradient into
+    /// the store's accumulators. Returns how many parameters received grads.
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) -> usize {
+        let inner = self.inner.borrow();
+        let mut n = 0;
+        for (id, node) in inner.nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, inner.grads[id].as_ref()) {
+                store.grad_mut(pid).add_assign(g);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------ arithmetic ops
+
+    /// Elementwise addition (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.add(y), Box::new(|g, _, _| vec![g.clone(), g.clone()]))
+    }
+
+    /// Elementwise subtraction (same shape).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.sub(y), Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]))
+    }
+
+    /// Hadamard product (same shape).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| x.mul(y),
+            Box::new(|g, _, ps| vec![g.mul(ps[1]), g.mul(ps[0])]),
+        )
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        self.unary(a, |x| x.scale(c), Box::new(move |g, _, _| vec![g.scale(c)]))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(a, |x| x.map(|v| v + c), Box::new(|g, _, _| vec![g.clone()]))
+    }
+
+    /// Negation.
+    pub fn neg(&self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// `1 - a`, used by GRU update gates.
+    pub fn one_minus(&self, a: Var) -> Var {
+        self.unary(a, |x| x.map(|v| 1.0 - v), Box::new(|g, _, _| vec![g.scale(-1.0)]))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x.map(|v| v * v),
+            Box::new(|g, _, ps| vec![g.zip(ps[0], |gv, xv| 2.0 * gv * xv)]),
+        )
+    }
+
+    // ------------------------------------------------------ activations
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x.map(|v| v.max(0.0)),
+            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 })]),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x.map(f32::tanh),
+            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| gv * (1.0 - ov * ov))]),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x.map(|v| 1.0 / (1.0 + (-v).exp())),
+            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| gv * ov * (1.0 - ov))]),
+        )
+    }
+
+    /// GELU (tanh approximation), the transformer's feed-forward activation.
+    pub fn gelu(&self, a: Var) -> Var {
+        const C: f32 = 0.797_884_56; // sqrt(2/pi)
+        fn gelu_f(x: f32) -> f32 {
+            0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+        }
+        fn dgelu_f(x: f32) -> f32 {
+            let u = C * (x + 0.044715 * x * x * x);
+            let t = u.tanh();
+            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+            0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+        }
+        self.unary(
+            a,
+            |x| x.map(gelu_f),
+            Box::new(|g, _, ps| vec![g.zip(ps[0], |gv, xv| gv * dgelu_f(xv))]),
+        )
+    }
+
+    // ------------------------------------------------------ linear algebra
+
+    /// Rank-2 matrix product `[n,k] x [k,m] -> [n,m]`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| x.matmul(y),
+            Box::new(|g, _, ps| vec![g.matmul_t(ps[1]), ps[0].t_matmul(g)]),
+        )
+    }
+
+    /// Batched matrix product `[b,n,k] x [b,k,m] -> [b,n,m]`.
+    pub fn bmm(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| x.bmm(y),
+            Box::new(|g, _, ps| {
+                // dA = g x B^T, dB = A^T x g, per batch.
+                let bt = ps[1].transpose_last2();
+                let at = ps[0].transpose_last2();
+                vec![g.bmm(&bt), at.bmm(g)]
+            }),
+        )
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose2(&self, a: Var) -> Var {
+        self.unary(a, |x| x.transpose2(), Box::new(|g, _, _| vec![g.transpose2()]))
+    }
+
+    /// Transposes the last two axes of a rank-3 tensor.
+    pub fn transpose_last2(&self, a: Var) -> Var {
+        self.unary(a, |x| x.transpose_last2(), Box::new(|g, _, _| vec![g.transpose_last2()]))
+    }
+
+    /// Adds a `[d]` bias vector to every row of a `[n,d]` (or `[.., d]`) tensor.
+    pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        self.binary(
+            x,
+            bias,
+            |x, b| {
+                let d = b.len();
+                assert_eq!(x.shape().last(), Some(&d), "add_bias dim mismatch");
+                let mut out = x.clone();
+                for chunk in out.data_mut().chunks_mut(d) {
+                    for (c, &bv) in chunk.iter_mut().zip(b.data()) {
+                        *c += bv;
+                    }
+                }
+                out
+            },
+            Box::new(|g, _, ps| {
+                let d = ps[1].len();
+                let mut db = vec![0.0f32; d];
+                for chunk in g.data().chunks(d) {
+                    for (o, &gv) in db.iter_mut().zip(chunk) {
+                        *o += gv;
+                    }
+                }
+                vec![g.clone(), Tensor::from_vec(db, ps[1].shape())]
+            }),
+        )
+    }
+
+    /// Scales each row `i` of `x: [n,d]` by `s[i]` (`s: [n]`).
+    pub fn mul_col(&self, x: Var, s: Var) -> Var {
+        self.binary(
+            x,
+            s,
+            |x, s| {
+                assert_eq!(x.rank(), 2);
+                assert_eq!(s.shape(), &[x.shape()[0]], "mul_col scaler shape");
+                let d = x.shape()[1];
+                let mut out = x.clone();
+                for (i, chunk) in out.data_mut().chunks_mut(d).enumerate() {
+                    let sv = s.data()[i];
+                    chunk.iter_mut().for_each(|c| *c *= sv);
+                }
+                out
+            },
+            Box::new(|g, _, ps| {
+                let d = ps[0].shape()[1];
+                let n = ps[0].shape()[0];
+                let mut dx = g.clone();
+                let mut ds = vec![0.0f32; n];
+                for i in 0..n {
+                    let sv = ps[1].data()[i];
+                    let grow = &g.data()[i * d..(i + 1) * d];
+                    let xrow = ps[0].row(i);
+                    ds[i] = grow.iter().zip(xrow).map(|(&gv, &xv)| gv * xv).sum();
+                    for c in dx.row_mut(i) {
+                        *c *= sv;
+                    }
+                }
+                vec![dx, Tensor::from_vec(ds, &[n])]
+            }),
+        )
+    }
+
+    /// Per-row dot product of two `[n,d]` tensors, producing `[n]`.
+    pub fn rows_dot(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| {
+                assert_eq!(x.shape(), y.shape());
+                assert_eq!(x.rank(), 2);
+                let (n, d) = (x.shape()[0], x.shape()[1]);
+                let mut out = vec![0.0f32; n];
+                for i in 0..n {
+                    out[i] = x.data()[i * d..(i + 1) * d]
+                        .iter()
+                        .zip(&y.data()[i * d..(i + 1) * d])
+                        .map(|(&p, &q)| p * q)
+                        .sum();
+                }
+                Tensor::from_vec(out, &[n])
+            },
+            Box::new(|g, _, ps| {
+                let (n, d) = (ps[0].shape()[0], ps[0].shape()[1]);
+                let mut da = ps[1].clone();
+                let mut db = ps[0].clone();
+                for i in 0..n {
+                    let gv = g.data()[i];
+                    da.data_mut()[i * d..(i + 1) * d].iter_mut().for_each(|v| *v *= gv);
+                    db.data_mut()[i * d..(i + 1) * d].iter_mut().for_each(|v| *v *= gv);
+                }
+                vec![da, db]
+            }),
+        )
+    }
+
+    /// Sums each row of `[n,d]` into `[n]`.
+    pub fn rows_sum(&self, x: Var) -> Var {
+        self.unary(
+            x,
+            |x| {
+                assert_eq!(x.rank(), 2);
+                let (n, d) = (x.shape()[0], x.shape()[1]);
+                let out: Vec<f32> = (0..n).map(|i| x.data()[i * d..(i + 1) * d].iter().sum()).collect();
+                Tensor::from_vec(out, &[n])
+            },
+            Box::new(|g, _, ps| {
+                let (n, d) = (ps[0].shape()[0], ps[0].shape()[1]);
+                let mut dx = Tensor::zeros(&[n, d]);
+                for i in 0..n {
+                    let gv = g.data()[i];
+                    dx.row_mut(i).iter_mut().for_each(|v| *v = gv);
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------ reductions
+
+    /// Sum of all elements, producing a scalar.
+    pub fn sum_all(&self, x: Var) -> Var {
+        self.unary(
+            x,
+            |x| Tensor::scalar(x.sum()),
+            Box::new(|g, _, ps| vec![Tensor::full(ps[0].shape(), g.item())]),
+        )
+    }
+
+    /// Mean of all elements, producing a scalar.
+    pub fn mean_all(&self, x: Var) -> Var {
+        self.unary(
+            x,
+            |x| Tensor::scalar(x.sum() / x.len().max(1) as f32),
+            Box::new(|g, _, ps| {
+                let n = ps[0].len().max(1) as f32;
+                vec![Tensor::full(ps[0].shape(), g.item() / n)]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Central finite differences on a scalar-valued function of one leaf.
+    pub(crate) fn numeric_grad(
+        f: impl Fn(&Tensor) -> f32,
+        at: &Tensor,
+        eps: f32,
+    ) -> Tensor {
+        let mut g = Tensor::zeros(at.shape());
+        for i in 0..at.len() {
+            let mut plus = at.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = at.clone();
+            minus.data_mut()[i] -= eps;
+            g.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{what}: grad[{i}] analytic={x} numeric={y}"
+            );
+        }
+    }
+
+    /// Grad-checks a graph function of a single input tensor.
+    fn grad_check(shape: &[usize], seed: u64, f: impl Fn(&Graph, Var) -> Var, what: &str) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let x0 = Tensor::rand_normal(shape, 0.8, &mut rng);
+        let g = Graph::new();
+        let x = g.leaf(x0.clone(), true);
+        let y = f(&g, x);
+        g.backward(y);
+        let analytic = g.grad(x).expect("no grad");
+        let numeric = numeric_grad(
+            |t| {
+                let g2 = Graph::new();
+                let xv = g2.leaf(t.clone(), false);
+                let yv = f(&g2, xv);
+                g2.value_cloned(yv).item()
+            },
+            &x0,
+            1e-3,
+        );
+        assert_close(&analytic, &numeric, 2e-2, what);
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        grad_check(&[2, 3], 1, |g, x| {
+            let y = g.mul(x, x);
+            let z = g.add(y, x);
+            g.sum_all(z)
+        }, "add/mul");
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let mut rng = Rng::seed_from_u64(2);
+        let w0 = Tensor::rand_normal(&[3, 4], 0.8, &mut rng);
+        let w = w0.clone();
+        grad_check(&[2, 3], 3, move |g, x| {
+            let wv = g.constant(w.clone());
+            let y = g.matmul(x, wv);
+            g.sum_all(g.square(y))
+        }, "matmul lhs");
+        let x0 = Tensor::rand_normal(&[2, 3], 0.8, &mut rng);
+        let xc = x0.clone();
+        grad_check(&[3, 4], 4, move |g, w| {
+            let xv = g.constant(xc.clone());
+            let y = g.matmul(xv, w);
+            g.sum_all(g.square(y))
+        }, "matmul rhs");
+        let _ = w0;
+    }
+
+    #[test]
+    fn grad_bmm() {
+        let mut rng = Rng::seed_from_u64(5);
+        let b0 = Tensor::rand_normal(&[2, 4, 3], 0.7, &mut rng);
+        grad_check(&[2, 3, 4], 6, move |g, x| {
+            let bv = g.constant(b0.clone());
+            let y = g.bmm(x, bv);
+            g.mean_all(g.square(y))
+        }, "bmm");
+    }
+
+    #[test]
+    fn grad_activations() {
+        grad_check(&[2, 4], 7, |g, x| g.sum_all(g.relu(x)), "relu");
+        grad_check(&[2, 4], 8, |g, x| g.sum_all(g.tanh(x)), "tanh");
+        grad_check(&[2, 4], 9, |g, x| g.sum_all(g.sigmoid(x)), "sigmoid");
+        grad_check(&[2, 4], 10, |g, x| g.sum_all(g.gelu(x)), "gelu");
+    }
+
+    #[test]
+    fn grad_bias_and_rows() {
+        let mut rng = Rng::seed_from_u64(11);
+        let b0 = Tensor::rand_normal(&[4], 0.5, &mut rng);
+        grad_check(&[3, 4], 12, move |g, x| {
+            let b = g.constant(b0.clone());
+            g.sum_all(g.square(g.add_bias(x, b)))
+        }, "add_bias x");
+        let x0 = Tensor::rand_normal(&[3, 4], 0.5, &mut rng);
+        grad_check(&[4], 13, move |g, b| {
+            let x = g.constant(x0.clone());
+            g.sum_all(g.square(g.add_bias(x, b)))
+        }, "add_bias b");
+        grad_check(&[3, 4], 14, |g, x| g.sum_all(g.square(g.rows_sum(x))), "rows_sum");
+    }
+
+    #[test]
+    fn grad_mul_col_and_rows_dot() {
+        let mut rng = Rng::seed_from_u64(15);
+        let s0 = Tensor::rand_normal(&[3], 0.7, &mut rng);
+        grad_check(&[3, 4], 16, move |g, x| {
+            let s = g.constant(s0.clone());
+            g.sum_all(g.square(g.mul_col(x, s)))
+        }, "mul_col x");
+        let x0 = Tensor::rand_normal(&[3, 4], 0.7, &mut rng);
+        grad_check(&[3], 17, move |g, s| {
+            let x = g.constant(x0.clone());
+            g.sum_all(g.square(g.mul_col(x, s)))
+        }, "mul_col s");
+        let y0 = Tensor::rand_normal(&[3, 4], 0.7, &mut rng);
+        grad_check(&[3, 4], 18, move |g, x| {
+            let y = g.constant(y0.clone());
+            g.sum_all(g.square(g.rows_dot(x, y)))
+        }, "rows_dot");
+    }
+
+    #[test]
+    fn backward_accumulates_over_shared_subexpression() {
+        // y = x*x + x*x => dy/dx = 4x
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![3.0], &[1]), true);
+        let sq = g.mul(x, x);
+        let y = g.add(sq, sq);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!((g.grad(x).unwrap().item() - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0), true);
+        let c = g.constant(Tensor::scalar(5.0));
+        let y = g.mul(x, c);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g.grad(c).is_none());
+        assert!((g.grad(x).unwrap().item() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn backward_requires_scalar_root() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2, 2]), true);
+        g.backward(x);
+    }
+
+    #[test]
+    fn one_minus_and_add_scalar() {
+        grad_check(&[2, 3], 19, |g, x| g.sum_all(g.square(g.one_minus(x))), "one_minus");
+        grad_check(&[2, 3], 20, |g, x| g.sum_all(g.square(g.add_scalar(x, 0.7))), "add_scalar");
+    }
+}

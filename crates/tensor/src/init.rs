@@ -1,0 +1,77 @@
+//! Weight initialization schemes.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let (fan_in, fan_out) = fans(shape);
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot normal initialization.
+pub fn xavier_normal(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let (fan_in, fan_out) = fans(shape);
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_normal(shape, std, rng)
+}
+
+/// Kaiming/He normal initialization (for ReLU stacks).
+pub fn kaiming_normal(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let (fan_in, _) = fans(shape);
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::rand_normal(shape, std, rng)
+}
+
+/// BERT-style truncated-ish normal with std 0.02 (we clip at 2 std).
+pub fn bert_normal(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let mut t = Tensor::rand_normal(shape, 0.02, rng);
+    for v in t.data_mut() {
+        *v = v.clamp(-0.04, 0.04);
+    }
+    t
+}
+
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape {
+        [n] => (*n, *n),
+        [i, o] => (*i, *o),
+        [b, i, o] => (*b * *i, *o),
+        _ => {
+            let n: usize = shape.iter().product();
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_uniform_within_bound() {
+        let mut rng = Rng::seed_from_u64(1);
+        let t = xavier_uniform(&[64, 64], &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= bound));
+        // nonzero spread
+        assert!(t.norm() > 0.1);
+    }
+
+    #[test]
+    fn xavier_normal_variance() {
+        let mut rng = Rng::seed_from_u64(2);
+        let t = xavier_normal(&[128, 128], &mut rng);
+        let var = t.sq_norm() / t.len() as f32;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() < expected * 0.3, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn bert_normal_is_clipped() {
+        let mut rng = Rng::seed_from_u64(3);
+        let t = bert_normal(&[1000], &mut rng);
+        assert!(t.data().iter().all(|&v| v.abs() <= 0.04));
+    }
+}

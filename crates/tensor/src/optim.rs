@@ -1,0 +1,403 @@
+//! Parameter storage and optimizers.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model plus its gradient
+//! accumulator. Each training step: build a [`crate::Graph`], pull params in
+//! with [`crate::Graph::param`], run forward + backward, call
+//! [`crate::Graph::accumulate_param_grads`], then step an [`Optimizer`].
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a parameter within its [`ParamStore`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Slot {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    trainable: bool,
+}
+
+/// A named collection of trainable tensors with gradient accumulators.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ParamStore { slots: Vec::new() }
+    }
+
+    /// Registers a new trainable parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.slots.push(Slot { name: name.into(), value, grad, trainable: true });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Registers a frozen (non-trainable) tensor; it can still be pulled
+    /// onto graphs but no optimizer will update it.
+    pub fn add_frozen(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = self.add(name, value);
+        self.slots[id.0].trainable = false;
+        id
+    }
+
+    /// Marks a parameter trainable or frozen.
+    pub fn set_trainable(&mut self, id: ParamId, trainable: bool) {
+        self.slots[id.0].trainable = trainable;
+    }
+
+    /// Whether the parameter is currently trainable.
+    pub fn is_trainable(&self, id: ParamId) -> bool {
+        self.slots[id.0].trainable
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// The parameter's name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Read access to the value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access to the value (for manual updates, e.g. TransE's
+    /// in-place normalization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].value
+    }
+
+    /// Read access to the gradient accumulator.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].grad
+    }
+
+    /// Mutable access to the gradient accumulator.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].grad
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.fill_zero();
+        }
+    }
+
+    /// Global L2 norm of all trainable gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .filter(|s| s.trainable)
+            .map(|s| s.grad.sq_norm())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Iterates over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Takes a snapshot of all values (for early-stopping checkpoints).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.slots.iter().map(|s| s.value.clone()).collect()
+    }
+
+    /// Restores a snapshot taken with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.slots.len(), "snapshot arity mismatch");
+        for (s, v) in self.slots.iter_mut().zip(snapshot) {
+            assert_eq!(s.value.shape(), v.shape(), "snapshot shape mismatch for {}", s.name);
+            s.value = v.clone();
+        }
+    }
+}
+
+/// Gradient clipping configuration.
+#[derive(Copy, Clone, Debug)]
+pub enum GradClip {
+    /// No clipping.
+    None,
+    /// Scale all gradients so the global norm is at most this value.
+    GlobalNorm(f32),
+}
+
+impl GradClip {
+    fn apply(&self, store: &mut ParamStore) {
+        if let GradClip::GlobalNorm(max) = *self {
+            let norm = store.grad_norm();
+            if norm > max && norm.is_finite() {
+                let scale = max / norm;
+                for s in &mut store.slots {
+                    if s.trainable {
+                        s.grad.data_mut().iter_mut().for_each(|g| *g *= scale);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A gradient-descent optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    fn step(&mut self, store: &mut ParamStore);
+    /// The current learning rate.
+    fn lr(&self) -> f32;
+    /// Overrides the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+pub struct Sgd {
+    lr: f32,
+    clip: GradClip,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip: GradClip::None }
+    }
+
+    /// Adds gradient clipping.
+    pub fn with_clip(mut self, clip: GradClip) -> Self {
+        self.clip = clip;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.clip.apply(store);
+        for s in &mut store.slots {
+            if !s.trainable {
+                s.grad.fill_zero();
+                continue;
+            }
+            for (v, g) in s.value.data_mut().iter_mut().zip(s.grad.data()) {
+                *v -= self.lr * g;
+            }
+            s.grad.fill_zero();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional clipping.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    clip: GradClip,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip: GradClip::None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds decoupled weight decay (AdamW-style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Adds gradient clipping.
+    pub fn with_clip(mut self, clip: GradClip) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.m.len() != store.slots.len() {
+            self.m = store.slots.iter().map(|s| Tensor::zeros(s.value.shape())).collect();
+            self.v = store.slots.iter().map(|s| Tensor::zeros(s.value.shape())).collect();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.clip.apply(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, s) in store.slots.iter_mut().enumerate() {
+            if !s.trainable {
+                s.grad.fill_zero();
+                continue;
+            }
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            for (((val, g), mi), vi) in s
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(s.grad.data())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *val -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *val);
+            }
+            s.grad.fill_zero();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::rng::Rng;
+
+    /// Minimizes (w - 3)^2 and checks convergence for each optimizer.
+    fn converges(mut opt: impl Optimizer, steps: usize, tol: f32) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            let g = Graph::new();
+            let wv = g.param(&store, w);
+            let target = g.constant(Tensor::scalar(3.0));
+            let diff = g.sub(wv, target);
+            let loss = g.sum_all(g.square(diff));
+            g.backward(loss);
+            g.accumulate_param_grads(&mut store);
+            opt.step(&mut store);
+        }
+        let final_w = store.value(w).item();
+        assert!((final_w - 3.0).abs() < tol, "w = {final_w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(Sgd::new(0.1), 100, 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(Adam::new(0.1), 300, 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut store = ParamStore::new();
+        let w = store.add_frozen("w", Tensor::scalar(1.0));
+        let g = Graph::new();
+        let wv = g.param(&store, w);
+        let loss = g.sum_all(g.square(wv));
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut store);
+        assert_eq!(store.value(w).item(), 1.0);
+    }
+
+    #[test]
+    fn grad_clip_bounds_global_norm() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[4]));
+        store.grad_mut(w).data_mut().copy_from_slice(&[10.0, 10.0, 10.0, 10.0]);
+        let before = store.grad_norm();
+        assert!(before > 1.0);
+        GradClip::GlobalNorm(1.0).apply(&mut store);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::rand_normal(&[3, 3], 1.0, &mut rng));
+        let snap = store.snapshot();
+        let orig = store.value(a).clone();
+        store.value_mut(a).data_mut()[0] = 999.0;
+        store.restore(&snap);
+        assert_eq!(store.value(a), &orig);
+    }
+
+    #[test]
+    fn accumulate_param_grads_reaches_store() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![2.0], &[1]));
+        let g = Graph::new();
+        let wv = g.param(&store, w);
+        let loss = g.sum_all(g.square(wv));
+        g.backward(loss);
+        let n = g.accumulate_param_grads(&mut store);
+        assert_eq!(n, 1);
+        assert!((store.grad(w).item() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_graphs_accumulate_additively() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0], &[1]));
+        for _ in 0..2 {
+            let g = Graph::new();
+            let wv = g.param(&store, w);
+            let loss = g.sum_all(wv);
+            g.backward(loss);
+            g.accumulate_param_grads(&mut store);
+        }
+        assert!((store.grad(w).item() - 2.0).abs() < 1e-6);
+    }
+}

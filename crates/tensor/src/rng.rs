@@ -1,0 +1,289 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the system (weight initialization, negative
+//! sampling, dataset synthesis, dropout) draws from this generator so that a
+//! single `u64` seed reproduces an entire experiment bit-for-bit. The
+//! implementation is xoshiro256** seeded through SplitMix64, the combination
+//! recommended by the xoshiro authors.
+
+/// A seedable, splittable PRNG (xoshiro256** over a SplitMix64-expanded seed).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// (generator, trainer, sampler) its own stream from one master seed.
+    pub fn split(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high-quality bits -> [0,1)
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "Rng::below(0)");
+        // Lemire-style widening multiply; bias is negligible for our ranges.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1 = (1.0 - self.next_f64()) as f32; // (0, 1]
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k <= n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        if k * 3 >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut idx);
+            idx.truncate(k);
+            idx
+        } else {
+            // Sparse rejection sampling for k << n.
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let v = self.below(n);
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+
+    /// Samples an index according to unnormalized non-negative weights.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weighted sample needs positive mass");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Zipf-like rank sample over `[0, n)` with exponent `s` (heavier head
+    /// for larger `s`). Used to produce long-tail degree distributions.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // Inverse-CDF on the continuous approximation.
+        let u = self.next_f64();
+        if (s - 1.0).abs() < 1e-9 {
+            let h = (n as f64).ln();
+            return ((u * h).exp() - 1.0).min((n - 1) as f64) as usize;
+        }
+        let p = 1.0 - s;
+        let h = ((n as f64).powf(p) - 1.0) / p;
+        let x = (1.0 + p * u * h).powf(1.0 / p) - 1.0;
+        (x.min((n - 1) as f64)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut hits = [false; 10];
+        for _ in 0..1_000 {
+            hits[r.below(10)] = true;
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let x = r.normal() as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::seed_from_u64(9);
+        for &(n, k) in &[(100usize, 5usize), (10, 10), (1000, 30)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k);
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_index() {
+        let mut r = Rng::seed_from_u64(13);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn zipf_head_heavier_than_tail() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..10_000 {
+            let x = r.zipf(1000, 1.2);
+            if x < 10 {
+                head += 1;
+            }
+            if x >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = Rng::seed_from_u64(21);
+        let mut a = root.split();
+        let mut b = root.split();
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

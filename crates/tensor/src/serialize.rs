@@ -1,0 +1,191 @@
+//! Compact binary (de)serialization for tensors and parameter stores.
+//!
+//! Format (little-endian, via the `bytes` crate):
+//!
+//! ```text
+//! magic "SDT1" | u32 n_params | for each param:
+//!   u32 name_len | name bytes | u8 trainable | u32 rank | u32 dims... | f32 data...
+//! ```
+//!
+//! Used to persist the pre-trained language model between the MLM
+//! pre-training phase and SDEA fine-tuning, mirroring the paper's use of a
+//! pre-trained BERT checkpoint.
+
+use crate::optim::ParamStore;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SDT1";
+
+/// Serializes a single tensor to the wire format.
+pub fn write_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    buf.put_u32_le(t.shape().len() as u32);
+    for &d in t.shape() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Deserializes a single tensor from the wire format.
+pub fn read_tensor(buf: &mut &[u8]) -> io::Result<Tensor> {
+    if buf.remaining() < 4 {
+        return Err(bad("truncated tensor rank"));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(bad("implausible tensor rank"));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        if buf.remaining() < 4 {
+            return Err(bad("truncated tensor shape"));
+        }
+        shape.push(buf.get_u32_le() as usize);
+    }
+    let n: usize = shape.iter().product();
+    if buf.remaining() < n * 4 {
+        return Err(bad("truncated tensor data"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(data, &shape))
+}
+
+/// Serializes a full parameter store.
+pub fn store_to_bytes(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(store.len() as u32);
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        buf.put_u8(store.is_trainable(id) as u8);
+        write_tensor(&mut buf, store.value(id));
+    }
+    buf
+}
+
+/// Deserializes a parameter store produced by [`store_to_bytes`].
+pub fn store_from_bytes(mut buf: &[u8]) -> io::Result<ParamStore> {
+    if buf.remaining() < 8 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic (not an SDT1 checkpoint)"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(bad("truncated name length"));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 1 {
+            return Err(bad("truncated name"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| bad("parameter name is not UTF-8"))?;
+        let trainable = buf.get_u8() != 0;
+        let tensor = read_tensor(&mut buf)?;
+        let id = store.add(name, tensor);
+        store.set_trainable(id, trainable);
+    }
+    Ok(store)
+}
+
+/// Writes a parameter store to disk.
+pub fn save_store(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let bytes = store_to_bytes(store);
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    f.flush()
+}
+
+/// Reads a parameter store from disk.
+pub fn load_store(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    store_from_bytes(&bytes)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut rng = Rng::seed_from_u64(1);
+        let t = Tensor::rand_normal(&[3, 4, 2], 1.0, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t);
+        let back = read_tensor(&mut &buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn store_round_trip_preserves_names_values_flags() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let a = store.add("layer.weight", Tensor::rand_normal(&[4, 4], 1.0, &mut rng));
+        let b = store.add_frozen("embeddings", Tensor::rand_normal(&[10, 4], 1.0, &mut rng));
+        let bytes = store_to_bytes(&store);
+        let back = store_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(a), "layer.weight");
+        assert_eq!(back.name(b), "embeddings");
+        assert_eq!(back.value(a), store.value(a));
+        assert_eq!(back.value(b), store.value(b));
+        assert!(back.is_trainable(a));
+        assert!(!back.is_trainable(b));
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(1.0));
+        let mut bytes = store_to_bytes(&store);
+        bytes[0] = b'X';
+        assert!(store_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected_not_panicking() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let bytes = store_to_bytes(&store);
+        for cut in [0, 4, 9, bytes.len() - 2] {
+            assert!(store_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::rand_normal(&[8, 8], 1.0, &mut rng));
+        let dir = std::env::temp_dir().join("sdea_tensor_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.sdt");
+        save_store(&store, &path).unwrap();
+        let back = load_store(&path).unwrap();
+        assert_eq!(back.value(crate::optim::ParamId(0)), store.value(crate::optim::ParamId(0)));
+        let _ = std::fs::remove_file(path);
+    }
+}

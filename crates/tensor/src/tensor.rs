@@ -1,0 +1,647 @@
+//! Dense row-major `f32` tensors.
+//!
+//! [`Tensor`] is a plain value type: a shape plus a contiguous buffer. All
+//! the numeric kernels used by both forward evaluation and the autograd
+//! backward passes live here as ordinary methods; the tape in
+//! [`crate::graph`] composes them.
+
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; n] }
+    }
+
+    /// Wraps an existing buffer. Panics if the element count mismatches.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length {} != shape product {}", data.len(), n);
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A scalar (rank-0 is represented as shape `[1]`).
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![1], data: vec![value] }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Normal random tensor with the given standard deviation.
+    pub fn rand_normal(shape: &[usize], std: f32, rng: &mut Rng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal() * std).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The raw buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Scalar value of a single-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// For a rank-2 tensor, the `i`-th row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let d = self.shape[1];
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// For a rank-2 tensor, the `i`-th row mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let d = self.shape[1];
+        &mut self.data[i * d..(i + 1) * d]
+    }
+
+    /// Element access for rank-2 tensors.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Reinterprets the buffer with a new shape of the same element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// In-place reshape (no copy).
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len());
+        self.shape = shape.to_vec();
+    }
+
+    // --------------------------------------------------------- elementwise
+
+    /// Elementwise binary op into a fresh tensor; shapes must match.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise map into a fresh tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Hadamard product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Accumulates `other` into `self` (`self += other`).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += c * other` (axpy).
+    pub fn axpy(&mut self, c: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += c * b;
+        }
+    }
+
+    /// Fills with zeros, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared L2 norm of the whole buffer.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Dot product of two same-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+    }
+
+    // ------------------------------------------------------------- matmul
+
+    /// Rank-2 matrix multiplication `[n,k] x [k,m] -> [n,m]`.
+    ///
+    /// Cache-friendly i-k-j loop order; this is the hot kernel of the whole
+    /// system so it avoids bounds checks via slice windows.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs rank {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul rhs rank {:?}", other.shape);
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dim: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; n * m];
+        matmul_into(&self.data, &other.data, &mut out, n, k, m);
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// `self^T x other` for rank-2 tensors: `[k,n]^T=[n,k]`… computes
+    /// `[n,m]` from `self: [k,n]`, `other: [k,m]` without materializing the
+    /// transpose. Used by matmul backward.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let (k, n) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "t_matmul inner dim");
+        let mut out = vec![0.0f32; n * m];
+        // out[i,j] = sum_k self[k,i] * other[k,j]
+        for kk in 0..k {
+            let a_row = &self.data[kk * n..(kk + 1) * n];
+            let b_row = &other.data[kk * m..(kk + 1) * m];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o = &mut out[i * m..(i + 1) * m];
+                for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
+                    *oj += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// `self x other^T` for rank-2 tensors: `self: [n,k]`, `other: [m,k]`,
+    /// result `[n,m]`, without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (m, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dim");
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o = &mut out[i * m..(i + 1) * m];
+            for (j, oj) in o.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *oj = acc;
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = self.data[i * m + j];
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Batched matmul `[b,n,k] x [b,k,m] -> [b,n,m]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3);
+        assert_eq!(other.rank(), 3);
+        let (b, n, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, m) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm batch mismatch");
+        assert_eq!(k, k2, "bmm inner dim");
+        let mut out = vec![0.0f32; b * n * m];
+        for bi in 0..b {
+            matmul_into(
+                &self.data[bi * n * k..(bi + 1) * n * k],
+                &other.data[bi * k * m..(bi + 1) * k * m],
+                &mut out[bi * n * m..(bi + 1) * n * m],
+                n,
+                k,
+                m,
+            );
+        }
+        Tensor { shape: vec![b, n, m], data: out }
+    }
+
+    /// Transposes the last two axes of a rank-3 tensor.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert_eq!(self.rank(), 3);
+        let (b, n, m) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; b * n * m];
+        for bi in 0..b {
+            let src = &self.data[bi * n * m..(bi + 1) * n * m];
+            let dst = &mut out[bi * n * m..(bi + 1) * n * m];
+            for i in 0..n {
+                for j in 0..m {
+                    dst[j * n + i] = src[i * m + j];
+                }
+            }
+        }
+        Tensor { shape: vec![b, m, n], data: out }
+    }
+
+    // ----------------------------------------------------------- rows / nn
+
+    /// Softmax over the last dimension (any rank >= 1), numerically stable.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let d = *self.shape.last().expect("softmax on rank-0");
+        let mut out = self.data.clone();
+        for chunk in out.chunks_mut(d) {
+            let max = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for x in chunk.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum;
+            for x in chunk.iter_mut() {
+                *x *= inv;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let d = *self.shape.last().expect("log_softmax on rank-0");
+        let mut out = self.data.clone();
+        for chunk in out.chunks_mut(d) {
+            let max = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for x in chunk.iter() {
+                sum += (*x - max).exp();
+            }
+            let lse = max + sum.ln();
+            for x in chunk.iter_mut() {
+                *x -= lse;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// L2-normalizes each row of a rank-2 tensor (zero rows stay zero).
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let mut out = self.clone();
+        let d = self.shape[1];
+        for chunk in out.data.chunks_mut(d) {
+            let n: f32 = chunk.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if n > 1e-12 {
+                let inv = 1.0 / n;
+                chunk.iter_mut().for_each(|x| *x *= inv);
+            }
+        }
+        out
+    }
+
+    /// Gathers rows of a rank-2 table into a new rank-2 tensor.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let d = self.shape[1];
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor { shape: vec![indices.len(), d], data }
+    }
+
+    /// Stacks rank-1 tensors of equal length into rows of a rank-2 tensor.
+    pub fn stack_rows(rows: &[&Tensor]) -> Tensor {
+        assert!(!rows.is_empty());
+        let d = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "stack_rows length mismatch");
+            data.extend_from_slice(&r.data);
+        }
+        Tensor { shape: vec![rows.len(), d], data }
+    }
+
+    /// Concatenates rank-2 tensors along the last dimension.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let n = parts[0].shape[0];
+        let total: usize = parts.iter().map(|p| p.shape[1]).sum();
+        let mut data = Vec::with_capacity(n * total);
+        for i in 0..n {
+            for p in parts {
+                assert_eq!(p.shape[0], n, "concat_cols row mismatch");
+                data.extend_from_slice(p.row(i));
+            }
+        }
+        Tensor { shape: vec![n, total], data }
+    }
+
+    /// Mean over rows of a rank-2 tensor, producing shape `[d]`.
+    pub fn mean_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (n, d) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; d];
+        for i in 0..n {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / n.max(1) as f32;
+        out.iter_mut().for_each(|x| *x *= inv);
+        Tensor { shape: vec![d], data: out }
+    }
+
+    /// Checks all entries are finite; used by tests and the trainer's
+    /// divergence guard.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// `out += a x b` is NOT what this does — it overwrites `out` with `a x b`.
+/// Shared kernel for [`Tensor::matmul`] and [`Tensor::bmm`].
+#[inline]
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    debug_assert_eq!(a.len(), n * k);
+    debug_assert_eq!(b.len(), k * m);
+    debug_assert_eq!(out.len(), n * m);
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o = &mut out[i * m..(i + 1) * m];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * m..(kk + 1) * m];
+            for (oj, &bv) in o.iter_mut().zip(b_row.iter()) {
+                *oj += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::seed_from_u64(1);
+        let a = Tensor::rand_normal(&[3, 3], 1.0, &mut rng);
+        let eye = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3],
+        );
+        let c = a.matmul(&eye);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(2);
+        let a = Tensor::rand_normal(&[4, 3], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[4, 5], 1.0, &mut rng);
+        let via_t = a.transpose2().matmul(&b);
+        let fused = a.t_matmul(&b);
+        assert_eq!(via_t.shape(), fused.shape());
+        for (x, y) in via_t.data().iter().zip(fused.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Tensor::rand_normal(&[4, 3], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[5, 3], 1.0, &mut rng);
+        let via_t = a.matmul(&b.transpose2());
+        let fused = a.matmul_t(&b);
+        for (x, y) in via_t.data().iter().zip(fused.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let mut rng = Rng::seed_from_u64(4);
+        let a = Tensor::rand_normal(&[2, 3, 4], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[2, 4, 5], 1.0, &mut rng);
+        let c = a.bmm(&b);
+        assert_eq!(c.shape(), &[2, 3, 5]);
+        for bi in 0..2 {
+            let a2 = Tensor::from_vec(a.data()[bi * 12..(bi + 1) * 12].to_vec(), &[3, 4]);
+            let b2 = Tensor::from_vec(b.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]);
+            let c2 = a2.matmul(&b2);
+            for (x, y) in c.data()[bi * 15..(bi + 1) * 15].iter().zip(c2.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 5.0], &[2, 3]);
+        let s = t.softmax_lastdim();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(i).iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]);
+        let s = t.softmax_lastdim();
+        assert!(s.all_finite());
+        let t2 = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]);
+        let s2 = t2.softmax_lastdim();
+        for (a, b) in s.data().iter().zip(s2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_matches_softmax() {
+        let t = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0], &[1, 4]);
+        let ls = t.log_softmax_lastdim();
+        let s = t.softmax_lastdim();
+        for (a, b) in ls.data().iter().zip(s.data()) {
+            assert!((a.exp() - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        let n = t.l2_normalize_rows();
+        assert!((n.row(0).iter().map(|x| x * x).sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(n.row(1), &[0.0, 0.0]); // zero row preserved
+    }
+
+    #[test]
+    fn transpose2_round_trip() {
+        let mut rng = Rng::seed_from_u64(5);
+        let a = Tensor::rand_normal(&[3, 7], 1.0, &mut rng);
+        assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn transpose_last2_round_trip() {
+        let mut rng = Rng::seed_from_u64(6);
+        let a = Tensor::rand_normal(&[2, 3, 4], 1.0, &mut rng);
+        assert_eq!(a.transpose_last2().transpose_last2(), a);
+    }
+
+    #[test]
+    fn gather_and_stack() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![9.0, 8.0], &[2, 1]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn mean_rows_average() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let m = t.mean_rows();
+        assert_eq!(m.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = Rng::seed_from_u64(7);
+        let t = Tensor::rand_normal(&[4, 5], 1.0, &mut rng);
+        let json = serde_json_like(&t);
+        assert!(json.0 == t.shape() && json.1 == t.data());
+    }
+
+    // Minimal stand-in: serde derives are exercised by serialize.rs tests;
+    // here we assert field access consistency.
+    fn serde_json_like(t: &Tensor) -> (Vec<usize>, Vec<f32>) {
+        (t.shape().to_vec(), t.data().to_vec())
+    }
+}

@@ -1,0 +1,89 @@
+//! Rule-based pre-tokenization: lowercasing, whitespace splitting, and
+//! punctuation isolation — the same normalization BERT's basic tokenizer
+//! applies before WordPiece.
+
+/// Splits raw text into lowercase word-level tokens.
+///
+/// Rules:
+/// - Unicode whitespace separates tokens.
+/// - ASCII punctuation (and common KG separators like `_`, `/`) become
+///   single-character tokens of their own.
+/// - Everything is lowercased.
+///
+/// ```
+/// use sdea_text::pretokenize;
+/// assert_eq!(
+///     pretokenize("Real_Madrid C.F. (1902)"),
+///     vec!["real", "_", "madrid", "c", ".", "f", ".", "(", "1902", ")"]
+/// );
+/// ```
+pub fn pretokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            flush(&mut cur, &mut out);
+        } else if is_punct(ch) {
+            flush(&mut cur, &mut out);
+            out.push(ch.to_lowercase().collect());
+        } else {
+            cur.extend(ch.to_lowercase());
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+#[inline]
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+#[inline]
+fn is_punct(ch: char) -> bool {
+    ch.is_ascii_punctuation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(pretokenize("hello world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(pretokenize("HeLLo"), vec!["hello"]);
+    }
+
+    #[test]
+    fn isolates_punctuation() {
+        assert_eq!(pretokenize("a,b"), vec!["a", ",", "b"]);
+        assert_eq!(pretokenize("(x)"), vec!["(", "x", ")"]);
+    }
+
+    #[test]
+    fn kg_identifiers_split_on_underscore() {
+        assert_eq!(pretokenize("C.D._Nacional"), vec!["c", ".", "d", ".", "_", "nacional"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(pretokenize("").is_empty());
+        assert!(pretokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn numbers_survive_as_tokens() {
+        assert_eq!(pretokenize("born 1985-02-05"), vec!["born", "1985", "-", "02", "-", "05"]);
+    }
+
+    #[test]
+    fn non_ascii_words_pass_through_lowercased() {
+        assert_eq!(pretokenize("FUSSBALL Édith"), vec!["fussball", "édith"]);
+    }
+}

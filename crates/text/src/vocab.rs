@@ -1,0 +1,182 @@
+//! Subword vocabulary with BERT-style special tokens.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The special tokens every vocabulary carries, in fixed id order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpecialToken {
+    /// Padding (id 0).
+    Pad,
+    /// Unknown subword (id 1).
+    Unk,
+    /// Sequence-start classifier token (id 2) — the paper's Eq. (5).
+    Cls,
+    /// Separator (id 3).
+    Sep,
+    /// Masked-LM mask (id 4).
+    Mask,
+}
+
+impl SpecialToken {
+    /// Canonical surface string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "[PAD]",
+            SpecialToken::Unk => "[UNK]",
+            SpecialToken::Cls => "[CLS]",
+            SpecialToken::Sep => "[SEP]",
+            SpecialToken::Mask => "[MASK]",
+        }
+    }
+
+    /// Fixed id.
+    pub fn id(self) -> u32 {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Unk => 1,
+            SpecialToken::Cls => 2,
+            SpecialToken::Sep => 3,
+            SpecialToken::Mask => 4,
+        }
+    }
+
+    /// All specials in id order.
+    pub fn all() -> [SpecialToken; 5] {
+        [
+            SpecialToken::Pad,
+            SpecialToken::Unk,
+            SpecialToken::Cls,
+            SpecialToken::Sep,
+            SpecialToken::Mask,
+        ]
+    }
+}
+
+/// An id <-> subword bijection. Continuation pieces carry the `##` prefix
+/// (WordPiece convention).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from subword strings. The five special tokens are
+    /// always prepended; `subwords` must not contain them.
+    pub fn new(subwords: impl IntoIterator<Item = String>) -> Self {
+        let mut tokens: Vec<String> =
+            SpecialToken::all().iter().map(|s| s.as_str().to_string()).collect();
+        for sw in subwords {
+            debug_assert!(!tokens[..5].contains(&sw), "special token passed as subword");
+            tokens.push(sw);
+        }
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Vocab { tokens, index }
+    }
+
+    /// Total vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Never true — specials always exist.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a subword's id.
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// The surface string for an id.
+    pub fn token_of(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Whether `id` refers to one of the special tokens.
+    pub fn is_special(&self, id: u32) -> bool {
+        id < 5
+    }
+
+    /// `[PAD]`'s id.
+    pub fn pad_id(&self) -> u32 {
+        SpecialToken::Pad.id()
+    }
+
+    /// `[UNK]`'s id.
+    pub fn unk_id(&self) -> u32 {
+        SpecialToken::Unk.id()
+    }
+
+    /// `[CLS]`'s id.
+    pub fn cls_id(&self) -> u32 {
+        SpecialToken::Cls.id()
+    }
+
+    /// `[SEP]`'s id.
+    pub fn sep_id(&self) -> u32 {
+        SpecialToken::Sep.id()
+    }
+
+    /// `[MASK]`'s id.
+    pub fn mask_id(&self) -> u32 {
+        SpecialToken::Mask.id()
+    }
+
+    /// Iterates `(id, token)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (i as u32, t.as_str()))
+    }
+
+    /// Ids of all non-special tokens (useful for MLM random replacement).
+    pub fn content_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (5..self.tokens.len() as u32).filter(move |_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::new(vec!["ab".into(), "##cd".into()]);
+        assert_eq!(v.id_of("[PAD]"), Some(0));
+        assert_eq!(v.id_of("[UNK]"), Some(1));
+        assert_eq!(v.id_of("[CLS]"), Some(2));
+        assert_eq!(v.id_of("[SEP]"), Some(3));
+        assert_eq!(v.id_of("[MASK]"), Some(4));
+        assert_eq!(v.id_of("ab"), Some(5));
+        assert_eq!(v.id_of("##cd"), Some(6));
+    }
+
+    #[test]
+    fn round_trip_ids() {
+        let v = Vocab::new(vec!["x".into(), "yz".into()]);
+        for (id, tok) in v.iter() {
+            assert_eq!(v.id_of(tok), Some(id));
+            assert_eq!(v.token_of(id), tok);
+        }
+    }
+
+    #[test]
+    fn special_detection() {
+        let v = Vocab::new(vec!["q".into()]);
+        assert!(v.is_special(0));
+        assert!(v.is_special(4));
+        assert!(!v.is_special(5));
+    }
+
+    #[test]
+    fn content_ids_skip_specials() {
+        let v = Vocab::new(vec!["a".into(), "b".into()]);
+        let ids: Vec<u32> = v.content_ids().collect();
+        assert_eq!(ids, vec![5, 6]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Subword vocabulary training.
+//!
+//! The trainer builds a WordPiece-style vocabulary with BPE merges: start
+//! from characters, repeatedly merge the most frequent adjacent pair, and
+//! record merged units. Word-internal (continuation) units carry the `##`
+//! prefix. Encoding is then WordPiece greedy longest-match (see
+//! [`crate::encode`]).
+
+use crate::pretokenize::pretokenize;
+use crate::vocab::Vocab;
+use std::collections::HashMap;
+
+/// Trains a subword [`Vocab`] from a text corpus.
+pub struct WordPieceTrainer {
+    target_size: usize,
+    min_pair_freq: usize,
+}
+
+impl WordPieceTrainer {
+    /// A trainer producing at most `target_size` subwords (excluding the
+    /// five special tokens).
+    pub fn new(target_size: usize) -> Self {
+        WordPieceTrainer { target_size, min_pair_freq: 2 }
+    }
+
+    /// Sets the minimum pair frequency for a merge (default 2).
+    pub fn with_min_pair_freq(mut self, f: usize) -> Self {
+        self.min_pair_freq = f.max(1);
+        self
+    }
+
+    /// Trains on an iterator of text lines.
+    pub fn train<'a>(&self, corpus: impl IntoIterator<Item = &'a str>) -> Vocab {
+        // 1. Word frequency table.
+        let mut word_freq: HashMap<String, usize> = HashMap::new();
+        for line in corpus {
+            for w in pretokenize(line) {
+                *word_freq.entry(w).or_insert(0) += 1;
+            }
+        }
+        self.train_from_word_freq(&word_freq)
+    }
+
+    /// Trains from a precomputed word frequency table.
+    pub fn train_from_word_freq(&self, word_freq: &HashMap<String, usize>) -> Vocab {
+        // 2. Represent each word as a unit sequence; the first unit is bare,
+        //    later units carry the ## continuation prefix.
+        let mut words: Vec<(Vec<String>, usize)> = word_freq
+            .iter()
+            .map(|(w, &f)| {
+                let units: Vec<String> = w
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if i == 0 {
+                            c.to_string()
+                        } else {
+                            format!("##{c}")
+                        }
+                    })
+                    .collect();
+                (units, f)
+            })
+            .collect();
+        // deterministic order
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Base alphabet.
+        let mut vocab_set: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for (units, _) in &words {
+            for u in units {
+                if seen.insert(u.clone(), ()).is_none() {
+                    vocab_set.push(u.clone());
+                }
+            }
+        }
+        vocab_set.sort();
+
+        // 3. Iterative merges of the most frequent adjacent pair.
+        while vocab_set.len() < self.target_size {
+            let mut pair_freq: HashMap<(String, String), usize> = HashMap::new();
+            for (units, f) in &words {
+                for win in units.windows(2) {
+                    *pair_freq.entry((win[0].clone(), win[1].clone())).or_insert(0) += f;
+                }
+            }
+            // Most frequent pair, ties broken lexicographically for
+            // determinism.
+            let best = pair_freq
+                .into_iter()
+                .filter(|&(_, f)| f >= self.min_pair_freq)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((left, right), _)) = best else { break };
+            let merged = merge_units(&left, &right);
+            if seen.insert(merged.clone(), ()).is_none() {
+                vocab_set.push(merged.clone());
+            }
+            // Apply the merge everywhere.
+            for (units, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < units.len() {
+                    if units[i] == left && units[i + 1] == right {
+                        units[i] = merged.clone();
+                        units.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Vocab::new(vocab_set)
+    }
+}
+
+/// Concatenates two units, keeping the left unit's continuation status.
+fn merge_units(left: &str, right: &str) -> String {
+    let right_body = right.strip_prefix("##").unwrap_or(right);
+    format!("{left}{right_body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_units_keeps_continuation_prefix() {
+        assert_eq!(merge_units("a", "##b"), "ab");
+        assert_eq!(merge_units("##a", "##b"), "##ab");
+    }
+
+    #[test]
+    fn alphabet_is_always_included() {
+        // Only position-marked units that actually occur: "abc" contributes
+        // a ##b ##c, "cab" contributes c ##a ##b.
+        let v = WordPieceTrainer::new(10).train(["abc cab"].into_iter());
+        for t in ["a", "c", "##a", "##b", "##c"] {
+            assert!(v.id_of(t).is_some(), "missing {t}");
+        }
+        assert!(v.id_of("b").is_none(), "'b' never occurs word-initially");
+    }
+
+    #[test]
+    fn frequent_words_become_single_units() {
+        let corpus = vec!["portugal"; 50];
+        let v = WordPieceTrainer::new(64).train(corpus.into_iter());
+        assert!(v.id_of("portugal").is_some(), "frequent word should merge fully");
+    }
+
+    #[test]
+    fn respects_target_size() {
+        let corpus = ["the quick brown fox jumps over the lazy dog again and again"];
+        let v = WordPieceTrainer::new(30).train(corpus.into_iter());
+        // 5 specials + at most 30 subwords... alphabet may exceed target, but
+        // merges must stop at the cap.
+        assert!(v.len() <= 5 + 64, "vocab grew unboundedly: {}", v.len());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let corpus = ["alpha beta gamma delta alpha beta", "beta gamma alpha"];
+        let v1 = WordPieceTrainer::new(40).train(corpus.iter().copied());
+        let v2 = WordPieceTrainer::new(40).train(corpus.iter().copied());
+        let t1: Vec<&str> = v1.iter().map(|(_, t)| t).collect();
+        let t2: Vec<&str> = v2.iter().map(|(_, t)| t).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn empty_corpus_yields_specials_only() {
+        let v = WordPieceTrainer::new(100).train(std::iter::empty());
+        assert_eq!(v.len(), 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the tokenization substrate.
+
+use proptest::prelude::*;
+use sdea_text::{pretokenize, Tokenizer, WordPieceTrainer};
+
+fn trained_tokenizer() -> Tokenizer {
+    let corpus = [
+        "cristiano ronaldo dos santos plays for real madrid",
+        "born 1985-02-05 in funchal madeira portugal",
+        "the quick brown fox jumps over the lazy dog 42 times",
+    ];
+    Tokenizer::new(WordPieceTrainer::new(400).train(corpus.into_iter()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pre-tokenization is total and produces non-empty lowercase tokens.
+    #[test]
+    fn pretokenize_total(text in ".{0,120}") {
+        for tok in pretokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert_eq!(&tok.to_lowercase(), &tok);
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+        }
+    }
+
+    /// Pre-tokenization is idempotent under re-joining with spaces.
+    #[test]
+    fn pretokenize_idempotent(text in "[a-z0-9 ,.]{0,80}") {
+        let once = pretokenize(&text);
+        let rejoined = once.join(" ");
+        let twice = pretokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Encoding is deterministic, fits max_len exactly, and the mask marks
+    /// a prefix.
+    #[test]
+    fn encode_shape_invariants(text in ".{0,150}", max_len in 1usize..96) {
+        let tok = trained_tokenizer();
+        let a = tok.encode(&text, max_len);
+        let b = tok.encode(&text, max_len);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.ids.len(), max_len);
+        let real = a.real_len();
+        prop_assert!(a.mask[..real].iter().all(|&m| m == 1));
+        prop_assert!(a.mask[real..].iter().all(|&m| m == 0));
+        prop_assert_eq!(a.ids[0], tok.vocab().cls_id());
+    }
+
+    /// Every produced id is within the vocabulary.
+    #[test]
+    fn ids_in_vocab(text in ".{0,100}") {
+        let tok = trained_tokenizer();
+        for id in tok.text_to_ids(&text) {
+            prop_assert!((id as usize) < tok.vocab().len());
+        }
+    }
+
+    /// Subword pieces of an in-alphabet word concatenate back to the word.
+    #[test]
+    fn subwords_reconstruct(word in "[a-z]{1,12}") {
+        let tok = trained_tokenizer();
+        let ids = tok.word_to_ids(&word);
+        if ids != vec![tok.vocab().unk_id()] {
+            let rebuilt: String = ids
+                .iter()
+                .map(|&i| tok.vocab().token_of(i).trim_start_matches("##"))
+                .collect();
+            prop_assert_eq!(rebuilt, word);
+        }
+    }
+
+    /// Trainer determinism: same corpus -> same vocabulary.
+    #[test]
+    fn trainer_deterministic(corpus in prop::collection::vec("[a-z ]{1,30}", 1..6)) {
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let v1 = WordPieceTrainer::new(120).train(refs.iter().copied());
+        let v2 = WordPieceTrainer::new(120).train(refs.iter().copied());
+        let t1: Vec<&str> = v1.iter().map(|(_, t)| t).collect();
+        let t2: Vec<&str> = v2.iter().map(|(_, t)| t).collect();
+        prop_assert_eq!(t1, t2);
+    }
+}

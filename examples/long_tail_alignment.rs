@@ -1,0 +1,93 @@
+//! Long-tail entity alignment (paper Section V-B2): on a sparse
+//! SRPRS-style dataset, compare how SDEA and a structure-only baseline
+//! fare on long-tail test entities (degree <= 3) versus normal ones.
+//!
+//! ```sh
+//! cargo run --release --example long_tail_alignment
+//! ```
+
+use sdea::baselines::transe::JapeStru;
+use sdea::baselines::{AlignmentMethod, MethodInput};
+use sdea::eval::evaluate_ranking;
+use sdea::prelude::*;
+
+fn main() {
+    let ds = sdea::synth::generate(&DatasetProfile::srprs_en_fr(220, 11));
+    let mut rng = Rng::seed_from_u64(11);
+    let split = ds.seeds.split_paper(&mut rng);
+    let corpus = sdea::synth::corpus::dataset_corpus(&ds);
+
+    // Partition test pairs by the source entity's degree.
+    let (tail, normal): (Vec<_>, Vec<_>) = split
+        .test
+        .iter()
+        .copied()
+        .partition(|&(e1, _)| ds.kg1().degree(e1) <= 3);
+    println!(
+        "{} test pairs: {} long-tail (degree <= 3), {} normal",
+        split.test.len(),
+        tail.len(),
+        normal.len()
+    );
+
+    // --- SDEA ---
+    let mut cfg = SdeaConfig::default();
+    cfg.attr_epochs = 6;
+    cfg.rel_epochs = 15;
+    cfg.seed = 11;
+    let pipeline = SdeaPipeline {
+        kg1: ds.kg1(),
+        kg2: ds.kg2(),
+        split: &split,
+        corpus: &corpus,
+        cfg,
+        variant: RelVariant::Full,
+    };
+    println!("training SDEA...");
+    let model = pipeline.run();
+
+    // --- structure-only baseline ---
+    println!("training JAPE-Stru (structure-only baseline)...");
+    let input = MethodInput {
+        kg1: ds.kg1(),
+        kg2: ds.kg2(),
+        split: &split,
+        corpus: &corpus,
+        seed: 11,
+    };
+    let baseline_result = JapeStru::default().align(&input);
+
+    // Evaluate each method on each stratum.
+    let eval_stratum = |pairs: &[(sdea::kg::EntityId, sdea::kg::EntityId)]| {
+        if pairs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let sdea_m = model.align_test(pairs).metrics();
+        // baseline similarity rows correspond to split.test order
+        let idx: Vec<usize> = pairs
+            .iter()
+            .map(|p| split.test.iter().position(|q| q == p).expect("test pair"))
+            .collect();
+        let m = baseline_result.sim.shape()[1];
+        let mut data = Vec::with_capacity(idx.len() * m);
+        for &i in &idx {
+            data.extend_from_slice(&baseline_result.sim.data()[i * m..(i + 1) * m]);
+        }
+        let sub_sim = Tensor::from_vec(data, &[idx.len(), m]);
+        let gold: Vec<usize> = pairs.iter().map(|&(_, e)| e.0 as usize).collect();
+        let base_m = evaluate_ranking(&sub_sim, &gold);
+        (sdea_m.hits1, base_m.hits1)
+    };
+
+    let (sdea_tail, base_tail) = eval_stratum(&tail);
+    let (sdea_norm, base_norm) = eval_stratum(&normal);
+    println!("\n                     {:>12} {:>12}", "long-tail", "normal");
+    println!("SDEA      Hits@1     {:>11.1}% {:>11.1}%", sdea_tail * 100.0, sdea_norm * 100.0);
+    println!("JAPE-Stru Hits@1     {:>11.1}% {:>11.1}%", base_tail * 100.0, base_norm * 100.0);
+    println!(
+        "\nThe paper's claim: structure-only methods collapse on long-tail\n\
+         entities while SDEA keeps working by reading their long-text\n\
+         attributes (Section V-B2). SDEA's long-tail advantage here: {:+.1} points.",
+        (sdea_tail - base_tail) * 100.0
+    );
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs every experiment of the SDEA reproduction in sequence and archives
+# the outputs under results/. SDEA_SCALE=quick|full controls dataset size.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p sdea-bench || exit 1
+run() {
+  local name="$1"
+  echo "=== $name ==="
+  ./target/release/"$name" > "results/$name.txt" 2> "results/$name.log"
+  tail -5 "results/$name.txt"
+}
+run table1_stats
+run table6_degrees
+run error_analysis
+run table3_dbp15k
+run table4_srprs
+run table5_openea
+run stable_matching_boost
+run ablation
+run extension_numeric
+run extension_bootstrap
+run attention_analysis
+echo "all experiments archived under results/"

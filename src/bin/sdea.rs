@@ -1,0 +1,209 @@
+//! `sdea` — command-line interface to the entity-alignment system.
+//!
+//! Subcommands:
+//!
+//! * `generate <profile> <dir> [--links N] [--seed S]` — generate a
+//!   benchmark dataset and write it as OpenEA-style TSV files.
+//! * `align <dir> [--seed S] [--out model.sdt] [--matching]` — load a
+//!   dataset directory (as written by `generate`, or any OpenEA-format
+//!   dump), train SDEA, report metrics, optionally save the model.
+//! * `rank <dir> <model.sdt> <entity-name> [--top K]` — load a trained
+//!   model and print the top-K aligned candidates for one KG1 entity.
+//! * `profiles` — list available dataset profiles.
+//!
+//! Dataset directory layout (`generate` writes, `align`/`rank` read):
+//! `rel_triples_1  attr_triples_1  rel_triples_2  attr_triples_2  ent_links`.
+
+use sdea::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(|s| s.as_str()) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("align") => cmd_align(&args[1..]),
+        Some("rank") => cmd_rank(&args[1..]),
+        Some("profiles") => {
+            for (name, desc) in PROFILES {
+                println!("{name:<10} {desc}");
+            }
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage: sdea <generate|align|rank|profiles> ...\n\
+                 \n  sdea generate <profile> <dir> [--links N] [--seed S]\
+                 \n  sdea align <dir> [--seed S] [--out model.sdt] [--matching]\
+                 \n  sdea rank <dir> <model.sdt> <entity-name> [--top K]\
+                 \n  sdea profiles"
+            );
+            2
+        }
+    };
+    exit(code);
+}
+
+const PROFILES: &[(&str, &str)] = &[
+    ("zh_en", "DBP15K ZH-EN: dense, transliterated names"),
+    ("ja_en", "DBP15K JA-EN: dense, transliterated names"),
+    ("fr_en", "DBP15K FR-EN: dense, near-literal names"),
+    ("en_fr", "SRPRS EN-FR: sparse, long-tail, literal names"),
+    ("en_de", "SRPRS EN-DE: sparse, long-tail, literal names"),
+    ("dbp_wd", "SRPRS DBP-WD: sparse, monolingual"),
+    ("dbp_yg", "SRPRS DBP-YG: sparse, attribute-poor YAGO side"),
+    ("d_w", "OpenEA D-W V1: sparse, Wikidata Q-id names"),
+];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn profile_by_name(name: &str, links: usize, seed: u64) -> Option<DatasetProfile> {
+    Some(match name {
+        "zh_en" => DatasetProfile::dbp15k_zh_en(links, seed),
+        "ja_en" => DatasetProfile::dbp15k_ja_en(links, seed),
+        "fr_en" => DatasetProfile::dbp15k_fr_en(links, seed),
+        "en_fr" => DatasetProfile::srprs_en_fr(links, seed),
+        "en_de" => DatasetProfile::srprs_en_de(links, seed),
+        "dbp_wd" => DatasetProfile::srprs_dbp_wd(links, seed),
+        "dbp_yg" => DatasetProfile::srprs_dbp_yg(links, seed),
+        "d_w" => DatasetProfile::openea_d_w(links, seed),
+        _ => return None,
+    })
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let (Some(profile_name), Some(dir)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: sdea generate <profile> <dir> [--links N] [--seed S]");
+        return 2;
+    };
+    let links = flag_value(args, "--links").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    let Some(profile) = profile_by_name(profile_name, links, seed) else {
+        eprintln!("unknown profile {profile_name}; see `sdea profiles`");
+        return 2;
+    };
+    let ds = sdea::synth::generate(&profile);
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    let write = || -> std::io::Result<()> {
+        sdea::kg::io::save_kg(ds.kg1(), &dir.join("rel_triples_1"), &dir.join("attr_triples_1"))?;
+        sdea::kg::io::save_kg(ds.kg2(), &dir.join("rel_triples_2"), &dir.join("attr_triples_2"))?;
+        sdea::kg::io::save_links(&ds.seeds, ds.kg1(), ds.kg2(), &dir.join("ent_links"))
+    };
+    if let Err(e) = write() {
+        eprintln!("write failed: {e}");
+        return 1;
+    }
+    println!(
+        "wrote {} ({} + {} entities, {} links) to {}",
+        ds.name,
+        ds.kg1().num_entities(),
+        ds.kg2().num_entities(),
+        ds.seeds.len(),
+        dir.display()
+    );
+    0
+}
+
+fn load_dir(dir: &Path) -> std::io::Result<(KnowledgeGraph, KnowledgeGraph, AlignmentSeeds)> {
+    let kg1 = sdea::kg::io::load_kg(&dir.join("rel_triples_1"), &dir.join("attr_triples_1"))?;
+    let kg2 = sdea::kg::io::load_kg(&dir.join("rel_triples_2"), &dir.join("attr_triples_2"))?;
+    let seeds = sdea::kg::io::load_links(&kg1, &kg2, &dir.join("ent_links"))?;
+    Ok((kg1, kg2, seeds))
+}
+
+fn cmd_align(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: sdea align <dir> [--seed S] [--out model.sdt] [--matching]");
+        return 2;
+    };
+    let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    let (kg1, kg2, seeds) = match load_dir(Path::new(dir)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot load dataset from {dir}: {e}");
+            return 1;
+        }
+    };
+    let mut rng = Rng::seed_from_u64(seed);
+    let split = seeds.split_paper(&mut rng);
+    let mut corpus: Vec<String> = kg1.attr_triples().iter().map(|t| t.value.clone()).collect();
+    corpus.extend(kg2.attr_triples().iter().map(|t| t.value.clone()));
+    let cfg = SdeaConfig { seed, ..SdeaConfig::default() };
+    eprintln!(
+        "training SDEA on {} + {} entities ({} train / {} valid / {} test links)...",
+        kg1.num_entities(),
+        kg2.num_entities(),
+        split.train.len(),
+        split.valid.len(),
+        split.test.len()
+    );
+    let model = SdeaPipeline {
+        kg1: &kg1,
+        kg2: &kg2,
+        split: &split,
+        corpus: &corpus,
+        cfg,
+        variant: RelVariant::Full,
+    }
+    .run();
+    let result = model.align_test(&split.test);
+    let m = result.metrics();
+    println!("Hits@1 {:.1}%  Hits@10 {:.1}%  MRR {:.2}", m.hits1 * 100.0, m.hits10 * 100.0, m.mrr);
+    if args.iter().any(|a| a == "--matching") {
+        println!("Hits@1 with stable matching: {:.1}%", result.stable_matching_hits1() * 100.0);
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        if let Err(e) = sdea::core::model_io::save_model(&model, &out) {
+            eprintln!("cannot save model: {e}");
+            return 1;
+        }
+        println!("model saved to {out}");
+    }
+    0
+}
+
+fn cmd_rank(args: &[String]) -> i32 {
+    let (Some(dir), Some(model_path), Some(entity)) = (args.first(), args.get(1), args.get(2))
+    else {
+        eprintln!("usage: sdea rank <dir> <model.sdt> <entity-name> [--top K]");
+        return 2;
+    };
+    let top = flag_value(args, "--top").and_then(|v| v.parse().ok()).unwrap_or(5usize);
+    let (kg1, kg2, _) = match load_dir(Path::new(dir)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot load dataset from {dir}: {e}");
+            return 1;
+        }
+    };
+    let model = match sdea::core::model_io::load_model(model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot load model: {e}");
+            return 1;
+        }
+    };
+    let Some(e1) = kg1.find_entity(entity) else {
+        eprintln!("entity {entity:?} not found in KG1");
+        return 1;
+    };
+    let src = model.ent1.gather_rows(&[e1.0 as usize]);
+    let sim = sdea::eval::cosine_matrix(&src, &model.ent2);
+    let best = sdea::eval::top_k_indices(sim.data(), top);
+    println!("top {top} candidates for {entity}:");
+    for (rank, &j) in best.iter().enumerate() {
+        println!(
+            "  {}. {:<30} cosine {:+.3}",
+            rank + 1,
+            kg2.entity_name(sdea::kg::EntityId(j as u32)),
+            sim.data()[j]
+        );
+    }
+    0
+}

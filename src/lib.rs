@@ -1,0 +1,61 @@
+//! # sdea
+//!
+//! Umbrella crate for the SDEA entity-alignment system — a from-scratch
+//! Rust reproduction of *"Semantics Driven Embedding Learning for Effective
+//! Entity Alignment"* (Zhong et al., ICDE 2022).
+//!
+//! This crate re-exports the full workspace so applications depend on one
+//! crate:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autograd
+//! * [`text`] — WordPiece-style tokenization
+//! * [`lm`] — the mini pre-trainable transformer (BERT substitute)
+//! * [`kg`] — knowledge-graph stores, statistics, IO
+//! * [`synth`] — benchmark generation (DBP15K / SRPRS / OpenEA profiles)
+//! * [`core`] — SDEA itself (attribute + relation embedding, training,
+//!   alignment)
+//! * [`baselines`] — the comparison methods of the paper's tables
+//! * [`eval`] — Hits@K / MRR metrics and reporting
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use sdea::prelude::*;
+//!
+//! // Generate a small DBP15K-style benchmark.
+//! let ds = sdea::synth::generate(&DatasetProfile::dbp15k_fr_en(300, 7));
+//! let mut rng = Rng::seed_from_u64(7);
+//! let split = ds.seeds.split_paper(&mut rng);
+//! let corpus = sdea::synth::corpus::dataset_corpus(&ds);
+//!
+//! // Train SDEA end-to-end.
+//! let pipeline = SdeaPipeline {
+//!     kg1: ds.kg1(),
+//!     kg2: ds.kg2(),
+//!     split: &split,
+//!     corpus: &corpus,
+//!     cfg: SdeaConfig::default(),
+//!     variant: RelVariant::Full,
+//! };
+//! let model = pipeline.run();
+//! println!("test H@1 = {:.1}%", model.test_metrics(&split.test).hits1 * 100.0);
+//! ```
+
+pub use sdea_baselines as baselines;
+pub use sdea_core as core;
+pub use sdea_eval as eval;
+pub use sdea_kg as kg;
+pub use sdea_lm as lm;
+pub use sdea_synth as synth;
+pub use sdea_tensor as tensor;
+pub use sdea_text as text;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use sdea_core::rel_module::RelVariant;
+    pub use sdea_core::{SdeaConfig, SdeaModel, SdeaPipeline};
+    pub use sdea_eval::AlignmentMetrics;
+    pub use sdea_kg::{AlignmentSeeds, KgBuilder, KnowledgeGraph, SplitSeeds};
+    pub use sdea_synth::{DatasetProfile, GeneratedDataset};
+    pub use sdea_tensor::{Rng, Tensor};
+}

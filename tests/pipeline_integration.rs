@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: generator -> tokenizer -> LM -> SDEA ->
+//! metrics, exercised through the public umbrella API.
+
+use sdea::prelude::*;
+
+fn tiny_cfg(seed: u64) -> SdeaConfig {
+    let mut cfg = SdeaConfig::test_tiny();
+    cfg.attr_epochs = 3;
+    cfg.rel_epochs = 6;
+    cfg.max_seq = 32;
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_pipeline(profile: &DatasetProfile, seed: u64) -> (GeneratedDataset, SplitSeeds, SdeaModel) {
+    let ds = sdea::synth::generate(profile);
+    let mut rng = Rng::seed_from_u64(seed);
+    let split = ds.seeds.split_paper(&mut rng);
+    let corpus = sdea::synth::corpus::dataset_corpus(&ds);
+    let model = SdeaPipeline {
+        kg1: ds.kg1(),
+        kg2: ds.kg2(),
+        split: &split,
+        corpus: &corpus,
+        cfg: tiny_cfg(seed),
+        variant: sdea::core::rel_module::RelVariant::Full,
+    }
+    .run();
+    (ds, split, model)
+}
+
+#[test]
+fn sdea_end_to_end_beats_random_through_public_api() {
+    let (ds, split, model) = run_pipeline(&DatasetProfile::dbp15k_fr_en(80, 5), 5);
+    let m = model.test_metrics(&split.test);
+    let chance = 1.0 / ds.kg2().num_entities() as f64;
+    assert!(m.hits1 > 5.0 * chance, "H@1 {:.3} vs chance {:.4}", m.hits1, chance);
+    assert!(m.hits10 >= m.hits1);
+    assert!(m.mrr >= m.hits1);
+}
+
+#[test]
+fn embeddings_have_expected_shapes_and_are_finite() {
+    let (ds, _split, model) = run_pipeline(&DatasetProfile::srprs_en_fr(60, 9), 9);
+    assert_eq!(model.h_a1.shape()[0], ds.kg1().num_entities());
+    assert_eq!(model.ent1.shape()[1], 3 * model.h_a1.shape()[1]);
+    assert!(model.ent1.all_finite());
+    assert!(model.ent2.all_finite());
+}
+
+#[test]
+fn pipeline_is_deterministic_given_seed() {
+    let (_, split1, model1) = run_pipeline(&DatasetProfile::dbp15k_fr_en(60, 13), 13);
+    let (_, split2, model2) = run_pipeline(&DatasetProfile::dbp15k_fr_en(60, 13), 13);
+    assert_eq!(split1.test, split2.test);
+    let m1 = model1.test_metrics(&split1.test);
+    let m2 = model2.test_metrics(&split2.test);
+    assert_eq!(m1, m2, "same seed must reproduce identical metrics");
+    assert_eq!(model1.ent1, model2.ent1);
+}
+
+#[test]
+fn stable_matching_consistent_with_similarity() {
+    let (_, split, model) = run_pipeline(&DatasetProfile::dbp15k_fr_en(60, 17), 17);
+    let result = model.align_test(&split.test);
+    let matched = sdea::core::align::stable_matching(&result.sim);
+    // every row matched (columns >= rows), all assignments distinct
+    let assigned: Vec<usize> = matched.iter().flatten().copied().collect();
+    assert_eq!(assigned.len(), split.test.len());
+    let set: std::collections::HashSet<_> = assigned.iter().collect();
+    assert_eq!(set.len(), assigned.len());
+}
+
+#[test]
+fn generated_kg_round_trips_through_tsv() {
+    let ds = sdea::synth::generate(&DatasetProfile::srprs_dbp_yg(60, 3));
+    let dir = std::env::temp_dir().join(format!("sdea_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rel = dir.join("rel.tsv");
+    let attr = dir.join("attr.tsv");
+    sdea::kg::io::save_kg(ds.kg1(), &rel, &attr).unwrap();
+    let back = sdea::kg::io::load_kg(&rel, &attr).unwrap();
+    assert_eq!(back.rel_triples().len(), ds.kg1().rel_triples().len());
+    assert_eq!(back.attr_triples().len(), ds.kg1().attr_triples().len());
+    // links round trip too
+    let links = dir.join("links.tsv");
+    sdea::kg::io::save_links(&ds.seeds, ds.kg1(), ds.kg2(), &links).unwrap();
+    let seeds2 = sdea::kg::io::load_links(ds.kg1(), ds.kg2(), &links).unwrap();
+    assert_eq!(seeds2, ds.seeds);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ablation_variants_all_run() {
+    use sdea::core::rel_module::RelVariant;
+    let ds = sdea::synth::generate(&DatasetProfile::dbp15k_fr_en(50, 23));
+    let mut rng = Rng::seed_from_u64(23);
+    let split = ds.seeds.split_paper(&mut rng);
+    let corpus = sdea::synth::corpus::dataset_corpus(&ds);
+    for variant in [RelVariant::Full, RelVariant::MeanPool, RelVariant::NoGru] {
+        let model = SdeaPipeline {
+            kg1: ds.kg1(),
+            kg2: ds.kg2(),
+            split: &split,
+            corpus: &corpus,
+            cfg: tiny_cfg(23),
+            variant,
+        }
+        .run();
+        let m = model.test_metrics(&split.test);
+        assert!(m.mrr > 0.0, "{variant:?} produced degenerate ranking");
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, spanning generator, tokenizer, metrics and
+//! matching.
+
+use proptest::prelude::*;
+use sdea::core::align::stable_matching;
+use sdea::eval::{evaluate_ranking, rank_of};
+use sdea::prelude::{DatasetProfile, Tensor};
+use sdea::tensor::Rng as SdeaRng;
+use sdea::text::{Tokenizer, WordPieceTrainer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated dataset has bijective seeds referencing valid entities.
+    #[test]
+    fn generated_seeds_are_bijective(links in 30usize..90, seed in 0u64..500) {
+        let ds = sdea::synth::generate(&DatasetProfile::dbp15k_zh_en(links, seed));
+        let lefts: std::collections::HashSet<_> = ds.seeds.pairs.iter().map(|p| p.0).collect();
+        let rights: std::collections::HashSet<_> = ds.seeds.pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(lefts.len(), ds.seeds.len());
+        prop_assert_eq!(rights.len(), ds.seeds.len());
+        for &(a, b) in &ds.seeds.pairs {
+            prop_assert!((a.0 as usize) < ds.kg1().num_entities());
+            prop_assert!((b.0 as usize) < ds.kg2().num_entities());
+        }
+    }
+
+    /// Entity IRIs within a generated KG are unique (the builder would
+    /// silently merge duplicates otherwise).
+    #[test]
+    fn generated_entity_names_unique(links in 30usize..80, seed in 0u64..200) {
+        let ds = sdea::synth::generate(&DatasetProfile::srprs_en_de(links, seed));
+        for kg in [ds.kg1(), ds.kg2()] {
+            let names: std::collections::HashSet<&str> =
+                kg.entities().map(|e| kg.entity_name(e)).collect();
+            prop_assert_eq!(names.len(), kg.num_entities());
+        }
+    }
+
+    /// Tokenization of arbitrary text never panics and respects max_len.
+    #[test]
+    fn tokenizer_total_on_arbitrary_text(text in ".{0,200}", max_len in 1usize..64) {
+        let vocab = WordPieceTrainer::new(300)
+            .train(["hello world born 1985 club city"].into_iter());
+        let tok = Tokenizer::new(vocab);
+        let enc = tok.encode(&text, max_len);
+        prop_assert_eq!(enc.ids.len(), max_len);
+        prop_assert_eq!(enc.mask.len(), max_len);
+        prop_assert!(enc.real_len() >= 1);
+    }
+
+    /// rank_of is consistent: the top-scored index has rank 1; ranks are a
+    /// permutation of 1..=n when scores are distinct.
+    #[test]
+    fn rank_of_is_a_permutation(scores in prop::collection::vec(-100i32..100, 2..30)) {
+        // make distinct
+        let scores: Vec<f32> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s as f32 + i as f32 * 1e-3)
+            .collect();
+        let mut ranks: Vec<usize> = (0..scores.len()).map(|i| rank_of(&scores, i)).collect();
+        ranks.sort_unstable();
+        let expected: Vec<usize> = (1..=scores.len()).collect();
+        prop_assert_eq!(ranks, expected);
+    }
+
+    /// Metrics identities: H@1 <= H@10, H@1 <= MRR <= 1, and a permuted
+    /// identity matrix gives perfect scores.
+    #[test]
+    fn metric_identities(n in 2usize..20, seed in 0u64..1000) {
+        let mut rng = SdeaRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        let mut data = vec![0.0f32; n * n];
+        for (i, &p) in perm.iter().enumerate() {
+            data[i * n + p] = 1.0;
+        }
+        let sim = Tensor::from_vec(data, &[n, n]);
+        let perfect = evaluate_ranking(&sim, &perm);
+        prop_assert_eq!(perfect.hits1, 1.0);
+        prop_assert_eq!(perfect.mrr, 1.0);
+        // random gold on random scores keeps invariants
+        let rand = Tensor::rand_normal(&[n, n], 1.0, &mut rng);
+        let gold: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+        let m = evaluate_ranking(&rand, &gold);
+        prop_assert!(m.hits1 <= m.hits10);
+        prop_assert!(m.hits1 <= m.mrr + 1e-12);
+        prop_assert!(m.mrr <= 1.0);
+    }
+
+    /// Stable matching never produces a blocking pair and assigns columns
+    /// at most once.
+    #[test]
+    fn stable_matching_is_stable(n in 2usize..12, m in 2usize..12, seed in 0u64..1000) {
+        let mut rng = SdeaRng::seed_from_u64(seed);
+        let sim = Tensor::rand_normal(&[n, m], 1.0, &mut rng);
+        let matched = stable_matching(&sim);
+        // injectivity
+        let assigned: Vec<usize> = matched.iter().flatten().copied().collect();
+        let set: std::collections::HashSet<_> = assigned.iter().collect();
+        prop_assert_eq!(set.len(), assigned.len());
+        // no blocking pair
+        for r in 0..n {
+            let Some(rc) = matched[r] else { continue };
+            for c in 0..m {
+                if c == rc {
+                    continue;
+                }
+                let r_prefers = sim.at2(r, c) > sim.at2(r, rc);
+                let holder = matched.iter().position(|&x| x == Some(c));
+                let c_prefers = match holder {
+                    Some(h) => sim.at2(r, c) > sim.at2(h, c),
+                    None => true,
+                };
+                prop_assert!(!(r_prefers && c_prefers), "blocking pair ({}, {})", r, c);
+            }
+        }
+    }
+
+    /// The degree-bucket statistics are monotone: P(1..3) <= P(1..5) <= P(1..10).
+    #[test]
+    fn degree_buckets_monotone(links in 30usize..80, seed in 0u64..200) {
+        let ds = sdea::synth::generate(&DatasetProfile::srprs_dbp_yg(links, seed));
+        let d = sdea::kg::DegreeBuckets::of_pair(ds.kg1(), ds.kg2());
+        prop_assert!(d.upto3 <= d.upto5 + 1e-12);
+        prop_assert!(d.upto5 <= d.upto10 + 1e-12);
+        prop_assert!(d.upto10 <= 1.0 + 1e-12);
+    }
+}
