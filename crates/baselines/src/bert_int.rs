@@ -25,9 +25,8 @@ pub struct BertInt {
 
 impl Default for BertInt {
     fn default() -> Self {
-        let mut cfg = SdeaConfig::default();
-        cfg.max_seq = 16; // names are short
-        cfg.attr_epochs = 10;
+        // max_seq 16: names are short
+        let cfg = SdeaConfig { max_seq: 16, attr_epochs: 10, ..SdeaConfig::default() };
         BertInt { cfg, name_weight: 0.8 }
     }
 }

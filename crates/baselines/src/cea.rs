@@ -59,12 +59,9 @@ impl AlignmentMethod for Cea {
             let g = Graph::new();
             let z1 = forward(&g, &store, &adj1, feat1);
             let z2 = forward(&g, &store, &adj2, feat2);
-            let rows_a: Vec<usize> =
-                input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
-            let rows_p: Vec<usize> =
-                input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
-            let rows_n: Vec<usize> =
-                (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
+            let rows_a: Vec<usize> = input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
+            let rows_p: Vec<usize> = input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
+            let rows_n: Vec<usize> = (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
             let loss = margin_ranking_loss(
                 &g,
                 g.gather_rows(z1, &rows_a),
@@ -144,13 +141,8 @@ mod tests {
     #[test]
     fn stable_matching_does_not_hurt_hits1() {
         let (ds, split, corpus) = tiny_dataset(120, 44);
-        let input = MethodInput {
-            kg1: ds.kg1(),
-            kg2: ds.kg2(),
-            split: &split,
-            corpus: &corpus,
-            seed: 44,
-        };
+        let input =
+            MethodInput { kg1: ds.kg1(), kg2: ds.kg2(), split: &split, corpus: &corpus, seed: 44 };
         let result = quick().align(&input);
         let emb_h1 = result.metrics().hits1;
         let matched_h1 = result.stable_matching_hits1();

@@ -82,11 +82,7 @@ impl UnionSpace {
 }
 
 /// Ranks KG2 entities for the test sources given per-KG embedding tables.
-pub fn rank_test(
-    emb1: &Tensor,
-    emb2: &Tensor,
-    test: &[(EntityId, EntityId)],
-) -> AlignmentResult {
+pub fn rank_test(emb1: &Tensor, emb2: &Tensor, test: &[(EntityId, EntityId)]) -> AlignmentResult {
     let rows: Vec<usize> = test.iter().map(|&(e, _)| e.0 as usize).collect();
     let gold: Vec<usize> = test.iter().map(|&(_, e)| e.0 as usize).collect();
     AlignmentResult::rank(&emb1.gather_rows(&rows), emb2, gold)

@@ -108,8 +108,7 @@ pub fn attr_correlation_embeddings(input: &MethodInput<'_>, dim: usize) -> (Tens
     collect(input.kg2, off, &mut pairs);
     // cross-KG co-occurrence through merged training pairs
     for &(e1, e2) in &input.split.train {
-        let a1: Vec<usize> =
-            input.kg1.attr_triples_of(e1).map(|t| t.attr.0 as usize).collect();
+        let a1: Vec<usize> = input.kg1.attr_triples_of(e1).map(|t| t.attr.0 as usize).collect();
         let a2: Vec<usize> =
             input.kg2.attr_triples_of(e2).map(|t| off + t.attr.0 as usize).collect();
         for &x in &a1 {
@@ -254,10 +253,8 @@ pub fn name_similarity_matrix(
     src_rows: &[usize],
 ) -> Tensor {
     let m = kg2.num_entities();
-    let names2: Vec<String> = kg2
-        .entities()
-        .map(|e| kg2.entity_name(e).replace('_', " ").to_lowercase())
-        .collect();
+    let names2: Vec<String> =
+        kg2.entities().map(|e| kg2.entity_name(e).replace('_', " ").to_lowercase()).collect();
     let mut out = Tensor::zeros(&[src_rows.len(), m]);
     for (i, &r) in src_rows.iter().enumerate() {
         let n1 = kg1.entity_name(sdea_kg::EntityId(r as u32)).replace('_', " ").to_lowercase();

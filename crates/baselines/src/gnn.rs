@@ -75,13 +75,7 @@ struct GcnCore {
 }
 
 impl GcnCore {
-    fn new(
-        n1: usize,
-        n2: usize,
-        p: &GnnParams,
-        store: &mut ParamStore,
-        rng: &mut Rng,
-    ) -> Self {
+    fn new(n1: usize, n2: usize, p: &GnnParams, store: &mut ParamStore, rng: &mut Rng) -> Self {
         GcnCore {
             feat1: store.add("gcn.feat1", Tensor::rand_normal(&[n1, p.in_dim], 0.3, rng)),
             feat2: store.add("gcn.feat2", Tensor::rand_normal(&[n2, p.in_dim], 0.3, rng)),
@@ -90,13 +84,7 @@ impl GcnCore {
         }
     }
 
-    fn forward(
-        &self,
-        g: &Graph,
-        store: &ParamStore,
-        adj: &Arc<CsrMatrix>,
-        feat: ParamId,
-    ) -> Var {
+    fn forward(&self, g: &Graph, store: &ParamStore, adj: &Arc<CsrMatrix>, feat: ParamId) -> Var {
         let x = g.param(store, feat);
         let w1 = g.param(store, self.w1);
         let w2 = g.param(store, self.w2);
@@ -142,13 +130,8 @@ fn train_seed_margin(
 }
 
 /// GCN (structure only).
+#[derive(Default)]
 pub struct Gcn(pub GnnParams);
-
-impl Default for Gcn {
-    fn default() -> Self {
-        Gcn(GnnParams::default())
-    }
-}
 
 impl AlignmentMethod for Gcn {
     fn name(&self) -> &'static str {
@@ -168,7 +151,10 @@ impl AlignmentMethod for Gcn {
             p,
             &mut rng,
             |g, store| {
-                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+                (
+                    core.forward(g, store, &adj1, core.feat1),
+                    core.forward(g, store, &adj2, core.feat2),
+                )
             },
             &input.split.train,
             n2,
@@ -214,7 +200,10 @@ impl AlignmentMethod for GcnAlign {
             p,
             &mut rng,
             |g, store| {
-                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+                (
+                    core.forward(g, store, &adj1, core.feat1),
+                    core.forward(g, store, &adj2, core.feat2),
+                )
             },
             &input.split.train,
             n2,
@@ -305,11 +294,7 @@ fn gat_layer(
     let mut mask = Tensor::zeros(&[n, t_max]);
     let mut col_indices: Vec<Vec<usize>> = Vec::with_capacity(t_max);
     for t in 0..t_max {
-        let idx: Vec<usize> = neigh
-            .iter()
-            .enumerate()
-            .map(|(_i, l)| if t < l.len() { l[t] } else { 0 })
-            .collect();
+        let idx: Vec<usize> = neigh.iter().map(|l| if t < l.len() { l[t] } else { 0 }).collect();
         for (i, l) in neigh.iter().enumerate() {
             if t >= l.len() {
                 mask.row_mut(i)[t] = -1e9;
@@ -404,12 +389,9 @@ impl AlignmentMethod for GatAligner {
             let x2 = g.param(&store, feat2);
             let z1 = gat_layer(&g, &store, x1, w, a_self, a_nbr, &neigh1);
             let z2 = gat_layer(&g, &store, x2, w, a_self, a_nbr, &neigh2);
-            let rows_a: Vec<usize> =
-                input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
-            let rows_p: Vec<usize> =
-                input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
-            let rows_n: Vec<usize> =
-                (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
+            let rows_a: Vec<usize> = input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
+            let rows_p: Vec<usize> = input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
+            let rows_n: Vec<usize> = (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
             let anchor = g.gather_rows(z1, &rows_a);
             let pos = g.gather_rows(z2, &rows_p);
             let neg = g.gather_rows(z2, &rows_n);
@@ -455,13 +437,8 @@ impl AlignmentMethod for GatAligner {
 
 /// HMAN: GCN topology channel + FNN channels over attribute and relation
 /// multi-hot features.
+#[derive(Default)]
 pub struct Hman(pub GnnParams);
-
-impl Default for Hman {
-    fn default() -> Self {
-        Hman(GnnParams::default())
-    }
-}
 
 /// Relation multi-hot: 1 if the entity has an incident edge of that
 /// relation (union feature axis).
@@ -498,7 +475,10 @@ impl AlignmentMethod for Hman {
             p,
             &mut rng,
             |g, store| {
-                (core.forward(g, store, &adj1, core.feat1), core.forward(g, store, &adj2, core.feat2))
+                (
+                    core.forward(g, store, &adj1, core.feat1),
+                    core.forward(g, store, &adj2, core.feat2),
+                )
             },
             &input.split.train,
             n2,
@@ -535,10 +515,8 @@ impl AlignmentMethod for Hman {
         let gf2 = Graph::new();
         let w = gf2.param(&fstore, fw);
         let b = gf2.param(&fstore, fb);
-        let fv1 =
-            gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f1), w), b)));
-        let fv2 =
-            gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f2), w), b)));
+        let fv1 = gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f1), w), b)));
+        let fv2 = gf2.value_cloned(gf2.tanh(gf2.add_bias(gf2.matmul(gf2.constant(f2), w), b)));
 
         // concatenate channels
         let e1 = Tensor::concat_cols(&[&z1, &fv1]);
@@ -613,10 +591,10 @@ mod tests {
                 row
             })
             .collect();
-        for r in 0..3 {
-            for c in 0..3 {
-                assert!((dense[r][c] - dense[c][r]).abs() < 1e-6, "symmetry ({r},{c})");
-                assert!((0.0..=1.0 + 1e-6).contains(&dense[r][c]));
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert!((v - dense[c][r]).abs() < 1e-6, "symmetry ({r},{c})");
+                assert!((0.0..=1.0 + 1e-6).contains(&v));
             }
         }
         // b has degree 3 (a, c, self) -> diagonal 1/3

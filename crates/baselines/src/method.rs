@@ -64,13 +64,8 @@ pub(crate) mod testkit {
     /// Asserts a method clearly beats random ranking on the tiny dataset.
     pub fn assert_beats_random(method: &dyn AlignmentMethod, factor: f64) {
         let (ds, split, corpus) = tiny_dataset(120, 33);
-        let input = MethodInput {
-            kg1: ds.kg1(),
-            kg2: ds.kg2(),
-            split: &split,
-            corpus: &corpus,
-            seed: 33,
-        };
+        let input =
+            MethodInput { kg1: ds.kg1(), kg2: ds.kg2(), split: &split, corpus: &corpus, seed: 33 };
         let result = method.align(&input);
         let m = result.metrics();
         let c = chance(&ds);

@@ -110,12 +110,9 @@ impl AlignmentMethod for NameGcn {
             let g = Graph::new();
             let z1 = forward(&g, &store, &adj1, &f1);
             let z2 = forward(&g, &store, &adj2, &f2);
-            let rows_a: Vec<usize> =
-                input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
-            let rows_p: Vec<usize> =
-                input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
-            let rows_n: Vec<usize> =
-                (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
+            let rows_a: Vec<usize> = input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
+            let rows_p: Vec<usize> = input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
+            let rows_n: Vec<usize> = (0..input.split.train.len()).map(|_| rng.below(n2)).collect();
             let anchor = g.gather_rows(z1, &rows_a);
             let pos = g.gather_rows(z2, &rows_p);
             let neg = g.gather_rows(z2, &rows_n);
@@ -167,13 +164,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(33);
         let split = ds.seeds.split_paper(&mut rng);
         let corpus = sdea_synth::corpus::dataset_corpus(&ds);
-        let input = MethodInput {
-            kg1: ds.kg1(),
-            kg2: ds.kg2(),
-            split: &split,
-            corpus: &corpus,
-            seed: 33,
-        };
+        let input =
+            MethodInput { kg1: ds.kg1(), kg2: ds.kg2(), split: &split, corpus: &corpus, seed: 33 };
         let mut m = NameGcn::rdgcn();
         m.params.epochs = 15;
         m.params.dim = 48;

@@ -37,13 +37,8 @@ impl Default for RsnParams {
 }
 
 /// The RSN4EA representative.
+#[derive(Default)]
 pub struct Rsn4Ea(pub RsnParams);
-
-impl Default for Rsn4Ea {
-    fn default() -> Self {
-        Rsn4Ea(RsnParams::default())
-    }
-}
 
 struct RsnModel {
     ent: ParamId,

@@ -109,8 +109,8 @@ impl TransECore {
         let dim = self.dim;
         match mode {
             ScoreMode::Plain => {
-                for i in 0..dim {
-                    let g = 2.0 * e[i] * sign * lr;
+                for (i, &ev) in e.iter().enumerate().take(dim) {
+                    let g = 2.0 * ev * sign * lr;
                     self.ent.row_mut(h)[i] -= g;
                     self.rel.row_mut(r)[i] -= g;
                     self.ent.row_mut(t)[i] += g;
@@ -272,13 +272,8 @@ impl TransECore {
 // ---------------------------------------------------------------- methods
 
 /// MTransE: separate spaces + ridge-regression mapping from seeds.
+#[derive(Default)]
 pub struct MTransE(pub TransEParams);
-
-impl Default for MTransE {
-    fn default() -> Self {
-        MTransE(TransEParams::default())
-    }
-}
 
 impl AlignmentMethod for MTransE {
     fn name(&self) -> &'static str {
@@ -291,9 +286,16 @@ impl AlignmentMethod for MTransE {
         let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
         let mut core = TransECore::new(space.n_rows(), n_rels, self.0.dim, &mut rng);
         for _ in 0..self.0.epochs {
-            core.epoch(&triples, &self.0, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+            core.epoch(
+                &triples,
+                &self.0,
+                ScoreMode::Plain,
+                Some(input.kg1.num_entities()),
+                &mut rng,
+            );
         }
-        let (e1, e2) = space.split_tables(&core.ent, input.kg1.num_entities(), input.kg2.num_entities());
+        let (e1, e2) =
+            space.split_tables(&core.ent, input.kg1.num_entities(), input.kg2.num_entities());
         // Mapping M: minimize ||X1 M − X2||² + λ||M||² over train seeds.
         let rows1: Vec<usize> = input.split.train.iter().map(|&(e, _)| e.0 as usize).collect();
         let rows2: Vec<usize> = input.split.train.iter().map(|&(_, e)| e.0 as usize).collect();
@@ -306,13 +308,8 @@ impl AlignmentMethod for MTransE {
 }
 
 /// JAPE-Stru: shared space with seed merging.
+#[derive(Default)]
 pub struct JapeStru(pub TransEParams);
-
-impl Default for JapeStru {
-    fn default() -> Self {
-        JapeStru(TransEParams::default())
-    }
-}
 
 fn shared_space_embeddings(
     input: &MethodInput<'_>,
@@ -375,13 +372,8 @@ impl AlignmentMethod for Jape {
 }
 
 /// NAEA: shared space + neighbourhood attention aggregation.
+#[derive(Default)]
 pub struct Naea(pub TransEParams);
-
-impl Default for Naea {
-    fn default() -> Self {
-        Naea(TransEParams::default())
-    }
-}
 
 impl AlignmentMethod for Naea {
     fn name(&self) -> &'static str {
@@ -463,7 +455,13 @@ impl AlignmentMethod for BootEa {
         let n2 = input.kg2.num_entities();
         let mut boot_pairs: Vec<(usize, usize)> = Vec::new();
         for epoch in 0..self.params.epochs {
-            core.epoch(&triples, &self.params, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+            core.epoch(
+                &triples,
+                &self.params,
+                ScoreMode::Plain,
+                Some(input.kg1.num_entities()),
+                &mut rng,
+            );
             if !boot_pairs.is_empty() {
                 // gentle pull: bootstrapped labels are noisy
                 core.align_pull(&boot_pairs, self.params.lr * 0.5);
@@ -487,14 +485,14 @@ pub fn mutual_nearest(e1: &Tensor, e2: &Tensor, threshold: f32) -> Vec<(usize, u
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
     let mut best_col = vec![(0usize, f32::NEG_INFINITY); m];
     let mut best_row = vec![(0usize, f32::NEG_INFINITY); n];
-    for i in 0..n {
-        for j in 0..m {
+    for (i, br) in best_row.iter_mut().enumerate() {
+        for (j, bc) in best_col.iter_mut().enumerate() {
             let s = sim.at2(i, j);
-            if s > best_row[i].1 {
-                best_row[i] = (j, s);
+            if s > br.1 {
+                *br = (j, s);
             }
-            if s > best_col[j].1 {
-                best_col[j] = (i, s);
+            if s > bc.1 {
+                *bc = (i, s);
             }
         }
     }
@@ -526,8 +524,12 @@ impl AlignmentMethod for TransEdge {
     }
 
     fn align(&self, input: &MethodInput<'_>) -> AlignmentResult {
-        let (e1, e2) =
-            shared_space_embeddings(input, &self.params, ScoreMode::EdgeContext(self.alpha), 0x0006);
+        let (e1, e2) = shared_space_embeddings(
+            input,
+            &self.params,
+            ScoreMode::EdgeContext(self.alpha),
+            0x0006,
+        );
         rank_test(&e1, &e2, &input.split.test)
     }
 }
@@ -556,13 +558,20 @@ impl AlignmentMethod for IpTransE {
         let space = UnionSpace::new(input.kg1, input.kg2, &input.split.train);
         let (triples, n_rels) = space.union_triples(input.kg1, input.kg2);
         // index triples by head for path sampling
-        let mut by_head: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        let mut by_head: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
         for (i, &(h, _, _)) in triples.iter().enumerate() {
             by_head.entry(h).or_default().push(i);
         }
         let mut core = TransECore::new(space.n_rows(), n_rels, self.params.dim, &mut rng);
         for _ in 0..self.params.epochs {
-            core.epoch(&triples, &self.params, ScoreMode::Plain, Some(input.kg1.num_entities()), &mut rng);
+            core.epoch(
+                &triples,
+                &self.params,
+                ScoreMode::Plain,
+                Some(input.kg1.num_entities()),
+                &mut rng,
+            );
             // sample 2-hop paths
             let mut paths = Vec::with_capacity(self.paths_per_epoch);
             for _ in 0..self.paths_per_epoch {
@@ -614,36 +623,25 @@ mod tests {
 
     #[test]
     fn jape_stru_beats_random() {
-        let mut p = TransEParams::default();
-        p.epochs = 30;
-        p.dim = 32;
+        let p = TransEParams { epochs: 30, dim: 32, ..TransEParams::default() };
         assert_beats_random(&JapeStru(p), 3.0);
     }
 
     #[test]
     fn mtranse_runs_and_is_sane() {
-        let mut p = TransEParams::default();
-        p.epochs = 20;
-        p.dim = 32;
+        let p = TransEParams { epochs: 20, dim: 32, ..TransEParams::default() };
         // MTransE is the weakest method in the paper; only require a valid
         // run with non-degenerate metrics.
         let (ds, split, corpus) = crate::method::testkit::tiny_dataset(120, 33);
-        let input = MethodInput {
-            kg1: ds.kg1(),
-            kg2: ds.kg2(),
-            split: &split,
-            corpus: &corpus,
-            seed: 33,
-        };
+        let input =
+            MethodInput { kg1: ds.kg1(), kg2: ds.kg2(), split: &split, corpus: &corpus, seed: 33 };
         let m = MTransE(p).align(&input).metrics();
         assert!(m.mrr > 0.0 && m.hits10 <= 1.0);
     }
 
     #[test]
     fn bootea_collects_boot_pairs_and_runs() {
-        let mut params = TransEParams::default();
-        params.epochs = 40;
-        params.dim = 32;
+        let params = TransEParams { epochs: 40, dim: 32, ..TransEParams::default() };
         let method = BootEa { params, boot_every: 12, threshold: 0.9 };
         assert_beats_random(&method, 2.0);
     }
@@ -661,9 +659,7 @@ mod tests {
 
     #[test]
     fn iptranse_paths_run() {
-        let mut p = TransEParams::default();
-        p.epochs = 15;
-        p.dim = 32;
+        let p = TransEParams { epochs: 15, dim: 32, ..TransEParams::default() };
         let method = IpTransE { params: p, paths_per_epoch: 300 };
         assert_beats_random(&method, 2.0);
     }

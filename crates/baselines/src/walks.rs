@@ -96,9 +96,9 @@ mod tests {
         let walks = generate_walks(&kg1, &kg2, &space, 500, 6, &mut rng);
         let n1 = kg1.num_entities();
         // some walk must contain both a row < n1 and a row >= n1
-        let crossing = walks.iter().any(|w| {
-            w.entities.iter().any(|&e| e < n1) && w.entities.iter().any(|&e| e >= n1)
-        });
+        let crossing = walks
+            .iter()
+            .any(|w| w.entities.iter().any(|&e| e < n1) && w.entities.iter().any(|&e| e >= n1));
         assert!(crossing, "walks should cross KGs via the merged seed");
     }
 

@@ -1,13 +1,14 @@
 //! Criterion microbenchmarks over the system's hot kernels: dense matmul,
 //! transformer forward, GRU relation module forward, tokenization,
-//! candidate generation and alignment scoring.
+//! candidate generation and alignment scoring — plus thread-budget
+//! comparisons (`*_t1` vs `*_tN`) for the fork-join layer.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sdea_core::rel_module::{NeighborBatch, RelModule, RelVariant};
 use sdea_eval::{cosine_matrix, top_k_indices};
 use sdea_kg::EntityId;
 use sdea_lm::{LmConfig, TokenBatch, TransformerLm};
-use sdea_tensor::{Graph, ParamStore, Rng, Tensor};
+use sdea_tensor::{with_thread_budget, Graph, ParamStore, Rng, Tensor};
 use sdea_text::{Tokenizer, WordPieceTrainer};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -17,9 +18,7 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_128x128", |bch| bch.iter(|| std::hint::black_box(a.matmul(&b))));
     let a2 = Tensor::rand_normal(&[512, 128], 1.0, &mut rng);
     let b2 = Tensor::rand_normal(&[128, 256], 1.0, &mut rng);
-    c.bench_function("matmul_512x128x256", |bch| {
-        bch.iter(|| std::hint::black_box(a2.matmul(&b2)))
-    });
+    c.bench_function("matmul_512x128x256", |bch| bch.iter(|| std::hint::black_box(a2.matmul(&b2))));
 }
 
 fn bench_transformer_forward(c: &mut Criterion) {
@@ -110,6 +109,55 @@ fn bench_alignment_scoring(c: &mut Criterion) {
     });
 }
 
+fn bench_par_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(6);
+    let a = Tensor::rand_normal(&[512, 256], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[256, 512], 1.0, &mut rng);
+    c.bench_function("par_matmul_512x256x512_t1", |bch| {
+        bch.iter(|| with_thread_budget(1, || std::hint::black_box(a.matmul(&b))))
+    });
+    c.bench_function("par_matmul_512x256x512_tN", |bch| {
+        bch.iter(|| with_thread_budget(0, || std::hint::black_box(a.matmul(&b))))
+    });
+}
+
+fn bench_par_cosine(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(7);
+    let a = Tensor::rand_normal(&[1000, 256], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[1000, 256], 1.0, &mut rng);
+    c.bench_function("par_cosine_1000x1000_d256_t1", |bch| {
+        bch.iter(|| with_thread_budget(1, || std::hint::black_box(cosine_matrix(&a, &b))))
+    });
+    c.bench_function("par_cosine_1000x1000_d256_tN", |bch| {
+        bch.iter(|| with_thread_budget(0, || std::hint::black_box(cosine_matrix(&a, &b))))
+    });
+}
+
+fn bench_embed_all(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(8);
+    let corpus: Vec<String> = (0..256)
+        .map(|i| format!("entity gamma{i} founded {} near delta{}", 1800 + i % 200, i % 29))
+        .collect();
+    let mut cfg = sdea_core::SdeaConfig::test_tiny();
+    cfg.mlm_epochs = 0;
+    let module = sdea_core::AttrModule::build(&cfg, &corpus, &mut rng);
+    let cache = module.token_cache(&corpus);
+    c.bench_function("embed_all_256_t1", |bch| {
+        bch.iter(|| {
+            with_thread_budget(1, || {
+                std::hint::black_box(module.embed_all(&cache, &mut Rng::seed_from_u64(0)))
+            })
+        })
+    });
+    c.bench_function("embed_all_256_tN", |bch| {
+        bch.iter(|| {
+            with_thread_budget(0, || {
+                std::hint::black_box(module.embed_all(&cache, &mut Rng::seed_from_u64(0)))
+            })
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -119,6 +167,9 @@ criterion_group! {
         bench_gru_forward,
         bench_tokenizer,
         bench_candidate_generation,
-        bench_alignment_scoring
+        bench_alignment_scoring,
+        bench_par_matmul,
+        bench_par_cosine,
+        bench_embed_all
 }
 criterion_main!(benches);

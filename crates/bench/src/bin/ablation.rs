@@ -25,13 +25,7 @@ fn main() {
     println!("{:<34} {:>6} {:>6} {:>6}", "Variant", "H@1", "H@10", "MRR");
 
     let print_row = |name: &str, m: sdea_eval::AlignmentMetrics| {
-        println!(
-            "{:<34} {:>6.1} {:>6.1} {:>6.2}",
-            name,
-            m.hits1 * 100.0,
-            m.hits10 * 100.0,
-            m.mrr
-        );
+        println!("{:<34} {:>6.1} {:>6.1} {:>6.2}", name, m.hits1 * 100.0, m.hits10 * 100.0, m.mrr);
     };
 
     // Full model + w/o rel (shared run)

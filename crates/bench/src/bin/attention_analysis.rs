@@ -46,12 +46,8 @@ fn main() {
             if !concepts.iter().any(|&c| c) || concepts.iter().all(|&c| c) {
                 continue; // need both kinds present for a meaningful ratio
             }
-            let mass: f32 = concepts
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| c)
-                .map(|(j, _)| w.at2(i, j))
-                .sum();
+            let mass: f32 =
+                concepts.iter().enumerate().filter(|&(_, &c)| c).map(|(j, _)| w.at2(i, j)).sum();
             concept_mass += mass as f64;
             concept_frac += concepts.iter().filter(|&&c| c).count() as f64 / l.len() as f64;
             n_entities += 1;
@@ -61,7 +57,10 @@ fn main() {
     let baseline = concept_frac / n_entities.max(1) as f64;
     println!("== Attention analysis on {} ({} links) ==", profile.name, links);
     println!("entities inspected (mixed neighbourhoods): {n_entities}");
-    println!("uniform baseline: concept-hub neighbours are {:.1}% of neighbour slots", baseline * 100.0);
+    println!(
+        "uniform baseline: concept-hub neighbours are {:.1}% of neighbour slots",
+        baseline * 100.0
+    );
     println!("trained attention mass on concept-hub neighbours: {:.1}%", mass * 100.0);
     println!(
         "=> the trained model {} general-concept neighbours ({})",

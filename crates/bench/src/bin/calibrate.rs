@@ -43,8 +43,13 @@ fn main() {
     let cfg = bench_sdea_config(seed);
     println!(
         "cfg: mlm_epochs={} attr_epochs={} max_seq={} hidden={} vocab={} lr={} margin={}",
-        cfg.mlm_epochs, cfg.attr_epochs, cfg.max_seq, cfg.lm_hidden, cfg.vocab_budget,
-        cfg.attr_lr, cfg.margin
+        cfg.mlm_epochs,
+        cfg.attr_epochs,
+        cfg.max_seq,
+        cfg.lm_hidden,
+        cfg.vocab_budget,
+        cfg.attr_lr,
+        cfg.margin
     );
     let (outcome, model) = run_sdea(&bundle, &cfg, RelVariant::Full);
     println!(

@@ -1,6 +1,6 @@
 //! Diagnostic: JAPE-Stru epoch/lr sweep on one profile.
-use sdea_bench::runner::{bench_seed, load_dataset, run_baseline};
 use sdea_baselines::transe::{JapeStru, TransEParams};
+use sdea_bench::runner::{bench_seed, load_dataset, run_baseline};
 use sdea_synth::DatasetProfile;
 
 fn main() {
@@ -9,12 +9,17 @@ fn main() {
     let seed = bench_seed();
     let profile = DatasetProfile::dbp15k_fr_en(links, seed);
     let bundle = load_dataset(&profile);
-    for (epochs, lr, dim) in [(60, 0.02, 64), (200, 0.02, 64), (200, 0.05, 64), (400, 0.02, 32), (200, 0.01, 128)] {
+    for (epochs, lr, dim) in
+        [(60, 0.02, 64), (200, 0.02, 64), (200, 0.05, 64), (400, 0.02, 32), (200, 0.01, 128)]
+    {
         let p = TransEParams { dim, epochs, lr, margin: 1.0 };
         let out = run_baseline(&JapeStru(p), &bundle, seed, false);
         println!(
             "epochs {epochs:>3} lr {lr:.2} dim {dim:>3}: H@1 {:5.1} H@10 {:5.1} MRR {:.2} ({:.0}s)",
-            out.metrics.hits1 * 100.0, out.metrics.hits10 * 100.0, out.metrics.mrr, out.seconds
+            out.metrics.hits1 * 100.0,
+            out.metrics.hits10 * 100.0,
+            out.metrics.mrr,
+            out.seconds
         );
     }
 }

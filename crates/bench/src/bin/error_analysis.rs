@@ -23,7 +23,10 @@ fn main() {
     let f_dw = matching_neighbor_fraction(&dw);
     let f_dense = matching_neighbor_fraction(&dense);
     println!("fraction of seed pairs WITH at least one matching (specific) neighbour:");
-    println!("  D_W_15K_V1 : {:5.1}%   (paper: 0.4% — '99.6% have no matching neighbors')", f_dw * 100.0);
+    println!(
+        "  D_W_15K_V1 : {:5.1}%   (paper: 0.4% — '99.6% have no matching neighbors')",
+        f_dw * 100.0
+    );
     println!("  ZH-EN      : {:5.1}%   (dense reference)", f_dense * 100.0);
     println!(
         "  shape: D-W must be far below the dense reference -> {}",

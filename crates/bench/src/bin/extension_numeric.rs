@@ -33,14 +33,8 @@ fn main() {
     );
     let rows: Vec<usize> = bundle.split.test.iter().map(|&(e, _)| e.0 as usize).collect();
     for w in [0.2f32, 0.4, 0.6] {
-        let blended = blend_numeric_channel(
-            &result.sim,
-            bundle.ds.kg1(),
-            bundle.ds.kg2(),
-            &rows,
-            w,
-            0.01,
-        );
+        let blended =
+            blend_numeric_channel(&result.sim, bundle.ds.kg1(), bundle.ds.kg2(), &rows, w, 0.01);
         let m = evaluate_ranking(&blended, &result.gold);
         println!(
             "{:<34} {:>6.1} {:>6.1} {:>6.2}",

@@ -12,7 +12,11 @@ fn main() {
     let seed = bench_seed();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    writeln!(out, "== Table I: statistics of generated benchmarks (scale {scale:?}, seed {seed}) ==").unwrap();
+    writeln!(
+        out,
+        "== Table I: statistics of generated benchmarks (scale {scale:?}, seed {seed}) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<14} {:>4} | {:>9} {:>6} {:>6} {:>12} {:>13}",

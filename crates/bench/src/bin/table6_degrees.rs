@@ -30,9 +30,8 @@ fn main() {
         let ds = generate(p);
         let d = DegreeBuckets::of_pair(ds.kg1(), ds.kg2());
         let paper = TABLE6.iter().find(|(n, _)| *n == p.name).map(|(_, v)| v);
-        let paper_str = paper
-            .map(|v| format!("{:.1}%, {:.1}%, {:.1}%", v[0], v[1], v[2]))
-            .unwrap_or_default();
+        let paper_str =
+            paper.map(|v| format!("{:.1}%, {:.1}%, {:.1}%", v[0], v[1], v[2])).unwrap_or_default();
         writeln!(
             out,
             "{:<14} | {:>11.1}% {:>11.1}% {:>11.1}% | {}",

@@ -14,6 +14,4 @@
 pub mod paper;
 pub mod runner;
 
-pub use runner::{
-    bench_scale, load_dataset, run_sdea, BenchScale, DatasetBundle, MethodOutcome,
-};
+pub use runner::{bench_scale, load_dataset, run_sdea, BenchScale, DatasetBundle, MethodOutcome};

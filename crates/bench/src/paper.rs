@@ -81,10 +81,7 @@ pub const TABLE6: &[(&str, [f64; 3])] = &[
 
 /// Looks up a paper H@1 for a method/column in a table.
 pub fn paper_h1(table: &[PaperRow], method: &str, col: usize) -> Option<f64> {
-    table
-        .iter()
-        .find(|r| r.method == method)
-        .and_then(|r| r.h1.get(col).copied().flatten())
+    table.iter().find(|r| r.method == method).and_then(|r| r.h1.get(col).copied().flatten())
 }
 
 #[cfg(test)]

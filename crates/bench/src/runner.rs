@@ -190,12 +190,7 @@ pub fn run_full_table(
         for (bundle, name) in bundles.iter().zip(&names) {
             eprintln!("[{}] {} on {} ...", title, method.name(), name);
             let out = run_baseline(method.as_ref(), bundle, seed, is_cea);
-            eprintln!(
-                "[{}]   H@1 {:.1} ({:.0}s)",
-                title,
-                out.metrics.hits1 * 100.0,
-                out.seconds
-            );
+            eprintln!("[{}]   H@1 {:.1} ({:.0}s)", title, out.metrics.hits1 * 100.0, out.seconds);
             if is_cea {
                 matching_cells.push(out.stable_hits1.map(|h| AlignmentMetrics {
                     hits1: h,
@@ -211,10 +206,7 @@ pub fn run_full_table(
         }
         if method.name() == "CEA (Emb)" {
             // paper's "CEA" row: stable matching, H@1 only
-            rows.push(TableRow {
-                method: "CEA".into(),
-                cells: cea_matching_cells.clone(),
-            });
+            rows.push(TableRow { method: "CEA".into(), cells: cea_matching_cells.clone() });
         }
     }
 
@@ -257,13 +249,16 @@ pub fn run_full_table(
 /// Individual knobs can be overridden through `SDEA_*` environment
 /// variables (used by the calibration tool):
 /// `SDEA_MLM_EPOCHS`, `SDEA_ATTR_EPOCHS`, `SDEA_MAX_SEQ`, `SDEA_HIDDEN`,
-/// `SDEA_ATTR_LR`, `SDEA_MARGIN`, `SDEA_VOCAB`.
+/// `SDEA_ATTR_LR`, `SDEA_MARGIN`, `SDEA_VOCAB`, `SDEA_THREADS`.
 pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     let mut cfg = SdeaConfig { seed, ..SdeaConfig::default() };
     let getu = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
     let getf = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<f32>().ok());
     if let Some(v) = getu("SDEA_MLM_EPOCHS") {
         cfg.mlm_epochs = v;
+    }
+    if let Some(v) = getu("SDEA_THREADS") {
+        cfg.threads = v;
     }
     if let Some(v) = getu("SDEA_ATTR_EPOCHS") {
         cfg.attr_epochs = v;

@@ -50,8 +50,8 @@ impl AttrModule {
     /// pre-trains the transformer with masked-LM (the paper's "pre-trained
     /// BERT"), and attaches the `hidden -> embed_dim` projection.
     pub fn build(cfg: &SdeaConfig, corpus: &[String], rng: &mut Rng) -> Self {
-        let vocab = WordPieceTrainer::new(cfg.vocab_budget)
-            .train(corpus.iter().map(|s| s.as_str()));
+        let vocab =
+            WordPieceTrainer::new(cfg.vocab_budget).train(corpus.iter().map(|s| s.as_str()));
         let tokenizer = Tokenizer::new(vocab);
         let mut store = ParamStore::new();
         let lm = TransformerLm::new(cfg.lm_config(tokenizer.vocab().len()), &mut store, rng);
@@ -91,10 +91,8 @@ impl AttrModule {
             store.set_trainable(lm.position_embedding_id(), true);
         }
 
-        let mlp_w = store.add(
-            "attr.mlp.w",
-            init::xavier_uniform(&[cfg.lm_hidden, cfg.embed_dim], rng),
-        );
+        let mlp_w =
+            store.add("attr.mlp.w", init::xavier_uniform(&[cfg.lm_hidden, cfg.embed_dim], rng));
         let mlp_b = store.add("attr.mlp.b", Tensor::zeros(&[cfg.embed_dim]));
 
         // IDF over the corpus for weighted pooling.
@@ -109,7 +107,8 @@ impl AttrModule {
             }
             n_docs += 1.0;
         }
-        let idf: Vec<f32> = df.iter().map(|&d| ((n_docs + 1.0) / (d + 1.0)).ln().max(0.05)).collect();
+        let idf: Vec<f32> =
+            df.iter().map(|&d| ((n_docs + 1.0) / (d + 1.0)).ln().max(0.05)).collect();
         AttrModule { store, lm, tokenizer, mlp_w, mlp_b, idf, cfg: cfg.clone() }
     }
 
@@ -137,7 +136,8 @@ impl AttrModule {
             .map(|&e| self.tokenizer.encode_ids(&cache[e.0 as usize], self.cfg.max_seq))
             .collect();
         let batch = TokenBatch::from_encoded(&rows);
-        let (embedded, final_hidden) = self.lm.forward_layers(g, &self.store, &batch, training, rng);
+        let (embedded, final_hidden) =
+            self.lm.forward_layers(g, &self.store, &batch, training, rng);
         // Layer mix: average of the embedding-layer states (identity
         // preserving) and the final contextual states. A deep pre-trained
         // BERT keeps token identity through its residual stream; a small
@@ -190,21 +190,32 @@ impl AttrModule {
         }
     }
 
-    /// Embeds every entity (rows = entity ids) in eval mode.
+    /// Embeds every entity (rows = entity ids) in eval mode. Batches fan
+    /// out across the thread budget; each worker builds its own tape, so
+    /// results land in entity order and are identical at any thread count.
     pub fn embed_all(&self, cache: &[Vec<u32>], rng: &mut Rng) -> Tensor {
+        // Eval-mode forwards draw no randomness (asserted by the
+        // `embed_all_is_deterministic_in_eval` test), so the caller's RNG
+        // is left untouched and each worker carries a private
+        // deterministically-seeded RNG purely to satisfy the signature.
+        let _ = rng;
         let n = cache.len();
         let d = self.cfg.embed_dim;
-        let mut out = Tensor::zeros(&[n, d]);
         let batch = 64usize;
-        let mut start = 0;
-        while start < n {
+        let n_batches = n.div_ceil(batch);
+        let parts = sdea_tensor::par_map_collect(n_batches, 1 << 20, |bi| {
+            let start = bi * batch;
             let end = (start + batch).min(n);
             let ids: Vec<EntityId> = (start..end).map(|i| EntityId(i as u32)).collect();
+            let mut batch_rng = Rng::seed_from_u64(0x5dea_0000 ^ bi as u64);
             let g = Graph::new();
-            let v = self.embed_batch_var(&g, cache, &ids, false, rng);
-            let val = g.value(v);
-            out.data_mut()[start * d..end * d].copy_from_slice(val.data());
-            start = end;
+            let v = self.embed_batch_var(&g, cache, &ids, false, &mut batch_rng);
+            g.value_cloned(v)
+        });
+        let mut out = Tensor::zeros(&[n, d]);
+        for (bi, t) in parts.iter().enumerate() {
+            let start = bi * batch * d;
+            out.data_mut()[start..start + t.data().len()].copy_from_slice(t.data());
         }
         out
     }
@@ -243,8 +254,7 @@ impl AttrModule {
             // Lines 2–4: embed, regenerate candidates.
             let emb2_all = self.embed_all(cache2, rng);
             let src_emb = self.embed_all(&src_cache, rng);
-            let cands =
-                CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates);
+            let cands = CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates);
 
             // Lines 5–10: margin-loss updates over shuffled train pairs.
             let mut order: Vec<usize> = (0..train.len()).collect();
@@ -256,9 +266,7 @@ impl AttrModule {
                 let pos: Vec<EntityId> = chunk.iter().map(|&i| train[i].1).collect();
                 let neg: Vec<EntityId> = chunk
                     .iter()
-                    .map(|&i| {
-                        cands.sample_negative(train[i].0, train[i].1, n_targets, rng)
-                    })
+                    .map(|&i| cands.sample_negative(train[i].0, train[i].1, n_targets, rng))
                     .collect();
                 let g = Graph::new();
                 let ha = self.embed_batch_var(&g, cache1, &anchors, true, rng);

@@ -7,7 +7,7 @@
 //! high `H_a` cosine become additional (noisy) seeds for the relation
 //! stage. Exposed through [`crate::SdeaPipeline::run_bootstrapped`].
 
-use sdea_eval::cosine_matrix;
+use sdea_eval::{argmax_cols, argmax_rows, cosine_matrix};
 use sdea_kg::EntityId;
 use sdea_tensor::Tensor;
 
@@ -20,23 +20,16 @@ pub fn mutual_nearest_pairs(
 ) -> Vec<(EntityId, EntityId)> {
     let sim = cosine_matrix(emb1, emb2);
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
-    let mut best_row = vec![(0usize, f32::NEG_INFINITY); n];
-    let mut best_col = vec![(0usize, f32::NEG_INFINITY); m];
-    for i in 0..n {
-        for j in 0..m {
-            let s = sim.at2(i, j);
-            if s > best_row[i].1 {
-                best_row[i] = (j, s);
-            }
-            if s > best_col[j].1 {
-                best_col[j] = (i, s);
-            }
-        }
+    if n == 0 || m == 0 {
+        return Vec::new();
     }
+    // Both argmax passes ride the blocked parallel scans in sdea-eval.
+    let best_row = argmax_rows(&sim);
+    let best_col = argmax_cols(&sim);
     (0..n)
         .filter_map(|i| {
-            let (j, s) = best_row[i];
-            (s >= threshold && best_col[j].0 == i)
+            let j = best_row[i];
+            (sim.at2(i, j) >= threshold && best_col[j] == i)
                 .then_some((EntityId(i as u32), EntityId(j as u32)))
         })
         .collect()

@@ -3,7 +3,7 @@
 //! embeddings. Negatives sampled from this set are *hard* negatives, which
 //! is what makes the margin loss effective.
 
-use sdea_eval::{cosine_matrix, top_k_indices};
+use sdea_eval::{cosine_matrix, top_k_rows};
 use sdea_kg::EntityId;
 use sdea_tensor::{Rng, Tensor};
 
@@ -22,22 +22,12 @@ impl CandidateSet {
     ///
     /// `src_emb`: `[n_src, d]` embeddings of `sources`;
     /// `tgt_emb`: `[n_tgt, d]` embeddings of ALL target entities (row = id).
-    pub fn generate(
-        sources: &[EntityId],
-        src_emb: &Tensor,
-        tgt_emb: &Tensor,
-        k: usize,
-    ) -> Self {
+    pub fn generate(sources: &[EntityId], src_emb: &Tensor, tgt_emb: &Tensor, k: usize) -> Self {
         assert_eq!(src_emb.shape()[0], sources.len());
         let sim = cosine_matrix(src_emb, tgt_emb);
-        let m = sim.shape()[1];
-        let lists = (0..sources.len())
-            .map(|i| {
-                top_k_indices(&sim.data()[i * m..(i + 1) * m], k)
-                    .into_iter()
-                    .map(|j| EntityId(j as u32))
-                    .collect()
-            })
+        let lists = top_k_rows(&sim, k)
+            .into_iter()
+            .map(|row| row.into_iter().map(|j| EntityId(j as u32)).collect())
             .collect();
         let index_of = sources.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         CandidateSet { lists, sources: sources.to_vec(), index_of }
@@ -59,16 +49,23 @@ impl CandidateSet {
         rng: &mut Rng,
     ) -> EntityId {
         let list = self.of(source);
-        let viable: Vec<EntityId> = list.iter().copied().filter(|&c| c != gold).collect();
-        if viable.is_empty() {
+        // Rejection-sample directly against the candidate slice — candidate
+        // lists rarely contain the gold more than once, so this terminates
+        // in one or two draws without allocating a filtered copy.
+        if list.iter().any(|&c| c != gold) {
             loop {
-                let c = EntityId(rng.below(n_targets) as u32);
+                let c = *rng.choose(list);
                 if c != gold {
                     return c;
                 }
             }
         }
-        *rng.choose(&viable)
+        loop {
+            let c = EntityId(rng.below(n_targets) as u32);
+            if c != gold {
+                return c;
+            }
+        }
     }
 
     /// The sources covered by this set.

@@ -61,6 +61,10 @@ pub struct SdeaConfig {
     pub normalize_embeddings: bool,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread budget for the fork-join layer (`sdea_tensor::par`);
+    /// 0 defers to the `SDEA_THREADS` environment variable, then the
+    /// hardware parallelism. Results are identical at any setting.
+    pub threads: usize,
 }
 
 /// Sequence pooling strategy of the attribute module.
@@ -114,6 +118,7 @@ impl Default for SdeaConfig {
             pooling: Pooling::IdfMean,
             normalize_embeddings: true,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -147,6 +152,7 @@ impl SdeaConfig {
             pooling: Pooling::IdfMean,
             normalize_embeddings: true,
             seed: 7,
+            threads: 0,
         }
     }
 

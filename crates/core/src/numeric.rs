@@ -27,7 +27,13 @@ pub fn extract_numbers(value: &str) -> Vec<f64> {
     while let Some(c) = chars.next() {
         if c.is_ascii_digit() {
             cur.push(c);
-        } else if c == '.' && !cur.is_empty() && chars.peek().is_some_and(|n| n.is_ascii_digit()) {
+        } else if c == '.'
+            && !cur.is_empty()
+            && !cur.contains('.')
+            && chars.peek().is_some_and(|n| n.is_ascii_digit())
+        {
+            // Decimal point — but only one per number: "05.02.1985" is two
+            // numbers (5.02 and 1985), not an unparseable three-part literal.
             cur.push('.');
         } else if !cur.is_empty() {
             if let Ok(v) = cur.trim_end_matches('.').parse::<f64>() {
@@ -80,11 +86,7 @@ impl NumericProfiles {
         let mut used = vec![false; large.len()];
         let mut matched = 0usize;
         for &x in small {
-            if let Some(j) = large
-                .iter()
-                .enumerate()
-                .position(|(j, &y)| !used[j] && close(x, y))
-            {
+            if let Some(j) = large.iter().enumerate().position(|(j, &y)| !used[j] && close(x, y)) {
                 used[j] = true;
                 matched += 1;
             }

@@ -86,6 +86,11 @@ impl<'a> SdeaPipeline<'a> {
     }
 
     fn execute(&self, bootstrap_threshold: Option<f32>) -> SdeaModel {
+        // The budget is process-wide; 0 keeps whatever SDEA_THREADS or the
+        // hardware dictates.
+        if self.cfg.threads != 0 {
+            sdea_tensor::set_thread_budget(self.cfg.threads);
+        }
         let mut rng = Rng::seed_from_u64(self.cfg.seed);
         let mut seq_rng = rng.split();
         let mut build_rng = rng.split();
@@ -124,14 +129,8 @@ impl<'a> SdeaPipeline<'a> {
 
         // Algorithm 3.
         let mut stage = RelStage::new(&self.cfg, self.variant, self.kg1, self.kg2, &mut rel_rng);
-        let rel_report = stage.fit(
-            &self.cfg,
-            &h_a1,
-            &h_a2,
-            &train,
-            &self.split.valid,
-            &mut rel_rng,
-        );
+        let rel_report =
+            stage.fit(&self.cfg, &h_a1, &h_a2, &train, &self.split.valid, &mut rel_rng);
 
         // Final embedding tables.
         let ids1: Vec<EntityId> = (0..self.kg1.num_entities() as u32).map(EntityId).collect();

@@ -141,7 +141,7 @@ impl RelModule {
         let h_tilde = g.tanh(lin(dir.wh, dir.uh, dir.bh, rh)); // Eq. 9
         let one_minus_z = g.one_minus(z);
         let h_new = g.add(g.mul(one_minus_z, h), g.mul(z, h_tilde)); // Eq. 11
-        // masked update
+                                                                     // masked update
         let inv_mask = g.one_minus(mask_col);
         let keep = g.mul_col(h, inv_mask);
         let upd = g.mul_col(h_new, mask_col);
@@ -201,9 +201,8 @@ impl RelModule {
         let (b, t) = (batch.b, batch.t);
         let zero = g.constant(Tensor::zeros(&[b, self.d]));
         // per-step inputs
-        let xs: Vec<Var> = (0..t)
-            .map(|j| g.gather_rows(attr_table, &batch.col_indices(j)))
-            .collect();
+        let xs: Vec<Var> =
+            (0..t).map(|j| g.gather_rows(attr_table, &batch.col_indices(j))).collect();
         let masks: Vec<Var> = (0..t).map(|j| g.constant(batch.col_mask(j))).collect();
 
         let outputs: Vec<Var>;
@@ -244,8 +243,7 @@ impl RelModule {
                 let aw = g.param(store, self.att_w);
                 let ab = g.param(store, self.att_b);
                 let h_hat = g.tanh(g.add_bias(g.matmul(h_n, aw), ab)); // Eq. 12
-                let scores: Vec<Var> =
-                    outputs.iter().map(|&o| g.rows_dot(o, h_hat)).collect(); // Eq. 13
+                let scores: Vec<Var> = outputs.iter().map(|&o| g.rows_dot(o, h_hat)).collect(); // Eq. 13
                 let score_mat = g.stack_cols(&scores);
                 // mask out padding with a large negative bias
                 let bias = {
@@ -258,7 +256,7 @@ impl RelModule {
                     g.constant(m)
                 };
                 let alpha = g.softmax_lastdim(g.add(score_mat, bias)); // Eq. 14
-                // H_r = sum_t alpha_t * h_t (Eq. 15)
+                                                                       // H_r = sum_t alpha_t * h_t (Eq. 15)
                 let mut acc: Option<Var> = None;
                 for (j, &o) in outputs.iter().enumerate() {
                     let a_j = g.select_col(alpha, j);

@@ -46,8 +46,7 @@ pub struct RelStage {
 pub fn neighbor_lists(kg: &KnowledgeGraph, cap: usize) -> Vec<Vec<usize>> {
     kg.entities()
         .map(|e| {
-            let mut l: Vec<usize> =
-                kg.neighbors(e).iter().map(|&(n, _, _)| n.0 as usize).collect();
+            let mut l: Vec<usize> = kg.neighbors(e).iter().map(|&(n, _, _)| n.0 as usize).collect();
             l.truncate(cap);
             if l.is_empty() {
                 l.push(e.0 as usize);
@@ -121,12 +120,8 @@ impl RelStage {
         // embeddings.
         let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
         let src_rows: Vec<usize> = sources.iter().map(|e| e.0 as usize).collect();
-        let cands = CandidateSet::generate(
-            &sources,
-            &h_a1.gather_rows(&src_rows),
-            h_a2,
-            cfg.n_candidates,
-        );
+        let cands =
+            CandidateSet::generate(&sources, &h_a1.gather_rows(&src_rows), h_a2, cfg.n_candidates);
         let n_targets = h_a2.shape()[0];
 
         let mut best_hits = -1.0f64;
@@ -194,18 +189,12 @@ impl RelStage {
     }
 
     /// Validation Hits@1 on the full `H_ent`.
-    pub fn validate(
-        &self,
-        h_a1: &Tensor,
-        h_a2: &Tensor,
-        valid: &[(EntityId, EntityId)],
-    ) -> f64 {
+    pub fn validate(&self, h_a1: &Tensor, h_a2: &Tensor, valid: &[(EntityId, EntityId)]) -> f64 {
         if valid.is_empty() {
             return 0.0;
         }
         let sources: Vec<EntityId> = valid.iter().map(|&(e, _)| e).collect();
-        let all_targets: Vec<EntityId> =
-            (0..h_a2.shape()[0] as u32).map(EntityId).collect();
+        let all_targets: Vec<EntityId> = (0..h_a2.shape()[0] as u32).map(EntityId).collect();
         let src = self.full_embeddings(h_a1, true, &sources);
         let tgt = self.full_embeddings(h_a2, false, &all_targets);
         let sim = cosine_matrix(&src, &tgt);
@@ -226,11 +215,7 @@ mod tests {
             let mut b = KgBuilder::new();
             for i in 0..n {
                 // ring so everyone has neighbours
-                b.rel_triple(
-                    &format!("{tag}{i}"),
-                    "r",
-                    &format!("{tag}{}", (i + 1) % n),
-                );
+                b.rel_triple(&format!("{tag}{i}"), "r", &format!("{tag}{}", (i + 1) % n));
             }
             b.build()
         };

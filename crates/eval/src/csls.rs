@@ -8,33 +8,36 @@
 use crate::similarity::SimilarityMatrix;
 #[cfg(test)]
 use sdea_tensor::Tensor;
+use sdea_tensor::{par_map_collect, par_row_chunks};
 
 /// Re-scales a cosine similarity matrix with CSLS (k nearest neighbours).
+/// Row means, column means and the rescale itself all fan out across the
+/// thread budget.
 pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
     assert!(k >= 1, "CSLS needs k >= 1");
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
     let k_row = k.min(m);
     let k_col = k.min(n);
     // r_src[i]: mean of top-k entries of row i.
-    let mut r_src = vec![0.0f32; n];
-    for i in 0..n {
-        r_src[i] = mean_top_k(&sim.data()[i * m..(i + 1) * m], k_row);
-    }
-    // r_tgt[j]: mean of top-k entries of column j.
-    let mut col = vec![0.0f32; n];
-    let mut r_tgt = vec![0.0f32; m];
-    for j in 0..m {
-        for (i, c) in col.iter_mut().enumerate() {
-            *c = sim.at2(i, j);
-        }
-        r_tgt[j] = mean_top_k(&col, k_col);
-    }
+    let r_src =
+        par_map_collect(n, m.max(1), |i| mean_top_k(&sim.data()[i * m..(i + 1) * m], k_row));
+    // r_tgt[j]: mean of top-k entries of column j — transpose once so the
+    // column scans become contiguous row scans.
+    let sim_t = sim.transpose2();
+    let r_tgt =
+        par_map_collect(m, n.max(1), |j| mean_top_k(&sim_t.data()[j * n..(j + 1) * n], k_col));
     let mut out = sim.clone();
-    for i in 0..n {
-        for j in 0..m {
-            let v = 2.0 * sim.at2(i, j) - r_src[i] - r_tgt[j];
-            out.data_mut()[i * m + j] = v;
-        }
+    if m > 0 {
+        let src = sim.data();
+        par_row_chunks(out.data_mut(), n, m, 4 * m, |row0, block| {
+            for (r, orow) in block.chunks_mut(m).enumerate() {
+                let i = row0 + r;
+                let srow = &src[i * m..(i + 1) * m];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = 2.0 * srow[j] - r_src[i] - r_tgt[j];
+                }
+            }
+        });
     }
     out
 }

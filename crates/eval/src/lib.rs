@@ -17,4 +17,7 @@ pub mod strings;
 pub use csls::csls_rescale;
 pub use metrics::{evaluate_ranking, rank_of, AlignmentMetrics};
 pub use report::{format_table, TableRow};
-pub use similarity::{cosine_matrix, top_k_indices, SimilarityMatrix};
+pub use similarity::{
+    argmax_cols, argmax_rows, argsort_rows_desc, cosine_matrix, top_k_indices, top_k_rows,
+    SimilarityMatrix,
+};

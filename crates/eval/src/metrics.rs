@@ -41,12 +41,17 @@ pub fn evaluate_ranking(sim: &SimilarityMatrix, gold: &[usize]) -> AlignmentMetr
     assert_eq!(sim.shape()[0], gold.len(), "one gold target per source row");
     let m = sim.shape()[1];
     let n = gold.len().max(1) as f64;
+    // Per-row ranks fan out across the thread budget; the f64 accumulation
+    // below stays serial and in row order, so MRR is bit-stable.
+    let ranks = sdea_tensor::par_map_collect(gold.len(), m.max(1), |i| {
+        let g = gold[i];
+        assert!(g < m, "gold column {g} out of range {m}");
+        rank_of(&sim.data()[i * m..(i + 1) * m], g)
+    });
     let mut h1 = 0usize;
     let mut h10 = 0usize;
     let mut mrr = 0.0f64;
-    for (i, &g) in gold.iter().enumerate() {
-        assert!(g < m, "gold column {g} out of range {m}");
-        let rank = rank_of(&sim.data()[i * m..(i + 1) * m], g);
+    for &rank in &ranks {
         if rank == 1 {
             h1 += 1;
         }

@@ -119,14 +119,13 @@ mod tests {
 
     #[test]
     fn rows_align() {
-        let rows = vec![TableRow::full("A", vec![m(0.5)]), TableRow::full("LongMethodName", vec![m(0.6)])];
+        let rows =
+            vec![TableRow::full("A", vec![m(0.5)]), TableRow::full("LongMethodName", vec![m(0.6)])];
         let table = format_table("t", &["d"], &rows);
         let lines: Vec<&str> = table.lines().collect();
         // lines: 0 title, 1 header, 2 metric header, 3 separator, 4.. data
-        let pipe_cols: Vec<usize> = lines[4..]
-            .iter()
-            .map(|l| l.find('|').expect("data rows have pipes"))
-            .collect();
+        let pipe_cols: Vec<usize> =
+            lines[4..].iter().map(|l| l.find('|').expect("data rows have pipes")).collect();
         assert!(pipe_cols.windows(2).all(|w| w[0] == w[1]), "columns must align");
     }
 

@@ -1,62 +1,29 @@
-//! Pairwise cosine similarity and top-k retrieval.
+//! Pairwise cosine similarity and blocked top-k / argmax retrieval.
+//!
+//! All bulk operations here fan out through [`sdea_tensor::par`], so they
+//! honor the process-wide thread budget (`SDEA_THREADS` /
+//! `SdeaConfig::threads`) and are bit-identical at any thread count.
 
-use sdea_tensor::Tensor;
+use sdea_tensor::{par_map_collect, Tensor};
+use std::cmp::Ordering;
 
 /// A dense `[n, m]` similarity matrix between `n` source and `m` target
 /// entities. Row-major like [`Tensor`].
 pub type SimilarityMatrix = Tensor;
 
+/// Column-block width for the column-wise scans ([`argmax_cols`]). Fixed
+/// (not derived from the thread budget) so the scan pattern — and thus the
+/// result — never depends on how many workers run.
+const COL_BLOCK: usize = 256;
+
 /// Cosine similarity of every row of `a: [n,d]` against every row of
-/// `b: [m,d]`, computed as normalized `a · bᵀ`. Rows are split across
-/// threads for large inputs.
+/// `b: [m,d]`: L2-normalize both then compute `a · bᵀ`, which rides the
+/// parallel [`Tensor::matmul_t`] kernel.
 pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
     assert_eq!(a.rank(), 2, "cosine_matrix lhs rank");
     assert_eq!(b.rank(), 2, "cosine_matrix rhs rank");
     assert_eq!(a.shape()[1], b.shape()[1], "embedding width mismatch");
-    let an = a.l2_normalize_rows();
-    let bn = b.l2_normalize_rows();
-    let (n, m, d) = (an.shape()[0], bn.shape()[0], an.shape()[1]);
-    let mut out = vec![0.0f32; n * m];
-    let threads = available_threads().min(n.max(1));
-    if threads <= 1 || n * m < 1 << 16 {
-        fill_rows(an.data(), bn.data(), &mut out, 0, n, m, d);
-    } else {
-        let chunk_rows = n.div_ceil(threads);
-        let a_data = an.data();
-        let b_data = bn.data();
-        std::thread::scope(|scope| {
-            let mut rest = &mut out[..];
-            let mut start = 0usize;
-            while start < n {
-                let rows = chunk_rows.min(n - start);
-                let (mine, tail) = rest.split_at_mut(rows * m);
-                rest = tail;
-                let s = start;
-                scope.spawn(move || fill_rows(a_data, b_data, mine, s, rows, m, d));
-                start += rows;
-            }
-        });
-    }
-    Tensor::from_vec(out, &[n, m])
-}
-
-fn fill_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, m: usize, d: usize) {
-    for i in 0..rows {
-        let arow = &a[(row0 + i) * d..(row0 + i + 1) * d];
-        let orow = &mut out[i * m..(i + 1) * m];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &b[j * d..(j + 1) * d];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    a.l2_normalize_rows().matmul_t(&b.l2_normalize_rows())
 }
 
 /// Indices of the `k` largest values of `scores`, descending, ties broken by
@@ -70,10 +37,7 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
     for (i, &s) in scores.iter().enumerate() {
         if best.len() < k || s > best[best.len() - 1].1 {
-            let pos = best
-                .iter()
-                .position(|&(_, bs)| s > bs)
-                .unwrap_or(best.len());
+            let pos = best.iter().position(|&(_, bs)| s > bs).unwrap_or(best.len());
             best.insert(pos, (i, s));
             if best.len() > k {
                 best.pop();
@@ -83,10 +47,84 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     best.into_iter().map(|(i, _)| i).collect()
 }
 
+/// Top-k column indices for every row of `sim`, rows fanned out across the
+/// thread budget. `out[i]` equals `top_k_indices(sim.row(i), k)`.
+pub fn top_k_rows(sim: &SimilarityMatrix, k: usize) -> Vec<Vec<usize>> {
+    assert_eq!(sim.rank(), 2);
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    par_map_collect(n, m.max(1), |i| top_k_indices(sim.row(i), k))
+}
+
+/// Argmax column of every row (ties broken by lower column index); 0 for a
+/// zero-width matrix.
+pub fn argmax_rows(sim: &SimilarityMatrix) -> Vec<usize> {
+    assert_eq!(sim.rank(), 2);
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    par_map_collect(n, m.max(1), |i| {
+        let row = sim.row(i);
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = j;
+            }
+        }
+        best
+    })
+}
+
+/// Argmax row of every column (ties broken by lower row index); 0 for a
+/// zero-height matrix. Scans row-major in fixed [`COL_BLOCK`]-wide column
+/// blocks so it stays cache-friendly without per-element indexed access,
+/// and parallelizes across blocks.
+pub fn argmax_cols(sim: &SimilarityMatrix) -> Vec<usize> {
+    assert_eq!(sim.rank(), 2);
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    if m == 0 {
+        return Vec::new();
+    }
+    let blocks = m.div_ceil(COL_BLOCK);
+    let parts = par_map_collect(blocks, COL_BLOCK * n, |bi| {
+        let c0 = bi * COL_BLOCK;
+        let c1 = (c0 + COL_BLOCK).min(m);
+        let w = c1 - c0;
+        let mut best_v = vec![f32::NEG_INFINITY; w];
+        let mut best_i = vec![0usize; w];
+        for i in 0..n {
+            let row = &sim.row(i)[c0..c1];
+            for (c, &v) in row.iter().enumerate() {
+                if v > best_v[c] {
+                    best_v[c] = v;
+                    best_i[c] = i;
+                }
+            }
+        }
+        best_i
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Column indices of every row sorted by descending score, ties broken by
+/// lower column index; rows fanned out across the thread budget.
+pub fn argsort_rows_desc(sim: &SimilarityMatrix) -> Vec<Vec<usize>> {
+    assert_eq!(sim.rank(), 2);
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    // ~log(m) passes over the row; 8 is a round per-element sort-cost guess.
+    par_map_collect(n, m.saturating_mul(8).max(1), |i| {
+        let row = sim.row(i);
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.sort_by(|&a, &b| {
+            row[b].partial_cmp(&row[a]).unwrap_or(Ordering::Equal).then(a.cmp(&b))
+        });
+        idx
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdea_tensor::Rng;
+    use sdea_tensor::{with_thread_budget, Rng};
 
     #[test]
     fn cosine_identity_rows() {
@@ -111,7 +149,7 @@ mod tests {
         // big enough to trigger the threaded path
         let a = Tensor::rand_normal(&[300, 16], 1.0, &mut rng);
         let b = Tensor::rand_normal(&[300, 16], 1.0, &mut rng);
-        let sim = cosine_matrix(&a, &b);
+        let sim = with_thread_budget(8, || cosine_matrix(&a, &b));
         // spot-check against direct computation
         for &(i, j) in &[(0usize, 0usize), (7, 123), (299, 299), (150, 3)] {
             let ai = a.row(i);
@@ -146,5 +184,42 @@ mod tests {
         let mut idx: Vec<usize> = (0..200).collect();
         idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
         assert_eq!(top, idx[..10].to_vec());
+    }
+
+    #[test]
+    fn top_k_rows_matches_per_row() {
+        let mut rng = Rng::seed_from_u64(3);
+        let sim = Tensor::rand_normal(&[40, 70], 1.0, &mut rng);
+        let all = with_thread_budget(4, || top_k_rows(&sim, 5));
+        for (i, top) in all.iter().enumerate() {
+            assert_eq!(*top, top_k_indices(sim.row(i), 5), "row {i}");
+        }
+    }
+
+    #[test]
+    fn argmax_rows_and_cols_match_naive() {
+        let mut rng = Rng::seed_from_u64(4);
+        // wider than COL_BLOCK to cover multi-block scans
+        let sim = Tensor::rand_normal(&[33, 517], 1.0, &mut rng);
+        let (rows, cols) = with_thread_budget(4, || (argmax_rows(&sim), argmax_cols(&sim)));
+        for (i, &got) in rows.iter().enumerate() {
+            let r = sim.row(i);
+            let naive =
+                (0..517).max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap().then(b.cmp(&a))).unwrap();
+            assert_eq!(got, naive, "row {i}");
+        }
+        for j in (0..517).step_by(41) {
+            let naive = (0..33)
+                .max_by(|&a, &b| sim.at2(a, j).partial_cmp(&sim.at2(b, j)).unwrap().then(b.cmp(&a)))
+                .unwrap();
+            assert_eq!(cols[j], naive, "col {j}");
+        }
+    }
+
+    #[test]
+    fn argsort_rows_desc_is_a_full_stable_ranking() {
+        let sim = Tensor::from_vec(vec![0.5, 0.9, 0.5, -0.1], &[1, 4]);
+        let order = argsort_rows_desc(&sim);
+        assert_eq!(order, vec![vec![1, 0, 2, 3]]); // 0.5-tie broken by index
     }
 }

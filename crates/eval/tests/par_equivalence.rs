@@ -1,0 +1,97 @@
+//! Thread-budget invariance of the scoring layer: cosine similarity,
+//! ranking metrics, CSLS and the blocked top-k/argmax APIs must be
+//! bit-identical serial vs parallel, and the blocked APIs must agree with
+//! naive full-sort references.
+
+use sdea_eval::{
+    argmax_cols, argmax_rows, argsort_rows_desc, cosine_matrix, csls_rescale, evaluate_ranking,
+    top_k_indices, top_k_rows,
+};
+use sdea_tensor::{with_thread_budget, Rng, Tensor};
+
+fn embeddings(n: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    Tensor::rand_normal(&[n, d], 1.0, &mut rng)
+}
+
+#[test]
+fn cosine_matrix_bitwise_equal_across_budgets() {
+    let a = embeddings(400, 48, 1);
+    let b = embeddings(370, 48, 2);
+    let serial = with_thread_budget(1, || cosine_matrix(&a, &b));
+    for budget in [2, 8] {
+        let par = with_thread_budget(budget, || cosine_matrix(&a, &b));
+        assert_eq!(serial.data(), par.data(), "budget {budget}");
+    }
+}
+
+#[test]
+fn evaluate_ranking_bitwise_equal_across_budgets() {
+    let a = embeddings(250, 32, 3);
+    let b = embeddings(250, 32, 4);
+    let sim = cosine_matrix(&a, &b);
+    let gold: Vec<usize> = (0..250).collect();
+    let serial = with_thread_budget(1, || evaluate_ranking(&sim, &gold));
+    let par = with_thread_budget(8, || evaluate_ranking(&sim, &gold));
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn csls_bitwise_equal_across_budgets() {
+    let a = embeddings(150, 24, 5);
+    let b = embeddings(180, 24, 6);
+    let sim = cosine_matrix(&a, &b);
+    let serial = with_thread_budget(1, || csls_rescale(&sim, 10));
+    let par = with_thread_budget(8, || csls_rescale(&sim, 10));
+    assert_eq!(serial.data(), par.data());
+}
+
+#[test]
+fn top_k_rows_matches_naive_full_sort() {
+    let sim = embeddings(120, 333, 7);
+    let got = with_thread_budget(8, || top_k_rows(&sim, 10));
+    for (i, top) in got.iter().enumerate() {
+        let row = sim.row(i);
+        let mut idx: Vec<usize> = (0..333).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        assert_eq!(*top, idx[..10].to_vec(), "row {i}");
+        assert_eq!(*top, top_k_indices(row, 10), "row {i} vs scalar api");
+    }
+}
+
+#[test]
+fn argmax_apis_match_naive_and_are_budget_invariant() {
+    // 517 columns spans multiple fixed-width column blocks.
+    let sim = embeddings(90, 517, 8);
+    let (r1, c1) = with_thread_budget(1, || (argmax_rows(&sim), argmax_cols(&sim)));
+    let (r8, c8) = with_thread_budget(8, || (argmax_rows(&sim), argmax_cols(&sim)));
+    assert_eq!(r1, r8);
+    assert_eq!(c1, c8);
+    for (i, &got) in r1.iter().enumerate() {
+        let row = sim.row(i);
+        let naive =
+            (0..517).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(b.cmp(&a))).unwrap();
+        assert_eq!(got, naive, "row {i}");
+    }
+    for (j, &got) in c1.iter().enumerate() {
+        let naive = (0..90)
+            .max_by(|&a, &b| sim.at2(a, j).partial_cmp(&sim.at2(b, j)).unwrap().then(b.cmp(&a)))
+            .unwrap();
+        assert_eq!(got, naive, "col {j}");
+    }
+}
+
+#[test]
+fn argsort_rows_budget_invariant_and_complete() {
+    let sim = embeddings(80, 140, 9);
+    let s1 = with_thread_budget(1, || argsort_rows_desc(&sim));
+    let s8 = with_thread_budget(8, || argsort_rows_desc(&sim));
+    assert_eq!(s1, s8);
+    for (i, order) in s1.iter().enumerate() {
+        assert_eq!(order.len(), 140);
+        let row = sim.row(i);
+        for w in order.windows(2) {
+            assert!(row[w[0]] >= row[w[1]], "row {i} not descending");
+        }
+    }
+}

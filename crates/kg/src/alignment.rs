@@ -3,10 +3,9 @@
 
 use crate::graph::EntityId;
 use sdea_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Ground-truth equivalent entity pairs `(e in KG1, e' in KG2)`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AlignmentSeeds {
     /// The aligned pairs.
     pub pairs: Vec<(EntityId, EntityId)>,
@@ -100,13 +99,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(2);
         let sp = s.split_paper(&mut rng);
         assert_eq!(sp.len(), 137);
-        let mut all: Vec<_> = sp
-            .train
-            .iter()
-            .chain(&sp.valid)
-            .chain(&sp.test)
-            .cloned()
-            .collect();
+        let mut all: Vec<_> = sp.train.iter().chain(&sp.valid).chain(&sp.test).cloned().collect();
         all.sort();
         let mut orig = s.pairs.clone();
         orig.sort();

@@ -1,22 +1,21 @@
 //! Entity/relation/attribute stores and triple adjacency.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of an entity within its [`KnowledgeGraph`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EntityId(pub u32);
 
 /// Index of a relation within its [`KnowledgeGraph`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelationId(pub u32);
 
 /// Index of an attribute within its [`KnowledgeGraph`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttributeId(pub u32);
 
 /// A relational triple `(head, relation, tail)`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RelTriple {
     /// Head entity.
     pub head: EntityId,
@@ -27,7 +26,7 @@ pub struct RelTriple {
 }
 
 /// An attributed triple `(entity, attribute, value)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AttrTriple {
     /// Subject entity.
     pub entity: EntityId,
@@ -38,7 +37,7 @@ pub struct AttrTriple {
 }
 
 /// A knowledge graph per Definition 1 of the paper.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct KnowledgeGraph {
     entity_names: Vec<String>,
     relation_names: Vec<String>,
@@ -46,9 +45,7 @@ pub struct KnowledgeGraph {
     rel_triples: Vec<RelTriple>,
     attr_triples: Vec<AttrTriple>,
     // CSR adjacency over *undirected* neighbourhood (out + in), built lazily.
-    #[serde(skip)]
     adj: std::sync::OnceLock<Adjacency>,
-    #[serde(skip)]
     attr_index: std::sync::OnceLock<Vec<Vec<usize>>>,
 }
 
@@ -215,11 +212,8 @@ impl KgBuilder {
 
     /// Adds a relational triple by names.
     pub fn rel_triple(&mut self, head: &str, rel: &str, tail: &str) {
-        let t = RelTriple {
-            head: self.entity(head),
-            rel: self.relation(rel),
-            tail: self.entity(tail),
-        };
+        let t =
+            RelTriple { head: self.entity(head), rel: self.relation(rel), tail: self.entity(tail) };
         self.rel_triples.push(t);
     }
 
@@ -306,8 +300,7 @@ mod tests {
     fn attr_triples_of_entity() {
         let kg = toy();
         let ronaldo = kg.find_entity("ronaldo").unwrap();
-        let values: Vec<&str> =
-            kg.attr_triples_of(ronaldo).map(|t| t.value.as_str()).collect();
+        let values: Vec<&str> = kg.attr_triples_of(ronaldo).map(|t| t.value.as_str()).collect();
         assert_eq!(values, vec!["Cristiano Ronaldo", "1985"]);
     }
 

@@ -105,12 +105,12 @@ pub fn load_links(
         let mut parts = line.splitn(2, '\t');
         let n1 = unescape(parts.next().ok_or_else(|| bad(&line))?);
         let n2 = unescape(parts.next().ok_or_else(|| bad(&line))?);
-        let e1 = *map1
-            .get(n1.as_str())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n1}")))?;
-        let e2 = *map2
-            .get(n2.as_str())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n2}")))?;
+        let e1 = *map1.get(n1.as_str()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n1}"))
+        })?;
+        let e2 = *map2.get(n2.as_str()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unknown entity {n2}"))
+        })?;
         pairs.push((e1, e2));
     }
     Ok(AlignmentSeeds::new(pairs))

@@ -16,5 +16,7 @@ pub mod io;
 pub mod stats;
 
 pub use alignment::{AlignmentSeeds, SplitSeeds};
-pub use graph::{AttrTriple, AttributeId, EntityId, KgBuilder, KnowledgeGraph, RelTriple, RelationId};
+pub use graph::{
+    AttrTriple, AttributeId, EntityId, KgBuilder, KnowledgeGraph, RelTriple, RelationId,
+};
 pub use stats::{DegreeBuckets, KgStatistics, ValueKind};

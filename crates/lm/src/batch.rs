@@ -1,7 +1,7 @@
 //! Fixed-shape token batches and the attention padding mask.
 
-use sdea_text::Encoded;
 use sdea_tensor::Tensor;
+use sdea_text::Encoded;
 
 /// A `[b, s]` batch of token ids with padding masks, ready for
 /// [`crate::TransformerLm::forward`].

@@ -1,14 +1,12 @@
 //! Transformer hyper-parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a [`crate::TransformerLm`].
 ///
 /// Defaults are the paper's architecture scaled to CPU training: the paper
 /// uses BERT-base (12 layers, hidden 768, max sequence length 128); we
 /// default to 2 layers, hidden 128, max sequence length 64. The *structure*
 /// (attention, residuals, `[CLS]` pooling, fine-tunability) is identical.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LmConfig {
     /// Subword vocabulary size (including special tokens).
     pub vocab_size: usize,
@@ -73,7 +71,7 @@ impl LmConfig {
 
     /// Validates internal consistency; call after manual edits.
     pub fn validate(&self) -> Result<(), String> {
-        if self.hidden % self.heads != 0 {
+        if !self.hidden.is_multiple_of(self.heads) {
             return Err(format!("hidden {} not divisible by heads {}", self.hidden, self.heads));
         }
         if self.vocab_size < 5 {

@@ -168,10 +168,7 @@ impl MlmPretrainer {
             }
             epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
         }
-        MlmReport {
-            epoch_losses,
-            final_accuracy: last_correct as f32 / last_total.max(1) as f32,
-        }
+        MlmReport { epoch_losses, final_accuracy: last_correct as f32 / last_total.max(1) as f32 }
     }
 }
 
@@ -236,14 +233,10 @@ mod tests {
                 (e.ids, e.mask)
             })
             .collect();
-        let report =
-            pre.pretrain(&lm, &mut store, &corpus, tok.vocab(), 30, 3, 3e-3, &mut rng);
+        let report = pre.pretrain(&lm, &mut store, &corpus, tok.vocab(), 30, 3, 3e-3, &mut rng);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
-        assert!(
-            last < first * 0.8,
-            "MLM loss should drop: first {first}, last {last}"
-        );
+        assert!(last < first * 0.8, "MLM loss should drop: first {first}, last {last}");
         assert!(last.is_finite());
     }
 }

@@ -70,10 +70,8 @@ impl TransformerLm {
                 bk: store.add(format!("lm.{l}.bk"), Tensor::zeros(&[d])),
                 wv: store.add(format!("lm.{l}.wv"), init::xavier_uniform(&[d, d], rng)),
                 bv: store.add(format!("lm.{l}.bv"), Tensor::zeros(&[d])),
-                wo: store.add(
-                    format!("lm.{l}.wo"),
-                    init::xavier_uniform(&[d, d], rng).scale(out_scale),
-                ),
+                wo: store
+                    .add(format!("lm.{l}.wo"), init::xavier_uniform(&[d, d], rng).scale(out_scale)),
                 bo: store.add(format!("lm.{l}.bo"), Tensor::zeros(&[d])),
                 ln1_gain: store.add(format!("lm.{l}.ln1.gain"), Tensor::ones(&[d])),
                 ln1_bias: store.add(format!("lm.{l}.ln1.bias"), Tensor::zeros(&[d])),
@@ -119,8 +117,8 @@ impl TransformerLm {
         let mut ids = vec![self.tok_emb, self.pos_emb, self.emb_gain, self.emb_bias];
         for b in &self.blocks {
             ids.extend_from_slice(&[
-                b.wq, b.bq, b.wk, b.bk, b.wv, b.bv, b.wo, b.bo, b.ln1_gain, b.ln1_bias, b.w1,
-                b.b1, b.w2, b.b2, b.ln2_gain, b.ln2_bias,
+                b.wq, b.bq, b.wk, b.bk, b.wv, b.bv, b.wo, b.bo, b.ln1_gain, b.ln1_bias, b.w1, b.b1,
+                b.w2, b.b2, b.ln2_gain, b.ln2_bias,
             ]);
         }
         ids

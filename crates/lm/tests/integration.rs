@@ -70,13 +70,8 @@ fn identity_residual_init_preserves_token_identity() {
         let h = lm.forward(&g, &store, &batch, false, rng);
         // masked mean over real positions
         let v = g.value_cloned(h);
-        let real: Vec<usize> = batch
-            .mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m == 1)
-            .map(|(i, _)| i)
-            .collect();
+        let real: Vec<usize> =
+            batch.mask.iter().enumerate().filter(|(_, &m)| m == 1).map(|(i, _)| i).collect();
         let d = v.shape()[1];
         let mut mean = vec![0.0f32; d];
         for &i in &real {

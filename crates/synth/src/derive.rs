@@ -107,8 +107,7 @@ pub fn derive_kg(world: &World, spec: &DerivationSpec) -> GeneratedKg {
     let mut presence_rng = rng.split();
     let mut naming: Vec<Option<String>> = vec![None; world.len()];
     for (wid, ent) in world.entities.iter().enumerate() {
-        let present =
-            ent.kind == EntityKind::Concept || presence_rng.chance(spec.entity_keep);
+        let present = ent.kind == EntityKind::Concept || presence_rng.chance(spec.entity_keep);
         if !present {
             continue;
         }
@@ -132,12 +131,12 @@ pub fn derive_kg(world: &World, spec: &DerivationSpec) -> GeneratedKg {
 
     // --- long-tail marking (world order => deterministic) ---
     let mut lt_rng = rng.split();
-    for wid in 0..world.len() {
+    for (wid, lt) in is_long_tail.iter_mut().enumerate() {
         if entity_of_world.contains_key(&wid)
             && matches!(world.entities[wid].kind, EntityKind::Person | EntityKind::Work)
             && lt_rng.chance(spec.long_tail_frac)
         {
-            is_long_tail[wid] = true;
+            *lt = true;
             long_tail.push(wid);
         }
     }
@@ -240,12 +239,7 @@ fn readable_name(world: &World, wid: usize, lang: Lang, lex: &Lexicon) -> String
     lex.bank().phrase(&ent.name, lang)
 }
 
-fn render_value(
-    prop: PropKind,
-    value: PropValue,
-    spec: &DerivationSpec,
-    rng: &mut Rng,
-) -> String {
+fn render_value(prop: PropKind, value: PropValue, spec: &DerivationSpec, rng: &mut Rng) -> String {
     match (prop, value) {
         (PropKind::BirthDate, PropValue::Date { y, m, d }) => {
             if rng.chance(spec.date_year_only) {
@@ -289,7 +283,8 @@ fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon)
                     _ => {}
                 }
             }
-            let mut first = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::PersonTw));
+            let mut first =
+                format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::PersonTw));
             if let Some(bp) = born_place {
                 first.push_str(&format!(" {} {} {}", t(TWord::BornTw), t(TWord::In), nm(bp)));
             }
@@ -298,7 +293,11 @@ fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon)
             }
             sentences.push(first);
             if !clubs.is_empty() {
-                let list = clubs.iter().map(|&c| nm(c)).collect::<Vec<_>>().join(&format!(" {} ", t(TWord::And)));
+                let list = clubs
+                    .iter()
+                    .map(|&c| nm(c))
+                    .collect::<Vec<_>>()
+                    .join(&format!(" {} ", t(TWord::And)));
                 sentences.push(format!("{name} {} {list}", t(TWord::PlaysFor)));
             }
             if let Some(u) = alma {
@@ -311,7 +310,8 @@ fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon)
             }
         }
         EntityKind::Club => {
-            let place = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::LocatedIn).map(|&(_, _, o)| o);
+            let place =
+                world.facts_of(wid).find(|&&(_, r, _)| r == WRel::LocatedIn).map(|&(_, _, o)| o);
             let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::ClubTw));
             if let Some(p) = place {
                 s.push_str(&format!(" {} {} {}", t(TWord::LocatedTw), t(TWord::In), nm(p)));
@@ -324,7 +324,8 @@ fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon)
             }
         }
         EntityKind::Settlement => {
-            let country = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CityIn).map(|&(_, _, o)| o);
+            let country =
+                world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CityIn).map(|&(_, _, o)| o);
             let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::CityTw));
             if let Some(c) = country {
                 s.push_str(&format!(" {} {}", t(TWord::In), nm(c)));
@@ -332,18 +333,26 @@ fn comment_text(world: &World, wid: usize, spec: &DerivationSpec, lex: &Lexicon)
             sentences.push(s);
         }
         EntityKind::Country => {
-            sentences.push(format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::CountryTw)));
+            sentences.push(format!(
+                "{name} {} {} {}",
+                t(TWord::Is),
+                t(TWord::A),
+                t(TWord::CountryTw)
+            ));
         }
         EntityKind::University => {
-            let place = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::UnivIn).map(|&(_, _, o)| o);
-            let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::UniversityTw));
+            let place =
+                world.facts_of(wid).find(|&&(_, r, _)| r == WRel::UnivIn).map(|&(_, _, o)| o);
+            let mut s =
+                format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::UniversityTw));
             if let Some(p) = place {
                 s.push_str(&format!(" {} {}", t(TWord::In), nm(p)));
             }
             sentences.push(s);
         }
         EntityKind::Work => {
-            let creator = world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CreatedBy).map(|&(_, _, o)| o);
+            let creator =
+                world.facts_of(wid).find(|&&(_, r, _)| r == WRel::CreatedBy).map(|&(_, _, o)| o);
             let mut s = format!("{name} {} {} {}", t(TWord::Is), t(TWord::A), t(TWord::WorkTw));
             if let Some(c) = creator {
                 s.push_str(&format!(" {} {}", t(TWord::CreatedBy), nm(c)));
@@ -394,7 +403,8 @@ mod tests {
         let w = world();
         let g = derive_kg(&w, &DerivationSpec { entity_keep: 0.5, ..spec(3) });
         let alignable = w.alignable().len();
-        let kept = g.world_of.iter().filter(|&&wid| w.entities[wid].kind != EntityKind::Concept).count();
+        let kept =
+            g.world_of.iter().filter(|&&wid| w.entities[wid].kind != EntityKind::Concept).count();
         assert!(kept < alignable, "should drop some");
         assert!(kept > alignable / 3, "should keep roughly half");
     }
@@ -423,8 +433,7 @@ mod tests {
         let b = mk(1, 6);
         // Count world-level fact pairs present in both.
         let to_world = |g: &GeneratedKg| -> std::collections::HashSet<(usize, String, usize)> {
-            g.kg
-                .rel_triples()
+            g.kg.rel_triples()
                 .iter()
                 .map(|t| {
                     (
@@ -452,24 +461,17 @@ mod tests {
         assert!(!g.long_tail.is_empty());
         for &wid in &g.long_tail {
             let eid = g.entity_of_world[&wid];
-            let attrs: Vec<&str> = g
-                .kg
-                .attr_triples_of(eid)
-                .map(|t| g.kg.attribute_name(t.attr))
-                .collect();
+            let attrs: Vec<&str> =
+                g.kg.attr_triples_of(eid).map(|t| g.kg.attribute_name(t.attr)).collect();
             assert_eq!(attrs, vec!["comment"], "long-tail {wid} attrs: {attrs:?}");
         }
         // Relations heavily reduced on average (a few incoming edges can
         // survive the 20% keep, but the population must be sparse).
-        let mean_deg: f64 = g
-            .long_tail
-            .iter()
-            .map(|wid| g.kg.degree(g.entity_of_world[wid]) as f64)
-            .sum::<f64>()
-            / g.long_tail.len() as f64;
+        let mean_deg: f64 =
+            g.long_tail.iter().map(|wid| g.kg.degree(g.entity_of_world[wid]) as f64).sum::<f64>()
+                / g.long_tail.len() as f64;
         assert!(mean_deg <= 3.0, "mean long-tail degree {mean_deg}");
-        {
-        }
+        {}
     }
 
     #[test]
@@ -502,11 +504,10 @@ mod tests {
             let Some(bp) = born else { continue };
             let lex = Lexicon::new();
             let place_name = readable_name(&w, bp, Lang::En, &lex);
-            let comment = g
-                .kg
-                .attr_triples_of(eid)
-                .find(|t| g.kg.attribute_name(t.attr) == "comment")
-                .map(|t| t.value.clone());
+            let comment =
+                g.kg.attr_triples_of(eid)
+                    .find(|t| g.kg.attribute_name(t.attr) == "comment")
+                    .map(|t| t.value.clone());
             if let Some(c) = comment {
                 assert!(c.contains(&place_name), "comment {c:?} missing {place_name}");
                 checked += 1;
@@ -536,8 +537,10 @@ mod tests {
             };
             let name1 = en.kg.attr_triples_of(e1).find(|t| en.kg.attribute_name(t.attr) == "name");
             let name2 = zh.kg.attr_triples_of(e2).find(|t| zh.kg.attribute_name(t.attr) == "name");
-            let bd1 = en.kg.attr_triples_of(e1).find(|t| en.kg.attribute_name(t.attr) == "birthDate");
-            let bd2 = zh.kg.attr_triples_of(e2).find(|t| zh.kg.attribute_name(t.attr) == "birthDate");
+            let bd1 =
+                en.kg.attr_triples_of(e1).find(|t| en.kg.attribute_name(t.attr) == "birthDate");
+            let bd2 =
+                zh.kg.attr_triples_of(e2).find(|t| zh.kg.attribute_name(t.attr) == "birthDate");
             if let (Some(n1), Some(n2), Some(b1), Some(b2)) = (name1, name2, bd1, bd2) {
                 assert_ne!(n1.value, n2.value, "cipher names must differ");
                 assert_eq!(b1.value, b2.value, "same format spec => same date");

@@ -117,8 +117,7 @@ impl Lexicon {
                     .split(' ')
                     .enumerate()
                     .map(|(i, _)| {
-                        self.bank
-                            .surface(WordId(TWORD_BASE + w.index() * 4 + i as u32), lang)
+                        self.bank.surface(WordId(TWORD_BASE + w.index() * 4 + i as u32), lang)
                     })
                     .collect::<Vec<_>>()
                     .join(" ")
@@ -273,19 +272,37 @@ mod tests {
     #[test]
     fn dialects_never_share_attr_names() {
         use PropKind::*;
-        for p in [Name, BirthDate, Height, Founded, Population, Elevation, Area, Established, ReleaseYear, Comment] {
-            assert_ne!(
-                SchemaDialect::Dbp.attr_name(p),
-                SchemaDialect::Alt.attr_name(p),
-                "{p:?}"
-            );
+        for p in [
+            Name,
+            BirthDate,
+            Height,
+            Founded,
+            Population,
+            Elevation,
+            Area,
+            Established,
+            ReleaseYear,
+            Comment,
+        ] {
+            assert_ne!(SchemaDialect::Dbp.attr_name(p), SchemaDialect::Alt.attr_name(p), "{p:?}");
         }
     }
 
     #[test]
     fn dialects_never_share_rel_names() {
         use WRel::*;
-        for r in [BornIn, Nationality, PlaysFor, LocatedIn, CityIn, AlmaMater, UnivIn, CreatedBy, TypeOf, Spouse] {
+        for r in [
+            BornIn,
+            Nationality,
+            PlaysFor,
+            LocatedIn,
+            CityIn,
+            AlmaMater,
+            UnivIn,
+            CreatedBy,
+            TypeOf,
+            Spouse,
+        ] {
             assert_ne!(SchemaDialect::Dbp.rel_name(r), SchemaDialect::Alt.rel_name(r), "{r:?}");
         }
     }

@@ -20,15 +20,14 @@ use crate::language::Lang;
 pub struct WordId(pub u32);
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
-    "pr", "r", "s", "st", "t", "tr", "v", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr",
+    "r", "s", "st", "t", "tr", "v", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ei", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "l", "s", "m", "t", ""];
 
-const CIPHER_ONSETS: &[&str] = &[
-    "zh", "x", "q", "sh", "ts", "ry", "ky", "gy", "hy", "my", "ny", "w", "y", "j", "sz", "dz",
-];
+const CIPHER_ONSETS: &[&str] =
+    &["zh", "x", "q", "sh", "ts", "ry", "ky", "gy", "hy", "my", "ny", "w", "y", "j", "sz", "dz"];
 const CIPHER_VOWELS: &[&str] = &["ao", "uo", "ie", "ue", "ai", "o", "u", "i"];
 
 #[inline]
@@ -124,7 +123,7 @@ fn cipher_word(seed: u64, key: u64) -> String {
         }
     }
     state = mix(state);
-    if state % 3 == 0 {
+    if state.is_multiple_of(3) {
         out.push_str(CIPHER_ONSETS[(state / 3 % CIPHER_ONSETS.len() as u64) as usize]);
         out.push('u');
     }

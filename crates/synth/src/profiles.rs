@@ -76,7 +76,12 @@ impl GeneratedDataset {
     }
 }
 
-fn dense_spec(lang: Lang, dialect: SchemaDialect, format: ValueFormat, seed: u64) -> DerivationSpec {
+fn dense_spec(
+    lang: Lang,
+    dialect: SchemaDialect,
+    format: ValueFormat,
+    seed: u64,
+) -> DerivationSpec {
     DerivationSpec {
         lang,
         dialect,
@@ -94,7 +99,12 @@ fn dense_spec(lang: Lang, dialect: SchemaDialect, format: ValueFormat, seed: u64
     }
 }
 
-fn sparse_spec(lang: Lang, dialect: SchemaDialect, format: ValueFormat, seed: u64) -> DerivationSpec {
+fn sparse_spec(
+    lang: Lang,
+    dialect: SchemaDialect,
+    format: ValueFormat,
+    seed: u64,
+) -> DerivationSpec {
     DerivationSpec {
         lang,
         dialect,
@@ -144,7 +154,12 @@ impl DatasetProfile {
             name: "ZH-EN",
             family: BenchmarkFamily::Dbp15k,
             n_links,
-            spec1: dense_spec(Lang::Zh, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 1),
+            spec1: dense_spec(
+                Lang::Zh,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 1,
+            ),
             spec2: dense_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 2),
             seed,
         }
@@ -156,7 +171,12 @@ impl DatasetProfile {
             name: "JA-EN",
             family: BenchmarkFamily::Dbp15k,
             n_links,
-            spec1: dense_spec(Lang::Ja, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 3),
+            spec1: dense_spec(
+                Lang::Ja,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 3,
+            ),
             spec2: dense_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 4),
             seed: seed + 1,
         }
@@ -168,7 +188,12 @@ impl DatasetProfile {
             name: "FR-EN",
             family: BenchmarkFamily::Dbp15k,
             n_links,
-            spec1: dense_spec(Lang::Fr, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 5),
+            spec1: dense_spec(
+                Lang::Fr,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 5,
+            ),
             spec2: dense_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 6),
             seed: seed + 2,
         }
@@ -181,7 +206,12 @@ impl DatasetProfile {
             family: BenchmarkFamily::Srprs,
             n_links,
             spec1: sparse_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 7),
-            spec2: sparse_spec(Lang::Fr, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 8),
+            spec2: sparse_spec(
+                Lang::Fr,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 8,
+            ),
             seed: seed + 3,
         }
     }
@@ -193,7 +223,12 @@ impl DatasetProfile {
             family: BenchmarkFamily::Srprs,
             n_links,
             spec1: sparse_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 9),
-            spec2: sparse_spec(Lang::De, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 10),
+            spec2: sparse_spec(
+                Lang::De,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 10,
+            ),
             seed: seed + 4,
         }
     }
@@ -205,14 +240,20 @@ impl DatasetProfile {
             family: BenchmarkFamily::Srprs,
             n_links,
             spec1: sparse_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, seed * 31 + 11),
-            spec2: sparse_spec(Lang::En, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 12),
+            spec2: sparse_spec(
+                Lang::En,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                seed * 31 + 12,
+            ),
             seed: seed + 5,
         }
     }
 
     /// SRPRS DBP-YG (YAGO side is attribute-poor).
     pub fn srprs_dbp_yg(n_links: usize, seed: u64) -> Self {
-        let mut yg = sparse_spec(Lang::En, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 14);
+        let mut yg =
+            sparse_spec(Lang::En, SchemaDialect::Alt, ValueFormat::DottedMetric, seed * 31 + 14);
         // YAGO: 21 attributes, ~1.5 attr triples per entity in Table I.
         yg.attr_keep = 0.15;
         yg.comment_prob = 0.25;
@@ -232,8 +273,22 @@ impl DatasetProfile {
             name: if n_links > 5000 { "D_W_100K_V1" } else { "D_W_15K_V1" },
             family: BenchmarkFamily::OpenEa,
             n_links,
-            spec1: openea_spec(Lang::En, SchemaDialect::Dbp, ValueFormat::IsoCm, 0, false, seed * 31 + 15),
-            spec2: openea_spec(Lang::WdId, SchemaDialect::Alt, ValueFormat::DottedMetric, 1, true, seed * 31 + 16),
+            spec1: openea_spec(
+                Lang::En,
+                SchemaDialect::Dbp,
+                ValueFormat::IsoCm,
+                0,
+                false,
+                seed * 31 + 15,
+            ),
+            spec2: openea_spec(
+                Lang::WdId,
+                SchemaDialect::Alt,
+                ValueFormat::DottedMetric,
+                1,
+                true,
+                seed * 31 + 16,
+            ),
             seed: seed + 7,
         }
     }
@@ -349,8 +404,7 @@ mod tests {
         let ds = generate(&DatasetProfile::openea_d_w(150, 9));
         for &(e1, e2) in &ds.seeds.pairs {
             assert_eq!(
-                ds.gen1.world_of[e1.0 as usize],
-                ds.gen2.world_of[e2.0 as usize],
+                ds.gen1.world_of[e1.0 as usize], ds.gen2.world_of[e2.0 as usize],
                 "seed pair must denote the same world entity"
             );
         }
@@ -374,20 +428,12 @@ mod tests {
     #[test]
     fn openea_w_side_has_qid_names() {
         let ds = generate(&DatasetProfile::openea_d_w(150, 13));
-        let qids = ds
-            .gen2
-            .kg
-            .entities()
-            .filter(|&e| ds.gen2.kg.entity_name(e).starts_with('Q'))
-            .count();
+        let qids =
+            ds.gen2.kg.entities().filter(|&e| ds.gen2.kg.entity_name(e).starts_with('Q')).count();
         assert!(qids * 10 >= ds.kg2().num_entities() * 8, "most W names are Q-ids");
         // and the name attribute is absent on the W side
-        let has_label = ds
-            .gen2
-            .kg
-            .attr_triples()
-            .iter()
-            .any(|t| ds.gen2.kg.attribute_name(t.attr) == "label");
+        let has_label =
+            ds.gen2.kg.attr_triples().iter().any(|t| ds.gen2.kg.attribute_name(t.attr) == "label");
         assert!(!has_label, "W side must not expose readable names");
     }
 

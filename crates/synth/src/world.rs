@@ -157,7 +157,12 @@ impl World {
         let mut concept_of = std::collections::HashMap::new();
         for &(kind, tw) in &concept_words {
             let id = entities.len();
-            entities.push(WEntity { kind: EntityKind::Concept, name: Vec::new(), concept: Some(tw), props: Vec::new() });
+            entities.push(WEntity {
+                kind: EntityKind::Concept,
+                name: Vec::new(),
+                concept: Some(tw),
+                props: Vec::new(),
+            });
             concept_of.insert(kind, id);
         }
 
@@ -220,11 +225,8 @@ impl World {
             .collect();
 
         // country of a settlement (for consistent nationality)
-        let country_of_settlement: std::collections::HashMap<usize, usize> = facts
-            .iter()
-            .filter(|&&(_, r, _)| r == WRel::CityIn)
-            .map(|&(s, _, c)| (s, c))
-            .collect();
+        let country_of_settlement: std::collections::HashMap<usize, usize> =
+            facts.iter().filter(|&&(_, r, _)| r == WRel::CityIn).map(|&(s, _, c)| (s, c)).collect();
 
         // --- clubs ---
         let clubs: Vec<usize> = (0..n_clubs)
@@ -232,7 +234,8 @@ impl World {
                 let id = entities.len();
                 let mut name = vec![*rng.choose(&club_prefix_pool)];
                 name.extend(fresh_words(1, &mut next_word));
-                let props = vec![(PropKind::Founded, PropValue::Year(rng.range(1850, 2000) as i32))];
+                let props =
+                    vec![(PropKind::Founded, PropValue::Year(rng.range(1850, 2000) as i32))];
                 entities.push(WEntity { kind: EntityKind::Club, name, concept: None, props });
                 let s = settlements[rng.zipf(settlements.len(), 1.05)];
                 facts.push((id, WRel::LocatedIn, s));
@@ -311,7 +314,8 @@ impl World {
             let id = entities.len();
             let nw = 2 + rng.below(2);
             let name: Vec<WordId> = (0..nw).map(|_| *rng.choose(&noun_pool)).collect();
-            let props = vec![(PropKind::ReleaseYear, PropValue::Year(rng.range(1900, 2022) as i32))];
+            let props =
+                vec![(PropKind::ReleaseYear, PropValue::Year(rng.range(1900, 2022) as i32))];
             entities.push(WEntity { kind: EntityKind::Work, name, concept: None, props });
             facts.push((id, WRel::CreatedBy, persons[rng.zipf(persons.len(), 1.02)]));
             facts.push((id, WRel::TypeOf, concept_of[&EntityKind::Work]));
@@ -341,9 +345,7 @@ impl World {
 
     /// Ids of all alignable (non-concept) entities.
     pub fn alignable(&self) -> Vec<usize> {
-        (0..self.entities.len())
-            .filter(|&i| self.entities[i].kind != EntityKind::Concept)
-            .collect()
+        (0..self.entities.len()).filter(|&i| self.entities[i].kind != EntityKind::Concept).collect()
     }
 }
 
@@ -367,10 +369,7 @@ mod tests {
     fn core_size_approximately_respected() {
         let w = world();
         let alignable = w.alignable().len();
-        assert!(
-            (250..=360).contains(&alignable),
-            "requested ~300 alignable, got {alignable}"
-        );
+        assert!((250..=360).contains(&alignable), "requested ~300 alignable, got {alignable}");
     }
 
     #[test]
@@ -388,12 +387,18 @@ mod tests {
             let (sk, ok) = (w.entities[s].kind, w.entities[o].kind);
             match r {
                 WRel::BornIn => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Settlement)),
-                WRel::Nationality => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Country)),
+                WRel::Nationality => {
+                    assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Country))
+                }
                 WRel::PlaysFor => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Club)),
                 WRel::LocatedIn => assert_eq!((sk, ok), (EntityKind::Club, EntityKind::Settlement)),
                 WRel::CityIn => assert_eq!((sk, ok), (EntityKind::Settlement, EntityKind::Country)),
-                WRel::AlmaMater => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::University)),
-                WRel::UnivIn => assert_eq!((sk, ok), (EntityKind::University, EntityKind::Settlement)),
+                WRel::AlmaMater => {
+                    assert_eq!((sk, ok), (EntityKind::Person, EntityKind::University))
+                }
+                WRel::UnivIn => {
+                    assert_eq!((sk, ok), (EntityKind::University, EntityKind::Settlement))
+                }
                 WRel::CreatedBy => assert_eq!((sk, ok), (EntityKind::Work, EntityKind::Person)),
                 WRel::TypeOf => assert_eq!(ok, EntityKind::Concept),
                 WRel::Spouse => assert_eq!((sk, ok), (EntityKind::Person, EntityKind::Person)),
@@ -409,11 +414,13 @@ mod tests {
         for &(_, _, o) in &w.facts {
             indeg[o] += 1;
         }
-        let person_concept = (0..w.len())
-            .find(|&i| w.entities[i].concept == Some(TWord::PersonTw))
-            .unwrap();
+        let person_concept =
+            (0..w.len()).find(|&i| w.entities[i].concept == Some(TWord::PersonTw)).unwrap();
         let max_other = (0..w.len())
-            .filter(|&i| w.entities[i].kind != EntityKind::Concept && w.entities[i].kind != EntityKind::Country)
+            .filter(|&i| {
+                w.entities[i].kind != EntityKind::Concept
+                    && w.entities[i].kind != EntityKind::Country
+            })
             .map(|i| indeg[i])
             .max()
             .unwrap();

@@ -168,11 +168,10 @@ impl Graph {
             {
                 let node = &nodes[id];
                 let back = node.backward.as_ref().expect("checked above");
-                let parent_vals: Vec<&Tensor> =
-                    node.parents.iter().map(|&p| &values[p]).collect();
+                let parent_vals: Vec<&Tensor> = node.parents.iter().map(|&p| &values[p]).collect();
                 let pgrads = back(&gout, &values[id], &parent_vals);
                 debug_assert_eq!(pgrads.len(), node.parents.len());
-                for (&p, pg) in node.parents.iter().zip(pgrads.into_iter()) {
+                for (&p, pg) in node.parents.iter().zip(pgrads) {
                     if !nodes[p].requires_grad {
                         continue;
                     }
@@ -219,12 +218,7 @@ impl Graph {
 
     /// Hadamard product (same shape).
     pub fn mul(&self, a: Var, b: Var) -> Var {
-        self.binary(
-            a,
-            b,
-            |x, y| x.mul(y),
-            Box::new(|g, _, ps| vec![g.mul(ps[1]), g.mul(ps[0])]),
-        )
+        self.binary(a, b, |x, y| x.mul(y), Box::new(|g, _, ps| vec![g.mul(ps[1]), g.mul(ps[0])]))
     }
 
     /// Multiplication by a constant.
@@ -287,7 +281,7 @@ impl Graph {
 
     /// GELU (tanh approximation), the transformer's feed-forward activation.
     pub fn gelu(&self, a: Var) -> Var {
-        const C: f32 = 0.797_884_56; // sqrt(2/pi)
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
         fn gelu_f(x: f32) -> f32 {
             0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
         }
@@ -391,11 +385,11 @@ impl Graph {
                 let n = ps[0].shape()[0];
                 let mut dx = g.clone();
                 let mut ds = vec![0.0f32; n];
-                for i in 0..n {
+                for (i, dsi) in ds.iter_mut().enumerate() {
                     let sv = ps[1].data()[i];
                     let grow = &g.data()[i * d..(i + 1) * d];
                     let xrow = ps[0].row(i);
-                    ds[i] = grow.iter().zip(xrow).map(|(&gv, &xv)| gv * xv).sum();
+                    *dsi = grow.iter().zip(xrow).map(|(&gv, &xv)| gv * xv).sum();
                     for c in dx.row_mut(i) {
                         *c *= sv;
                     }
@@ -415,8 +409,8 @@ impl Graph {
                 assert_eq!(x.rank(), 2);
                 let (n, d) = (x.shape()[0], x.shape()[1]);
                 let mut out = vec![0.0f32; n];
-                for i in 0..n {
-                    out[i] = x.data()[i * d..(i + 1) * d]
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = x.data()[i * d..(i + 1) * d]
                         .iter()
                         .zip(&y.data()[i * d..(i + 1) * d])
                         .map(|(&p, &q)| p * q)
@@ -445,7 +439,8 @@ impl Graph {
             |x| {
                 assert_eq!(x.rank(), 2);
                 let (n, d) = (x.shape()[0], x.shape()[1]);
-                let out: Vec<f32> = (0..n).map(|i| x.data()[i * d..(i + 1) * d].iter().sum()).collect();
+                let out: Vec<f32> =
+                    (0..n).map(|i| x.data()[i * d..(i + 1) * d].iter().sum()).collect();
                 Tensor::from_vec(out, &[n])
             },
             Box::new(|g, _, ps| {
@@ -490,11 +485,7 @@ mod tests {
     use crate::rng::Rng;
 
     /// Central finite differences on a scalar-valued function of one leaf.
-    pub(crate) fn numeric_grad(
-        f: impl Fn(&Tensor) -> f32,
-        at: &Tensor,
-        eps: f32,
-    ) -> Tensor {
+    pub(crate) fn numeric_grad(f: impl Fn(&Tensor) -> f32, at: &Tensor, eps: f32) -> Tensor {
         let mut g = Tensor::zeros(at.shape());
         for i in 0..at.len() {
             let mut plus = at.clone();
@@ -540,11 +531,16 @@ mod tests {
 
     #[test]
     fn grad_add_mul_chain() {
-        grad_check(&[2, 3], 1, |g, x| {
-            let y = g.mul(x, x);
-            let z = g.add(y, x);
-            g.sum_all(z)
-        }, "add/mul");
+        grad_check(
+            &[2, 3],
+            1,
+            |g, x| {
+                let y = g.mul(x, x);
+                let z = g.add(y, x);
+                g.sum_all(z)
+            },
+            "add/mul",
+        );
     }
 
     #[test]
@@ -552,18 +548,28 @@ mod tests {
         let mut rng = Rng::seed_from_u64(2);
         let w0 = Tensor::rand_normal(&[3, 4], 0.8, &mut rng);
         let w = w0.clone();
-        grad_check(&[2, 3], 3, move |g, x| {
-            let wv = g.constant(w.clone());
-            let y = g.matmul(x, wv);
-            g.sum_all(g.square(y))
-        }, "matmul lhs");
+        grad_check(
+            &[2, 3],
+            3,
+            move |g, x| {
+                let wv = g.constant(w.clone());
+                let y = g.matmul(x, wv);
+                g.sum_all(g.square(y))
+            },
+            "matmul lhs",
+        );
         let x0 = Tensor::rand_normal(&[2, 3], 0.8, &mut rng);
         let xc = x0.clone();
-        grad_check(&[3, 4], 4, move |g, w| {
-            let xv = g.constant(xc.clone());
-            let y = g.matmul(xv, w);
-            g.sum_all(g.square(y))
-        }, "matmul rhs");
+        grad_check(
+            &[3, 4],
+            4,
+            move |g, w| {
+                let xv = g.constant(xc.clone());
+                let y = g.matmul(xv, w);
+                g.sum_all(g.square(y))
+            },
+            "matmul rhs",
+        );
         let _ = w0;
     }
 
@@ -571,11 +577,16 @@ mod tests {
     fn grad_bmm() {
         let mut rng = Rng::seed_from_u64(5);
         let b0 = Tensor::rand_normal(&[2, 4, 3], 0.7, &mut rng);
-        grad_check(&[2, 3, 4], 6, move |g, x| {
-            let bv = g.constant(b0.clone());
-            let y = g.bmm(x, bv);
-            g.mean_all(g.square(y))
-        }, "bmm");
+        grad_check(
+            &[2, 3, 4],
+            6,
+            move |g, x| {
+                let bv = g.constant(b0.clone());
+                let y = g.bmm(x, bv);
+                g.mean_all(g.square(y))
+            },
+            "bmm",
+        );
     }
 
     #[test]
@@ -590,15 +601,25 @@ mod tests {
     fn grad_bias_and_rows() {
         let mut rng = Rng::seed_from_u64(11);
         let b0 = Tensor::rand_normal(&[4], 0.5, &mut rng);
-        grad_check(&[3, 4], 12, move |g, x| {
-            let b = g.constant(b0.clone());
-            g.sum_all(g.square(g.add_bias(x, b)))
-        }, "add_bias x");
+        grad_check(
+            &[3, 4],
+            12,
+            move |g, x| {
+                let b = g.constant(b0.clone());
+                g.sum_all(g.square(g.add_bias(x, b)))
+            },
+            "add_bias x",
+        );
         let x0 = Tensor::rand_normal(&[3, 4], 0.5, &mut rng);
-        grad_check(&[4], 13, move |g, b| {
-            let x = g.constant(x0.clone());
-            g.sum_all(g.square(g.add_bias(x, b)))
-        }, "add_bias b");
+        grad_check(
+            &[4],
+            13,
+            move |g, b| {
+                let x = g.constant(x0.clone());
+                g.sum_all(g.square(g.add_bias(x, b)))
+            },
+            "add_bias b",
+        );
         grad_check(&[3, 4], 14, |g, x| g.sum_all(g.square(g.rows_sum(x))), "rows_sum");
     }
 
@@ -606,20 +627,35 @@ mod tests {
     fn grad_mul_col_and_rows_dot() {
         let mut rng = Rng::seed_from_u64(15);
         let s0 = Tensor::rand_normal(&[3], 0.7, &mut rng);
-        grad_check(&[3, 4], 16, move |g, x| {
-            let s = g.constant(s0.clone());
-            g.sum_all(g.square(g.mul_col(x, s)))
-        }, "mul_col x");
+        grad_check(
+            &[3, 4],
+            16,
+            move |g, x| {
+                let s = g.constant(s0.clone());
+                g.sum_all(g.square(g.mul_col(x, s)))
+            },
+            "mul_col x",
+        );
         let x0 = Tensor::rand_normal(&[3, 4], 0.7, &mut rng);
-        grad_check(&[3], 17, move |g, s| {
-            let x = g.constant(x0.clone());
-            g.sum_all(g.square(g.mul_col(x, s)))
-        }, "mul_col s");
+        grad_check(
+            &[3],
+            17,
+            move |g, s| {
+                let x = g.constant(x0.clone());
+                g.sum_all(g.square(g.mul_col(x, s)))
+            },
+            "mul_col s",
+        );
         let y0 = Tensor::rand_normal(&[3, 4], 0.7, &mut rng);
-        grad_check(&[3, 4], 18, move |g, x| {
-            let y = g.constant(y0.clone());
-            g.sum_all(g.square(g.rows_dot(x, y)))
-        }, "rows_dot");
+        grad_check(
+            &[3, 4],
+            18,
+            move |g, x| {
+                let y = g.constant(y0.clone());
+                g.sum_all(g.square(g.rows_dot(x, y)))
+            },
+            "rows_dot",
+        );
     }
 
     #[test]

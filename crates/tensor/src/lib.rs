@@ -28,6 +28,7 @@ pub mod init;
 pub mod ops_nn;
 pub mod ops_shape;
 pub mod optim;
+pub mod par;
 pub mod rng;
 pub mod serialize;
 pub mod sparse;
@@ -35,6 +36,9 @@ pub mod tensor;
 
 pub use graph::{Graph, Var};
 pub use optim::{Adam, GradClip, Optimizer, ParamId, ParamStore, Sgd};
+pub use par::{
+    max_threads, par_map_collect, par_row_chunks, set_thread_budget, with_thread_budget,
+};
 pub use rng::Rng;
 pub use sparse::CsrMatrix;
 pub use tensor::Tensor;

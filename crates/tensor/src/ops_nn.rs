@@ -94,9 +94,7 @@ impl Graph {
                     *c = (*c - mu) / sig * gvv + bvv;
                 }
             }
-            let rg = [x, gain, bias]
-                .iter()
-                .any(|v| inner.nodes[v.id].requires_grad);
+            let rg = [x, gain, bias].iter().any(|v| inner.nodes[v.id].requires_grad);
             (out, rg)
         };
         let back: crate::graph::BackFn = Box::new(move |g, _, ps| {
@@ -131,19 +129,9 @@ impl Graph {
                     out_row[j] = (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat) / sig;
                 }
             }
-            vec![
-                dx,
-                Tensor::from_vec(dgain, ps[1].shape()),
-                Tensor::from_vec(dbias, ps[2].shape()),
-            ]
+            vec![dx, Tensor::from_vec(dgain, ps[1].shape()), Tensor::from_vec(dbias, ps[2].shape())]
         });
-        self.push(
-            value,
-            vec![x.id, gain.id, bias.id],
-            if rg { Some(back) } else { None },
-            rg,
-            None,
-        )
+        self.push(value, vec![x.id, gain.id, bias.id], if rg { Some(back) } else { None }, rg, None)
     }
 
     /// Inverted dropout: at train time zeroes elements with probability `p`
@@ -155,9 +143,8 @@ impl Graph {
         assert!(p < 1.0, "dropout p must be < 1");
         let keep = 1.0 - p;
         let n = self.inner.borrow().values[x.id].len();
-        let mask: Vec<f32> = (0..n)
-            .map(|_| if rng.next_f32() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..n).map(|_| if rng.next_f32() < keep { 1.0 / keep } else { 0.0 }).collect();
         let mask_b = mask.clone();
         self.unary(
             x,
@@ -198,9 +185,7 @@ impl Graph {
         self.unary(
             x,
             move |t| t.map(|v| (v + eps).sqrt()),
-            Box::new(move |g, out, _| {
-                vec![g.zip(out, |gv, ov| gv / (2.0 * ov.max(1e-6)))]
-            }),
+            Box::new(move |g, out, _| vec![g.zip(out, |gv, ov| gv / (2.0 * ov.max(1e-6)))]),
         )
     }
 
@@ -294,22 +279,34 @@ mod tests {
 
     #[test]
     fn grad_softmax() {
-        grad_check(&[2, 4], 1, |g, x| {
-            let s = g.softmax_lastdim(x);
-            let w = g.constant(Tensor::from_vec(
-                vec![1.0, -2.0, 3.0, 0.5, 2.0, 1.0, -1.0, 0.3],
-                &[2, 4],
-            ));
-            g.sum_all(g.mul(s, w))
-        }, "softmax", 2e-2);
+        grad_check(
+            &[2, 4],
+            1,
+            |g, x| {
+                let s = g.softmax_lastdim(x);
+                let w = g.constant(Tensor::from_vec(
+                    vec![1.0, -2.0, 3.0, 0.5, 2.0, 1.0, -1.0, 0.3],
+                    &[2, 4],
+                ));
+                g.sum_all(g.mul(s, w))
+            },
+            "softmax",
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_log_softmax_and_nll() {
-        grad_check(&[3, 5], 2, |g, x| {
-            let lp = g.log_softmax_lastdim(x);
-            g.nll_mean(lp, &[0, 3, 2])
-        }, "log_softmax+nll", 2e-2);
+        grad_check(
+            &[3, 5],
+            2,
+            |g, x| {
+                let lp = g.log_softmax_lastdim(x);
+                g.nll_mean(lp, &[0, 3, 2])
+            },
+            "log_softmax+nll",
+            2e-2,
+        );
     }
 
     #[test]
@@ -318,44 +315,68 @@ mod tests {
         let gain0 = Tensor::rand_normal(&[4], 0.5, &mut rng).map(|v| v + 1.0);
         let bias0 = Tensor::rand_normal(&[4], 0.5, &mut rng);
         let (gc, bc) = (gain0.clone(), bias0.clone());
-        grad_check(&[3, 4], 4, move |g, x| {
-            let gain = g.constant(gc.clone());
-            let bias = g.constant(bc.clone());
-            let y = g.layer_norm(x, gain, bias, 1e-5);
-            g.sum_all(g.square(y))
-        }, "layer_norm x", 5e-2);
+        grad_check(
+            &[3, 4],
+            4,
+            move |g, x| {
+                let gain = g.constant(gc.clone());
+                let bias = g.constant(bc.clone());
+                let y = g.layer_norm(x, gain, bias, 1e-5);
+                g.sum_all(g.square(y))
+            },
+            "layer_norm x",
+            5e-2,
+        );
 
         let mut rng2 = Rng::seed_from_u64(5);
         let x0 = Tensor::rand_normal(&[3, 4], 0.8, &mut rng2);
         let bias1 = bias0.clone();
         let xc = x0.clone();
-        grad_check(&[4], 6, move |g, gain| {
-            let x = g.constant(xc.clone());
-            let bias = g.constant(bias1.clone());
-            let y = g.layer_norm(x, gain, bias, 1e-5);
-            g.sum_all(g.square(y))
-        }, "layer_norm gain", 3e-2);
+        grad_check(
+            &[4],
+            6,
+            move |g, gain| {
+                let x = g.constant(xc.clone());
+                let bias = g.constant(bias1.clone());
+                let y = g.layer_norm(x, gain, bias, 1e-5);
+                g.sum_all(g.square(y))
+            },
+            "layer_norm gain",
+            3e-2,
+        );
 
         let xc2 = x0.clone();
         let gc2 = gain0.clone();
-        grad_check(&[4], 7, move |g, bias| {
-            let x = g.constant(xc2.clone());
-            let gain = g.constant(gc2.clone());
-            let y = g.layer_norm(x, gain, bias, 1e-5);
-            g.sum_all(g.square(y))
-        }, "layer_norm bias", 3e-2);
+        grad_check(
+            &[4],
+            7,
+            move |g, bias| {
+                let x = g.constant(xc2.clone());
+                let gain = g.constant(gc2.clone());
+                let y = g.layer_norm(x, gain, bias, 1e-5);
+                g.sum_all(g.square(y))
+            },
+            "layer_norm bias",
+            3e-2,
+        );
     }
 
     #[test]
     fn grad_l2_normalize() {
-        grad_check(&[3, 4], 8, |g, x| {
-            let n = g.l2_normalize_rows(x);
-            let w = g.constant(Tensor::from_vec(
-                (0..12).map(|i| (i as f32 * 0.37).sin()).collect(),
-                &[3, 4],
-            ));
-            g.sum_all(g.mul(n, w))
-        }, "l2_normalize", 3e-2);
+        grad_check(
+            &[3, 4],
+            8,
+            |g, x| {
+                let n = g.l2_normalize_rows(x);
+                let w = g.constant(Tensor::from_vec(
+                    (0..12).map(|i| (i as f32 * 0.37).sin()).collect(),
+                    &[3, 4],
+                ));
+                g.sum_all(g.mul(n, w))
+            },
+            "l2_normalize",
+            3e-2,
+        );
     }
 
     #[test]
@@ -395,10 +416,7 @@ mod tests {
     #[test]
     fn nll_mean_value_matches_manual() {
         let g = Graph::new();
-        let lp = g.leaf(
-            Tensor::from_vec(vec![-0.1, -2.0, -3.0, -1.5, -0.2, -2.5], &[2, 3]),
-            false,
-        );
+        let lp = g.leaf(Tensor::from_vec(vec![-0.1, -2.0, -3.0, -1.5, -0.2, -2.5], &[2, 3]), false);
         let loss = g.nll_mean(lp, &[0, 1]);
         assert!((g.value(loss).item() - (0.1 + 0.2) / 2.0).abs() < 1e-6);
     }

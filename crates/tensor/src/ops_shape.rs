@@ -72,8 +72,7 @@ impl Graph {
         let back: crate::graph::BackFn = Box::new(move |g, _, ps| {
             let n = ps[0].shape()[0];
             let total: usize = widths.iter().sum();
-            let mut grads: Vec<Tensor> =
-                widths.iter().map(|&w| Tensor::zeros(&[n, w])).collect();
+            let mut grads: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(&[n, w])).collect();
             for i in 0..n {
                 let grow = &g.data()[i * total..(i + 1) * total];
                 let mut off = 0;

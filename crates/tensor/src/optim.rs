@@ -6,13 +6,12 @@
 //! [`crate::Graph::accumulate_param_grads`], then step an [`Optimizer`].
 
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a parameter within its [`ParamStore`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(pub usize);
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Slot {
     name: String,
     value: Tensor,
@@ -21,7 +20,7 @@ struct Slot {
 }
 
 /// A named collection of trainable tensors with gradient accumulators.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParamStore {
     slots: Vec<Slot>,
 }
@@ -107,12 +106,7 @@ impl ParamStore {
 
     /// Global L2 norm of all trainable gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.slots
-            .iter()
-            .filter(|s| s.trainable)
-            .map(|s| s.grad.sq_norm())
-            .sum::<f32>()
-            .sqrt()
+        self.slots.iter().filter(|s| s.trainable).map(|s| s.grad.sq_norm()).sum::<f32>().sqrt()
     }
 
     /// Iterates over all ids.
@@ -276,13 +270,8 @@ impl Optimizer for Adam {
             }
             let m = self.m[i].data_mut();
             let v = self.v[i].data_mut();
-            for (((val, g), mi), vi) in s
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(s.grad.data())
-                .zip(m.iter_mut())
-                .zip(v.iter_mut())
+            for (((val, g), mi), vi) in
+                s.value.data_mut().iter_mut().zip(s.grad.data()).zip(m.iter_mut()).zip(v.iter_mut())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

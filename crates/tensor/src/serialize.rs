@@ -1,6 +1,6 @@
 //! Compact binary (de)serialization for tensors and parameter stores.
 //!
-//! Format (little-endian, via the `bytes` crate):
+//! Format (little-endian):
 //!
 //! ```text
 //! magic "SDT1" | u32 n_params | for each param:
@@ -13,11 +13,70 @@
 
 use crate::optim::ParamStore;
 use crate::tensor::Tensor;
-use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SDT1";
+
+/// Little-endian append helpers over a byte buffer (covers the subset of
+/// the `bytes` crate's `BufMut` the wire format needs; local so the build
+/// has no registry dependencies).
+trait WireWrite {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_f32_le(&mut self, v: f32);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl WireWrite for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Little-endian cursor helpers over a byte slice; callers bounds-check via
+/// [`WireRead::remaining`] before each read.
+trait WireRead {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_f32_le(&mut self) -> f32;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl WireRead for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("bounds checked"));
+        *self = &self[4..];
+        v
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        let v = f32::from_le_bytes(self[..4].try_into().expect("bounds checked"));
+        *self = &self[4..];
+        v
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
 
 /// Serializes a single tensor to the wire format.
 pub fn write_tensor(buf: &mut Vec<u8>, t: &Tensor) {
@@ -94,8 +153,7 @@ pub fn store_from_bytes(mut buf: &[u8]) -> io::Result<ParamStore> {
         }
         let mut name_bytes = vec![0u8; name_len];
         buf.copy_to_slice(&mut name_bytes);
-        let name = String::from_utf8(name_bytes)
-            .map_err(|_| bad("parameter name is not UTF-8"))?;
+        let name = String::from_utf8(name_bytes).map_err(|_| bad("parameter name is not UTF-8"))?;
         let trainable = buf.get_u8() != 0;
         let tensor = read_tensor(&mut buf)?;
         let id = store.add(name, tensor);

@@ -28,8 +28,8 @@ impl CsrMatrix {
         let mut col_idx = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
         let mut i = 0usize;
-        for r in 0..rows {
-            row_ptr[r] = col_idx.len();
+        for (r, ptr) in row_ptr.iter_mut().enumerate().take(rows) {
+            *ptr = col_idx.len();
             while i < sorted.len() && sorted[i].0 == r {
                 let c = sorted[i].1;
                 let mut v = 0.0f32;
@@ -142,9 +142,9 @@ impl CsrMatrix {
     pub fn sym_normalize(&mut self) {
         assert_eq!(self.rows, self.cols, "sym_normalize needs a square matrix");
         let mut deg = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, d) in deg.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                deg[r] += self.values[k];
+                *d += self.values[k];
             }
         }
         let inv_sqrt: Vec<f32> =
@@ -196,9 +196,8 @@ mod tests {
     #[test]
     fn spmm_matches_dense_matmul() {
         let mut rng = Rng::seed_from_u64(1);
-        let triplets: Vec<(usize, usize, f32)> = (0..30)
-            .map(|_| (rng.below(5), rng.below(7), rng.uniform(-1.0, 1.0)))
-            .collect();
+        let triplets: Vec<(usize, usize, f32)> =
+            (0..30).map(|_| (rng.below(5), rng.below(7), rng.uniform(-1.0, 1.0))).collect();
         let a = CsrMatrix::from_triplets(5, 7, &triplets);
         let x = Tensor::rand_normal(&[7, 3], 1.0, &mut rng);
         let sparse = a.matmul_dense(&x);
@@ -211,9 +210,8 @@ mod tests {
     #[test]
     fn t_matmul_matches_dense_transpose() {
         let mut rng = Rng::seed_from_u64(2);
-        let triplets: Vec<(usize, usize, f32)> = (0..20)
-            .map(|_| (rng.below(4), rng.below(6), rng.uniform(-1.0, 1.0)))
-            .collect();
+        let triplets: Vec<(usize, usize, f32)> =
+            (0..20).map(|_| (rng.below(4), rng.below(6), rng.uniform(-1.0, 1.0))).collect();
         let a = CsrMatrix::from_triplets(4, 6, &triplets);
         let x = Tensor::rand_normal(&[4, 3], 1.0, &mut rng);
         let sparse = a.t_matmul_dense(&x);
@@ -236,11 +234,8 @@ mod tests {
     #[test]
     fn sym_normalize_eigen_sane() {
         // Complete graph K2 with self loops: entries become 1/2.
-        let mut a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
-        );
+        let mut a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
         a.sym_normalize();
         let d = dense_of(&a);
         for v in d.data() {
@@ -250,11 +245,7 @@ mod tests {
 
     #[test]
     fn spmm_gradient_is_transpose_product() {
-        let a = Arc::new(CsrMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)],
-        ));
+        let a = Arc::new(CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]));
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]), true);
         let y = g.spmm(Arc::clone(&a), x);

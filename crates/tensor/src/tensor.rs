@@ -6,10 +6,9 @@
 //! [`crate::graph`] composes them.
 
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major tensor of `f32` values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -147,12 +146,7 @@ impl Tensor {
     /// Elementwise binary op into a fresh tensor; shapes must match.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Tensor { shape: self.shape.clone(), data }
     }
 
@@ -236,7 +230,19 @@ impl Tensor {
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dim: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; n * m];
-        matmul_into(&self.data, &other.data, &mut out, n, k, m);
+        if m > 0 {
+            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                let rows = block.len() / m;
+                matmul_into(
+                    &self.data[row0 * k..(row0 + rows) * k],
+                    &other.data,
+                    block,
+                    rows,
+                    k,
+                    m,
+                );
+            });
+        }
         Tensor { shape: vec![n, m], data: out }
     }
 
@@ -248,19 +254,27 @@ impl Tensor {
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "t_matmul inner dim");
         let mut out = vec![0.0f32; n * m];
-        // out[i,j] = sum_k self[k,i] * other[k,j]
-        for kk in 0..k {
-            let a_row = &self.data[kk * n..(kk + 1) * n];
-            let b_row = &other.data[kk * m..(kk + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if m > 0 {
+            // out[i,j] = sum_k self[k,i] * other[k,j]; each output row
+            // accumulates in ascending k order inside its block, so the sum
+            // order (and hence the f32 result) is independent of the split.
+            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                let rows = block.len() / m;
+                for kk in 0..k {
+                    let a_row = &self.data[kk * n..(kk + 1) * n];
+                    let b_row = &other.data[kk * m..(kk + 1) * m];
+                    for r in 0..rows {
+                        let a = a_row[row0 + r];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let o = &mut block[r * m..(r + 1) * m];
+                        for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
+                            *oj += a * b;
+                        }
+                    }
                 }
-                let o = &mut out[i * m..(i + 1) * m];
-                for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
-                    *oj += a * b;
-                }
-            }
+            });
         }
         Tensor { shape: vec![n, m], data: out }
     }
@@ -272,17 +286,21 @@ impl Tensor {
         let (m, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_t inner dim");
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o = &mut out[i * m..(i + 1) * m];
-            for (j, oj) in o.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        if m > 0 {
+            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                for (r, o) in block.chunks_mut(m).enumerate() {
+                    let i = row0 + r;
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    for (j, oj) in o.iter_mut().enumerate() {
+                        let b_row = &other.data[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                            acc += a * b;
+                        }
+                        *oj = acc;
+                    }
                 }
-                *oj = acc;
-            }
+            });
         }
         Tensor { shape: vec![n, m], data: out }
     }
@@ -309,15 +327,21 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch mismatch");
         assert_eq!(k, k2, "bmm inner dim");
         let mut out = vec![0.0f32; b * n * m];
-        for bi in 0..b {
-            matmul_into(
-                &self.data[bi * n * k..(bi + 1) * n * k],
-                &other.data[bi * k * m..(bi + 1) * k * m],
-                &mut out[bi * n * m..(bi + 1) * n * m],
-                n,
-                k,
-                m,
-            );
+        if n * m > 0 {
+            // One "row" per batch: each worker owns whole [n,m] output slabs.
+            crate::par::par_row_chunks(&mut out, b, n * m, n * k * m, |b0, block| {
+                for (i, o) in block.chunks_mut(n * m).enumerate() {
+                    let bi = b0 + i;
+                    matmul_into(
+                        &self.data[bi * n * k..(bi + 1) * n * k],
+                        &other.data[bi * k * m..(bi + 1) * k * m],
+                        o,
+                        n,
+                        k,
+                        m,
+                    );
+                }
+            });
         }
         Tensor { shape: vec![b, n, m], data: out }
     }
@@ -382,13 +406,17 @@ impl Tensor {
     pub fn l2_normalize_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let mut out = self.clone();
-        let d = self.shape[1];
-        for chunk in out.data.chunks_mut(d) {
-            let n: f32 = chunk.iter().map(|&x| x * x).sum::<f32>().sqrt();
-            if n > 1e-12 {
-                let inv = 1.0 / n;
-                chunk.iter_mut().for_each(|x| *x *= inv);
-            }
+        let (rows, d) = (self.shape[0], self.shape[1]);
+        if d > 0 {
+            crate::par::par_row_chunks(&mut out.data, rows, d, 2 * d, |_, block| {
+                for chunk in block.chunks_mut(d) {
+                    let n: f32 = chunk.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                    if n > 1e-12 {
+                        let inv = 1.0 / n;
+                        chunk.iter_mut().for_each(|x| *x *= inv);
+                    }
+                }
+            });
         }
         out
     }
@@ -492,10 +520,7 @@ mod tests {
     fn matmul_identity() {
         let mut rng = Rng::seed_from_u64(1);
         let a = Tensor::rand_normal(&[3, 3], 1.0, &mut rng);
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         let c = a.matmul(&eye);
         for (x, y) in c.data().iter().zip(a.data()) {
             assert!((x - y).abs() < 1e-6);
@@ -632,16 +657,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn shape_and_data_accessors_agree() {
         let mut rng = Rng::seed_from_u64(7);
         let t = Tensor::rand_normal(&[4, 5], 1.0, &mut rng);
-        let json = serde_json_like(&t);
-        assert!(json.0 == t.shape() && json.1 == t.data());
-    }
-
-    // Minimal stand-in: serde derives are exercised by serialize.rs tests;
-    // here we assert field access consistency.
-    fn serde_json_like(t: &Tensor) -> (Vec<usize>, Vec<f32>) {
-        (t.shape().to_vec(), t.data().to_vec())
+        // Binary round trips are exercised by serialize.rs tests; here we
+        // assert field access consistency.
+        assert_eq!(t.shape(), &[4, 5]);
+        assert_eq!(t.data().len(), 20);
     }
 }

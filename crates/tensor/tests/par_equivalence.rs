@@ -1,0 +1,83 @@
+//! The fork-join layer's core guarantee: every parallelized kernel is
+//! bit-identical at any thread budget. These tests compare budget 1 (fully
+//! serial) against budget 8 on inputs large enough to cross the fan-out
+//! thresholds.
+
+use sdea_tensor::{with_thread_budget, Rng, Tensor};
+
+fn pair(n: usize, k: usize, m: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = Rng::seed_from_u64(seed);
+    (Tensor::rand_normal(&[n, k], 1.0, &mut rng), Tensor::rand_normal(&[k, m], 1.0, &mut rng))
+}
+
+#[test]
+fn matmul_bitwise_equal_across_budgets() {
+    let (a, b) = pair(257, 96, 131, 1);
+    let serial = with_thread_budget(1, || a.matmul(&b));
+    for budget in [2, 3, 8] {
+        let par = with_thread_budget(budget, || a.matmul(&b));
+        assert_eq!(serial.data(), par.data(), "budget {budget}");
+    }
+}
+
+#[test]
+fn matmul_t_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(2);
+    let a = Tensor::rand_normal(&[300, 64], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[290, 64], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.matmul_t(&b));
+    let par = with_thread_budget(8, || a.matmul_t(&b));
+    assert_eq!(serial.data(), par.data());
+}
+
+#[test]
+fn t_matmul_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(3);
+    let a = Tensor::rand_normal(&[64, 280], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[64, 310], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.t_matmul(&b));
+    let par = with_thread_budget(8, || a.t_matmul(&b));
+    assert_eq!(serial.data(), par.data());
+}
+
+#[test]
+fn bmm_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(4);
+    let a = Tensor::rand_normal(&[12, 40, 48], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[12, 48, 36], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.bmm(&b));
+    let par = with_thread_budget(8, || a.bmm(&b));
+    assert_eq!(serial.data(), par.data());
+}
+
+#[test]
+fn l2_normalize_rows_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(5);
+    let a = Tensor::rand_normal(&[4000, 64], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.l2_normalize_rows());
+    let par = with_thread_budget(8, || a.l2_normalize_rows());
+    assert_eq!(serial.data(), par.data());
+}
+
+#[test]
+fn backward_through_parallel_matmul_is_budget_invariant() {
+    use sdea_tensor::Graph;
+    let mut rng = Rng::seed_from_u64(6);
+    let x = Tensor::rand_normal(&[200, 80], 1.0, &mut rng);
+    let w = Tensor::rand_normal(&[80, 120], 1.0, &mut rng);
+    let grads_at = |budget: usize| {
+        with_thread_budget(budget, || {
+            let g = Graph::new();
+            let xv = g.leaf(x.clone(), true);
+            let wv = g.leaf(w.clone(), true);
+            let y = g.matmul(xv, wv);
+            let loss = g.sum_all(y);
+            g.backward(loss);
+            (g.grad(xv).unwrap().clone(), g.grad(wv).unwrap().clone())
+        })
+    };
+    let (gx1, gw1) = grads_at(1);
+    let (gx8, gw8) = grads_at(8);
+    assert_eq!(gx1.data(), gx8.data());
+    assert_eq!(gw1.data(), gw8.data());
+}

@@ -130,7 +130,7 @@ mod tests {
             "portugal portugal portugal madrid madrid ronaldo ronaldo ronaldo",
             "real madrid club portugal lisbon",
         ];
-        Tokenizer::new(WordPieceTrainer::new(300).train(corpus.into_iter()))
+        Tokenizer::new(WordPieceTrainer::new(300).train(corpus))
     }
 
     #[test]
@@ -176,10 +176,8 @@ mod tests {
     fn subwords_reconstruct_word() {
         let t = toy_tokenizer();
         let ids = t.word_to_ids("ronaldo");
-        let rebuilt: String = ids
-            .iter()
-            .map(|&i| t.vocab().token_of(i).trim_start_matches("##"))
-            .collect();
+        let rebuilt: String =
+            ids.iter().map(|&i| t.vocab().token_of(i).trim_start_matches("##")).collect();
         assert_eq!(rebuilt, "ronaldo");
     }
 

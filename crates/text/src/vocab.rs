@@ -1,6 +1,5 @@
 //! Subword vocabulary with BERT-style special tokens.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The special tokens every vocabulary carries, in fixed id order.
@@ -55,7 +54,7 @@ impl SpecialToken {
 
 /// An id <-> subword bijection. Continuation pieces carry the `##` prefix
 /// (WordPiece convention).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Vocab {
     tokens: Vec<String>,
     index: HashMap<String, u32>,
@@ -71,11 +70,7 @@ impl Vocab {
             debug_assert!(!tokens[..5].contains(&sw), "special token passed as subword");
             tokens.push(sw);
         }
-        let index = tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        let index = tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
         Vocab { tokens, index }
     }
 

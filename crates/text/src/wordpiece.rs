@@ -51,13 +51,7 @@ impl WordPieceTrainer {
                 let units: Vec<String> = w
                     .chars()
                     .enumerate()
-                    .map(|(i, c)| {
-                        if i == 0 {
-                            c.to_string()
-                        } else {
-                            format!("##{c}")
-                        }
-                    })
+                    .map(|(i, c)| if i == 0 { c.to_string() } else { format!("##{c}") })
                     .collect();
                 (units, f)
             })
@@ -133,7 +127,7 @@ mod tests {
     fn alphabet_is_always_included() {
         // Only position-marked units that actually occur: "abc" contributes
         // a ##b ##c, "cab" contributes c ##a ##b.
-        let v = WordPieceTrainer::new(10).train(["abc cab"].into_iter());
+        let v = WordPieceTrainer::new(10).train(["abc cab"]);
         for t in ["a", "c", "##a", "##b", "##c"] {
             assert!(v.id_of(t).is_some(), "missing {t}");
         }
@@ -143,14 +137,14 @@ mod tests {
     #[test]
     fn frequent_words_become_single_units() {
         let corpus = vec!["portugal"; 50];
-        let v = WordPieceTrainer::new(64).train(corpus.into_iter());
+        let v = WordPieceTrainer::new(64).train(corpus);
         assert!(v.id_of("portugal").is_some(), "frequent word should merge fully");
     }
 
     #[test]
     fn respects_target_size() {
         let corpus = ["the quick brown fox jumps over the lazy dog again and again"];
-        let v = WordPieceTrainer::new(30).train(corpus.into_iter());
+        let v = WordPieceTrainer::new(30).train(corpus);
         // 5 specials + at most 30 subwords... alphabet may exceed target, but
         // merges must stop at the cap.
         assert!(v.len() <= 5 + 64, "vocab grew unboundedly: {}", v.len());

@@ -9,7 +9,7 @@ fn trained_tokenizer() -> Tokenizer {
         "born 1985-02-05 in funchal madeira portugal",
         "the quick brown fox jumps over the lazy dog 42 times",
     ];
-    Tokenizer::new(WordPieceTrainer::new(400).train(corpus.into_iter()))
+    Tokenizer::new(WordPieceTrainer::new(400).train(corpus))
 }
 
 proptest! {

@@ -105,14 +105,10 @@ fn main() {
     };
 
     // Corpus: all attribute values of both KGs (unlabeled).
-    let mut corpus: Vec<String> =
-        kg1.attr_triples().iter().map(|t| t.value.clone()).collect();
+    let mut corpus: Vec<String> = kg1.attr_triples().iter().map(|t| t.value.clone()).collect();
     corpus.extend(kg2.attr_triples().iter().map(|t| t.value.clone()));
 
-    let mut cfg = SdeaConfig::default();
-    cfg.attr_epochs = 4;
-    cfg.rel_epochs = 8;
-    cfg.seed = 7;
+    let cfg = SdeaConfig { attr_epochs: 4, rel_epochs: 8, seed: 7, ..SdeaConfig::default() };
     let pipeline = SdeaPipeline {
         kg1: &kg1,
         kg2: &kg2,

@@ -18,20 +18,11 @@ fn main() {
     let corpus = sdea::synth::corpus::dataset_corpus(&ds);
     let (kg1, kg2) = (ds.kg1(), ds.kg2());
 
-    let mut cfg = SdeaConfig::default();
-    cfg.attr_epochs = 5;
-    cfg.rel_epochs = 12;
-    cfg.seed = 21;
+    let cfg = SdeaConfig { attr_epochs: 5, rel_epochs: 12, seed: 21, ..SdeaConfig::default() };
     println!("aligning {} ({} + {} entities)...", ds.name, kg1.num_entities(), kg2.num_entities());
-    let model = SdeaPipeline {
-        kg1,
-        kg2,
-        split: &split,
-        corpus: &corpus,
-        cfg,
-        variant: RelVariant::Full,
-    }
-    .run();
+    let model =
+        SdeaPipeline { kg1, kg2, split: &split, corpus: &corpus, cfg, variant: RelVariant::Full }
+            .run();
 
     // Full similarity matrix and a confident 1-1 matching over ALL
     // entities (not just test pairs) — the integration step.
@@ -95,8 +86,7 @@ fn main() {
     println!("  exported to {} and {}", rel.display(), attr.display());
 
     // Quality: how many merged pairs agree with the ground truth?
-    let gold: HashMap<u32, u32> =
-        ds.seeds.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let gold: HashMap<u32, u32> = ds.seeds.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
     let correct = merged.iter().filter(|&(i, j)| gold.get(i) == Some(j)).count();
     println!(
         "  merge precision vs ground truth: {:.1}% ({} / {})",

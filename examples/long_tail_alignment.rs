@@ -18,11 +18,8 @@ fn main() {
     let corpus = sdea::synth::corpus::dataset_corpus(&ds);
 
     // Partition test pairs by the source entity's degree.
-    let (tail, normal): (Vec<_>, Vec<_>) = split
-        .test
-        .iter()
-        .copied()
-        .partition(|&(e1, _)| ds.kg1().degree(e1) <= 3);
+    let (tail, normal): (Vec<_>, Vec<_>) =
+        split.test.iter().copied().partition(|&(e1, _)| ds.kg1().degree(e1) <= 3);
     println!(
         "{} test pairs: {} long-tail (degree <= 3), {} normal",
         split.test.len(),
@@ -31,10 +28,7 @@ fn main() {
     );
 
     // --- SDEA ---
-    let mut cfg = SdeaConfig::default();
-    cfg.attr_epochs = 6;
-    cfg.rel_epochs = 15;
-    cfg.seed = 11;
+    let cfg = SdeaConfig { attr_epochs: 6, rel_epochs: 15, seed: 11, ..SdeaConfig::default() };
     let pipeline = SdeaPipeline {
         kg1: ds.kg1(),
         kg2: ds.kg2(),
@@ -48,13 +42,8 @@ fn main() {
 
     // --- structure-only baseline ---
     println!("training JAPE-Stru (structure-only baseline)...");
-    let input = MethodInput {
-        kg1: ds.kg1(),
-        kg2: ds.kg2(),
-        split: &split,
-        corpus: &corpus,
-        seed: 11,
-    };
+    let input =
+        MethodInput { kg1: ds.kg1(), kg2: ds.kg2(), split: &split, corpus: &corpus, seed: 11 };
     let baseline_result = JapeStru::default().align(&input);
 
     // Evaluate each method on each stratum.

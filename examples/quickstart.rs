@@ -32,11 +32,13 @@ fn main() {
 
     // 3. Train SDEA. A reduced configuration keeps this example fast; see
     //    `SdeaConfig::default()` for the benchmark configuration.
-    let mut cfg = SdeaConfig::default();
-    cfg.attr_epochs = 6;
-    cfg.rel_epochs = 15;
-    cfg.max_seq = 64;
-    cfg.seed = 42;
+    let cfg = SdeaConfig {
+        attr_epochs: 6,
+        rel_epochs: 15,
+        max_seq: 64,
+        seed: 42,
+        ..SdeaConfig::default()
+    };
     let corpus = sdea::synth::corpus::dataset_corpus(&ds);
     let pipeline = SdeaPipeline {
         kg1: ds.kg1(),

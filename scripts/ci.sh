@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, lints, build and the full test suite.
+# Run before committing or as the preflight of run_all_experiments.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all --check
+
+echo "=== cargo clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== tier-1: release build + tests ==="
+cargo build --workspace --release
+cargo test -q --workspace --release
+
+echo "ci.sh: all checks passed"

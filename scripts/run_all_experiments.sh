@@ -4,6 +4,11 @@
 set -u
 cd "$(dirname "$0")/.."
 mkdir -p results
+# Preflight: fmt + clippy + full test suite. SDEA_SKIP_CI=1 bypasses it
+# when iterating on a single experiment.
+if [ "${SDEA_SKIP_CI:-0}" != "1" ]; then
+  ./scripts/ci.sh || exit 1
+fi
 cargo build --release -p sdea-bench || exit 1
 run() {
   local name="$1"

@@ -1,0 +1,231 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API, vendored for air-gapped builds where the registry
+//! mirror is unreachable.
+//!
+//! Implements wall-clock sampling with median/mean reporting — enough for
+//! the relative comparisons the workspace microbenches make (e.g. serial
+//! vs. parallel kernels). Statistical outlier analysis, plotting and
+//! baselines are intentionally out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            target_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Optional filter: `cargo bench -- <substring>`.
+        let filter: Vec<String> =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut b =
+            Bencher { samples: Vec::new(), budget: self.target_time, warm_up: self.warm_up };
+        // One sample call per requested sample; each Bencher::iter call
+        // internally loops enough iterations to be measurable.
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(name, &b.samples);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark measurement state handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the inner iteration count so a sample
+    /// is long enough to measure reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration on the first sample only.
+        let iters = if self.samples.is_empty() {
+            let mut n = 1u64;
+            loop {
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                let dt = t0.elapsed();
+                if dt >= self.warm_up || n >= 1 << 20 {
+                    let per_iter = dt.as_secs_f64() / n as f64;
+                    let budget = self.budget.as_secs_f64() / 20.0;
+                    break ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+                }
+                n *= 2;
+            }
+        } else {
+            self.calibrated()
+        };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(t0.elapsed() / iters as u32);
+    }
+
+    /// Like [`Bencher::iter`] but re-creates the input with `setup` outside
+    /// the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t0.elapsed());
+    }
+
+    fn calibrated(&self) -> u64 {
+        // Reuse the first sample's duration to keep per-sample cost stable.
+        let per = self.samples[0].as_secs_f64().max(1e-9);
+        let budget = self.budget.as_secs_f64() / 20.0;
+        ((budget / per) as u64).clamp(1, 1 << 20)
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let best = sorted[0];
+    let worst = sorted[sorted.len() - 1];
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_duration(best),
+        fmt_duration(median),
+        fmt_duration(worst)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group; both the struct-like and positional forms of
+/// the real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        // Must not panic and must honor the closure.
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+    }
+}
