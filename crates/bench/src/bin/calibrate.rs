@@ -5,7 +5,9 @@
 //! Usage: `calibrate [profile] [links]` where profile is one of
 //! `zh_en ja_en fr_en en_fr en_de dbp_wd dbp_yg d_w`.
 
-use sdea_bench::runner::{bench_sdea_config, bench_seed, load_dataset, run_sdea};
+use sdea_bench::runner::{
+    bench_sdea_config, bench_seed, load_dataset, run_sdea, write_sdea_run_report,
+};
 use sdea_core::rel_module::RelVariant;
 use sdea_synth::DatasetProfile;
 
@@ -52,6 +54,10 @@ fn main() {
         cfg.margin
     );
     let (outcome, model) = run_sdea(&bundle, &cfg, RelVariant::Full);
+    match write_sdea_run_report("calibrate", profile.name, &cfg, &outcome, &model) {
+        Ok(path) => println!("run report -> {}", path.display()),
+        Err(e) => eprintln!("run report failed: {e}"),
+    }
     println!(
         "SDEA           H@1 {:5.1}  H@10 {:5.1}  MRR {:.2}   ({:.0}s, stable H@1 {:.1})",
         outcome.metrics.hits1 * 100.0,

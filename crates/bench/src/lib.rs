@@ -14,4 +14,7 @@
 pub mod paper;
 pub mod runner;
 
-pub use runner::{bench_scale, load_dataset, run_sdea, BenchScale, DatasetBundle, MethodOutcome};
+pub use runner::{
+    bench_scale, load_dataset, report_dir, run_sdea, write_sdea_run_report, BenchScale,
+    DatasetBundle, MethodOutcome,
+};

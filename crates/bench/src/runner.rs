@@ -89,11 +89,15 @@ pub struct MethodOutcome {
 
 /// Runs full SDEA (optionally a rel-module ablation variant) on a bundle.
 /// Returns the outcome plus the trained model (for ablation reuse).
+///
+/// The observability registry is reset first, so a [`write_sdea_run_report`]
+/// right after captures spans/counters of exactly this run.
 pub fn run_sdea(
     bundle: &DatasetBundle,
     cfg: &SdeaConfig,
     variant: RelVariant,
 ) -> (MethodOutcome, SdeaModel) {
+    sdea_obs::reset();
     let start = Instant::now();
     let pipeline = SdeaPipeline {
         kg1: bundle.ds.kg1(),
@@ -111,6 +115,62 @@ pub fn run_sdea(
         seconds: start.elapsed().as_secs_f64(),
     };
     (outcome, model)
+}
+
+/// Directory run reports are written to: `SDEA_REPORT_DIR`, default
+/// `results` (relative to the working directory, which the experiment
+/// scripts pin to the repo root).
+pub fn report_dir() -> std::path::PathBuf {
+    std::env::var("SDEA_REPORT_DIR").unwrap_or_else(|_| "results".into()).into()
+}
+
+/// Assembles and writes the JSON run report of one SDEA run: config, seed,
+/// thread budget, final metrics, per-epoch loss / validation-Hits@1 curves
+/// of both training stages, and the observability registry's span timings
+/// and counters (reset at the start of [`run_sdea`]). Returns the path
+/// written, `results/run_report_<run>_<dataset>.json`.
+pub fn write_sdea_run_report(
+    run: &str,
+    dataset: &str,
+    cfg: &SdeaConfig,
+    outcome: &MethodOutcome,
+    model: &SdeaModel,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut report =
+        sdea_obs::RunReport::new(format!("{run}_{dataset}"), cfg.seed, sdea_tensor::max_threads());
+    report.config_kv("dataset", dataset);
+    report.config_kv("scale", format!("{:?}", bench_scale()));
+    report.config_kv("embed_dim", cfg.embed_dim);
+    report.config_kv("lm_hidden", cfg.lm_hidden);
+    report.config_kv("lm_layers", cfg.lm_layers);
+    report.config_kv("vocab_budget", cfg.vocab_budget);
+    report.config_kv("max_seq", cfg.max_seq);
+    report.config_kv("mlm_epochs", cfg.mlm_epochs);
+    report.config_kv("attr_epochs", cfg.attr_epochs);
+    report.config_kv("attr_batch", cfg.attr_batch);
+    report.config_kv("attr_lr", cfg.attr_lr);
+    report.config_kv("rel_epochs", cfg.rel_epochs);
+    report.config_kv("rel_batch", cfg.rel_batch);
+    report.config_kv("rel_lr", cfg.rel_lr);
+    report.config_kv("margin", cfg.margin);
+    report.config_kv("n_candidates", cfg.n_candidates);
+    report.config_kv("patience", cfg.patience);
+    report.config_kv("max_neighbors", cfg.max_neighbors);
+    report.config_kv("pooling", format!("{:?}", cfg.pooling));
+    report.metric("test_hits1", outcome.metrics.hits1);
+    report.metric("test_hits10", outcome.metrics.hits10);
+    report.metric("test_mrr", outcome.metrics.mrr);
+    if let Some(h) = outcome.stable_hits1 {
+        report.metric("stable_matching_hits1", h);
+    }
+    report.metric("wall_secs", outcome.seconds);
+    report.metric("attr_best_epoch", model.attr_report.best_epoch as f64);
+    report.metric("rel_best_epoch", model.rel_report.best_epoch as f64);
+    report.curve("attr_loss", model.attr_report.epoch_losses.iter().map(|&l| l as f64));
+    report.curve("attr_valid_hits1", model.attr_report.valid_hits1.iter().copied());
+    report.curve("rel_loss", model.rel_report.epoch_losses.iter().map(|&l| l as f64));
+    report.curve("rel_valid_hits1", model.rel_report.valid_hits1.iter().copied());
+    report.write_to_dir(report_dir())
 }
 
 /// Runs a baseline method on a bundle (with stable-matching Hits@1 when
@@ -218,6 +278,10 @@ pub fn run_full_table(
         eprintln!("[{}] SDEA on {} ...", title, name);
         let (out, model) = run_sdea(bundle, &cfg, RelVariant::Full);
         eprintln!("[{}]   H@1 {:.1} ({:.0}s)", title, out.metrics.hits1 * 100.0, out.seconds);
+        match write_sdea_run_report(title, name, &cfg, &out, &model) {
+            Ok(path) => eprintln!("[{}]   run report -> {}", title, path.display()),
+            Err(e) => eprintln!("[{}]   run report failed: {e}", title),
+        }
         sdea_cells.push(out.metrics);
         ablation_cells.push(model.align_test_attr_only(&bundle.split.test).metrics());
     }

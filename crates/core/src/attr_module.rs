@@ -50,6 +50,7 @@ impl AttrModule {
     /// pre-trains the transformer with masked-LM (the paper's "pre-trained
     /// BERT"), and attaches the `hidden -> embed_dim` projection.
     pub fn build(cfg: &SdeaConfig, corpus: &[String], rng: &mut Rng) -> Self {
+        let _span = sdea_obs::span("attr.build");
         let vocab =
             WordPieceTrainer::new(cfg.vocab_budget).train(corpus.iter().map(|s| s.as_str()));
         let tokenizer = Tokenizer::new(vocab);
@@ -194,6 +195,7 @@ impl AttrModule {
     /// out across the thread budget; each worker builds its own tape, so
     /// results land in entity order and are identical at any thread count.
     pub fn embed_all(&self, cache: &[Vec<u32>], rng: &mut Rng) -> Tensor {
+        let _span = sdea_obs::span("embed_all");
         // Eval-mode forwards draw no randomness (asserted by the
         // `embed_all_is_deterministic_in_eval` test), so the caller's RNG
         // is left untouched and each worker carries a private
@@ -233,6 +235,7 @@ impl AttrModule {
         valid: &[(EntityId, EntityId)],
         rng: &mut Rng,
     ) -> AttrFitReport {
+        let _span = sdea_obs::span("attr.fit");
         let cfg = self.cfg.clone();
         let mut opt = Adam::new(cfg.attr_lr).with_clip(GradClip::GlobalNorm(1.0));
         let mut report = AttrFitReport::default();
@@ -251,10 +254,14 @@ impl AttrModule {
             sources.iter().map(|e| cache1[e.0 as usize].clone()).collect();
 
         for epoch in 0..cfg.attr_epochs {
+            let _span = sdea_obs::span("epoch");
             // Lines 2–4: embed, regenerate candidates.
-            let emb2_all = self.embed_all(cache2, rng);
-            let src_emb = self.embed_all(&src_cache, rng);
-            let cands = CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates);
+            let cands = {
+                let _span = sdea_obs::span("candidates");
+                let emb2_all = self.embed_all(cache2, rng);
+                let src_emb = self.embed_all(&src_cache, rng);
+                CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates)
+            };
 
             // Lines 5–10: margin-loss updates over shuffled train pairs.
             let mut order: Vec<usize> = (0..train.len()).collect();
@@ -279,11 +286,17 @@ impl AttrModule {
                 opt.step(&mut self.store);
                 epoch_loss += lv as f64;
                 steps += 1;
+                sdea_obs::add("attr.steps", 1);
+                sdea_obs::record("attr.batch_loss", lv as f64);
             }
             report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
+            sdea_obs::add("attr.epochs", 1);
 
             // Line 11: validation Hits@1; early stopping (Section V-A3).
-            let hits1 = self.validate(cache1, cache2, valid, rng);
+            let hits1 = {
+                let _span = sdea_obs::span("validate");
+                self.validate(cache1, cache2, valid, rng)
+            };
             report.valid_hits1.push(hits1);
             if hits1 > best_hits {
                 best_hits = hits1;
@@ -293,6 +306,7 @@ impl AttrModule {
             } else {
                 strikes += 1;
                 if strikes >= cfg.patience {
+                    sdea_obs::add("attr.early_stops", 1);
                     break;
                 }
             }

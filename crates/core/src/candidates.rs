@@ -41,6 +41,12 @@ impl CandidateSet {
     /// Samples a negative for `(source, gold)`: a random candidate of
     /// `source` that is not `gold` (Algorithm 2 line 6). Falls back to a
     /// uniformly random target when every candidate equals the gold.
+    ///
+    /// Degenerate case: when the target side has at most one entity there
+    /// is no entity other than the gold to draw, so the gold itself is
+    /// returned (its margin-loss contribution is zero) and the
+    /// `candidates.no_negative` warning counter is incremented — the
+    /// uniform-fallback loop would otherwise rejection-sample forever.
     pub fn sample_negative(
         &self,
         source: EntityId,
@@ -59,6 +65,10 @@ impl CandidateSet {
                     return c;
                 }
             }
+        }
+        if n_targets <= 1 {
+            sdea_obs::add("candidates.no_negative", 1);
+            return gold;
         }
         loop {
             let c = EntityId(rng.below(n_targets) as u32);
@@ -102,6 +112,21 @@ mod tests {
             let neg = cs.sample_negative(EntityId(5), EntityId(0), 3, &mut rng);
             assert_ne!(neg, EntityId(0));
         }
+    }
+
+    /// Regression: `n_targets == 1` with the sole target being the gold
+    /// used to spin forever in the uniform-fallback loop (`below(1)` only
+    /// ever returns 0). The degenerate guard must terminate and return the
+    /// gold, since no true negative exists.
+    #[test]
+    fn single_target_equal_to_gold_terminates() {
+        let sources = vec![EntityId(0)];
+        let src = emb(&[[1.0, 0.0]]);
+        let tgt = emb(&[[1.0, 0.0]]);
+        let cs = CandidateSet::generate(&sources, &src, &tgt, 3);
+        let mut rng = Rng::seed_from_u64(3);
+        let neg = cs.sample_negative(EntityId(0), EntityId(0), 1, &mut rng);
+        assert_eq!(neg, EntityId(0), "degenerate case must return the gold");
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct SdeaConfig {
     /// 0 defers to the `SDEA_THREADS` environment variable, then the
     /// hardware parallelism. Results are identical at any setting.
     pub threads: usize,
+    /// Enables the `sdea_obs` instrumentation layer (span timers, counters,
+    /// run reports). `false` force-disables it for this process regardless
+    /// of `SDEA_OBS`; observability never changes any computed tensor
+    /// either way.
+    pub obs: bool,
 }
 
 /// Sequence pooling strategy of the attribute module.
@@ -119,6 +124,7 @@ impl Default for SdeaConfig {
             normalize_embeddings: true,
             seed: 0,
             threads: 0,
+            obs: true,
         }
     }
 }
@@ -153,6 +159,7 @@ impl SdeaConfig {
             normalize_embeddings: true,
             seed: 7,
             threads: 0,
+            obs: true,
         }
     }
 

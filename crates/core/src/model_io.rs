@@ -25,6 +25,13 @@ pub fn save_model(model: &SdeaModel, path: impl AsRef<Path>) -> io::Result<()> {
 
 /// Loads embedding tables saved by [`save_model`]. Training reports are
 /// not persisted and come back empty.
+///
+/// Beyond key names and arity, the table shapes are validated so a
+/// corrupt or mismatched store fails here with `InvalidData` instead of
+/// panicking later inside alignment ranking: every table must be rank-2,
+/// the two attribute tables must share one width `d`, and each `ent`
+/// table must be `[same rows as its h_a, 3 * d]` (the `[H_r; H_a; H_m]`
+/// layout).
 pub fn load_model(path: impl AsRef<Path>) -> io::Result<SdeaModel> {
     let store = load_store(path)?;
     if store.len() != 4 {
@@ -41,6 +48,7 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<SdeaModel> {
             ));
         }
     }
+    validate_shapes(&store)?;
     Ok(SdeaModel {
         h_a1: store.value(ParamId(0)).clone(),
         h_a2: store.value(ParamId(1)).clone(),
@@ -50,6 +58,47 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<SdeaModel> {
         rel_report: Default::default(),
         rel_stage: None,
     })
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Checks the four tables form a consistent model (see [`load_model`]).
+fn validate_shapes(store: &sdea_tensor::ParamStore) -> io::Result<()> {
+    for (i, key) in KEYS.iter().enumerate() {
+        let shape = store.value(ParamId(i)).shape();
+        if shape.len() != 2 {
+            return Err(invalid(format!("table {key:?} must be rank-2, got {shape:?}")));
+        }
+    }
+    let ha1 = store.value(ParamId(0)).shape().to_vec();
+    let ha2 = store.value(ParamId(1)).shape().to_vec();
+    let ent1 = store.value(ParamId(2)).shape().to_vec();
+    let ent2 = store.value(ParamId(3)).shape().to_vec();
+    if ha1[1] != ha2[1] {
+        return Err(invalid(format!(
+            "attribute tables disagree on embedding width: h_a1 {ha1:?} vs h_a2 {ha2:?}"
+        )));
+    }
+    let d3 = 3 * ha1[1];
+    for (ent, ha, ent_key, ha_key) in
+        [(&ent1, &ha1, KEYS[2], KEYS[0]), (&ent2, &ha2, KEYS[3], KEYS[1])]
+    {
+        if ent[0] != ha[0] {
+            return Err(invalid(format!(
+                "{ent_key:?} has {} rows but {ha_key:?} has {} — entity counts disagree",
+                ent[0], ha[0]
+            )));
+        }
+        if ent[1] != d3 {
+            return Err(invalid(format!(
+                "{ent_key:?} width {} is not 3 x attribute width {} ([H_r; H_a; H_m] layout)",
+                ent[1], ha[1]
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -85,6 +134,40 @@ mod tests {
         let test = vec![(sdea_kg::EntityId(0), sdea_kg::EntityId(0))];
         let m = back.test_metrics(&test);
         assert!(m.mrr > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a store with the right keys and arity but inconsistent
+    /// shapes used to load fine and panic later in `test_metrics`; it must
+    /// be rejected at load time with `InvalidData`.
+    #[test]
+    fn inconsistent_shapes_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("sdea_model_io_shape_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shape.sdt");
+        let mut rng = Rng::seed_from_u64(2);
+        // (mutator, description) pairs: each corrupts one shape invariant
+        // of the d = 8 `fake_model`.
+        type Mutator = fn(&mut SdeaModel, &mut Rng);
+        let cases: [(Mutator, &str); 4] = [
+            (|m, r| m.ent1 = Tensor::rand_normal(&[5, 2 * 8], 1.0, r), "ent1 width != 3d"),
+            (|m, r| m.ent2 = Tensor::rand_normal(&[4, 3 * 8], 1.0, r), "ent2 rows != h_a2 rows"),
+            (|m, r| m.h_a2 = Tensor::rand_normal(&[6, 7], 1.0, r), "h_a widths disagree"),
+            (|m, r| m.h_a1 = Tensor::rand_normal(&[5 * 8], 1.0, r), "h_a1 not rank-2"),
+        ];
+        for (mutate, what) in cases {
+            let mut model = fake_model(1);
+            mutate(&mut model, &mut rng);
+            save_model(&model, &path).unwrap();
+            let err = match load_model(&path) {
+                Ok(_) => panic!("loaded a model with {what}"),
+                Err(e) => e,
+            };
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{what}");
+        }
+        // Sanity: the unmutated model still round-trips after all that.
+        save_model(&fake_model(1), &path).unwrap();
+        assert!(load_model(&path).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

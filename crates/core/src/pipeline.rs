@@ -87,10 +87,16 @@ impl<'a> SdeaPipeline<'a> {
 
     fn execute(&self, bootstrap_threshold: Option<f32>) -> SdeaModel {
         // The budget is process-wide; 0 keeps whatever SDEA_THREADS or the
-        // hardware dictates.
+        // hardware dictates. Observability is likewise process-wide: the
+        // config can only force it off (the default `true` defers to the
+        // `SDEA_OBS` environment variable).
         if self.cfg.threads != 0 {
             sdea_tensor::set_thread_budget(self.cfg.threads);
         }
+        if !self.cfg.obs {
+            sdea_obs::set_enabled(false);
+        }
+        let _span = sdea_obs::span("pipeline");
         let mut rng = Rng::seed_from_u64(self.cfg.seed);
         let mut seq_rng = rng.split();
         let mut build_rng = rng.split();
@@ -98,24 +104,29 @@ impl<'a> SdeaPipeline<'a> {
         let mut rel_rng = rng.split();
 
         // Algorithm 1 on both KGs (each KG draws its own attribute order).
-        let seq1 = AttrSequencer::new(self.kg1, &mut seq_rng);
-        let seq2 = AttrSequencer::new(self.kg2, &mut seq_rng);
+        let (seq1, seq2) = {
+            let _span = sdea_obs::span("sequencing");
+            (AttrSequencer::new(self.kg1, &mut seq_rng), AttrSequencer::new(self.kg2, &mut seq_rng))
+        };
 
-        // Pre-trained transformer + projection.
-        let mut attr = AttrModule::build(&self.cfg, self.corpus, &mut build_rng);
-        let cache1 = attr.token_cache(seq1.sequences());
-        let cache2 = attr.token_cache(seq2.sequences());
-
-        // Algorithm 2.
-        let attr_report =
-            attr.fit(&cache1, &cache2, &self.split.train, &self.split.valid, &mut fit_rng);
-        let h_a1 = attr.embed_all(&cache1, &mut fit_rng);
-        let h_a2 = attr.embed_all(&cache2, &mut fit_rng);
+        // Pre-trained transformer + projection; Algorithm 2.
+        let (attr_report, h_a1, h_a2) = {
+            let _span = sdea_obs::span("attr_stage");
+            let mut attr = AttrModule::build(&self.cfg, self.corpus, &mut build_rng);
+            let cache1 = attr.token_cache(seq1.sequences());
+            let cache2 = attr.token_cache(seq2.sequences());
+            let attr_report =
+                attr.fit(&cache1, &cache2, &self.split.train, &self.split.valid, &mut fit_rng);
+            let h_a1 = attr.embed_all(&cache1, &mut fit_rng);
+            let h_a2 = attr.embed_all(&cache2, &mut fit_rng);
+            (attr_report, h_a1, h_a2)
+        };
 
         // Optional bootstrapping: confident mutual-nearest pairs under the
         // attribute embeddings become extra (noisy) training seeds.
         let mut train = self.split.train.clone();
         if let Some(threshold) = bootstrap_threshold {
+            let _span = sdea_obs::span("bootstrap");
             let known1: std::collections::HashSet<EntityId> =
                 self.split.train.iter().map(|&(a, _)| a).collect();
             let known2: std::collections::HashSet<EntityId> =
@@ -125,18 +136,29 @@ impl<'a> SdeaPipeline<'a> {
                     train.push((a, b));
                 }
             }
+            sdea_obs::add(
+                "pipeline.bootstrap_pairs",
+                (train.len() - self.split.train.len()) as u64,
+            );
         }
 
         // Algorithm 3.
-        let mut stage = RelStage::new(&self.cfg, self.variant, self.kg1, self.kg2, &mut rel_rng);
-        let rel_report =
-            stage.fit(&self.cfg, &h_a1, &h_a2, &train, &self.split.valid, &mut rel_rng);
+        let (stage, rel_report) = {
+            let _span = sdea_obs::span("rel_stage");
+            let mut stage =
+                RelStage::new(&self.cfg, self.variant, self.kg1, self.kg2, &mut rel_rng);
+            let rel_report =
+                stage.fit(&self.cfg, &h_a1, &h_a2, &train, &self.split.valid, &mut rel_rng);
+            (stage, rel_report)
+        };
 
         // Final embedding tables.
-        let ids1: Vec<EntityId> = (0..self.kg1.num_entities() as u32).map(EntityId).collect();
-        let ids2: Vec<EntityId> = (0..self.kg2.num_entities() as u32).map(EntityId).collect();
-        let ent1 = stage.full_embeddings(&h_a1, true, &ids1);
-        let ent2 = stage.full_embeddings(&h_a2, false, &ids2);
+        let (ent1, ent2) = {
+            let _span = sdea_obs::span("final_embed");
+            let ids1: Vec<EntityId> = (0..self.kg1.num_entities() as u32).map(EntityId).collect();
+            let ids2: Vec<EntityId> = (0..self.kg2.num_entities() as u32).map(EntityId).collect();
+            (stage.full_embeddings(&h_a1, true, &ids1), stage.full_embeddings(&h_a2, false, &ids2))
+        };
 
         SdeaModel { h_a1, h_a2, ent1, ent2, attr_report, rel_report, rel_stage: Some(stage) }
     }

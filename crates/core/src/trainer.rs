@@ -104,6 +104,13 @@ impl RelStage {
     }
 
     /// Algorithm 3: trains the relation module + joint head.
+    ///
+    /// Early stopping tracks validation Hits@1 when `valid` is non-empty.
+    /// With **no validation pairs** the best epoch is chosen by training
+    /// loss instead — previously an empty `valid` made `validate` return a
+    /// constant 0.0, so the epoch-0 snapshot stayed "best" forever and all
+    /// training after the first epoch was silently thrown away. The
+    /// `rel.no_validation` warning counter records that the fallback ran.
     #[allow(clippy::too_many_arguments)]
     pub fn fit(
         &mut self,
@@ -114,20 +121,29 @@ impl RelStage {
         valid: &[(EntityId, EntityId)],
         rng: &mut Rng,
     ) -> RelFitReport {
+        let _span = sdea_obs::span("rel.fit");
+        let has_valid = !valid.is_empty();
+        if !has_valid {
+            sdea_obs::add("rel.no_validation", 1);
+        }
         let mut opt = Adam::new(cfg.rel_lr).with_clip(GradClip::GlobalNorm(2.0));
         let mut report = RelFitReport::default();
         // Line 1: candidates once, from the pre-trained attribute
         // embeddings.
         let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
         let src_rows: Vec<usize> = sources.iter().map(|e| e.0 as usize).collect();
-        let cands =
-            CandidateSet::generate(&sources, &h_a1.gather_rows(&src_rows), h_a2, cfg.n_candidates);
+        let cands = {
+            let _span = sdea_obs::span("candidates");
+            CandidateSet::generate(&sources, &h_a1.gather_rows(&src_rows), h_a2, cfg.n_candidates)
+        };
         let n_targets = h_a2.shape()[0];
 
         let mut best_hits = -1.0f64;
+        let mut best_loss = f64::INFINITY;
         let mut best_snapshot = self.store.snapshot();
         let mut strikes = 0usize;
         for epoch in 0..cfg.rel_epochs {
+            let _span = sdea_obs::span("epoch");
             let mut order: Vec<usize> = (0..train.len()).collect();
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
@@ -166,20 +182,34 @@ impl RelStage {
                 opt.step(&mut self.store);
                 epoch_loss += lv as f64;
                 steps += 1;
+                sdea_obs::add("rel.steps", 1);
+                sdea_obs::record("rel.batch_loss", lv as f64);
             }
-            report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
+            let mean_loss = epoch_loss / steps.max(1) as f64;
+            report.epoch_losses.push(mean_loss as f32);
+            sdea_obs::add("rel.epochs", 1);
 
-            // Line 12: validation on the full embedding.
-            let hits1 = self.validate(h_a1, h_a2, valid);
+            // Line 12: validation on the full embedding. Without validation
+            // pairs, fall back to best-epoch-by-training-loss so early
+            // stopping never discards trained weights.
+            let hits1 = if has_valid {
+                let _span = sdea_obs::span("validate");
+                self.validate(h_a1, h_a2, valid)
+            } else {
+                0.0
+            };
             report.valid_hits1.push(hits1);
-            if hits1 > best_hits {
+            let improved = if has_valid { hits1 > best_hits } else { mean_loss < best_loss };
+            if improved {
                 best_hits = hits1;
+                best_loss = mean_loss;
                 best_snapshot = self.store.snapshot();
                 report.best_epoch = epoch;
                 strikes = 0;
             } else {
                 strikes += 1;
                 if strikes >= cfg.patience {
+                    sdea_obs::add("rel.early_stops", 1);
                     break;
                 }
             }
@@ -249,6 +279,61 @@ mod tests {
         let after = stage.validate(&h1, &h2, valid);
         assert!(after >= before * 0.9, "rel stage regressed: {before} -> {after}");
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    /// Regression: with an empty validation set, `fit` used to see a
+    /// constant 0.0 from `validate`, mark epoch 0 as "best" forever, and
+    /// restore the epoch-0 snapshot after `patience` strikes — silently
+    /// discarding all training. The fix falls back to best-epoch-by-
+    /// training-loss; this asserts the trained weights are kept.
+    #[test]
+    fn empty_validation_keeps_trained_weights() {
+        let n = 40;
+        let (kg1, kg2) = twin_kgs(n);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.embed_dim = 16;
+        cfg.rel_epochs = 8;
+        cfg.patience = 2;
+        // Noisy twins + a wide margin keep the hinge active from epoch 0
+        // (with easy data the loss is already 0.0 and no epoch improves).
+        cfg.margin = 2.0;
+        let (h1, h2) = synthetic_h_a(n, 16, 1.0, 3);
+        let pairs: Vec<(EntityId, EntityId)> =
+            (0..n as u32).map(|i| (EntityId(i), EntityId(i))).collect();
+
+        // Reference run truncated after one epoch: its final weights are
+        // exactly the epoch-0 snapshot the buggy code used to restore
+        // (training is deterministic given the same seed and config).
+        let mut cfg_one = cfg.clone();
+        cfg_one.rel_epochs = 1;
+        let mut rng_a = Rng::seed_from_u64(4);
+        let mut stage_a = RelStage::new(&cfg_one, RelVariant::Full, &kg1, &kg2, &mut rng_a);
+        stage_a.fit(&cfg_one, &h1, &h2, &pairs, &[], &mut rng_a);
+        let epoch0_weights = stage_a.store.snapshot();
+
+        let before = sdea_obs::snapshot().counters.get("rel.no_validation").copied().unwrap_or(0);
+        let mut rng_b = Rng::seed_from_u64(4);
+        let mut stage_b = RelStage::new(&cfg, RelVariant::Full, &kg1, &kg2, &mut rng_b);
+        let report = stage_b.fit(&cfg, &h1, &h2, &pairs, &[], &mut rng_b);
+
+        // Training loss decreased past epoch 0 and a later epoch won.
+        assert!(report.best_epoch > 0, "best epoch stuck at 0: {report:?}");
+        let first = report.epoch_losses[0];
+        let best = report.epoch_losses[report.best_epoch];
+        assert!(best < first, "training loss did not decrease: {report:?}");
+        // The restored weights differ from the epoch-0 snapshot.
+        let final_weights = stage_b.store.snapshot();
+        assert_eq!(final_weights.len(), epoch0_weights.len());
+        assert!(
+            final_weights.iter().zip(&epoch0_weights).any(|(a, b)| a != b),
+            "fit with empty validation restored the epoch-0 snapshot"
+        );
+        // The fallback was surfaced, not silent.
+        if sdea_obs::enabled() {
+            let after =
+                sdea_obs::snapshot().counters.get("rel.no_validation").copied().unwrap_or(0);
+            assert!(after > before, "rel.no_validation warning counter not incremented");
+        }
     }
 
     #[test]

@@ -13,8 +13,13 @@ use sdea_tensor::{par_map_collect, par_row_chunks};
 /// Re-scales a cosine similarity matrix with CSLS (k nearest neighbours).
 /// Row means, column means and the rescale itself all fan out across the
 /// thread budget.
+///
+/// `k` is clamped per direction to the number of available neighbours
+/// (`k > m` row-wise / `k > n` column-wise just averages over everything),
+/// so any `k >= 1` is valid for any matrix shape, including zero columns.
 pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
     assert!(k >= 1, "CSLS needs k >= 1");
+    let _span = sdea_obs::span("eval.csls");
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
     let k_row = k.min(m);
     let k_col = k.min(n);
@@ -89,5 +94,25 @@ mod tests {
         let r = csls_rescale(&sim, 2);
         let first = r.data()[0];
         assert!(r.data().iter().all(|&v| (v - first).abs() < 1e-6));
+    }
+
+    #[test]
+    fn k_larger_than_matrix_clamps_to_full_mean() {
+        let sim = Tensor::from_vec(vec![0.9, 0.1, 0.4, 0.6, 0.2, 0.8], &[2, 3]);
+        // k far beyond both dimensions behaves exactly like k = max(n, m).
+        let clamped = csls_rescale(&sim, 50);
+        let full = csls_rescale(&sim, 3);
+        assert_eq!(clamped, full);
+        assert_eq!(clamped.shape(), &[2, 3]);
+        assert!(clamped.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_column_matrix_passes_through() {
+        // No targets: nothing to rescale, the empty shape is preserved
+        // instead of an index panic in the neighbour scans.
+        let sim = Tensor::zeros(&[3, 0]);
+        let r = csls_rescale(&sim, 4);
+        assert_eq!(r.shape(), &[3, 0]);
     }
 }

@@ -24,7 +24,16 @@ impl AlignmentMetrics {
 /// pessimistically for indices before `gold` and optimistically after —
 /// i.e. rank = 1 + |{j : s_j > s_gold}| + |{j < gold : s_j == s_gold}|,
 /// which is deterministic and matches a stable descending sort.
+///
+/// Panics with a descriptive message when `gold` is out of range — in
+/// particular for an empty `scores` slice (a zero-column similarity
+/// matrix), where no rank exists.
 pub fn rank_of(scores: &[f32], gold: usize) -> usize {
+    assert!(
+        gold < scores.len(),
+        "rank_of: gold index {gold} out of range for {} candidate scores",
+        scores.len()
+    );
     let g = scores[gold];
     let mut rank = 1usize;
     for (j, &s) in scores.iter().enumerate() {
@@ -37,16 +46,24 @@ pub fn rank_of(scores: &[f32], gold: usize) -> usize {
 
 /// Evaluates a similarity matrix against gold targets: `gold[i]` is the
 /// column index of source row `i`'s true match.
+///
+/// Panics with a descriptive message when any gold column is out of range;
+/// a zero-column matrix is therefore rejected up front unless `gold` is
+/// empty (no rows to rank — all metrics are 0).
 pub fn evaluate_ranking(sim: &SimilarityMatrix, gold: &[usize]) -> AlignmentMetrics {
     assert_eq!(sim.shape()[0], gold.len(), "one gold target per source row");
     let m = sim.shape()[1];
+    // Validate on the calling thread: a failure inside a parallel worker
+    // would surface as an opaque join panic instead of this message.
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_ranking: gold[{i}] column {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_ranking");
     let n = gold.len().max(1) as f64;
     // Per-row ranks fan out across the thread budget; the f64 accumulation
     // below stays serial and in row order, so MRR is bit-stable.
     let ranks = sdea_tensor::par_map_collect(gold.len(), m.max(1), |i| {
-        let g = gold[i];
-        assert!(g < m, "gold column {g} out of range {m}");
-        rank_of(&sim.data()[i * m..(i + 1) * m], g)
+        rank_of(&sim.data()[i * m..(i + 1) * m], gold[i])
     });
     let mut h1 = 0usize;
     let mut h10 = 0usize;
@@ -113,6 +130,37 @@ mod tests {
         assert!(m.hits1 <= m.hits10);
         assert!(m.mrr > 0.0 && m.mrr <= 1.0);
         assert!(m.hits1 <= m.mrr + 1e-12, "MRR >= Hits@1 always");
+    }
+
+    #[test]
+    fn zero_column_matrix_with_no_rows_scores_zero() {
+        // Degenerate but valid: nothing to rank, all metrics are 0.
+        let sim = Tensor::zeros(&[0, 0]);
+        let m = evaluate_ranking(&sim, &[]);
+        assert_eq!(m, AlignmentMetrics::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "gold[0] column 0 out of range for 0 targets")]
+    fn zero_column_matrix_with_rows_panics_cleanly() {
+        // One source row but no target columns: the gold can never be
+        // ranked. Must fail with a descriptive message on the calling
+        // thread, not an index panic inside a parallel worker.
+        let sim = Tensor::zeros(&[1, 0]);
+        evaluate_ranking(&sim, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for 3 targets")]
+    fn out_of_range_gold_panics_cleanly() {
+        let sim = Tensor::zeros(&[1, 3]);
+        evaluate_ranking(&sim, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank_of: gold index 0 out of range for 0 candidate scores")]
+    fn rank_of_empty_scores_panics_cleanly() {
+        rank_of(&[], 0);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
     assert_eq!(a.rank(), 2, "cosine_matrix lhs rank");
     assert_eq!(b.rank(), 2, "cosine_matrix rhs rank");
     assert_eq!(a.shape()[1], b.shape()[1], "embedding width mismatch");
+    let _span = sdea_obs::span("eval.cosine_matrix");
+    sdea_obs::add("eval.cosine_cells", (a.shape()[0] * b.shape()[0]) as u64);
     a.l2_normalize_rows().matmul_t(&b.l2_normalize_rows())
 }
 
@@ -51,6 +53,7 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
 /// thread budget. `out[i]` equals `top_k_indices(sim.row(i), k)`.
 pub fn top_k_rows(sim: &SimilarityMatrix, k: usize) -> Vec<Vec<usize>> {
     assert_eq!(sim.rank(), 2);
+    let _span = sdea_obs::span("eval.top_k_rows");
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
     par_map_collect(n, m.max(1), |i| top_k_indices(sim.row(i), k))
 }

@@ -1,0 +1,139 @@
+//! A minimal JSON encoder — the workspace builds air-gapped, so no serde.
+//!
+//! Only what run reports need: objects with ordered keys, arrays, strings,
+//! numbers, booleans and null. Non-finite numbers encode as `null` (JSON
+//! has no NaN/Infinity), which is the behavior consumers of
+//! `run_report_*.json` should expect for e.g. a `stable_hits1` that was
+//! never computed.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values encode as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Encodes the tree as a compact JSON string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 round-trips (shortest representation).
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_scalars() {
+        assert_eq!(Json::Null.encode(), "null");
+        assert_eq!(Json::Bool(true).encode(), "true");
+        assert_eq!(Json::Num(1.5).encode(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).encode(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).encode(), "null");
+        assert_eq!(Json::str("hi").encode(), "\"hi\"");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").encode(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").encode(), "\"\\u0001\"");
+        assert_eq!(Json::str("héllo").encode(), "\"héllo\"");
+    }
+
+    #[test]
+    fn encodes_nested_structures() {
+        let v = Json::obj(vec![
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("b", Json::obj(vec![("c", Json::Bool(false))])),
+        ]);
+        assert_eq!(v.encode(), r#"{"a":[1,2],"b":{"c":false}}"#);
+    }
+
+    #[test]
+    fn numbers_round_trip_compactly() {
+        assert_eq!(Json::Num(0.1).encode(), "0.1");
+        assert_eq!(Json::Num(2022.0).encode(), "2022");
+        assert_eq!(Json::Num(-3.25).encode(), "-3.25");
+    }
+}

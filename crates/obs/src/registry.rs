@@ -1,0 +1,385 @@
+//! Process-wide registry of counters, histograms and span timings.
+//!
+//! All mutation funnels through one `Mutex` (instrumentation points are
+//! coarse — epochs, stages, kernel entry — never per-element), except
+//! [`Counter`] handles which pre-register an `Arc<AtomicU64>` so hot paths
+//! pay one atomic add and no lock. When observability is disabled every
+//! entry point returns after a single relaxed atomic load.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 buckets kept per histogram (see [`HistogramStats`]).
+pub const HIST_BUCKETS: usize = 16;
+
+/// Summary of every value recorded under one histogram name.
+///
+/// `buckets[i]` counts values `v` with `2^(i-8) <= v < 2^(i-7)` (bucket 0
+/// additionally absorbs everything below `2^-8`, including non-positive
+/// values; the last bucket absorbs everything from `2^7` up).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramStats {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Log2 buckets (see type docs).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramStats {
+    fn default() -> Self {
+        HistogramStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramStats {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = if v.is_finite() && v > 0.0 {
+            (v.log2().floor() as i64 + 8).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+        } else {
+            0
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregate timing of every completed span sharing one dotted path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time in seconds.
+    pub total_secs: f64,
+    /// Shortest single span in seconds.
+    pub min_secs: f64,
+    /// Longest single span in seconds.
+    pub max_secs: f64,
+}
+
+impl SpanStats {
+    fn observe(&mut self, secs: f64) {
+        if self.count == 0 {
+            self.min_secs = secs;
+            self.max_secs = secs;
+        } else {
+            self.min_secs = self.min_secs.min(secs);
+            self.max_secs = self.max_secs.max(secs);
+        }
+        self.count += 1;
+        self.total_secs += secs;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, HistogramStats>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// --- enablement -----------------------------------------------------------
+
+/// 0 = no override (defer to `SDEA_OBS`), 1 = forced on, 2 = forced off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !matches!(
+            std::env::var("SDEA_OBS").as_deref().map(str::trim),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
+}
+
+/// Whether instrumentation records anything. Resolution order: programmatic
+/// override ([`set_enabled`]) → the `SDEA_OBS` environment variable
+/// (`0`/`false`/`off` disable) → enabled.
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_enabled(),
+    }
+}
+
+/// Forces observability on or off, overriding `SDEA_OBS`.
+pub fn set_enabled(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Clears the [`set_enabled`] override, restoring `SDEA_OBS` resolution.
+pub fn clear_enabled_override() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+// --- counters -------------------------------------------------------------
+
+/// A pre-registered counter handle: increments are one atomic add, no lock.
+/// Obtain via [`counter`]; cache in a `OnceLock` at hot call sites.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` (no-op while observability is disabled).
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Registers (or fetches) the counter `name` and returns a handle to it.
+/// Handles stay connected to the registry across [`reset`] (reset zeroes
+/// counters instead of dropping them).
+pub fn counter(name: &str) -> Counter {
+    let mut reg = lock();
+    let cell = reg.counters.entry(name.to_string()).or_default().clone();
+    Counter { cell }
+}
+
+/// Adds `n` to the counter `name` (registering it on first use). Takes the
+/// registry lock — fine for per-epoch / per-stage sites; hot loops should
+/// cache a [`counter`] handle instead.
+pub fn add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock();
+    reg.counters.entry(name.to_string()).or_default().fetch_add(n, Ordering::Relaxed);
+}
+
+// --- histograms -----------------------------------------------------------
+
+/// Records `value` into the histogram `name`.
+pub fn record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock();
+    reg.histograms.entry(name.to_string()).or_default().observe(value);
+}
+
+// --- spans ----------------------------------------------------------------
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard of one scoped span; see [`crate::span`].
+pub struct Span {
+    start: Option<Instant>,
+}
+
+pub(crate) fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { start: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+    Span { start: Some(Instant::now()) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let secs = start.elapsed().as_secs_f64();
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join(".");
+            stack.pop();
+            path
+        });
+        lock().spans.entry(path).or_default().observe(secs);
+    }
+}
+
+// --- snapshot / reset -----------------------------------------------------
+
+/// A point-in-time copy of the registry.
+#[derive(Clone, Debug, Default)]
+pub struct ObsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramStats>,
+    /// Span timings by dotted path.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+/// Copies the current registry contents. Zero-valued counters (e.g. freshly
+/// [`reset`] ones) are skipped so reports only show what actually happened.
+pub fn snapshot() -> ObsSnapshot {
+    let reg = lock();
+    ObsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .filter(|&(_, v)| v > 0)
+            .collect(),
+        histograms: reg.histograms.clone(),
+        spans: reg.spans.clone(),
+    }
+}
+
+/// Clears histograms and spans and zeroes every counter (counters are kept
+/// registered so cached [`Counter`] handles stay live). Call between
+/// benchmark runs so each run report reflects only its own run.
+pub fn reset() {
+    let mut reg = lock();
+    for c in reg.counters.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    reg.histograms.clear();
+    reg.spans.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry state is process-global; tests serialize on this lock and
+    /// force-enable observability so `cargo test` parallelism and the
+    /// ambient `SDEA_OBS` value never flake them.
+    fn with_clean_registry<R>(f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        reset();
+        let out = f();
+        clear_enabled_override();
+        out
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        with_clean_registry(|| {
+            add("t.a", 2);
+            add("t.a", 3);
+            let h = counter("t.b");
+            h.add(7);
+            let snap = snapshot();
+            assert_eq!(snap.counters["t.a"], 5);
+            assert_eq!(snap.counters["t.b"], 7);
+            reset();
+            // handle survives reset and keeps counting from zero
+            h.add(1);
+            assert_eq!(snapshot().counters["t.b"], 1);
+            assert!(!snapshot().counters.contains_key("t.a"));
+        });
+    }
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        with_clean_registry(|| {
+            {
+                let _outer = crate::span("outer");
+                let _inner = crate::span("inner");
+            }
+            let snap = snapshot();
+            assert_eq!(snap.spans["outer"].count, 1);
+            assert_eq!(snap.spans["outer.inner"].count, 1);
+            assert!(snap.spans["outer"].total_secs >= snap.spans["outer.inner"].total_secs);
+        });
+    }
+
+    #[test]
+    fn histogram_summary_is_exact() {
+        with_clean_registry(|| {
+            for v in [1.0, 2.0, 3.0] {
+                record("t.h", v);
+            }
+            record("t.h", -1.0); // non-positive lands in bucket 0
+            let h = &snapshot().histograms["t.h"];
+            assert_eq!(h.count, 4);
+            assert_eq!(h.sum, 5.0);
+            assert_eq!(h.min, -1.0);
+            assert_eq!(h.max, 3.0);
+            assert_eq!(h.mean(), 1.25);
+            assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+            assert!(h.buckets[0] >= 1);
+        });
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_clean_registry(|| {
+            set_enabled(false);
+            add("t.off", 1);
+            record("t.off.h", 1.0);
+            let h = counter("t.off.c");
+            h.add(5);
+            {
+                let _s = crate::span("t.off.span");
+            }
+            set_enabled(true);
+            let snap = snapshot();
+            assert!(!snap.counters.contains_key("t.off"));
+            assert!(!snap.counters.contains_key("t.off.c"));
+            assert!(!snap.histograms.contains_key("t.off.h"));
+            assert!(!snap.spans.contains_key("t.off.span"));
+        });
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        with_clean_registry(|| {
+            let h = counter("t.mt");
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let h = h.clone();
+                    s.spawn(move || {
+                        for _ in 0..1000 {
+                            h.add(1);
+                        }
+                    });
+                }
+            });
+            assert_eq!(snapshot().counters["t.mt"], 4000);
+        });
+    }
+}

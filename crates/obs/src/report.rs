@@ -1,0 +1,196 @@
+//! Structured run reports.
+//!
+//! A [`RunReport`] gathers everything one benchmark/training run produced —
+//! configuration, seed, thread budget, final metrics, per-epoch curves —
+//! and merges in the registry's counters, histograms and span timings at
+//! serialization time. The result is one JSON document per run
+//! (`results/run_report_<run>.json`), the machine-readable trajectory that
+//! later performance PRs measure themselves against.
+//!
+//! Wall-clock values appear **only** in the report; nothing here is read
+//! back by any computation, preserving the system's determinism guarantee.
+
+use crate::json::Json;
+use crate::registry::{snapshot, ObsSnapshot};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema version of the emitted JSON; bump on breaking layout changes.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// A structured record of one run, serializable as JSON.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    run: String,
+    seed: u64,
+    threads: usize,
+    config: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+    curves: Vec<(String, Vec<f64>)>,
+}
+
+impl RunReport {
+    /// Starts a report for the run `run` (e.g. `"table3_dbp15k/zh_en"`),
+    /// recording the master seed and the resolved worker-thread budget.
+    pub fn new(run: impl Into<String>, seed: u64, threads: usize) -> Self {
+        RunReport { run: run.into(), seed, threads, ..Default::default() }
+    }
+
+    /// Records one configuration key/value pair.
+    pub fn config_kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records one scalar result metric.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Records a per-epoch curve (losses, validation Hits@1, ...).
+    pub fn curve(&mut self, key: &str, values: impl IntoIterator<Item = f64>) {
+        self.curves.push((key.to_string(), values.into_iter().collect()));
+    }
+
+    /// Serializes the report, merging in the current registry snapshot
+    /// (per-stage span wall times, counter totals, histograms).
+    pub fn to_json(&self) -> String {
+        self.render(&snapshot()).encode()
+    }
+
+    /// Writes `run_report_<sanitized-run>.json` into `dir` (created if
+    /// missing) and returns the path.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("run_report_{}.json", sanitize(&self.run)));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    fn render(&self, snap: &ObsSnapshot) -> Json {
+        let created =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() as f64).unwrap_or(0.0);
+        let kv = |pairs: &[(String, String)]| {
+            Json::Obj(pairs.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect())
+        };
+        let spans = Json::Obj(
+            snap.spans
+                .iter()
+                .map(|(path, s)| {
+                    (
+                        path.clone(),
+                        Json::obj(vec![
+                            ("count", Json::Num(s.count as f64)),
+                            ("total_secs", Json::Num(s.total_secs)),
+                            ("min_secs", Json::Num(s.min_secs)),
+                            ("max_secs", Json::Num(s.max_secs)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let counters = Json::Obj(
+            snap.counters.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::Num(h.count as f64)),
+                            ("sum", Json::Num(h.sum)),
+                            ("min", Json::Num(h.min)),
+                            ("max", Json::Num(h.max)),
+                            ("mean", Json::Num(h.mean())),
+                            (
+                                "log2_buckets",
+                                Json::Arr(h.buckets.iter().map(|&b| Json::Num(b as f64)).collect()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema_version", Json::Num(REPORT_SCHEMA_VERSION as f64)),
+            ("run", Json::str(self.run.clone())),
+            ("created_unix_secs", Json::Num(created)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("obs_enabled", Json::Bool(crate::enabled())),
+            ("config", kv(&self.config)),
+            (
+                "metrics",
+                Json::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+            ),
+            (
+                "curves",
+                Json::Obj(
+                    self.curves
+                        .iter()
+                        .map(|(k, vs)| {
+                            (k.clone(), Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()))
+                        })
+                        .collect(),
+                ),
+            ),
+            ("spans", spans),
+            ("counters", counters),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// Keeps `[A-Za-z0-9._-]`, maps everything else (path separators included)
+/// to `_` so the run name is safe as a file-name fragment.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_contains_all_sections() {
+        let mut r = RunReport::new("unit/test run", 7, 4);
+        r.config_kv("embed_dim", 128);
+        r.metric("hits1", 0.5);
+        r.curve("loss", [1.0, 0.5, 0.25]);
+        let j = r.to_json();
+        for key in [
+            "\"run\":",
+            "\"seed\":7",
+            "\"threads\":4",
+            "\"embed_dim\":\"128\"",
+            "\"hits1\":0.5",
+            "\"curves\":",
+            "\"loss\":[1,0.5,0.25]",
+            "\"spans\":",
+            "\"counters\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn write_creates_sanitized_file() {
+        let dir = std::env::temp_dir().join(format!("sdea_obs_report_{}", std::process::id()));
+        let r = RunReport::new("tableX/zh en", 1, 1);
+        let path = r.write_to_dir(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "run_report_tableX_zh_en.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_keeps_safe_chars() {
+        assert_eq!(sanitize("a/b c.D-1_2"), "a_b_c.D-1_2");
+    }
+}

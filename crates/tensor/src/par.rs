@@ -86,15 +86,38 @@ pub fn with_thread_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Cached `sdea_obs` counters for the fork-join layer: total parallel-region
+/// entries, entries that actually fanned out, and workers spawned. Handles
+/// are pre-registered so the hot path pays one atomic add and no lock
+/// (and only a relaxed load when observability is disabled).
+fn obs_counters() -> &'static (sdea_obs::Counter, sdea_obs::Counter, sdea_obs::Counter) {
+    static C: OnceLock<(sdea_obs::Counter, sdea_obs::Counter, sdea_obs::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        (
+            sdea_obs::counter("par.regions"),
+            sdea_obs::counter("par.regions_parallel"),
+            sdea_obs::counter("par.workers_spawned"),
+        )
+    })
+}
+
 /// Decides the fan-out for a task of `units` independent pieces whose total
 /// cost is `total_cost`: 1 when the work wouldn't amortize a spawn, else at
 /// most the budget and at most one thread per `MIN_COST_PER_THREAD` of work.
 fn fanout(units: usize, total_cost: usize) -> usize {
     let budget = max_threads();
-    if budget <= 1 || units <= 1 || total_cost < 2 * MIN_COST_PER_THREAD {
-        return 1;
+    let threads = if budget <= 1 || units <= 1 || total_cost < 2 * MIN_COST_PER_THREAD {
+        1
+    } else {
+        budget.min(units).min((total_cost / MIN_COST_PER_THREAD).max(1))
+    };
+    let (regions, parallel, workers) = obs_counters();
+    regions.add(1);
+    if threads > 1 {
+        parallel.add(1);
+        workers.add(threads as u64);
     }
-    budget.min(units).min((total_cost / MIN_COST_PER_THREAD).max(1))
+    threads
 }
 
 /// Fills the row-major buffer `out` (`rows` rows of `row_width` elements)

@@ -14,4 +14,12 @@ echo "=== tier-1: release build + tests ==="
 cargo build --workspace --release
 cargo test -q --workspace --release
 
+# Budget equivalence with observability on: the instrumentation layer must
+# not perturb a single bit of any computed tensor at any thread count.
+for threads in 1 8; do
+  echo "=== budget equivalence: SDEA_THREADS=$threads SDEA_OBS=1 ==="
+  SDEA_OBS=1 SDEA_THREADS="$threads" cargo test -q --release \
+    -p sdea-tensor -p sdea-eval -p sdea-core --test par_equivalence
+done
+
 echo "ci.sh: all checks passed"

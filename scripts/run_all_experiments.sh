@@ -28,3 +28,5 @@ run extension_numeric
 run extension_bootstrap
 run attention_analysis
 echo "all experiments archived under results/"
+echo "run reports:"
+ls results/run_report_*.json 2> /dev/null || echo "  (none written — did the SDEA tables run?)"
