@@ -35,7 +35,10 @@ pub fn generate_walks(
         // biased walks also traverse inverse edges (standard in RSN)
         adj.entry(t).or_default().push((r, h));
     }
-    let starts: Vec<usize> = adj.keys().copied().collect();
+    // HashMap iteration order is per-process random; sort so walk starts
+    // (and thus the whole RSN corpus) are deterministic given the seed.
+    let mut starts: Vec<usize> = adj.keys().copied().collect();
+    starts.sort_unstable();
     if starts.is_empty() {
         return Vec::new();
     }

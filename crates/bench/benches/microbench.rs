@@ -13,9 +13,22 @@ use sdea_text::{Tokenizer, WordPieceTrainer};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::seed_from_u64(1);
-    let a = Tensor::rand_normal(&[128, 128], 1.0, &mut rng);
-    let b = Tensor::rand_normal(&[128, 128], 1.0, &mut rng);
-    c.bench_function("matmul_128x128", |bch| bch.iter(|| std::hint::black_box(a.matmul(&b))));
+    // Square sizes the tiled-kernel acceptance numbers are quoted at, each
+    // against the naive pre-tiling reference kernel.
+    for n in [128usize, 256, 512] {
+        let a = Tensor::rand_normal(&[n, n], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[n, n], 1.0, &mut rng);
+        c.bench_function(&format!("matmul_{n}x{n}x{n}_tiled"), |bch| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+        let mut out = vec![0.0f32; n * n];
+        c.bench_function(&format!("matmul_{n}x{n}x{n}_reference"), |bch| {
+            bch.iter(|| {
+                sdea_tensor::kernels::reference::matmul_into(a.data(), b.data(), &mut out, n, n, n);
+                std::hint::black_box(&out);
+            })
+        });
+    }
     let a2 = Tensor::rand_normal(&[512, 128], 1.0, &mut rng);
     let b2 = Tensor::rand_normal(&[128, 256], 1.0, &mut rng);
     c.bench_function("matmul_512x128x256", |bch| bch.iter(|| std::hint::black_box(a2.matmul(&b2))));

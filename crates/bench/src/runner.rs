@@ -313,7 +313,8 @@ pub fn run_full_table(
 /// Individual knobs can be overridden through `SDEA_*` environment
 /// variables (used by the calibration tool):
 /// `SDEA_MLM_EPOCHS`, `SDEA_ATTR_EPOCHS`, `SDEA_MAX_SEQ`, `SDEA_HIDDEN`,
-/// `SDEA_ATTR_LR`, `SDEA_MARGIN`, `SDEA_VOCAB`, `SDEA_THREADS`.
+/// `SDEA_ATTR_LR`, `SDEA_MARGIN`, `SDEA_VOCAB` (`SDEA_THREADS` is handled
+/// by the par layer itself, capped at the machine's cores).
 pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     let mut cfg = SdeaConfig { seed, ..SdeaConfig::default() };
     let getu = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
@@ -321,9 +322,10 @@ pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     if let Some(v) = getu("SDEA_MLM_EPOCHS") {
         cfg.mlm_epochs = v;
     }
-    if let Some(v) = getu("SDEA_THREADS") {
-        cfg.threads = v;
-    }
+    // SDEA_THREADS is deliberately NOT copied into cfg.threads: the par
+    // layer already resolves it (capped at the machine's cores), while
+    // cfg.threads is a literal programmatic override that would bypass
+    // the cap and oversubscribe small containers.
     if let Some(v) = getu("SDEA_ATTR_EPOCHS") {
         cfg.attr_epochs = v;
     }

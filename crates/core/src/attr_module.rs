@@ -195,20 +195,29 @@ impl AttrModule {
     /// out across the thread budget; each worker builds its own tape, so
     /// results land in entity order and are identical at any thread count.
     pub fn embed_all(&self, cache: &[Vec<u32>], rng: &mut Rng) -> Tensor {
+        let rows: Vec<usize> = (0..cache.len()).collect();
+        self.embed_rows(cache, &rows, rng)
+    }
+
+    /// Embeds only the given `cache` rows, in `rows` order, viewing the
+    /// shared token cache by index instead of copying token rows into a
+    /// temporary sub-cache (the per-epoch candidate regeneration in
+    /// [`AttrModule::fit`] used to clone every source row each round).
+    pub fn embed_rows(&self, cache: &[Vec<u32>], rows: &[usize], rng: &mut Rng) -> Tensor {
         let _span = sdea_obs::span("embed_all");
         // Eval-mode forwards draw no randomness (asserted by the
         // `embed_all_is_deterministic_in_eval` test), so the caller's RNG
         // is left untouched and each worker carries a private
         // deterministically-seeded RNG purely to satisfy the signature.
         let _ = rng;
-        let n = cache.len();
+        let n = rows.len();
         let d = self.cfg.embed_dim;
         let batch = 64usize;
         let n_batches = n.div_ceil(batch);
         let parts = sdea_tensor::par_map_collect(n_batches, 1 << 20, |bi| {
             let start = bi * batch;
             let end = (start + batch).min(n);
-            let ids: Vec<EntityId> = (start..end).map(|i| EntityId(i as u32)).collect();
+            let ids: Vec<EntityId> = rows[start..end].iter().map(|&r| EntityId(r as u32)).collect();
             let mut batch_rng = Rng::seed_from_u64(0x5dea_0000 ^ bi as u64);
             let g = Graph::new();
             let v = self.embed_batch_var(&g, cache, &ids, false, &mut batch_rng);
@@ -249,9 +258,12 @@ impl AttrModule {
         let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
         // Only the train sources' embeddings are needed for candidate
         // generation (Algorithm 2 line 4); embedding the rest of KG1 every
-        // epoch would be wasted work.
-        let src_cache: Vec<Vec<u32>> =
-            sources.iter().map(|e| cache1[e.0 as usize].clone()).collect();
+        // epoch would be wasted work. The sources are embedded as an index
+        // view into `cache1` — no token rows are copied per epoch.
+        let src_rows: Vec<usize> = sources.iter().map(|e| e.0 as usize).collect();
+        // One pool for the whole fine-tuning run: tape buffers freed by one
+        // batch's backward are re-used by the next batch's forward.
+        let pool = sdea_tensor::BufferPool::new();
 
         for epoch in 0..cfg.attr_epochs {
             let _span = sdea_obs::span("epoch");
@@ -259,7 +271,7 @@ impl AttrModule {
             let cands = {
                 let _span = sdea_obs::span("candidates");
                 let emb2_all = self.embed_all(cache2, rng);
-                let src_emb = self.embed_all(&src_cache, rng);
+                let src_emb = self.embed_rows(cache1, &src_rows, rng);
                 CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates)
             };
 
@@ -275,7 +287,7 @@ impl AttrModule {
                     .iter()
                     .map(|&i| cands.sample_negative(train[i].0, train[i].1, n_targets, rng))
                     .collect();
-                let g = Graph::new();
+                let g = Graph::with_pool(std::rc::Rc::clone(&pool));
                 let ha = self.embed_batch_var(&g, cache1, &anchors, true, rng);
                 let hp = self.embed_batch_var(&g, cache2, &pos, true, rng);
                 let hn = self.embed_batch_var(&g, cache2, &neg, true, rng);
@@ -327,13 +339,9 @@ impl AttrModule {
             return 0.0;
         }
         let emb2_all = self.embed_all(cache2, rng);
+        // embed only the validation sources, viewed in place
         let src_rows: Vec<usize> = valid.iter().map(|&(e, _)| e.0 as usize).collect();
-        // embed only the validation sources
-        let mut src_cache: Vec<Vec<u32>> = Vec::with_capacity(src_rows.len());
-        for &r in &src_rows {
-            src_cache.push(cache1[r].clone());
-        }
-        let src_emb = self.embed_all(&src_cache, rng);
+        let src_emb = self.embed_rows(cache1, &src_rows, rng);
         let sim = cosine_matrix(&src_emb, &emb2_all);
         let gold: Vec<usize> = valid.iter().map(|&(_, e)| e.0 as usize).collect();
         evaluate_ranking(&sim, &gold).hits1

@@ -142,6 +142,9 @@ impl RelStage {
         let mut best_loss = f64::INFINITY;
         let mut best_snapshot = self.store.snapshot();
         let mut strikes = 0usize;
+        // One pool across all batches of the run: tape buffers freed by one
+        // step's backward feed the next step's forward.
+        let pool = sdea_tensor::BufferPool::new();
         for epoch in 0..cfg.rel_epochs {
             let _span = sdea_obs::span("epoch");
             let mut order: Vec<usize> = (0..train.len()).collect();
@@ -155,7 +158,7 @@ impl RelStage {
                     .iter()
                     .map(|&i| cands.sample_negative(train[i].0, train[i].1, n_targets, rng))
                     .collect();
-                let g = Graph::new();
+                let g = Graph::with_pool(std::rc::Rc::clone(&pool));
                 let t1 = g.constant(h_a1.clone());
                 let t2 = g.constant(h_a2.clone());
                 let emb = |g: &Graph,

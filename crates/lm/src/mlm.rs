@@ -8,8 +8,11 @@
 
 use crate::batch::TokenBatch;
 use crate::model::TransformerLm;
-use sdea_tensor::{init, Adam, GradClip, Graph, Optimizer, ParamId, ParamStore, Rng, Tensor};
+use sdea_tensor::{
+    init, Adam, BufferPool, GradClip, Graph, Optimizer, ParamId, ParamStore, Rng, Tensor,
+};
 use sdea_text::Vocab;
+use std::rc::Rc;
 
 /// Result of one pre-training run.
 #[derive(Clone, Debug)]
@@ -26,6 +29,8 @@ pub struct MlmPretrainer {
     head_w: ParamId,
     head_b: ParamId,
     mask_prob: f32,
+    /// Recycles tape allocations across the sequential training steps.
+    pool: Rc<BufferPool>,
 }
 
 impl MlmPretrainer {
@@ -35,7 +40,7 @@ impl MlmPretrainer {
         let v = lm.config().vocab_size;
         let head_w = store.add("mlm.head.w", init::xavier_uniform(&[d, v], rng));
         let head_b = store.add("mlm.head.b", Tensor::zeros(&[v]));
-        MlmPretrainer { head_w, head_b, mask_prob: 0.15 }
+        MlmPretrainer { head_w, head_b, mask_prob: 0.15, pool: BufferPool::new() }
     }
 
     /// Applies BERT's corruption recipe to one encoded row. Returns the
@@ -92,14 +97,14 @@ impl MlmPretrainer {
             return (0.0, 0, 0);
         }
         let batch = TokenBatch::from_encoded(&corrupted);
-        let g = Graph::new();
+        let g = Graph::with_pool(Rc::clone(&self.pool));
         let hidden = lm.forward(&g, store, &batch, true, rng);
         let positions: Vec<usize> = flat_targets.iter().map(|&(p, _)| p).collect();
         let labels: Vec<usize> = flat_targets.iter().map(|&(_, t)| t as usize).collect();
         let picked = g.gather_rows(hidden, &positions);
         let w = g.param(store, self.head_w);
         let b = g.param(store, self.head_b);
-        let logits = g.add_bias(g.matmul(picked, w), b);
+        let logits = g.linear(picked, w, b);
         let logp = g.log_softmax_lastdim(logits);
         let loss = g.nll_mean(logp, &labels);
         let loss_val = g.value_cloned(loss).item();

@@ -164,40 +164,38 @@ impl TransformerLm {
         x = g.dropout(x, cfg.dropout, training, rng);
         let embedded = x;
 
-        let bias = g.constant(batch.attention_bias(h));
+        // The additive attention mask stays off the tape: the fused
+        // softmax nodes share one copy of it behind an Rc.
+        let bias = std::rc::Rc::new(batch.attention_bias(h));
         let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
 
         for blk in &self.blocks {
-            // --- multi-head self-attention ---
+            // --- multi-head self-attention (fused score + mask-softmax) ---
             let q = self.linear(g, store, x, blk.wq, blk.bq);
             let k = self.linear(g, store, x, blk.wk, blk.bk);
             let v = self.linear(g, store, x, blk.wv, blk.bv);
             let qh = g.split_heads(q, b, s, h);
             let kh = g.split_heads(k, b, s, h);
             let vh = g.split_heads(v, b, s, h);
-            let kt = g.transpose_last2(kh);
-            let scores = g.scale(g.bmm(qh, kt), scale);
-            let masked = g.add(scores, bias);
-            let attn = g.softmax_lastdim(masked);
+            let scores = g.scaled_bmm_nt(qh, kh, scale);
+            let attn = g.softmax_bias_lastdim(scores, &bias);
             let attn = g.dropout(attn, cfg.dropout, training, rng);
             let ctx = g.bmm(attn, vh);
             let merged = g.merge_heads(ctx, b, s, h);
             let proj = self.linear(g, store, merged, blk.wo, blk.bo);
             let proj = g.dropout(proj, cfg.dropout, training, rng);
-            let res1 = g.add(x, proj);
             let g1 = g.param(store, blk.ln1_gain);
             let b1v = g.param(store, blk.ln1_bias);
-            x = g.layer_norm(res1, g1, b1v, cfg.ln_eps);
+            x = g.add_layer_norm(x, proj, g1, b1v, cfg.ln_eps);
 
-            // --- feed-forward ---
+            // --- feed-forward (fused residual layer-norm) ---
             let f1 = self.linear(g, store, x, blk.w1, blk.b1);
             let act = g.gelu(f1);
             let f2 = self.linear(g, store, act, blk.w2, blk.b2);
             let f2 = g.dropout(f2, cfg.dropout, training, rng);
-            let res2 = g.add(x, f2);
             let g2 = g.param(store, blk.ln2_gain);
             let b2v = g.param(store, blk.ln2_bias);
-            x = g.layer_norm(res2, g2, b2v, cfg.ln_eps);
+            x = g.add_layer_norm(x, f2, g2, b2v, cfg.ln_eps);
         }
         (embedded, x)
     }
@@ -211,7 +209,7 @@ impl TransformerLm {
     fn linear(&self, g: &Graph, store: &ParamStore, x: Var, w: ParamId, b: ParamId) -> Var {
         let wv = g.param(store, w);
         let bv = g.param(store, b);
-        g.add_bias(g.matmul(x, wv), bv)
+        g.linear(x, wv, bv)
     }
 }
 

@@ -10,8 +10,10 @@
 //! binding so [`Graph::accumulate_param_grads`] can push gradients back.
 
 use crate::optim::{ParamId, ParamStore};
+use crate::pool::BufferPool;
 use crate::tensor::Tensor;
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
+use std::rc::Rc;
 
 /// Handle to a node on a [`Graph`] tape.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -19,9 +21,20 @@ pub struct Var {
     pub(crate) id: usize,
 }
 
+/// What a backward closure sends to one parent.
+pub(crate) enum Flow {
+    /// Identity Jacobian: the output gradient flows to this parent
+    /// element-for-element (lengths match; shapes may differ, e.g. through a
+    /// reshape). [`Graph::backward`] forwards the tensor without copying
+    /// whenever it can.
+    Pass,
+    /// An explicit gradient tensor, shaped like the parent.
+    Grad(Tensor),
+}
+
 /// Backward closure: given (grad wrt output, output value, parent values),
-/// return one gradient tensor per parent (same shape as that parent).
-pub(crate) type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor>>;
+/// return one [`Flow`] per parent.
+pub(crate) type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Flow>>;
 
 pub(crate) struct Node {
     pub parents: Vec<usize>,
@@ -37,8 +50,14 @@ pub(crate) struct Inner {
 }
 
 /// An autograd tape. Create one per forward/backward pass.
+///
+/// With [`Graph::with_pool`], node values and gradients are recycled through
+/// a [`BufferPool`] when the graph drops, so the next step's tape reuses
+/// this step's allocations.
 pub struct Graph {
     pub(crate) inner: RefCell<Inner>,
+    pub(crate) pool: Option<Rc<BufferPool>>,
+    retain_grads: Cell<bool>,
 }
 
 impl Default for Graph {
@@ -47,12 +66,43 @@ impl Default for Graph {
     }
 }
 
+impl Drop for Graph {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            let inner = self.inner.get_mut();
+            for t in inner.values.drain(..) {
+                pool.put_tensor(t);
+            }
+            for g in inner.grads.drain(..).flatten() {
+                pool.put_tensor(g);
+            }
+        }
+    }
+}
+
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Graph {
             inner: RefCell::new(Inner { values: Vec::new(), grads: Vec::new(), nodes: Vec::new() }),
+            pool: None,
+            retain_grads: Cell::new(false),
         }
+    }
+
+    /// An empty tape whose allocations are recycled through `pool` — both
+    /// on drop and inside backward closures that produce temporaries.
+    pub fn with_pool(pool: Rc<BufferPool>) -> Self {
+        let mut g = Self::new();
+        g.pool = Some(pool);
+        g
+    }
+
+    /// When enabled, [`Graph::backward`] keeps the gradient of every
+    /// intermediate node (matching the pre-pool behavior) instead of only
+    /// leaves; costs one extra tensor copy per pass-through node.
+    pub fn set_retain_grads(&self, on: bool) {
+        self.retain_grads.set(on);
     }
 
     /// Number of nodes recorded so far.
@@ -92,10 +142,12 @@ impl Graph {
         self.leaf(value, false)
     }
 
-    /// Copies a parameter from the store onto the tape and records the
-    /// binding so its gradient can later be pushed back.
+    /// Copies a parameter from the store onto the tape (through the buffer
+    /// pool when one is attached) and records the binding so its gradient
+    /// can later be pushed back.
     pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Vec::new(), None, true, Some(id))
+        let value = crate::pool::copy_tensor(&self.pool, store.value(id));
+        self.push(value, Vec::new(), None, true, Some(id))
     }
 
     /// Shared read access to a node's value.
@@ -149,6 +201,13 @@ impl Graph {
     /// Runs reverse-mode differentiation from a scalar root.
     ///
     /// Panics if the root is not a single-element tensor.
+    ///
+    /// [`Flow::Pass`] parents receive the output gradient itself: the last
+    /// empty pass-through slot takes the tensor by move (zero-copy — the
+    /// common chain `a → b → c` of reshapes/adds never duplicates the
+    /// gradient), earlier ones get pool-backed copies, and occupied slots
+    /// accumulate flat. Unless [`Graph::set_retain_grads`] is on, a consumed
+    /// node's own gradient is dropped (recycled) rather than kept.
     pub fn backward(&self, root: Var) {
         let mut inner = self.inner.borrow_mut();
         assert_eq!(
@@ -159,34 +218,87 @@ impl Graph {
         );
         inner.grads[root.id] = Some(Tensor::scalar(1.0));
 
+        let retain = self.retain_grads.get();
         let Inner { values, grads, nodes } = &mut *inner;
+        let mut pending: Vec<usize> = Vec::new();
         for id in (0..=root.id).rev() {
             if grads[id].is_none() || nodes[id].backward.is_none() {
                 continue;
             }
-            let gout = grads[id].take().expect("checked above");
-            {
-                let node = &nodes[id];
-                let back = node.backward.as_ref().expect("checked above");
-                let parent_vals: Vec<&Tensor> = node.parents.iter().map(|&p| &values[p]).collect();
-                let pgrads = back(&gout, &values[id], &parent_vals);
-                debug_assert_eq!(pgrads.len(), node.parents.len());
-                for (&p, pg) in node.parents.iter().zip(pgrads) {
-                    if !nodes[p].requires_grad {
-                        continue;
+            let mut gout = grads[id].take();
+            let node = &nodes[id];
+            let back = node.backward.as_ref().expect("checked above");
+            let parent_vals: Vec<&Tensor> = node.parents.iter().map(|&p| &values[p]).collect();
+            let flows = back(gout.as_ref().expect("checked above"), &values[id], &parent_vals);
+            debug_assert_eq!(flows.len(), node.parents.len());
+            pending.clear();
+            for (&p, flow) in node.parents.iter().zip(flows) {
+                if !nodes[p].requires_grad {
+                    if let Flow::Grad(t) = flow {
+                        crate::pool::recycle(&self.pool, t);
                     }
-                    debug_assert_eq!(
-                        pg.shape(),
-                        values[p].shape(),
-                        "backward produced grad of wrong shape for node {p}"
-                    );
-                    match &mut grads[p] {
-                        Some(g) => g.add_assign(&pg),
-                        slot @ None => *slot = Some(pg),
+                    continue;
+                }
+                match flow {
+                    Flow::Grad(pg) => {
+                        debug_assert_eq!(
+                            pg.shape(),
+                            values[p].shape(),
+                            "backward produced grad of wrong shape for node {p}"
+                        );
+                        match &mut grads[p] {
+                            Some(g) => {
+                                g.add_assign(&pg);
+                                crate::pool::recycle(&self.pool, pg);
+                            }
+                            slot @ None => *slot = Some(pg),
+                        }
+                    }
+                    Flow::Pass => {
+                        debug_assert_eq!(
+                            gout.as_ref().expect("gout alive during fan-out").len(),
+                            values[p].len(),
+                            "pass-through grad length mismatch for node {p}"
+                        );
+                        pending.push(p);
                     }
                 }
             }
-            grads[id] = Some(gout);
+            // Distribute gout to pass-through parents. Slots are re-checked
+            // on every step because a node may list the same parent twice
+            // (e.g. `add(x, x)`): the first delivery fills the slot, the
+            // second must accumulate into it.
+            let n_pend = pending.len();
+            for (i, &p) in pending.iter().enumerate() {
+                let src = gout.as_ref().expect("gout alive during fan-out");
+                match &mut grads[p] {
+                    Some(g) => {
+                        // Flat accumulate: lengths match, shapes may not.
+                        for (o, &v) in g.data_mut().iter_mut().zip(src.data()) {
+                            *o += v;
+                        }
+                    }
+                    slot @ None => {
+                        let shape = values[p].shape();
+                        let t = if i + 1 == n_pend && !retain {
+                            let moved = gout.take().expect("last pending takes gout");
+                            Tensor::from_vec(moved.into_data(), shape)
+                        } else {
+                            let data = match &self.pool {
+                                Some(pl) => pl.take_copy_of(src.data()),
+                                None => src.data().to_vec(),
+                            };
+                            Tensor::from_vec(data, shape)
+                        };
+                        *slot = Some(t);
+                    }
+                }
+            }
+            match gout {
+                Some(g) if retain => grads[id] = Some(g),
+                Some(g) => crate::pool::recycle(&self.pool, g),
+                None => {}
+            }
         }
     }
 
@@ -208,27 +320,37 @@ impl Graph {
 
     /// Elementwise addition (same shape).
     pub fn add(&self, a: Var, b: Var) -> Var {
-        self.binary(a, b, |x, y| x.add(y), Box::new(|g, _, _| vec![g.clone(), g.clone()]))
+        self.binary(a, b, |x, y| x.add(y), Box::new(|_, _, _| vec![Flow::Pass, Flow::Pass]))
     }
 
     /// Elementwise subtraction (same shape).
     pub fn sub(&self, a: Var, b: Var) -> Var {
-        self.binary(a, b, |x, y| x.sub(y), Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]))
+        self.binary(
+            a,
+            b,
+            |x, y| x.sub(y),
+            Box::new(|g, _, _| vec![Flow::Pass, Flow::Grad(g.scale(-1.0))]),
+        )
     }
 
     /// Hadamard product (same shape).
     pub fn mul(&self, a: Var, b: Var) -> Var {
-        self.binary(a, b, |x, y| x.mul(y), Box::new(|g, _, ps| vec![g.mul(ps[1]), g.mul(ps[0])]))
+        self.binary(
+            a,
+            b,
+            |x, y| x.mul(y),
+            Box::new(|g, _, ps| vec![Flow::Grad(g.mul(ps[1])), Flow::Grad(g.mul(ps[0]))]),
+        )
     }
 
     /// Multiplication by a constant.
     pub fn scale(&self, a: Var, c: f32) -> Var {
-        self.unary(a, |x| x.scale(c), Box::new(move |g, _, _| vec![g.scale(c)]))
+        self.unary(a, |x| x.scale(c), Box::new(move |g, _, _| vec![Flow::Grad(g.scale(c))]))
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, a: Var, c: f32) -> Var {
-        self.unary(a, |x| x.map(|v| v + c), Box::new(|g, _, _| vec![g.clone()]))
+        self.unary(a, |x| x.map(|v| v + c), Box::new(|_, _, _| vec![Flow::Pass]))
     }
 
     /// Negation.
@@ -238,7 +360,7 @@ impl Graph {
 
     /// `1 - a`, used by GRU update gates.
     pub fn one_minus(&self, a: Var) -> Var {
-        self.unary(a, |x| x.map(|v| 1.0 - v), Box::new(|g, _, _| vec![g.scale(-1.0)]))
+        self.unary(a, |x| x.map(|v| 1.0 - v), Box::new(|g, _, _| vec![Flow::Grad(g.scale(-1.0))]))
     }
 
     /// Elementwise square.
@@ -246,7 +368,7 @@ impl Graph {
         self.unary(
             a,
             |x| x.map(|v| v * v),
-            Box::new(|g, _, ps| vec![g.zip(ps[0], |gv, xv| 2.0 * gv * xv)]),
+            Box::new(|g, _, ps| vec![Flow::Grad(g.zip(ps[0], |gv, xv| 2.0 * gv * xv))]),
         )
     }
 
@@ -257,7 +379,9 @@ impl Graph {
         self.unary(
             a,
             |x| x.map(|v| v.max(0.0)),
-            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 })]),
+            Box::new(|g, out, _| {
+                vec![Flow::Grad(g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 }))]
+            }),
         )
     }
 
@@ -266,7 +390,7 @@ impl Graph {
         self.unary(
             a,
             |x| x.map(f32::tanh),
-            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| gv * (1.0 - ov * ov))]),
+            Box::new(|g, out, _| vec![Flow::Grad(g.zip(out, |gv, ov| gv * (1.0 - ov * ov)))]),
         )
     }
 
@@ -275,7 +399,7 @@ impl Graph {
         self.unary(
             a,
             |x| x.map(|v| 1.0 / (1.0 + (-v).exp())),
-            Box::new(|g, out, _| vec![g.zip(out, |gv, ov| gv * ov * (1.0 - ov))]),
+            Box::new(|g, out, _| vec![Flow::Grad(g.zip(out, |gv, ov| gv * ov * (1.0 - ov)))]),
         )
     }
 
@@ -294,7 +418,7 @@ impl Graph {
         self.unary(
             a,
             |x| x.map(gelu_f),
-            Box::new(|g, _, ps| vec![g.zip(ps[0], |gv, xv| gv * dgelu_f(xv))]),
+            Box::new(|g, _, ps| vec![Flow::Grad(g.zip(ps[0], |gv, xv| gv * dgelu_f(xv)))]),
         )
     }
 
@@ -302,41 +426,53 @@ impl Graph {
 
     /// Rank-2 matrix product `[n,k] x [k,m] -> [n,m]`.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let pool = self.pool.clone();
         self.binary(
             a,
             b,
             |x, y| x.matmul(y),
-            Box::new(|g, _, ps| vec![g.matmul_t(ps[1]), ps[0].t_matmul(g)]),
+            Box::new(move |g, _, ps| {
+                let da = g.matmul_t_with(ps[1], crate::pool::take_uninit(&pool, ps[0].len()));
+                let db = ps[0].t_matmul_with(g, crate::pool::take_uninit(&pool, ps[1].len()));
+                vec![Flow::Grad(da), Flow::Grad(db)]
+            }),
         )
     }
 
     /// Batched matrix product `[b,n,k] x [b,k,m] -> [b,n,m]`.
     pub fn bmm(&self, a: Var, b: Var) -> Var {
+        let pool = self.pool.clone();
         self.binary(
             a,
             b,
             |x, y| x.bmm(y),
-            Box::new(|g, _, ps| {
-                // dA = g x B^T, dB = A^T x g, per batch.
-                let bt = ps[1].transpose_last2();
-                let at = ps[0].transpose_last2();
-                vec![g.bmm(&bt), at.bmm(g)]
+            Box::new(move |g, _, ps| {
+                // dA = g x B^T, dB = A^T x g, per batch — both through the
+                // transpose-free kernels (no materialized permutations).
+                let da = g.bmm_nt_scaled(ps[1], 1.0, crate::pool::take_uninit(&pool, ps[0].len()));
+                let db = ps[0].bmm_tn_scaled(g, 1.0, crate::pool::take_uninit(&pool, ps[1].len()));
+                vec![Flow::Grad(da), Flow::Grad(db)]
             }),
         )
     }
 
     /// Rank-2 transpose.
     pub fn transpose2(&self, a: Var) -> Var {
-        self.unary(a, |x| x.transpose2(), Box::new(|g, _, _| vec![g.transpose2()]))
+        self.unary(a, |x| x.transpose2(), Box::new(|g, _, _| vec![Flow::Grad(g.transpose2())]))
     }
 
     /// Transposes the last two axes of a rank-3 tensor.
     pub fn transpose_last2(&self, a: Var) -> Var {
-        self.unary(a, |x| x.transpose_last2(), Box::new(|g, _, _| vec![g.transpose_last2()]))
+        self.unary(
+            a,
+            |x| x.transpose_last2(),
+            Box::new(|g, _, _| vec![Flow::Grad(g.transpose_last2())]),
+        )
     }
 
     /// Adds a `[d]` bias vector to every row of a `[n,d]` (or `[.., d]`) tensor.
     pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let pool = self.pool.clone();
         self.binary(
             x,
             bias,
@@ -351,21 +487,16 @@ impl Graph {
                 }
                 out
             },
-            Box::new(|g, _, ps| {
-                let d = ps[1].len();
-                let mut db = vec![0.0f32; d];
-                for chunk in g.data().chunks(d) {
-                    for (o, &gv) in db.iter_mut().zip(chunk) {
-                        *o += gv;
-                    }
-                }
-                vec![g.clone(), Tensor::from_vec(db, ps[1].shape())]
+            Box::new(move |g, _, ps| {
+                let db = g.col_sums_with(crate::pool::take_uninit(&pool, ps[1].len()));
+                vec![Flow::Pass, Flow::Grad(Tensor::from_vec(db.into_data(), ps[1].shape()))]
             }),
         )
     }
 
     /// Scales each row `i` of `x: [n,d]` by `s[i]` (`s: [n]`).
     pub fn mul_col(&self, x: Var, s: Var) -> Var {
+        let pool = self.pool.clone();
         self.binary(
             x,
             s,
@@ -380,10 +511,10 @@ impl Graph {
                 }
                 out
             },
-            Box::new(|g, _, ps| {
+            Box::new(move |g, _, ps| {
                 let d = ps[0].shape()[1];
                 let n = ps[0].shape()[0];
-                let mut dx = g.clone();
+                let mut dx = crate::pool::copy_tensor(&pool, g);
                 let mut ds = vec![0.0f32; n];
                 for (i, dsi) in ds.iter_mut().enumerate() {
                     let sv = ps[1].data()[i];
@@ -394,13 +525,14 @@ impl Graph {
                         *c *= sv;
                     }
                 }
-                vec![dx, Tensor::from_vec(ds, &[n])]
+                vec![Flow::Grad(dx), Flow::Grad(Tensor::from_vec(ds, &[n]))]
             }),
         )
     }
 
     /// Per-row dot product of two `[n,d]` tensors, producing `[n]`.
     pub fn rows_dot(&self, a: Var, b: Var) -> Var {
+        let pool = self.pool.clone();
         self.binary(
             a,
             b,
@@ -418,16 +550,16 @@ impl Graph {
                 }
                 Tensor::from_vec(out, &[n])
             },
-            Box::new(|g, _, ps| {
+            Box::new(move |g, _, ps| {
                 let (n, d) = (ps[0].shape()[0], ps[0].shape()[1]);
-                let mut da = ps[1].clone();
-                let mut db = ps[0].clone();
+                let mut da = crate::pool::copy_tensor(&pool, ps[1]);
+                let mut db = crate::pool::copy_tensor(&pool, ps[0]);
                 for i in 0..n {
                     let gv = g.data()[i];
                     da.data_mut()[i * d..(i + 1) * d].iter_mut().for_each(|v| *v *= gv);
                     db.data_mut()[i * d..(i + 1) * d].iter_mut().for_each(|v| *v *= gv);
                 }
-                vec![da, db]
+                vec![Flow::Grad(da), Flow::Grad(db)]
             }),
         )
     }
@@ -450,7 +582,7 @@ impl Graph {
                     let gv = g.data()[i];
                     dx.row_mut(i).iter_mut().for_each(|v| *v = gv);
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -462,7 +594,7 @@ impl Graph {
         self.unary(
             x,
             |x| Tensor::scalar(x.sum()),
-            Box::new(|g, _, ps| vec![Tensor::full(ps[0].shape(), g.item())]),
+            Box::new(|g, _, ps| vec![Flow::Grad(Tensor::full(ps[0].shape(), g.item()))]),
         )
     }
 
@@ -473,7 +605,7 @@ impl Graph {
             |x| Tensor::scalar(x.sum() / x.len().max(1) as f32),
             Box::new(|g, _, ps| {
                 let n = ps[0].len().max(1) as f32;
-                vec![Tensor::full(ps[0].shape(), g.item() / n)]
+                vec![Flow::Grad(Tensor::full(ps[0].shape(), g.item() / n))]
             }),
         )
     }

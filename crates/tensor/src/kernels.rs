@@ -1,0 +1,372 @@
+//! Register-tiled, panel-packed matmul microkernels.
+//!
+//! Every dense product in the system (`matmul`, `matmul_t`, `t_matmul`,
+//! `bmm` and friends) funnels into [`matmul_packed`]: the B operand is
+//! packed once per call into column panels of [`NR`] contiguous floats per
+//! k-step, then an [`MR`]×[`NR`] register tile of accumulators is carried
+//! over the full k range for each output block. The panel layout makes the
+//! inner loop a unit-stride load + broadcast-multiply-accumulate that LLVM
+//! autovectorizes; the register tile gives 4 independent accumulator chains
+//! per vector lane, enough to hide FP add latency.
+//!
+//! **Determinism contract.** Each output element `out[i,j]` is produced by
+//! exactly one accumulator that sums `a[i,k]·b[k,j]` in strictly ascending
+//! `k` order — there is no k-splitting and no partial-sum write-back. The
+//! per-element operation sequence is therefore independent of (a) where a
+//! row falls inside an `MR` block and (b) how `par_row_chunks` partitions
+//! rows across workers, so results are bit-identical at any `SDEA_THREADS`
+//! budget **and** bit-identical to the naive [`reference`] kernels (which
+//! the `property` suite asserts with exact equality).
+
+/// Rows per register tile (independent accumulator chains per panel column).
+pub const MR: usize = 4;
+/// Columns per packed panel (vector-lane width of the accumulator tile).
+pub const NR: usize = 8;
+
+/// Length of the packed buffer produced by [`pack_b`]/[`pack_bt`]:
+/// `ceil(m / NR)` panels of `k·NR` floats (tail panels are zero-padded).
+pub fn packed_len(k: usize, m: usize) -> usize {
+    m.div_ceil(NR) * k * NR
+}
+
+/// Packs row-major `b: [k,m]` into column panels: panel `p` holds columns
+/// `[p·NR, p·NR+NR)` as `k` rows of `NR` contiguous floats, zero-padded on
+/// the right when `m` is not a multiple of `NR`.
+pub fn pack_b(b: &[f32], k: usize, m: usize, packed: &mut Vec<f32>) {
+    debug_assert_eq!(b.len(), k * m);
+    let panels = m.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(m - j0);
+        let panel = &mut packed[p * k * NR..(p + 1) * k * NR];
+        // clear + resize zero-fills, so tail lanes w..NR stay padded.
+        for kk in 0..k {
+            panel[kk * NR..kk * NR + w].copy_from_slice(&b[kk * m + j0..kk * m + j0 + w]);
+        }
+    }
+}
+
+/// Packs row-major `bt: [m,k]` — i.e. `Bᵀ` — into the panel format
+/// [`pack_b`] would produce for `B: [k,m]`. Lets `matmul_t` (`A·Bᵀ`) run
+/// through the same microkernel without materializing the transpose.
+pub fn pack_bt(bt: &[f32], k: usize, m: usize, packed: &mut Vec<f32>) {
+    debug_assert_eq!(bt.len(), m * k);
+    let panels = m.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(m - j0);
+        let panel = &mut packed[p * k * NR..(p + 1) * k * NR];
+        // clear + resize zero-fills, so tail lanes w..NR stay padded.
+        for jj in 0..w {
+            let row = &bt[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NR + jj] = v;
+            }
+        }
+    }
+}
+
+/// Transposes columns `[col0, col0+rows)` of column-major-viewed
+/// `a: [k,n]` into a row-major `[rows,k]` block. Used by `t_matmul`
+/// workers to feed their row block through [`matmul_packed`].
+pub fn transpose_block(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    col0: usize,
+    rows: usize,
+    out: &mut Vec<f32>,
+) {
+    debug_assert_eq!(a.len(), k * n);
+    debug_assert!(col0 + rows <= n);
+    out.clear();
+    out.resize(rows * k, 0.0);
+    for kk in 0..k {
+        let src = &a[kk * n + col0..kk * n + col0 + rows];
+        for (r, &v) in src.iter().enumerate() {
+            out[r * k + kk] = v;
+        }
+    }
+}
+
+/// `out[r,j] = alpha · Σ_k a[r,k]·B[k,j] (+ bias[j])` over a packed B,
+/// overwriting `out: [rows,m]`. `a` is row-major `[rows,k]`; `packed_b`
+/// comes from [`pack_b`]/[`pack_bt`]. The bias (when given) and `alpha`
+/// are applied in the write-back epilogue, after the full-k sum — with
+/// `alpha == 1.0` the stored value is bit-identical to the bare product.
+pub fn matmul_packed(
+    a: &[f32],
+    packed_b: &[f32],
+    rows: usize,
+    k: usize,
+    m: usize,
+    alpha: f32,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(packed_b.len(), packed_len(k, m));
+    debug_assert_eq!(out.len(), rows * m);
+    if let Some(b) = bias {
+        debug_assert_eq!(b.len(), m);
+    }
+    let panels = m.div_ceil(NR);
+    let mut i0 = 0usize;
+    while i0 < rows {
+        let mr = MR.min(rows - i0);
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(m - j0);
+            let panel = &packed_b[p * k * NR..(p + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            if mr == MR {
+                kernel_full(&a[i0 * k..(i0 + MR) * k], k, panel, &mut acc);
+            } else {
+                kernel_tail(&a[i0 * k..(i0 + mr) * k], k, panel, mr, &mut acc);
+            }
+            for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                let dst = &mut out[(i0 + r) * m + j0..(i0 + r) * m + j0 + w];
+                match bias {
+                    Some(b) => {
+                        let bs = &b[j0..j0 + w];
+                        if alpha == 1.0 {
+                            for ((d, &acc_v), &bv) in dst.iter_mut().zip(acc_row).zip(bs) {
+                                *d = acc_v + bv;
+                            }
+                        } else {
+                            for ((d, &acc_v), &bv) in dst.iter_mut().zip(acc_row).zip(bs) {
+                                *d = acc_v * alpha + bv;
+                            }
+                        }
+                    }
+                    None => {
+                        if alpha == 1.0 {
+                            dst.copy_from_slice(&acc_row[..w]);
+                        } else {
+                            for (d, &acc_v) in dst.iter_mut().zip(acc_row) {
+                                *d = acc_v * alpha;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i0 += mr;
+    }
+}
+
+/// Full MR×NR tile: 4 rows of `a` against one packed panel, ascending k.
+#[inline(always)]
+fn kernel_full(a: &[f32], k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let (a01, a23) = a.split_at(2 * k);
+    let (a0, a1) = a01.split_at(k);
+    let (a2, a3) = a23.split_at(k);
+    let it = a0.iter().zip(a1).zip(a2).zip(a3).zip(panel.chunks_exact(NR));
+    for ((((&x0, &x1), &x2), &x3), bv) in it {
+        for j in 0..NR {
+            acc[0][j] += x0 * bv[j];
+            acc[1][j] += x1 * bv[j];
+            acc[2][j] += x2 * bv[j];
+            acc[3][j] += x3 * bv[j];
+        }
+    }
+}
+
+/// Remainder tile (1–3 rows); same per-element accumulation order as the
+/// full kernel.
+#[inline(always)]
+fn kernel_tail(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]) {
+    for (kk, bv) in panel.chunks_exact(NR).take(k).enumerate() {
+        for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+            let x = a[r * k + kk];
+            for j in 0..NR {
+                acc_row[j] += x * bv[j];
+            }
+        }
+    }
+}
+
+/// Runs `f` with a reusable thread-local packing scratch buffer. The
+/// buffer is *taken* (not borrowed) so re-entrant calls simply fall back
+/// to a fresh allocation instead of aliasing.
+pub(crate) fn with_pack_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    use std::cell::Cell;
+    thread_local! {
+        static SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    }
+    let mut buf = SCRATCH.with(|c| c.take());
+    let r = f(&mut buf);
+    SCRATCH.with(|c| c.set(buf));
+    r
+}
+
+/// Naive single-accumulator kernels with the *same per-element operation
+/// order* as the tiled path (ascending k, one sum per output element).
+/// They serve two roles: the exact-equality oracle for the property tests,
+/// and the pre-tiling baseline for `bench_kernels`.
+pub mod reference {
+    /// `out[i,j] = Σ_k a[i,k]·b[k,j]`, i-k-j saxpy order (the pre-tiling
+    /// production kernel, minus its zero-skip).
+    pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+        debug_assert_eq!(a.len(), n * k);
+        debug_assert_eq!(b.len(), k * m);
+        debug_assert_eq!(out.len(), n * m);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for i in 0..n {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o = &mut out[i * m..(i + 1) * m];
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_row = &b[kk * m..(kk + 1) * m];
+                for (oj, &bv) in o.iter_mut().zip(b_row.iter()) {
+                    *oj += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `out[i,j] = Σ_k a[i,k]·bt[j,k]` (`A·Bᵀ` with `bt: [m,k]`).
+    pub fn matmul_t_into(a: &[f32], bt: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+        debug_assert_eq!(a.len(), n * k);
+        debug_assert_eq!(bt.len(), m * k);
+        debug_assert_eq!(out.len(), n * m);
+        for i in 0..n {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..m {
+                let b_row = &bt[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out[i * m + j] = acc;
+            }
+        }
+    }
+
+    /// `out[i,j] = Σ_k a[k,i]·b[k,j]` (`Aᵀ·B` with `a: [k,n]`).
+    pub fn t_matmul_into(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+        debug_assert_eq!(a.len(), k * n);
+        debug_assert_eq!(b.len(), k * m);
+        debug_assert_eq!(out.len(), n * m);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for kk in 0..k {
+            let a_row = &a[kk * n..(kk + 1) * n];
+            let b_row = &b[kk * m..(kk + 1) * m];
+            for (i, &av) in a_row.iter().enumerate() {
+                let o = &mut out[i * m..(i + 1) * m];
+                for (oj, &bv) in o.iter_mut().zip(b_row.iter()) {
+                    *oj += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.normal()).collect()
+    }
+
+    fn tiled(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+        let mut packed = Vec::new();
+        pack_b(b, k, m, &mut packed);
+        let mut out = vec![0.0f32; n * m];
+        matmul_packed(a, &packed, n, k, m, 1.0, None, &mut out);
+        out
+    }
+
+    #[test]
+    fn tiled_matches_reference_exactly_over_shapes() {
+        for &(n, k, m) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 8),
+            (8, 3, 17),
+            (129, 33, 65),
+            (13, 0, 9), // k = 0: all zeros
+        ] {
+            let a = rand_vec(n * k, (n * 1000 + k * 10 + m) as u64);
+            let b = rand_vec(k * m, (m * 1000 + k) as u64 + 7);
+            let got = tiled(&a, &b, n, k, m);
+            let mut want = vec![0.0f32; n * m];
+            reference::matmul_into(&a, &b, &mut want, n, k, m);
+            assert_eq!(got, want, "shape {n}x{k}x{m}");
+        }
+    }
+
+    #[test]
+    fn packed_bt_matches_reference_matmul_t() {
+        for &(n, k, m) in &[(1, 1, 1), (3, 5, 7), (129, 33, 65)] {
+            let a = rand_vec(n * k, 11);
+            let bt = rand_vec(m * k, 13);
+            let mut packed = Vec::new();
+            pack_bt(&bt, k, m, &mut packed);
+            let mut got = vec![0.0f32; n * m];
+            matmul_packed(&a, &packed, n, k, m, 1.0, None, &mut got);
+            let mut want = vec![0.0f32; n * m];
+            reference::matmul_t_into(&a, &bt, &mut want, n, k, m);
+            assert_eq!(got, want, "shape {n}x{k}x{m}");
+        }
+    }
+
+    #[test]
+    fn transpose_block_then_kernel_matches_t_matmul() {
+        let (n, k, m) = (37, 19, 23);
+        let a = rand_vec(k * n, 17); // [k, n]
+        let b = rand_vec(k * m, 19);
+        let mut packed = Vec::new();
+        pack_b(&b, k, m, &mut packed);
+        let mut at = Vec::new();
+        transpose_block(&a, k, n, 0, n, &mut at);
+        let mut got = vec![0.0f32; n * m];
+        matmul_packed(&at, &packed, n, k, m, 1.0, None, &mut got);
+        let mut want = vec![0.0f32; n * m];
+        reference::t_matmul_into(&a, &b, &mut want, n, k, m);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn epilogue_bias_and_alpha() {
+        let (n, k, m) = (5, 6, 9);
+        let a = rand_vec(n * k, 23);
+        let b = rand_vec(k * m, 29);
+        let bias = rand_vec(m, 31);
+        let mut packed = Vec::new();
+        pack_b(&b, k, m, &mut packed);
+        let mut plain = vec![0.0f32; n * m];
+        matmul_packed(&a, &packed, n, k, m, 1.0, None, &mut plain);
+        let mut biased = vec![0.0f32; n * m];
+        matmul_packed(&a, &packed, n, k, m, 1.0, Some(&bias), &mut biased);
+        for i in 0..n {
+            for j in 0..m {
+                assert_eq!(biased[i * m + j], plain[i * m + j] + bias[j]);
+            }
+        }
+        let mut scaled = vec![0.0f32; n * m];
+        matmul_packed(&a, &packed, n, k, m, 0.5, None, &mut scaled);
+        for (s, p) in scaled.iter().zip(&plain) {
+            assert_eq!(*s, p * 0.5);
+        }
+    }
+
+    #[test]
+    fn pack_scratch_reentrancy_is_safe() {
+        with_pack_scratch(|outer| {
+            outer.resize(16, 1.0);
+            with_pack_scratch(|inner| {
+                assert!(inner.is_empty(), "re-entrant take must see a fresh buffer");
+                inner.resize(4, 2.0);
+            });
+            assert_eq!(outer.len(), 16);
+        });
+    }
+}

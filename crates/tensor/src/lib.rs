@@ -25,10 +25,13 @@
 
 pub mod graph;
 pub mod init;
+pub mod kernels;
+pub mod ops_fused;
 pub mod ops_nn;
 pub mod ops_shape;
 pub mod optim;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod sparse;
@@ -39,6 +42,7 @@ pub use optim::{Adam, GradClip, Optimizer, ParamId, ParamStore, Sgd};
 pub use par::{
     max_threads, par_map_collect, par_row_chunks, set_thread_budget, with_thread_budget,
 };
+pub use pool::BufferPool;
 pub use rng::Rng;
 pub use sparse::CsrMatrix;
 pub use tensor::Tensor;

@@ -1,47 +1,49 @@
 //! Neural-network specific autograd ops: softmax, log-softmax, negative
 //! log-likelihood, layer norm, dropout, and row L2-normalization.
 
-use crate::graph::{Graph, Var};
+use crate::graph::{Flow, Graph, Var};
 use crate::rng::Rng;
 use crate::tensor::Tensor;
 
 impl Graph {
     /// Softmax over the last dimension.
     pub fn softmax_lastdim(&self, x: Var) -> Var {
+        let pool = self.pool.clone();
         self.unary(
             x,
             |t| t.softmax_lastdim(),
-            Box::new(|g, out, _| {
+            Box::new(move |g, out, _| {
                 // dx = s * (g - <g, s>) per last-dim slice
                 let d = *out.shape().last().expect("softmax rank");
-                let mut dx = g.clone();
+                let mut dx = crate::pool::copy_tensor(&pool, g);
                 for (gs, ss) in dx.data_mut().chunks_mut(d).zip(out.data().chunks(d)) {
                     let dot: f32 = gs.iter().zip(ss).map(|(&a, &b)| a * b).sum();
                     for (gv, &sv) in gs.iter_mut().zip(ss) {
                         *gv = sv * (*gv - dot);
                     }
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
 
     /// Log-softmax over the last dimension.
     pub fn log_softmax_lastdim(&self, x: Var) -> Var {
+        let pool = self.pool.clone();
         self.unary(
             x,
             |t| t.log_softmax_lastdim(),
-            Box::new(|g, out, _| {
+            Box::new(move |g, out, _| {
                 // dx = g - softmax * sum(g) per slice; softmax = exp(out)
                 let d = *out.shape().last().expect("log_softmax rank");
-                let mut dx = g.clone();
+                let mut dx = crate::pool::copy_tensor(&pool, g);
                 for (gs, os) in dx.data_mut().chunks_mut(d).zip(out.data().chunks(d)) {
                     let gsum: f32 = gs.iter().sum();
                     for (gv, &ov) in gs.iter_mut().zip(os) {
                         *gv -= ov.exp() * gsum;
                     }
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -68,7 +70,7 @@ impl Graph {
                 for (i, &c) in t_b.iter().enumerate() {
                     dx.data_mut()[i * v + c] = scale;
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -105,15 +107,14 @@ impl Graph {
             let mut dx = Tensor::zeros(xv.shape());
             let mut dgain = vec![0.0f32; d];
             let mut dbias = vec![0.0f32; d];
+            let mut xhat = vec![0.0f32; d];
+            let mut dxhat = vec![0.0f32; d];
             for r in 0..rows {
                 let xs = &xv.data()[r * d..(r + 1) * d];
                 let gs = &g.data()[r * d..(r + 1) * d];
                 let (mu, sig) = mean_std(xs, eps);
-                // xhat and dxhat
                 let mut mean_dxhat = 0.0f32;
                 let mut mean_dxhat_xhat = 0.0f32;
-                let mut xhat = vec![0.0f32; d];
-                let mut dxhat = vec![0.0f32; d];
                 for j in 0..d {
                     xhat[j] = (xs[j] - mu) / sig;
                     dxhat[j] = gs[j] * gainv.data()[j];
@@ -129,7 +130,11 @@ impl Graph {
                     out_row[j] = (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat) / sig;
                 }
             }
-            vec![dx, Tensor::from_vec(dgain, ps[1].shape()), Tensor::from_vec(dbias, ps[2].shape())]
+            vec![
+                Flow::Grad(dx),
+                Flow::Grad(Tensor::from_vec(dgain, ps[1].shape())),
+                Flow::Grad(Tensor::from_vec(dbias, ps[2].shape())),
+            ]
         });
         self.push(value, vec![x.id, gain.id, bias.id], if rg { Some(back) } else { None }, rg, None)
     }
@@ -146,6 +151,7 @@ impl Graph {
         let mask: Vec<f32> =
             (0..n).map(|_| if rng.next_f32() < keep { 1.0 / keep } else { 0.0 }).collect();
         let mask_b = mask.clone();
+        let pool = self.pool.clone();
         self.unary(
             x,
             move |t| {
@@ -156,11 +162,11 @@ impl Graph {
                 out
             },
             Box::new(move |g, _, _| {
-                let mut dx = g.clone();
+                let mut dx = crate::pool::copy_tensor(&pool, g);
                 for (o, &m) in dx.data_mut().iter_mut().zip(&mask_b) {
                     *o *= m;
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -174,7 +180,9 @@ impl Graph {
             x,
             |t| t.map(|v| if v.abs() > EPS { 1.0 / v } else { 0.0 }),
             Box::new(|g, _, ps| {
-                vec![g.zip(ps[0], |gv, xv| if xv.abs() > EPS { -gv / (xv * xv) } else { 0.0 })]
+                vec![Flow::Grad(
+                    g.zip(ps[0], |gv, xv| if xv.abs() > EPS { -gv / (xv * xv) } else { 0.0 }),
+                )]
             }),
         )
     }
@@ -185,7 +193,9 @@ impl Graph {
         self.unary(
             x,
             move |t| t.map(|v| (v + eps).sqrt()),
-            Box::new(move |g, out, _| vec![g.zip(out, |gv, ov| gv / (2.0 * ov.max(1e-6)))]),
+            Box::new(move |g, out, _| {
+                vec![Flow::Grad(g.zip(out, |gv, ov| gv / (2.0 * ov.max(1e-6))))]
+            }),
         )
     }
 
@@ -193,6 +203,7 @@ impl Graph {
     /// zero rows stay finite).
     pub fn l2_normalize_rows(&self, x: Var) -> Var {
         const EPS: f32 = 1e-12;
+        let pool = self.pool.clone();
         self.unary(
             x,
             |t| {
@@ -206,11 +217,11 @@ impl Graph {
                 }
                 out
             },
-            Box::new(|g, out, ps| {
+            Box::new(move |g, out, ps| {
                 // dx = (g - out * <g, out>) / ||x||
                 let d = ps[0].shape()[1];
                 let rows = ps[0].shape()[0];
-                let mut dx = g.clone();
+                let mut dx = crate::pool::copy_tensor(&pool, g);
                 for r in 0..rows {
                     let xs = ps[0].row(r);
                     let os = &out.data()[r * d..(r + 1) * d];
@@ -221,14 +232,14 @@ impl Graph {
                         *gv = (*gv - ov * dot) / norm;
                     }
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
 }
 
 #[inline]
-fn mean_std(chunk: &[f32], eps: f32) -> (f32, f32) {
+pub(crate) fn mean_std(chunk: &[f32], eps: f32) -> (f32, f32) {
     let d = chunk.len() as f32;
     let mu: f32 = chunk.iter().sum::<f32>() / d;
     let var: f32 = chunk.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d;

@@ -1,18 +1,14 @@
 //! Structural (shape-moving) autograd ops: reshape, gather, concat,
 //! stacking, selection, and the attention head split/merge permutations.
 
-use crate::graph::{Graph, Var};
+use crate::graph::{Flow, Graph, Var};
 use crate::tensor::Tensor;
 
 impl Graph {
     /// Reinterprets `x` with a new shape (same element count).
     pub fn reshape(&self, x: Var, shape: &[usize]) -> Var {
         let shape_owned = shape.to_vec();
-        self.unary(
-            x,
-            |t| t.reshape(&shape_owned),
-            Box::new(|g, _, ps| vec![g.reshape(ps[0].shape())]),
-        )
+        self.unary(x, |t| t.reshape(&shape_owned), Box::new(|_, _, _| vec![Flow::Pass]))
     }
 
     /// Embedding-style lookup: gathers rows of a `[v,d]` table by index.
@@ -32,7 +28,7 @@ impl Graph {
                         *o += gv;
                     }
                 }
-                vec![dt]
+                vec![Flow::Grad(dt)]
             }),
         )
     }
@@ -53,7 +49,7 @@ impl Graph {
                 for (r, &i) in idx_b.iter().enumerate() {
                     dt.data_mut()[i] += g.data()[r];
                 }
-                vec![dt]
+                vec![Flow::Grad(dt)]
             }),
         )
     }
@@ -81,7 +77,7 @@ impl Graph {
                     off += w;
                 }
             }
-            grads
+            grads.into_iter().map(Flow::Grad).collect()
         });
         self.push(value, parent_ids, if rg { Some(back) } else { None }, rg, None)
     }
@@ -110,7 +106,7 @@ impl Graph {
             (0..s)
                 .map(|j| {
                     let col: Vec<f32> = (0..n).map(|i| g.data()[i * s + j]).collect();
-                    Tensor::from_vec(col, &[n])
+                    Flow::Grad(Tensor::from_vec(col, &[n]))
                 })
                 .collect()
         });
@@ -134,7 +130,7 @@ impl Graph {
                 for i in 0..n {
                     dx.data_mut()[i * s + j] = g.data()[i];
                 }
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -152,7 +148,7 @@ impl Graph {
                 let mut dx = Tensor::zeros(ps[0].shape());
                 let d = ps[0].shape()[1];
                 dx.data_mut()[lo * d..hi * d].copy_from_slice(g.data());
-                vec![dx]
+                vec![Flow::Grad(dx)]
             }),
         )
     }
@@ -163,7 +159,7 @@ impl Graph {
         self.unary(
             x,
             |t| split_heads_t(t, b, s, h),
-            Box::new(move |g, _, _| vec![merge_heads_t(g, b, s, h)]),
+            Box::new(move |g, _, _| vec![Flow::Grad(merge_heads_t(g, b, s, h))]),
         )
     }
 
@@ -172,7 +168,7 @@ impl Graph {
         self.unary(
             x,
             |t| merge_heads_t(t, b, s, h),
-            Box::new(move |g, _, _| vec![split_heads_t(g, b, s, h)]),
+            Box::new(move |g, _, _| vec![Flow::Grad(split_heads_t(g, b, s, h))]),
         )
     }
 }

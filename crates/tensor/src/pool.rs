@@ -1,0 +1,167 @@
+//! Reusable `Vec<f32>` buffers for the autograd hot loop.
+//!
+//! A training step builds a fresh [`crate::Graph`] per batch; every node
+//! value and gradient is a heap allocation that dies with the tape. The
+//! [`BufferPool`] keeps those allocations alive across steps: when a graph
+//! is dropped (or a backward closure finishes with a temporary), buffers
+//! land in per-length buckets and the next step's nodes take them back out.
+//!
+//! The pool is deliberately simple and single-threaded (`Rc` + `RefCell`,
+//! `!Send`): only the sequential trainer loops hold one; parallel workers
+//! (e.g. `embed_all`) build plain pool-less graphs. Buffers are bucketed by
+//! *exact* length — tape shapes repeat identically batch after batch, so
+//! exact matching hits nearly always and avoids capacity-waste heuristics.
+//! Pooling never changes numerics: every consumer fully overwrites the
+//! buffer it takes (or asks for an explicit zeroed/copied one).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Buffers shorter than this are cheaper to allocate than to bucket.
+const MIN_POOLED_LEN: usize = 16;
+/// Cap on the total number of buffers held, across all buckets.
+const MAX_POOLED_BUFS: usize = 512;
+
+/// Cached `sdea_obs` counters (pool bucket hits / misses), pre-registered
+/// so the hot path pays one atomic add — same pattern as `par::obs_counters`.
+fn obs_counters() -> &'static (sdea_obs::Counter, sdea_obs::Counter) {
+    use std::sync::OnceLock;
+    static C: OnceLock<(sdea_obs::Counter, sdea_obs::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        (sdea_obs::counter("tensor.pool.hits"), sdea_obs::counter("tensor.pool.misses"))
+    })
+}
+
+/// Per-length free lists of `Vec<f32>` buffers. See the module docs.
+#[derive(Default)]
+pub struct BufferPool {
+    buckets: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    held: std::cell::Cell<usize>,
+}
+
+impl BufferPool {
+    pub fn new() -> Rc<Self> {
+        Rc::new(Self::default())
+    }
+
+    /// Takes a buffer of exactly `len` elements with **unspecified**
+    /// contents. Only for consumers that overwrite every element.
+    pub fn take_uninit(&self, len: usize) -> Option<Vec<f32>> {
+        if len < MIN_POOLED_LEN {
+            return None;
+        }
+        let got = self.buckets.borrow_mut().get_mut(&len).and_then(|bucket| bucket.pop());
+        let (hits, misses) = obs_counters();
+        if got.is_some() {
+            hits.add(1);
+            self.held.set(self.held.get() - 1);
+        } else {
+            misses.add(1);
+        }
+        got
+    }
+
+    /// Takes a zero-filled buffer of `len` elements (pooled or fresh).
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        match self.take_uninit(len) {
+            Some(mut v) => {
+                v.iter_mut().for_each(|x| *x = 0.0);
+                v
+            }
+            None => vec![0.0f32; len],
+        }
+    }
+
+    /// Copies `src` into a pooled (or fresh) buffer of the same length.
+    pub fn take_copy_of(&self, src: &[f32]) -> Vec<f32> {
+        match self.take_uninit(src.len()) {
+            Some(mut v) => {
+                v.copy_from_slice(src);
+                v
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// Clones `src`'s data through the pool into a new tensor.
+    pub fn clone_tensor(&self, src: &Tensor) -> Tensor {
+        Tensor::from_vec(self.take_copy_of(src.data()), src.shape())
+    }
+
+    /// Returns a buffer to its bucket (dropped if the pool is full or the
+    /// buffer is too small to be worth keeping).
+    pub fn put(&self, buf: Vec<f32>) {
+        if buf.len() < MIN_POOLED_LEN || self.held.get() >= MAX_POOLED_BUFS {
+            return;
+        }
+        self.held.set(self.held.get() + 1);
+        self.buckets.borrow_mut().entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Recycles a tensor's backing storage.
+    pub fn put_tensor(&self, t: Tensor) {
+        self.put(t.into_data());
+    }
+}
+
+/// Helpers for `Option<Rc<BufferPool>>`, the shape every call site holds.
+pub(crate) fn take_uninit(pool: &Option<Rc<BufferPool>>, len: usize) -> Option<Vec<f32>> {
+    pool.as_ref().and_then(|p| p.take_uninit(len))
+}
+
+pub(crate) fn copy_tensor(pool: &Option<Rc<BufferPool>>, src: &Tensor) -> Tensor {
+    match pool {
+        Some(p) => p.clone_tensor(src),
+        None => src.clone(),
+    }
+}
+
+pub(crate) fn recycle(pool: &Option<Rc<BufferPool>>, t: Tensor) {
+    if let Some(p) = pool {
+        p.put_tensor(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exact_lengths() {
+        let pool = BufferPool::new();
+        pool.put(vec![1.0; 64]);
+        let buf = pool.take_uninit(64).expect("bucket hit");
+        assert_eq!(buf.len(), 64);
+        assert!(pool.take_uninit(64).is_none(), "bucket now empty");
+        assert!(pool.take_uninit(32).is_none(), "no cross-length reuse");
+    }
+
+    #[test]
+    fn zeroed_and_copy_variants_scrub_stale_contents() {
+        let pool = BufferPool::new();
+        pool.put(vec![7.0; 32]);
+        assert_eq!(pool.take_zeroed(32), vec![0.0; 32]);
+        pool.put(vec![7.0; 32]);
+        let src: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        assert_eq!(pool.take_copy_of(&src), src);
+    }
+
+    #[test]
+    fn tiny_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        pool.put(vec![1.0; 4]);
+        assert!(pool.take_uninit(4).is_none());
+    }
+
+    #[test]
+    fn capacity_cap_bounds_held_buffers() {
+        let pool = BufferPool::new();
+        for _ in 0..(MAX_POOLED_BUFS + 10) {
+            pool.put(vec![0.0; 64]);
+        }
+        assert_eq!(pool.held.get(), MAX_POOLED_BUFS);
+    }
+}

@@ -79,24 +79,39 @@ impl CsrMatrix {
     }
 
     /// Dense product `self · x` (`x: [cols, d] -> [rows, d]`).
+    ///
+    /// Row-parallel: each output row is a gather over that row's entries, so
+    /// partitioning rows across workers never changes any accumulation order
+    /// (bit-identical for every thread budget). Stored zeros are skipped.
     pub fn matmul_dense(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 2);
         assert_eq!(x.shape()[0], self.cols, "spmm inner dim");
         let d = x.shape()[1];
         let mut out = Tensor::zeros(&[self.rows, d]);
-        for r in 0..self.rows {
-            // Accumulate into a stack-local view of the output row.
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            let orow = out.row_mut(r);
-            for k in lo..hi {
-                let c = self.col_idx[k];
-                let v = self.values[k];
-                let xrow = &x.data()[c * d..(c + 1) * d];
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += v * xv;
-                }
-            }
+        if self.rows * d > 0 {
+            let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
+            crate::par::par_row_chunks(
+                out.data_mut(),
+                self.rows,
+                d,
+                2 * avg_nnz * d,
+                |row0, block| {
+                    for (i, orow) in block.chunks_mut(d).enumerate() {
+                        let r = row0 + i;
+                        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                            let v = self.values[k];
+                            if v == 0.0 {
+                                continue;
+                            }
+                            let c = self.col_idx[k];
+                            let xrow = &x.data()[c * d..(c + 1) * d];
+                            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                                *o += v * xv;
+                            }
+                        }
+                    }
+                },
+            );
         }
         out
     }
@@ -165,7 +180,7 @@ impl Graph {
         self.unary(
             x,
             move |t| a.matmul_dense(t),
-            Box::new(move |g, _, _| vec![a_b.t_matmul_dense(g)]),
+            Box::new(move |g, _, _| vec![crate::graph::Flow::Grad(a_b.t_matmul_dense(g))]),
         )
     }
 }

@@ -219,28 +219,55 @@ impl Tensor {
 
     // ------------------------------------------------------------- matmul
 
-    /// Rank-2 matrix multiplication `[n,k] x [k,m] -> [n,m]`.
-    ///
-    /// Cache-friendly i-k-j loop order; this is the hot kernel of the whole
-    /// system so it avoids bounds checks via slice windows.
+    /// Rank-2 matrix multiplication `[n,k] x [k,m] -> [n,m]` through the
+    /// register-tiled microkernel (see [`crate::kernels`]): B is packed
+    /// into column panels once per call, then row blocks fan out across
+    /// the thread budget.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with(other, None, None)
+    }
+
+    /// `self × other + bias` with the `[m]` bias added in the kernel
+    /// write-back epilogue (one pass over the output instead of two).
+    pub fn matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Tensor {
+        self.matmul_with(other, Some(bias), None)
+    }
+
+    /// Shared `matmul` driver: optional fused bias and an optional
+    /// pre-allocated output buffer (pool reuse; contents are overwritten).
+    pub(crate) fn matmul_with(
+        &self,
+        other: &Tensor,
+        bias: Option<&Tensor>,
+        buf: Option<Vec<f32>>,
+    ) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs rank {:?}", self.shape);
         assert_eq!(other.rank(), 2, "matmul rhs rank {:?}", other.shape);
         let (n, k) = (self.shape[0], self.shape[1]);
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dim: {:?} x {:?}", self.shape, other.shape);
-        let mut out = vec![0.0f32; n * m];
-        if m > 0 {
-            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
-                let rows = block.len() / m;
-                matmul_into(
-                    &self.data[row0 * k..(row0 + rows) * k],
-                    &other.data,
-                    block,
-                    rows,
-                    k,
-                    m,
-                );
+        if let Some(b) = bias {
+            assert_eq!(b.len(), m, "matmul bias dim {} != {}", b.len(), m);
+        }
+        let mut out = take_buf(buf, n * m);
+        if n * m > 0 {
+            let bias = bias.map(|b| b.data());
+            crate::kernels::with_pack_scratch(|scratch| {
+                crate::kernels::pack_b(&other.data, k, m, scratch);
+                let packed: &[f32] = scratch;
+                crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                    let rows = block.len() / m;
+                    crate::kernels::matmul_packed(
+                        &self.data[row0 * k..(row0 + rows) * k],
+                        packed,
+                        rows,
+                        k,
+                        m,
+                        1.0,
+                        bias,
+                        block,
+                    );
+                });
             });
         }
         Tensor { shape: vec![n, m], data: out }
@@ -250,30 +277,27 @@ impl Tensor {
     /// `[n,m]` from `self: [k,n]`, `other: [k,m]` without materializing the
     /// transpose. Used by matmul backward.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        self.t_matmul_with(other, None)
+    }
+
+    pub(crate) fn t_matmul_with(&self, other: &Tensor, buf: Option<Vec<f32>>) -> Tensor {
         let (k, n) = (self.shape[0], self.shape[1]);
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "t_matmul inner dim");
-        let mut out = vec![0.0f32; n * m];
-        if m > 0 {
-            // out[i,j] = sum_k self[k,i] * other[k,j]; each output row
-            // accumulates in ascending k order inside its block, so the sum
-            // order (and hence the f32 result) is independent of the split.
-            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
-                let rows = block.len() / m;
-                for kk in 0..k {
-                    let a_row = &self.data[kk * n..(kk + 1) * n];
-                    let b_row = &other.data[kk * m..(kk + 1) * m];
-                    for r in 0..rows {
-                        let a = a_row[row0 + r];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let o = &mut block[r * m..(r + 1) * m];
-                        for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
-                            *oj += a * b;
-                        }
-                    }
-                }
+        let mut out = take_buf(buf, n * m);
+        if n * m > 0 {
+            crate::kernels::with_pack_scratch(|scratch| {
+                crate::kernels::pack_b(&other.data, k, m, scratch);
+                let packed: &[f32] = scratch;
+                crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                    let rows = block.len() / m;
+                    // Each worker transposes its own A-column block into
+                    // row-major form; the per-element sum order (ascending
+                    // k) is the same for any row split.
+                    let mut at = Vec::new();
+                    crate::kernels::transpose_block(&self.data, k, n, row0, rows, &mut at);
+                    crate::kernels::matmul_packed(&at, packed, rows, k, m, 1.0, None, block);
+                });
             });
         }
         Tensor { shape: vec![n, m], data: out }
@@ -282,24 +306,31 @@ impl Tensor {
     /// `self x other^T` for rank-2 tensors: `self: [n,k]`, `other: [m,k]`,
     /// result `[n,m]`, without materializing the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        self.matmul_t_with(other, None)
+    }
+
+    pub(crate) fn matmul_t_with(&self, other: &Tensor, buf: Option<Vec<f32>>) -> Tensor {
         let (n, k) = (self.shape[0], self.shape[1]);
         let (m, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_t inner dim");
-        let mut out = vec![0.0f32; n * m];
-        if m > 0 {
-            crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
-                for (r, o) in block.chunks_mut(m).enumerate() {
-                    let i = row0 + r;
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    for (j, oj) in o.iter_mut().enumerate() {
-                        let b_row = &other.data[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                            acc += a * b;
-                        }
-                        *oj = acc;
-                    }
-                }
+        let mut out = take_buf(buf, n * m);
+        if n * m > 0 {
+            crate::kernels::with_pack_scratch(|scratch| {
+                crate::kernels::pack_bt(&other.data, k, m, scratch);
+                let packed: &[f32] = scratch;
+                crate::par::par_row_chunks(&mut out, n, m, k * m, |row0, block| {
+                    let rows = block.len() / m;
+                    crate::kernels::matmul_packed(
+                        &self.data[row0 * k..(row0 + rows) * k],
+                        packed,
+                        rows,
+                        k,
+                        m,
+                        1.0,
+                        None,
+                        block,
+                    );
+                });
             });
         }
         Tensor { shape: vec![n, m], data: out }
@@ -320,26 +351,132 @@ impl Tensor {
 
     /// Batched matmul `[b,n,k] x [b,k,m] -> [b,n,m]`.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
+        self.bmm_scaled(other, 1.0, None)
+    }
+
+    /// Batched `A x B^T`: `[b,n,k] x [b,m,k] -> [b,n,m]` without
+    /// materializing the transpose (attention scores `Q·Kᵀ`).
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        self.bmm_nt_scaled(other, 1.0, None)
+    }
+
+    /// Batched `A^T x B`: `[b,k,n] x [b,k,m] -> [b,n,m]` without
+    /// materializing the transpose (attention backward `dK = gᵀ·Q`).
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        self.bmm_tn_scaled(other, 1.0, None)
+    }
+
+    pub(crate) fn bmm_scaled(&self, other: &Tensor, alpha: f32, buf: Option<Vec<f32>>) -> Tensor {
         assert_eq!(self.rank(), 3);
         assert_eq!(other.rank(), 3);
         let (b, n, k) = (self.shape[0], self.shape[1], self.shape[2]);
         let (b2, k2, m) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "bmm batch mismatch");
         assert_eq!(k, k2, "bmm inner dim");
-        let mut out = vec![0.0f32; b * n * m];
-        if n * m > 0 {
-            // One "row" per batch: each worker owns whole [n,m] output slabs.
+        let mut out = take_buf(buf, b * n * m);
+        if b * n * m > 0 {
+            // One "row" per batch: each worker owns whole [n,m] output slabs
+            // and packs its batch's B panel into a reused local buffer.
             crate::par::par_row_chunks(&mut out, b, n * m, n * k * m, |b0, block| {
+                let mut packed = Vec::new();
                 for (i, o) in block.chunks_mut(n * m).enumerate() {
                     let bi = b0 + i;
-                    matmul_into(
-                        &self.data[bi * n * k..(bi + 1) * n * k],
+                    crate::kernels::pack_b(
                         &other.data[bi * k * m..(bi + 1) * k * m],
-                        o,
+                        k,
+                        m,
+                        &mut packed,
+                    );
+                    crate::kernels::matmul_packed(
+                        &self.data[bi * n * k..(bi + 1) * n * k],
+                        &packed,
                         n,
                         k,
                         m,
+                        alpha,
+                        None,
+                        o,
                     );
+                }
+            });
+        }
+        Tensor { shape: vec![b, n, m], data: out }
+    }
+
+    pub(crate) fn bmm_nt_scaled(
+        &self,
+        other: &Tensor,
+        alpha: f32,
+        buf: Option<Vec<f32>>,
+    ) -> Tensor {
+        assert_eq!(self.rank(), 3);
+        assert_eq!(other.rank(), 3);
+        let (b, n, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, m, k2) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm_nt batch mismatch");
+        assert_eq!(k, k2, "bmm_nt inner dim");
+        let mut out = take_buf(buf, b * n * m);
+        if b * n * m > 0 {
+            crate::par::par_row_chunks(&mut out, b, n * m, n * k * m, |b0, block| {
+                let mut packed = Vec::new();
+                for (i, o) in block.chunks_mut(n * m).enumerate() {
+                    let bi = b0 + i;
+                    crate::kernels::pack_bt(
+                        &other.data[bi * m * k..(bi + 1) * m * k],
+                        k,
+                        m,
+                        &mut packed,
+                    );
+                    crate::kernels::matmul_packed(
+                        &self.data[bi * n * k..(bi + 1) * n * k],
+                        &packed,
+                        n,
+                        k,
+                        m,
+                        alpha,
+                        None,
+                        o,
+                    );
+                }
+            });
+        }
+        Tensor { shape: vec![b, n, m], data: out }
+    }
+
+    pub(crate) fn bmm_tn_scaled(
+        &self,
+        other: &Tensor,
+        alpha: f32,
+        buf: Option<Vec<f32>>,
+    ) -> Tensor {
+        assert_eq!(self.rank(), 3);
+        assert_eq!(other.rank(), 3);
+        let (b, k, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, m) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm_tn batch mismatch");
+        assert_eq!(k, k2, "bmm_tn inner dim");
+        let mut out = take_buf(buf, b * n * m);
+        if b * n * m > 0 {
+            crate::par::par_row_chunks(&mut out, b, n * m, n * k * m, |b0, block| {
+                let mut packed = Vec::new();
+                let mut at = Vec::new();
+                for (i, o) in block.chunks_mut(n * m).enumerate() {
+                    let bi = b0 + i;
+                    crate::kernels::pack_b(
+                        &other.data[bi * k * m..(bi + 1) * k * m],
+                        k,
+                        m,
+                        &mut packed,
+                    );
+                    crate::kernels::transpose_block(
+                        &self.data[bi * k * n..(bi + 1) * k * n],
+                        k,
+                        n,
+                        0,
+                        n,
+                        &mut at,
+                    );
+                    crate::kernels::matmul_packed(&at, &packed, n, k, m, alpha, None, o);
                 }
             });
         }
@@ -474,6 +611,30 @@ impl Tensor {
         Tensor { shape: vec![d], data: out }
     }
 
+    /// Sums over all leading dimensions: `[.., d] -> [d]` (bias gradients).
+    pub fn col_sums(&self) -> Tensor {
+        self.col_sums_with(None)
+    }
+
+    pub(crate) fn col_sums_with(&self, buf: Option<Vec<f32>>) -> Tensor {
+        let d = *self.shape.last().expect("col_sums on rank-0");
+        let mut out = take_buf(buf, d);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        if d > 0 {
+            for chunk in self.data.chunks_exact(d) {
+                for (o, &v) in out.iter_mut().zip(chunk) {
+                    *o += v;
+                }
+            }
+        }
+        Tensor { shape: vec![d], data: out }
+    }
+
+    /// Consumes the tensor and returns its backing buffer (pool recycling).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Checks all entries are finite; used by tests and the trainer's
     /// divergence guard.
     pub fn all_finite(&self) -> bool {
@@ -481,26 +642,16 @@ impl Tensor {
     }
 }
 
-/// `out += a x b` is NOT what this does — it overwrites `out` with `a x b`.
-/// Shared kernel for [`Tensor::matmul`] and [`Tensor::bmm`].
-#[inline]
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
-    debug_assert_eq!(a.len(), n * k);
-    debug_assert_eq!(b.len(), k * m);
-    debug_assert_eq!(out.len(), n * m);
-    out.iter_mut().for_each(|x| *x = 0.0);
-    for i in 0..n {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o = &mut out[i * m..(i + 1) * m];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * m..(kk + 1) * m];
-            for (oj, &bv) in o.iter_mut().zip(b_row.iter()) {
-                *oj += av * bv;
-            }
+/// Resolves the output allocation for a kernel call: reuse `buf` (resized to
+/// `len`) when the caller recycled one from a pool, else allocate fresh.
+/// Contents are unspecified — every kernel fully overwrites its output.
+fn take_buf(buf: Option<Vec<f32>>, len: usize) -> Vec<f32> {
+    match buf {
+        Some(mut v) => {
+            v.resize(len, 0.0);
+            v
         }
+        None => vec![0.0f32; len],
     }
 }
 

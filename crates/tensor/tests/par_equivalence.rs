@@ -3,7 +3,11 @@
 //! serial) against budget 8 on inputs large enough to cross the fan-out
 //! thresholds.
 
-use sdea_tensor::{with_thread_budget, Rng, Tensor};
+use sdea_tensor::{with_thread_budget, CsrMatrix, Rng, Tensor};
+
+/// Budgets exercised by the tiled-kernel suites: serial, an even split, a
+/// prime that never divides the tile grid evenly, and the CI budget.
+const BUDGETS: [usize; 3] = [2, 7, 8];
 
 fn pair(n: usize, k: usize, m: usize, seed: u64) -> (Tensor, Tensor) {
     let mut rng = Rng::seed_from_u64(seed);
@@ -57,6 +61,72 @@ fn l2_normalize_rows_bitwise_equal_across_budgets() {
     let serial = with_thread_budget(1, || a.l2_normalize_rows());
     let par = with_thread_budget(8, || a.l2_normalize_rows());
     assert_eq!(serial.data(), par.data());
+}
+
+/// The register-tiled microkernel has 4-row × 8-column full tiles plus tail
+/// kernels; these shapes hit the degenerate (1×1), all-tail (3×5×7), and
+/// mixed full+tail (129×65) paths at every budget, including a prime one.
+#[test]
+fn tiled_matmul_family_bitwise_equal_at_odd_shapes_and_budgets() {
+    for &(n, k, m, seed) in &[(1usize, 1usize, 1usize, 10u64), (3, 5, 7, 11), (129, 33, 65, 12)] {
+        let (a, b) = pair(n, k, m, seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xabcd);
+        let bt = Tensor::rand_normal(&[m, k], 1.0, &mut rng);
+        let at = Tensor::rand_normal(&[k, n], 1.0, &mut rng);
+        let serial = with_thread_budget(1, || (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b)));
+        for budget in BUDGETS {
+            let par =
+                with_thread_budget(budget, || (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b)));
+            assert_eq!(serial.0.data(), par.0.data(), "matmul {n}x{k}x{m} budget {budget}");
+            assert_eq!(serial.1.data(), par.1.data(), "matmul_t {n}x{k}x{m} budget {budget}");
+            assert_eq!(serial.2.data(), par.2.data(), "t_matmul {n}x{k}x{m} budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn matmul_bias_bitwise_equal_across_budgets() {
+    let (a, b) = pair(211, 96, 77, 13);
+    let mut rng = Rng::seed_from_u64(14);
+    let bias = Tensor::rand_normal(&[77], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.matmul_bias(&b, &bias));
+    for budget in BUDGETS {
+        let par = with_thread_budget(budget, || a.matmul_bias(&b, &bias));
+        assert_eq!(serial.data(), par.data(), "budget {budget}");
+    }
+}
+
+#[test]
+fn bmm_nt_and_bmm_tn_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(15);
+    // bmm_nt: [b,n,k] × [b,m,k] -> [b,n,m]
+    let q = Tensor::rand_normal(&[12, 40, 48], 1.0, &mut rng);
+    let kx = Tensor::rand_normal(&[12, 36, 48], 1.0, &mut rng);
+    // bmm_tn: [b,K,N] × [b,K,M] -> [b,N,M]
+    let a = Tensor::rand_normal(&[12, 48, 40], 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[12, 48, 36], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || (q.bmm_nt(&kx), a.bmm_tn(&b)));
+    for budget in BUDGETS {
+        let par = with_thread_budget(budget, || (q.bmm_nt(&kx), a.bmm_tn(&b)));
+        assert_eq!(serial.0.data(), par.0.data(), "bmm_nt budget {budget}");
+        assert_eq!(serial.1.data(), par.1.data(), "bmm_tn budget {budget}");
+    }
+}
+
+#[test]
+fn sparse_matmul_dense_bitwise_equal_across_budgets() {
+    let mut rng = Rng::seed_from_u64(16);
+    let rows = 1500usize;
+    let cols = 900usize;
+    let triplets: Vec<(usize, usize, f32)> =
+        (0..rows * 8).map(|_| (rng.below(rows), rng.below(cols), rng.uniform(-1.0, 1.0))).collect();
+    let a = CsrMatrix::from_triplets(rows, cols, &triplets);
+    let x = Tensor::rand_normal(&[cols, 64], 1.0, &mut rng);
+    let serial = with_thread_budget(1, || a.matmul_dense(&x));
+    for budget in BUDGETS {
+        let par = with_thread_budget(budget, || a.matmul_dense(&x));
+        assert_eq!(serial.data(), par.data(), "spmm budget {budget}");
+    }
 }
 
 #[test]

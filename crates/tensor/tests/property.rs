@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor/autograd engine.
 
 use proptest::prelude::*;
-use sdea_tensor::{CsrMatrix, Graph, Rng, Tensor};
+use sdea_tensor::{kernels, with_thread_budget, CsrMatrix, Graph, Rng, Tensor};
 use std::sync::Arc;
 
 fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -163,6 +163,40 @@ proptest! {
             // Either a unit row or an all-zero row (which normalizes to zero).
             prop_assert!(!(1e-6..=0.99).contains(&norm), "norm {}", norm);
         }
+    }
+
+    /// The register-tiled `matmul` equals the naive single-accumulator
+    /// reference kernel EXACTLY (bit-for-bit, not within tolerance) at
+    /// thread budget 1, for arbitrary shapes including empty inner dims.
+    #[test]
+    fn tiled_matmul_matches_reference_exactly(
+        n in 1usize..24, k in 0usize..20, m in 1usize..40, seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::rand_normal(&[n, k], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, m], 1.0, &mut rng);
+        let tiled = with_thread_budget(1, || a.matmul(&b));
+        let mut expect = vec![0.0f32; n * m];
+        kernels::reference::matmul_into(a.data(), b.data(), &mut expect, n, k, m);
+        prop_assert_eq!(tiled.data(), &expect[..]);
+    }
+
+    /// Same exactness for the transposed variants `A·Bᵀ` and `Aᵀ·B`.
+    #[test]
+    fn tiled_transposed_matmuls_match_reference_exactly(
+        n in 1usize..20, k in 1usize..20, m in 1usize..36, seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::rand_normal(&[n, k], 1.0, &mut rng);
+        let bt = Tensor::rand_normal(&[m, k], 1.0, &mut rng);
+        let at = Tensor::rand_normal(&[k, n], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, m], 1.0, &mut rng);
+        let (got_nt, got_tn) = with_thread_budget(1, || (a.matmul_t(&bt), at.t_matmul(&b)));
+        let mut expect = vec![0.0f32; n * m];
+        kernels::reference::matmul_t_into(a.data(), bt.data(), &mut expect, n, k, m);
+        prop_assert_eq!(got_nt.data(), &expect[..]);
+        kernels::reference::t_matmul_into(at.data(), b.data(), &mut expect, n, k, m);
+        prop_assert_eq!(got_tn.data(), &expect[..]);
     }
 
     /// Serialization round-trips arbitrary tensors bit-exactly.

@@ -22,4 +22,10 @@ for threads in 1 8; do
     -p sdea-tensor -p sdea-eval -p sdea-core --test par_equivalence
 done
 
+# Quick kernel throughput check (seconds): tiled vs. reference matmul
+# GFLOP/s, written to results/BENCH_pr3_kernels.json. The full benchmark
+# including a pipeline run is scripts/bench_kernels.sh.
+echo "=== kernel throughput (quick) ==="
+./target/release/bench_kernels --kernels-only
+
 echo "ci.sh: all checks passed"
