@@ -2,8 +2,12 @@
 //! prints metrics + timing. Used to tune generator difficulty and the
 //! default configuration; not itself a paper table.
 //!
-//! Usage: `calibrate [profile] [links]` where profile is one of
-//! `zh_en ja_en fr_en en_fr en_de dbp_wd dbp_yg d_w`.
+//! Usage: `calibrate [profile] [links] [--resume <dir>]` where profile is
+//! one of `zh_en ja_en fr_en en_fr en_de dbp_wd dbp_yg d_w`. With
+//! `--resume`, training checkpoints into (and resumes from) the given
+//! directory — an interrupted calibration continues where it left off and
+//! finishes bit-identically to an uninterrupted one. Equivalent to setting
+//! `SDEA_CHECKPOINT_DIR`.
 
 use sdea_bench::runner::{
     bench_sdea_config, bench_seed, load_dataset, run_sdea, write_sdea_run_report,
@@ -12,7 +16,15 @@ use sdea_core::rel_module::RelVariant;
 use sdea_synth::DatasetProfile;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().position(|a| a == "--resume").map(|i| {
+        let Some(dir) = args.get(i + 1).cloned() else {
+            eprintln!("--resume requires a directory argument");
+            std::process::exit(2);
+        };
+        args.drain(i..=i + 1);
+        dir
+    });
     let which = args.get(1).map(|s| s.as_str()).unwrap_or("fr_en");
     let links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
     let seed = bench_seed();
@@ -42,7 +54,10 @@ fn main() {
         bundle.ds.kg1().rel_triples().len(),
         bundle.ds.kg1().attr_triples().len(),
     );
-    let cfg = bench_sdea_config(seed);
+    let mut cfg = bench_sdea_config(seed);
+    if let Some(dir) = resume {
+        cfg.checkpoint_dir = Some(dir.into());
+    }
     println!(
         "cfg: mlm_epochs={} attr_epochs={} max_seq={} hidden={} vocab={} lr={} margin={}",
         cfg.mlm_epochs,

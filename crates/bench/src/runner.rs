@@ -315,6 +315,9 @@ pub fn run_full_table(
 /// `SDEA_MLM_EPOCHS`, `SDEA_ATTR_EPOCHS`, `SDEA_MAX_SEQ`, `SDEA_HIDDEN`,
 /// `SDEA_ATTR_LR`, `SDEA_MARGIN`, `SDEA_VOCAB` (`SDEA_THREADS` is handled
 /// by the par layer itself, capped at the machine's cores).
+/// `SDEA_CHECKPOINT_DIR` enables crash-safe checkpointing into the given
+/// directory (a rerun with the same configuration resumes from it,
+/// bit-identically); `SDEA_CKPT_EVERY` sets the mid-stage cadence.
 pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     let mut cfg = SdeaConfig { seed, ..SdeaConfig::default() };
     let getu = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
@@ -344,6 +347,14 @@ pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     }
     if let Some(v) = getf("SDEA_MARGIN") {
         cfg.margin = v;
+    }
+    if let Ok(dir) = std::env::var("SDEA_CHECKPOINT_DIR") {
+        if !dir.is_empty() {
+            cfg.checkpoint_dir = Some(dir.into());
+        }
+    }
+    if let Some(v) = getu("SDEA_CKPT_EVERY") {
+        cfg.checkpoint_every = v;
     }
     cfg
 }

@@ -4,9 +4,11 @@
 //! when applying the stable matching algorithm").
 
 use sdea_eval::{
-    argsort_rows_desc, cosine_matrix, evaluate_ranking, AlignmentMetrics, SimilarityMatrix,
+    argsort_rows_desc, cosine_matrix, desc_nan_last, evaluate_ranking, AlignmentMetrics,
+    SimilarityMatrix,
 };
 use sdea_tensor::Tensor;
+use std::cmp::Ordering;
 
 /// Result of aligning a set of source entities against all targets.
 #[derive(Clone, Debug)]
@@ -42,6 +44,13 @@ impl AlignmentResult {
 /// Gale–Shapley stable matching on a similarity matrix: rows propose to
 /// columns in preference order; columns keep their best proposer. Returns
 /// the matched column per row (`None` only when columns < rows).
+///
+/// Column preference uses the NaN-last total order ([`desc_nan_last`]): a
+/// NaN-scoring incumbent is displaced by any real-scoring proposer. (The
+/// previous raw `>` comparison made a NaN incumbent undisplaceable, since
+/// `x > NaN` is always false.) Ties keep the incumbent, which — together
+/// with the index-ordered preference lists — keeps the matching
+/// deterministic.
 pub fn stable_matching(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
     // Preference lists (descending similarity), computed once with the
@@ -65,7 +74,9 @@ pub fn stable_matching(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
                 }
                 Some(current) => {
                     // column prefers the higher-similarity proposer
-                    let keep_new = sim.at2(r, c) > sim.at2(current, c);
+                    // (NaN-last total order; ties keep the incumbent)
+                    let keep_new =
+                        desc_nan_last(sim.at2(r, c), sim.at2(current, c)) == Ordering::Less;
                     if keep_new {
                         col_holder[c] = Some(r);
                         row_match[r] = Some(c);
@@ -143,6 +154,33 @@ mod tests {
         let matched = result.stable_matching_hits1();
         assert!(matched > greedy, "matching {matched} vs greedy {greedy}");
         assert_eq!(matched, 1.0);
+    }
+
+    #[test]
+    fn nan_incumbent_is_displaced() {
+        // free.pop() processes row 1 first: it proposes to column 0 with a
+        // NaN score and holds it. Row 0 (real score 0.3) must displace it.
+        // The old `>` comparison kept the NaN holder forever (0.3 > NaN is
+        // false), silently corrupting the matching.
+        let s = sim(&[&[0.3], &[f32::NAN]]);
+        let m = stable_matching(&s);
+        assert_eq!(m, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn nan_rows_never_panic_and_matching_stays_injective() {
+        let s = sim(&[
+            &[f32::NAN, 0.2, f32::NAN],
+            &[0.9, f32::NAN, 0.1],
+            &[f32::NAN, f32::NAN, f32::NAN],
+        ]);
+        let m = stable_matching(&s);
+        let assigned: Vec<usize> = m.iter().flatten().copied().collect();
+        let set: std::collections::HashSet<_> = assigned.iter().collect();
+        assert_eq!(set.len(), assigned.len(), "columns assigned at most once");
+        // Real scores win their columns: row 0 -> col 1, row 1 -> col 0.
+        assert_eq!(m[0], Some(1));
+        assert_eq!(m[1], Some(0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! validation Hits@1.
 
 use crate::candidates::CandidateSet;
+use crate::checkpoint::{self, Checkpointer};
 use crate::config::{Pooling, SdeaConfig};
 use crate::loss::margin_ranking_loss;
 use sdea_eval::{cosine_matrix, evaluate_ranking};
@@ -244,16 +245,63 @@ impl AttrModule {
         valid: &[(EntityId, EntityId)],
         rng: &mut Rng,
     ) -> AttrFitReport {
+        self.fit_resumable(cache1, cache2, train, valid, rng, None)
+    }
+
+    /// [`AttrModule::fit`] with checkpoint/resume support. With a
+    /// [`Checkpointer`], the loop restores the latest intact attribute-
+    /// stage [`crate::checkpoint::StageState`] (weights, Adam moments, RNG
+    /// stream, early-stopping bookkeeping) and continues from its epoch —
+    /// bit-identically to the uninterrupted run — and writes a new state
+    /// every `checkpoint_every` epochs. Checkpoint write failures are
+    /// reported and training continues: a failed checkpoint never kills a
+    /// healthy run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable(
+        &mut self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+        mut ckpt: Option<&mut Checkpointer>,
+    ) -> AttrFitReport {
         let _span = sdea_obs::span("attr.fit");
         let cfg = self.cfg.clone();
         let mut opt = Adam::new(cfg.attr_lr).with_clip(GradClip::GlobalNorm(1.0));
         let mut report = AttrFitReport::default();
-        // The pre-trained state itself is the first early-stopping
-        // candidate: if fine-tuning only hurts (possible with few seeds),
-        // it is rolled back entirely.
-        let mut best_hits = self.validate(cache1, cache2, valid, rng);
-        let mut best_snapshot = self.store.snapshot();
+        let mut best_hits;
+        let mut best_snapshot;
         let mut strikes = 0usize;
+        let mut start_epoch = 0usize;
+        let resume = ckpt.as_mut().and_then(|c| c.latest_stage_state(checkpoint::Stage::Attr));
+        match resume {
+            Some(st) if self.store.restore_from_named(&st.store).is_ok() => {
+                opt.set_state(st.adam_t, st.adam_m, st.adam_v);
+                *rng = Rng::from_state(st.rng);
+                best_hits = st.best_hits;
+                best_snapshot = st.best_snapshot;
+                strikes = st.strikes as usize;
+                report.epoch_losses = st.epoch_losses;
+                report.valid_hits1 = st.valid_hits1;
+                report.best_epoch = st.best_epoch as usize;
+                start_epoch = st.next_epoch as usize;
+                sdea_obs::add("ckpt.stage_resumes", 1);
+            }
+            other => {
+                if other.is_some() {
+                    // Checksums passed but names/shapes disagree with the
+                    // deterministically rebuilt model — should be ruled out
+                    // by the config fingerprint; surface and start fresh.
+                    eprintln!("attr checkpoint incompatible with rebuilt model; starting fresh");
+                }
+                // The pre-trained state itself is the first early-stopping
+                // candidate: if fine-tuning only hurts (possible with few
+                // seeds), it is rolled back entirely.
+                best_hits = self.validate(cache1, cache2, valid, rng);
+                best_snapshot = self.store.snapshot();
+            }
+        }
         let n_targets = cache2.len();
         let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
         // Only the train sources' embeddings are needed for candidate
@@ -265,7 +313,7 @@ impl AttrModule {
         // batch's backward are re-used by the next batch's forward.
         let pool = sdea_tensor::BufferPool::new();
 
-        for epoch in 0..cfg.attr_epochs {
+        for epoch in start_epoch..cfg.attr_epochs {
             let _span = sdea_obs::span("epoch");
             // Lines 2–4: embed, regenerate candidates.
             let cands = {
@@ -310,6 +358,7 @@ impl AttrModule {
                 self.validate(cache1, cache2, valid, rng)
             };
             report.valid_hits1.push(hits1);
+            let mut stop = false;
             if hits1 > best_hits {
                 best_hits = hits1;
                 best_snapshot = self.store.snapshot();
@@ -319,8 +368,34 @@ impl AttrModule {
                 strikes += 1;
                 if strikes >= cfg.patience {
                     sdea_obs::add("attr.early_stops", 1);
-                    break;
+                    stop = true;
                 }
+            }
+            if let Some(c) = ckpt.as_mut() {
+                if c.due(epoch) && !stop {
+                    let (t, m, v) = opt.state();
+                    let state = checkpoint::StageState {
+                        next_epoch: (epoch + 1) as u32,
+                        rng: rng.state(),
+                        store: self.store.clone(),
+                        adam_t: t,
+                        adam_m: m.to_vec(),
+                        adam_v: v.to_vec(),
+                        best_snapshot: best_snapshot.clone(),
+                        best_hits,
+                        best_loss: f64::INFINITY,
+                        strikes: strikes as u32,
+                        epoch_losses: report.epoch_losses.clone(),
+                        valid_hits1: report.valid_hits1.clone(),
+                        best_epoch: report.best_epoch as u32,
+                    };
+                    if let Err(e) = c.record_stage_epoch(checkpoint::Stage::Attr, &state) {
+                        eprintln!("attr checkpoint at epoch {epoch} failed: {e}; continuing");
+                    }
+                }
+            }
+            if stop {
+                break;
             }
         }
         self.store.restore(&best_snapshot);

@@ -70,6 +70,17 @@ pub struct SdeaConfig {
     /// of `SDEA_OBS`; observability never changes any computed tensor
     /// either way.
     pub obs: bool,
+    /// Checkpoint directory for crash-safe training. `None` (the default)
+    /// disables checkpointing; `Some(dir)` writes stage-boundary and
+    /// epoch checkpoints there and **resumes** from them when the
+    /// directory already holds a manifest written under an identical
+    /// configuration. A resumed run is bit-identical to an uninterrupted
+    /// one (see `crate::checkpoint`).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Fine-tuning epochs between mid-stage checkpoints (both stages);
+    /// 0 checkpoints only at stage boundaries. Ignored without
+    /// `checkpoint_dir`. Like `threads`/`obs`, this never changes results.
+    pub checkpoint_every: usize,
 }
 
 /// Sequence pooling strategy of the attribute module.
@@ -125,6 +136,8 @@ impl Default for SdeaConfig {
             seed: 0,
             threads: 0,
             obs: true,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -160,6 +173,8 @@ impl SdeaConfig {
             seed: 7,
             threads: 0,
             obs: true,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 

@@ -31,6 +31,7 @@ pub mod attr_module;
 pub mod attr_seq;
 pub mod bootstrap;
 pub mod candidates;
+pub mod checkpoint;
 pub mod config;
 pub mod joint;
 pub mod loss;
@@ -44,6 +45,7 @@ pub use align::{stable_matching, AlignmentResult};
 pub use attr_module::AttrModule;
 pub use attr_seq::AttrSequencer;
 pub use candidates::CandidateSet;
+pub use checkpoint::Checkpointer;
 pub use config::SdeaConfig;
 pub use pipeline::{SdeaModel, SdeaPipeline};
 pub use rel_module::RelModule;

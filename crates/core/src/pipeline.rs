@@ -5,6 +5,7 @@
 use crate::align::AlignmentResult;
 use crate::attr_module::{AttrFitReport, AttrModule};
 use crate::attr_seq::AttrSequencer;
+use crate::checkpoint::{config_fingerprint, Checkpointer};
 use crate::config::SdeaConfig;
 use crate::rel_module::RelVariant;
 use crate::trainer::{RelFitReport, RelStage};
@@ -73,8 +74,12 @@ impl SdeaModel {
 
 impl<'a> SdeaPipeline<'a> {
     /// Runs the full pipeline. Deterministic given `cfg.seed`.
+    ///
+    /// Panics on checkpoint-directory errors; use [`SdeaPipeline::try_run`]
+    /// to handle them (the only fallible part — a run without
+    /// `cfg.checkpoint_dir` cannot fail).
     pub fn run(&self) -> SdeaModel {
-        self.execute(None)
+        self.try_execute(None).expect("SDEA pipeline failed")
     }
 
     /// Semi-supervised variant (extension): after the attribute stage,
@@ -82,10 +87,22 @@ impl<'a> SdeaPipeline<'a> {
     /// `H_a` cosine exceeds `threshold` (BootEA-style bootstrapping applied
     /// to SDEA), then trains the relation stage on the augmented set.
     pub fn run_bootstrapped(&self, threshold: f32) -> SdeaModel {
-        self.execute(Some(threshold))
+        self.try_execute(Some(threshold)).expect("SDEA pipeline failed")
     }
 
-    fn execute(&self, bootstrap_threshold: Option<f32>) -> SdeaModel {
+    /// [`SdeaPipeline::run`], surfacing checkpoint-directory errors (an
+    /// unwritable directory, or a manifest written under a different
+    /// configuration) instead of panicking.
+    pub fn try_run(&self) -> std::io::Result<SdeaModel> {
+        self.try_execute(None)
+    }
+
+    /// [`SdeaPipeline::run_bootstrapped`], surfacing checkpoint errors.
+    pub fn try_run_bootstrapped(&self, threshold: f32) -> std::io::Result<SdeaModel> {
+        self.try_execute(Some(threshold))
+    }
+
+    fn try_execute(&self, bootstrap_threshold: Option<f32>) -> std::io::Result<SdeaModel> {
         // The budget is process-wide; 0 keeps whatever SDEA_THREADS or the
         // hardware dictates. Observability is likewise process-wide: the
         // config can only force it off (the default `true` defers to the
@@ -103,52 +120,116 @@ impl<'a> SdeaPipeline<'a> {
         let mut fit_rng = rng.split();
         let mut rel_rng = rng.split();
 
-        // Algorithm 1 on both KGs (each KG draws its own attribute order).
-        let (seq1, seq2) = {
-            let _span = sdea_obs::span("sequencing");
-            (AttrSequencer::new(self.kg1, &mut seq_rng), AttrSequencer::new(self.kg2, &mut seq_rng))
+        // Crash-safe checkpointing (see `crate::checkpoint`). The stream
+        // splits above stay unconditional: a resumed run re-derives every
+        // stream from the seed, then overwrites the consuming stream from
+        // the checkpoint, so skipped stages never shift later ones.
+        let mut ckpt = match &self.cfg.checkpoint_dir {
+            Some(dir) => Some(Checkpointer::open(
+                dir,
+                config_fingerprint(
+                    &self.cfg,
+                    self.variant,
+                    (self.kg1.num_entities(), self.kg2.num_entities()),
+                    (self.split.train.len(), self.split.valid.len()),
+                    bootstrap_threshold,
+                ),
+                self.cfg.checkpoint_every,
+            )?),
+            None => None,
         };
 
-        // Pre-trained transformer + projection; Algorithm 2.
-        let (attr_report, h_a1, h_a2) = {
-            let _span = sdea_obs::span("attr_stage");
-            let mut attr = AttrModule::build(&self.cfg, self.corpus, &mut build_rng);
-            let cache1 = attr.token_cache(seq1.sequences());
-            let cache2 = attr.token_cache(seq2.sequences());
-            let attr_report =
-                attr.fit(&cache1, &cache2, &self.split.train, &self.split.valid, &mut fit_rng);
-            let h_a1 = attr.embed_all(&cache1, &mut fit_rng);
-            let h_a2 = attr.embed_all(&cache2, &mut fit_rng);
-            (attr_report, h_a1, h_a2)
+        // Algorithms 1 + 2. A checkpointed attribute-stage boundary
+        // artifact carries both `H_a` tables exactly (f32 bits round-trip),
+        // so resume skips sequencing, the tokenizer/LM build, fine-tuning
+        // and embedding outright — everything downstream only consumes the
+        // tables, never `seq_rng`/`build_rng`/`fit_rng`.
+        let done = ckpt.as_mut().and_then(|c| c.attr_done());
+        let (attr_report, h_a1, h_a2) = match done {
+            Some((h_a1, h_a2, attr_report)) => (attr_report, h_a1, h_a2),
+            None => {
+                let (seq1, seq2) = {
+                    let _span = sdea_obs::span("sequencing");
+                    (
+                        AttrSequencer::new(self.kg1, &mut seq_rng),
+                        AttrSequencer::new(self.kg2, &mut seq_rng),
+                    )
+                };
+                let _span = sdea_obs::span("attr_stage");
+                let mut attr = AttrModule::build(&self.cfg, self.corpus, &mut build_rng);
+                let cache1 = attr.token_cache(seq1.sequences());
+                let cache2 = attr.token_cache(seq2.sequences());
+                let attr_report = attr.fit_resumable(
+                    &cache1,
+                    &cache2,
+                    &self.split.train,
+                    &self.split.valid,
+                    &mut fit_rng,
+                    ckpt.as_mut(),
+                );
+                let h_a1 = attr.embed_all(&cache1, &mut fit_rng);
+                let h_a2 = attr.embed_all(&cache2, &mut fit_rng);
+                if let Some(c) = ckpt.as_mut() {
+                    if let Err(e) = c.record_attr_done(&h_a1, &h_a2, &attr_report) {
+                        eprintln!("warning: attribute-stage checkpoint failed ({e}); continuing");
+                        sdea_obs::add("ckpt.write_failures", 1);
+                    }
+                }
+                (attr_report, h_a1, h_a2)
+            }
         };
 
         // Optional bootstrapping: confident mutual-nearest pairs under the
-        // attribute embeddings become extra (noisy) training seeds.
-        let mut train = self.split.train.clone();
-        if let Some(threshold) = bootstrap_threshold {
-            let _span = sdea_obs::span("bootstrap");
-            let known1: std::collections::HashSet<EntityId> =
-                self.split.train.iter().map(|&(a, _)| a).collect();
-            let known2: std::collections::HashSet<EntityId> =
-                self.split.train.iter().map(|&(_, b)| b).collect();
-            for (a, b) in crate::bootstrap::mutual_nearest_pairs(&h_a1, &h_a2, threshold) {
-                if !known1.contains(&a) && !known2.contains(&b) {
-                    train.push((a, b));
+        // attribute embeddings become extra (noisy) training seeds. The
+        // augmented list is checkpointed so a resumed relation stage trains
+        // on the identical pair sequence.
+        let saved_pairs = ckpt.as_mut().and_then(|c| c.train_pairs());
+        let train = match saved_pairs {
+            Some(pairs) => pairs,
+            None => {
+                let mut train = self.split.train.clone();
+                if let Some(threshold) = bootstrap_threshold {
+                    let _span = sdea_obs::span("bootstrap");
+                    let known1: std::collections::HashSet<EntityId> =
+                        self.split.train.iter().map(|&(a, _)| a).collect();
+                    let known2: std::collections::HashSet<EntityId> =
+                        self.split.train.iter().map(|&(_, b)| b).collect();
+                    for (a, b) in crate::bootstrap::mutual_nearest_pairs(&h_a1, &h_a2, threshold) {
+                        if !known1.contains(&a) && !known2.contains(&b) {
+                            train.push((a, b));
+                        }
+                    }
+                    sdea_obs::add(
+                        "pipeline.bootstrap_pairs",
+                        (train.len() - self.split.train.len()) as u64,
+                    );
                 }
+                if let Some(c) = ckpt.as_mut() {
+                    if let Err(e) = c.record_train_pairs(&train) {
+                        eprintln!("warning: training-pair checkpoint failed ({e}); continuing");
+                        sdea_obs::add("ckpt.write_failures", 1);
+                    }
+                }
+                train
             }
-            sdea_obs::add(
-                "pipeline.bootstrap_pairs",
-                (train.len() - self.split.train.len()) as u64,
-            );
-        }
+        };
 
-        // Algorithm 3.
+        // Algorithm 3. The stage is always rebuilt (deterministic given
+        // `rel_rng`); a mid-stage checkpoint then restores weights, Adam
+        // moments and the stream state inside `fit_resumable`.
         let (stage, rel_report) = {
             let _span = sdea_obs::span("rel_stage");
             let mut stage =
                 RelStage::new(&self.cfg, self.variant, self.kg1, self.kg2, &mut rel_rng);
-            let rel_report =
-                stage.fit(&self.cfg, &h_a1, &h_a2, &train, &self.split.valid, &mut rel_rng);
+            let rel_report = stage.fit_resumable(
+                &self.cfg,
+                &h_a1,
+                &h_a2,
+                &train,
+                &self.split.valid,
+                &mut rel_rng,
+                ckpt.as_mut(),
+            );
             (stage, rel_report)
         };
 
@@ -160,7 +241,7 @@ impl<'a> SdeaPipeline<'a> {
             (stage.full_embeddings(&h_a1, true, &ids1), stage.full_embeddings(&h_a2, false, &ids2))
         };
 
-        SdeaModel { h_a1, h_a2, ent1, ent2, attr_report, rel_report, rel_stage: Some(stage) }
+        Ok(SdeaModel { h_a1, h_a2, ent1, ent2, attr_report, rel_report, rel_stage: Some(stage) })
     }
 }
 
@@ -205,5 +286,55 @@ mod tests {
         // ablation path also works
         let attr_only = model.align_test_attr_only(&split.test).metrics();
         assert!(attr_only.hits1 >= 0.0 && attr_only.hits10 <= 1.0);
+    }
+
+    /// A run resumed from an existing checkpoint directory (attribute stage
+    /// complete, relation stage mid-flight) reproduces the uncheckpointed
+    /// run bit-for-bit — the resume determinism contract at the pipeline
+    /// level. The kill-based variant lives in `tests/checkpoint_resume.rs`.
+    #[test]
+    fn resumed_run_is_bit_identical() {
+        let ds = generate(&DatasetProfile::dbp15k_fr_en(40, 9));
+        let mut split_rng = Rng::seed_from_u64(1);
+        let split = ds.seeds.split_paper(&mut split_rng);
+        let corpus = sdea_synth::corpus::dataset_corpus(&ds);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.attr_epochs = 2;
+        cfg.rel_epochs = 4;
+        let pipeline = |cfg: SdeaConfig| SdeaPipeline {
+            kg1: ds.kg1(),
+            kg2: ds.kg2(),
+            split: &split,
+            corpus: &corpus,
+            cfg,
+            variant: RelVariant::Full,
+        };
+        let clean = pipeline(cfg.clone()).run();
+
+        let dir = std::env::temp_dir().join(format!("sdea_pipe_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg.checkpoint_dir = Some(dir.clone());
+        let first = pipeline(cfg.clone()).try_run().unwrap();
+        assert_eq!(first.ent1, clean.ent1, "checkpoint writes must not change results");
+
+        // Drop the newest rel checkpoint so the resumed run actually has
+        // epochs left to replay, then resume: attr stage is skipped via the
+        // boundary artifact, rel stage restores the fallback checkpoint.
+        let mut rel_ckpts: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().into_string().unwrap())
+            .filter(|n| n.starts_with("rel_ep"))
+            .collect();
+        rel_ckpts.sort();
+        assert!(rel_ckpts.len() >= 2, "expected two retained rel checkpoints: {rel_ckpts:?}");
+        std::fs::remove_file(dir.join(rel_ckpts.last().unwrap())).unwrap();
+        let resumed = pipeline(cfg).try_run().unwrap();
+        assert_eq!(resumed.ent1, clean.ent1);
+        assert_eq!(resumed.ent2, clean.ent2);
+        assert_eq!(resumed.h_a1, clean.h_a1);
+        assert_eq!(resumed.attr_report.epoch_losses, clean.attr_report.epoch_losses);
+        assert_eq!(resumed.rel_report.epoch_losses, clean.rel_report.epoch_losses);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,6 +7,7 @@
 //! from `H_a` (Algorithm 3 line 1), early stopping on validation Hits@1.
 
 use crate::candidates::CandidateSet;
+use crate::checkpoint::{self, Checkpointer};
 use crate::config::SdeaConfig;
 use crate::joint::JointHead;
 use crate::loss::margin_ranking_loss;
@@ -121,6 +122,29 @@ impl RelStage {
         valid: &[(EntityId, EntityId)],
         rng: &mut Rng,
     ) -> RelFitReport {
+        self.fit_resumable(cfg, h_a1, h_a2, train, valid, rng, None)
+    }
+
+    /// [`RelStage::fit`] with checkpoint/resume support. With a
+    /// [`Checkpointer`], the loop restores the latest intact relation-stage
+    /// [`crate::checkpoint::StageState`] (weights, Adam moments, RNG
+    /// stream, early-stopping bookkeeping) and continues from its epoch —
+    /// bit-identically to the uninterrupted run — and writes a new state
+    /// every `checkpoint_every` epochs. Candidates are regenerated, not
+    /// checkpointed: they derive deterministically from the frozen `H_a`
+    /// tables. Checkpoint write failures are reported and training
+    /// continues.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable(
+        &mut self,
+        cfg: &SdeaConfig,
+        h_a1: &Tensor,
+        h_a2: &Tensor,
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+        mut ckpt: Option<&mut Checkpointer>,
+    ) -> RelFitReport {
         let _span = sdea_obs::span("rel.fit");
         let has_valid = !valid.is_empty();
         if !has_valid {
@@ -142,10 +166,34 @@ impl RelStage {
         let mut best_loss = f64::INFINITY;
         let mut best_snapshot = self.store.snapshot();
         let mut strikes = 0usize;
+        let mut start_epoch = 0usize;
+        let resume = ckpt.as_mut().and_then(|c| c.latest_stage_state(checkpoint::Stage::Rel));
+        if let Some(st) = resume {
+            match self.store.restore_from_named(&st.store) {
+                Ok(()) => {
+                    opt.set_state(st.adam_t, st.adam_m, st.adam_v);
+                    *rng = Rng::from_state(st.rng);
+                    best_hits = st.best_hits;
+                    best_loss = st.best_loss;
+                    best_snapshot = st.best_snapshot;
+                    strikes = st.strikes as usize;
+                    report.epoch_losses = st.epoch_losses;
+                    report.valid_hits1 = st.valid_hits1;
+                    report.best_epoch = st.best_epoch as usize;
+                    start_epoch = st.next_epoch as usize;
+                    sdea_obs::add("ckpt.stage_resumes", 1);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "rel checkpoint incompatible with rebuilt model ({e}); starting fresh"
+                    )
+                }
+            }
+        }
         // One pool across all batches of the run: tape buffers freed by one
         // step's backward feed the next step's forward.
         let pool = sdea_tensor::BufferPool::new();
-        for epoch in 0..cfg.rel_epochs {
+        for epoch in start_epoch..cfg.rel_epochs {
             let _span = sdea_obs::span("epoch");
             let mut order: Vec<usize> = (0..train.len()).collect();
             rng.shuffle(&mut order);
@@ -203,6 +251,7 @@ impl RelStage {
             };
             report.valid_hits1.push(hits1);
             let improved = if has_valid { hits1 > best_hits } else { mean_loss < best_loss };
+            let mut stop = false;
             if improved {
                 best_hits = hits1;
                 best_loss = mean_loss;
@@ -213,8 +262,34 @@ impl RelStage {
                 strikes += 1;
                 if strikes >= cfg.patience {
                     sdea_obs::add("rel.early_stops", 1);
-                    break;
+                    stop = true;
                 }
+            }
+            if let Some(c) = ckpt.as_mut() {
+                if c.due(epoch) && !stop {
+                    let (t, m, v) = opt.state();
+                    let state = checkpoint::StageState {
+                        next_epoch: (epoch + 1) as u32,
+                        rng: rng.state(),
+                        store: self.store.clone(),
+                        adam_t: t,
+                        adam_m: m.to_vec(),
+                        adam_v: v.to_vec(),
+                        best_snapshot: best_snapshot.clone(),
+                        best_hits,
+                        best_loss,
+                        strikes: strikes as u32,
+                        epoch_losses: report.epoch_losses.clone(),
+                        valid_hits1: report.valid_hits1.clone(),
+                        best_epoch: report.best_epoch as u32,
+                    };
+                    if let Err(e) = c.record_stage_epoch(checkpoint::Stage::Rel, &state) {
+                        eprintln!("rel checkpoint at epoch {epoch} failed: {e}; continuing");
+                    }
+                }
+            }
+            if stop {
+                break;
             }
         }
         self.store.restore(&best_snapshot);

@@ -18,6 +18,6 @@ pub use csls::csls_rescale;
 pub use metrics::{evaluate_ranking, rank_of, AlignmentMetrics};
 pub use report::{format_table, TableRow};
 pub use similarity::{
-    argmax_cols, argmax_rows, argsort_rows_desc, cosine_matrix, top_k_indices, top_k_rows,
-    SimilarityMatrix,
+    argmax_cols, argmax_rows, argsort_rows_desc, cosine_matrix, desc_nan_last, top_k_indices,
+    top_k_rows, SimilarityMatrix,
 };

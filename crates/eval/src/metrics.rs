@@ -1,6 +1,7 @@
 //! Hits@K and MRR over similarity rankings (paper Section V-A2).
 
-use crate::similarity::SimilarityMatrix;
+use crate::similarity::{desc_nan_last, SimilarityMatrix};
+use std::cmp::Ordering;
 
 /// The paper's three reported metrics.
 #[derive(Copy, Clone, Debug, PartialEq, Default)]
@@ -22,8 +23,14 @@ impl AlignmentMetrics {
 
 /// 1-based rank of `gold` within `scores` (descending). Ties are broken
 /// pessimistically for indices before `gold` and optimistically after —
-/// i.e. rank = 1 + |{j : s_j > s_gold}| + |{j < gold : s_j == s_gold}|,
-/// which is deterministic and matches a stable descending sort.
+/// i.e. rank = 1 + |{j : s_j ranks before s_gold}| + |{j < gold : s_j ==
+/// s_gold}|, which is deterministic and matches a stable descending sort
+/// under [`desc_nan_last`].
+///
+/// NaN scores follow the crate-wide convention: they rank *last*. A NaN
+/// gold therefore ranks behind every real candidate (it used to silently
+/// rank 1 because `NaN > NaN` and `s > NaN` are both false), and a NaN
+/// candidate never outranks a real gold.
 ///
 /// Panics with a descriptive message when `gold` is out of range — in
 /// particular for an empty `scores` slice (a zero-column similarity
@@ -37,8 +44,10 @@ pub fn rank_of(scores: &[f32], gold: usize) -> usize {
     let g = scores[gold];
     let mut rank = 1usize;
     for (j, &s) in scores.iter().enumerate() {
-        if s > g || (s == g && j < gold) {
-            rank += 1;
+        match desc_nan_last(s, g) {
+            Ordering::Less => rank += 1,
+            Ordering::Equal if j < gold => rank += 1,
+            _ => {}
         }
     }
     rank
@@ -161,6 +170,28 @@ mod tests {
     #[should_panic(expected = "rank_of: gold index 0 out of range for 0 candidate scores")]
     fn rank_of_empty_scores_panics_cleanly() {
         rank_of(&[], 0);
+    }
+
+    #[test]
+    fn nan_gold_ranks_last_not_first() {
+        // Regression: a NaN gold used to rank 1 because no score compares
+        // greater than NaN. Under the NaN-last convention it ranks behind
+        // every real candidate.
+        assert_eq!(rank_of(&[0.9, f32::NAN, 0.1], 1), 3);
+        // NaN candidates never outrank a real gold.
+        assert_eq!(rank_of(&[f32::NAN, 0.5, f32::NAN], 1), 1);
+        // NaN gold among NaN candidates: index tie-break.
+        assert_eq!(rank_of(&[f32::NAN, f32::NAN], 1), 2);
+    }
+
+    #[test]
+    fn evaluate_ranking_with_nan_rows_never_panics() {
+        // Row 0: gold is NaN -> worst rank (3). Row 1: gold real, a NaN
+        // competitor is ignored -> rank 1.
+        let sim = Tensor::from_vec(vec![0.9, f32::NAN, 0.1, f32::NAN, 0.8, 0.2], &[2, 3]);
+        let m = evaluate_ranking(&sim, &[1, 1]);
+        assert!((m.hits1 - 0.5).abs() < 1e-12);
+        assert!((m.mrr - (1.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -16,9 +16,33 @@ pub type SimilarityMatrix = Tensor;
 /// result — never depends on how many workers run.
 const COL_BLOCK: usize = 256;
 
+/// Total descending order over similarity scores with **NaN ranked last**
+/// (worst), the crate-wide comparison convention for ranking and matching.
+///
+/// `Less` means `a` ranks strictly before (better than) `b`. Unlike
+/// `partial_cmp(..).unwrap()` this never panics, and unlike raw
+/// [`f32::total_cmp`] it does not let `+NaN` outrank every real score: any
+/// NaN — from upstream numerical blow-ups or degenerate embeddings —
+/// compares worse than every finite or infinite value, and equal to every
+/// other NaN (callers tie-break equal scores by index).
+pub fn desc_nan_last(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Cosine similarity of every row of `a: [n,d]` against every row of
 /// `b: [m,d]`: L2-normalize both then compute `a · bᵀ`, which rides the
 /// parallel [`Tensor::matmul_t`] kernel.
+///
+/// Zero-norm rows are the documented degenerate case: normalization leaves
+/// them as zero vectors (see [`Tensor::l2_normalize_rows`]), so their
+/// cosine against anything is exactly `0.0`, never NaN. NaN can still
+/// enter through NaN *inputs*; downstream ranking and matching order such
+/// scores with [`desc_nan_last`].
 pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
     assert_eq!(a.rank(), 2, "cosine_matrix lhs rank");
     assert_eq!(b.rank(), 2, "cosine_matrix rhs rank");
@@ -28,8 +52,9 @@ pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
     a.l2_normalize_rows().matmul_t(&b.l2_normalize_rows())
 }
 
-/// Indices of the `k` largest values of `scores`, descending, ties broken by
-/// lower index. `k` is clamped to `scores.len()`.
+/// Indices of the `k` largest values of `scores`, descending under
+/// [`desc_nan_last`] (NaN ranks worst), ties broken by lower index. `k` is
+/// clamped to `scores.len()`.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let k = k.min(scores.len());
     if k == 0 {
@@ -38,8 +63,9 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     // Partial selection: maintain a small sorted buffer (k is small).
     let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
     for (i, &s) in scores.iter().enumerate() {
-        if best.len() < k || s > best[best.len() - 1].1 {
-            let pos = best.iter().position(|&(_, bs)| s > bs).unwrap_or(best.len());
+        let beats = |t: f32| desc_nan_last(s, t) == Ordering::Less;
+        if best.len() < k || beats(best[best.len() - 1].1) {
+            let pos = best.iter().position(|&(_, bs)| beats(bs)).unwrap_or(best.len());
             best.insert(pos, (i, s));
             if best.len() > k {
                 best.pop();
@@ -108,8 +134,9 @@ pub fn argmax_cols(sim: &SimilarityMatrix) -> Vec<usize> {
     parts.into_iter().flatten().collect()
 }
 
-/// Column indices of every row sorted by descending score, ties broken by
-/// lower column index; rows fanned out across the thread budget.
+/// Column indices of every row sorted by descending score under
+/// [`desc_nan_last`] (NaN columns sort to the back), ties broken by lower
+/// column index; rows fanned out across the thread budget.
 pub fn argsort_rows_desc(sim: &SimilarityMatrix) -> Vec<Vec<usize>> {
     assert_eq!(sim.rank(), 2);
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
@@ -117,9 +144,7 @@ pub fn argsort_rows_desc(sim: &SimilarityMatrix) -> Vec<Vec<usize>> {
     par_map_collect(n, m.saturating_mul(8).max(1), |i| {
         let row = sim.row(i);
         let mut idx: Vec<usize> = (0..m).collect();
-        idx.sort_by(|&a, &b| {
-            row[b].partial_cmp(&row[a]).unwrap_or(Ordering::Equal).then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| desc_nan_last(row[a], row[b]).then(a.cmp(&b)));
         idx
     })
 }
@@ -185,7 +210,7 @@ mod tests {
         let scores: Vec<f32> = (0..200).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let top = top_k_indices(&scores, 10);
         let mut idx: Vec<usize> = (0..200).collect();
-        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         assert_eq!(top, idx[..10].to_vec());
     }
 
@@ -207,13 +232,12 @@ mod tests {
         let (rows, cols) = with_thread_budget(4, || (argmax_rows(&sim), argmax_cols(&sim)));
         for (i, &got) in rows.iter().enumerate() {
             let r = sim.row(i);
-            let naive =
-                (0..517).max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap().then(b.cmp(&a))).unwrap();
+            let naive = (0..517).max_by(|&a, &b| r[a].total_cmp(&r[b]).then(b.cmp(&a))).unwrap();
             assert_eq!(got, naive, "row {i}");
         }
         for j in (0..517).step_by(41) {
             let naive = (0..33)
-                .max_by(|&a, &b| sim.at2(a, j).partial_cmp(&sim.at2(b, j)).unwrap().then(b.cmp(&a)))
+                .max_by(|&a, &b| sim.at2(a, j).total_cmp(&sim.at2(b, j)).then(b.cmp(&a)))
                 .unwrap();
             assert_eq!(cols[j], naive, "col {j}");
         }
@@ -224,5 +248,37 @@ mod tests {
         let sim = Tensor::from_vec(vec![0.5, 0.9, 0.5, -0.1], &[1, 4]);
         let order = argsort_rows_desc(&sim);
         assert_eq!(order, vec![vec![1, 0, 2, 3]]); // 0.5-tie broken by index
+    }
+
+    #[test]
+    fn desc_nan_last_is_a_total_order() {
+        use Ordering::*;
+        assert_eq!(desc_nan_last(1.0, 0.5), Less); // higher score ranks first
+        assert_eq!(desc_nan_last(0.5, 1.0), Greater);
+        assert_eq!(desc_nan_last(0.5, 0.5), Equal);
+        assert_eq!(desc_nan_last(f32::NAN, -1e30), Greater); // NaN worst
+        assert_eq!(desc_nan_last(f32::NEG_INFINITY, f32::NAN), Less);
+        assert_eq!(desc_nan_last(f32::NAN, f32::NAN), Equal);
+        assert_eq!(desc_nan_last(f32::INFINITY, f32::MAX), Less);
+        // -0.0 vs +0.0: total_cmp puts +0.0 first in descending order.
+        assert_eq!(desc_nan_last(0.0, -0.0), Less);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_never_panic() {
+        let scores = [0.2, f32::NAN, 0.9, f32::NAN, -0.5];
+        // top_k: NaN never beats a real score, NaN ties broken by index.
+        assert_eq!(top_k_indices(&scores, 3), vec![2, 0, 4]);
+        assert_eq!(top_k_indices(&scores, 5), vec![2, 0, 4, 1, 3]);
+        // argsort: same full ordering, NaN columns at the back.
+        let sim = Tensor::from_vec(scores.to_vec(), &[1, 5]);
+        assert_eq!(argsort_rows_desc(&sim), vec![vec![2, 0, 4, 1, 3]]);
+    }
+
+    #[test]
+    fn all_nan_row_is_index_order() {
+        let sim = Tensor::from_vec(vec![f32::NAN; 4], &[1, 4]);
+        assert_eq!(argsort_rows_desc(&sim), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(top_k_indices(sim.row(0), 2), vec![0, 1]);
     }
 }

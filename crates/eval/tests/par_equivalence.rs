@@ -53,7 +53,7 @@ fn top_k_rows_matches_naive_full_sort() {
     for (i, top) in got.iter().enumerate() {
         let row = sim.row(i);
         let mut idx: Vec<usize> = (0..333).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
         assert_eq!(*top, idx[..10].to_vec(), "row {i}");
         assert_eq!(*top, top_k_indices(row, 10), "row {i} vs scalar api");
     }
@@ -69,13 +69,12 @@ fn argmax_apis_match_naive_and_are_budget_invariant() {
     assert_eq!(c1, c8);
     for (i, &got) in r1.iter().enumerate() {
         let row = sim.row(i);
-        let naive =
-            (0..517).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(b.cmp(&a))).unwrap();
+        let naive = (0..517).max_by(|&a, &b| row[a].total_cmp(&row[b]).then(b.cmp(&a))).unwrap();
         assert_eq!(got, naive, "row {i}");
     }
     for (j, &got) in c1.iter().enumerate() {
         let naive = (0..90)
-            .max_by(|&a, &b| sim.at2(a, j).partial_cmp(&sim.at2(b, j)).unwrap().then(b.cmp(&a)))
+            .max_by(|&a, &b| sim.at2(a, j).total_cmp(&sim.at2(b, j)).then(b.cmp(&a)))
             .unwrap();
         assert_eq!(got, naive, "col {j}");
     }

@@ -1,0 +1,187 @@
+//! Fault injection for crash-safety testing.
+//!
+//! Checkpoint IO calls [`hit`] at named sites (e.g. `"ckpt.store"`,
+//! `"stage.rel.write.rename"`). A site can be *armed* to fire on its n-th
+//! hit, either programmatically ([`arm`]) or through the environment:
+//!
+//! ```text
+//! SDEA_FAULT=<site>:<nth>[:<mode>][,<site>:<nth>[:<mode>]...]
+//! ```
+//!
+//! Modes:
+//!
+//! * `kill` (default) — terminate the process immediately with exit code
+//!   137, simulating a crash / OOM-kill mid-write.
+//! * `error` — make the IO call return an injected `io::Error`, exercising
+//!   the bounded-retry path.
+//! * `corrupt` — let the write complete but flip one byte of the payload,
+//!   simulating silent media corruption that checksum verification must
+//!   catch at load time.
+//!
+//! Each armed spec fires exactly once (on the n-th hit of its site, 1-based)
+//! and is inert afterwards. When nothing is armed, a hit is one mutex lock
+//! on a cold path — checkpoint IO is far from any per-element hot loop.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed fault does when it fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Exit the process immediately (exit code 137).
+    Kill,
+    /// Return an injected IO error from the faulted call.
+    Error,
+    /// Complete the write but with one byte of the payload flipped.
+    Corrupt,
+}
+
+/// What the calling IO site must do after [`hit`] returns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    Proceed,
+    /// Fail with an injected error.
+    InjectError,
+    /// Proceed, but corrupt the payload being written.
+    CorruptPayload,
+}
+
+#[derive(Debug)]
+struct Armed {
+    site: String,
+    nth: u64,
+    mode: FaultMode,
+    fired: bool,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: Vec<Armed>,
+    hits: HashMap<String, u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| {
+        let mut reg = Registry::default();
+        if let Ok(spec) = std::env::var("SDEA_FAULT") {
+            for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+                match parse_spec(part) {
+                    Some((site, nth, mode)) => {
+                        reg.armed.push(Armed { site, nth, mode, fired: false })
+                    }
+                    None => eprintln!("SDEA_FAULT: ignoring malformed spec {part:?}"),
+                }
+            }
+        }
+        Mutex::new(reg)
+    })
+}
+
+fn parse_spec(spec: &str) -> Option<(String, u64, FaultMode)> {
+    let mut it = spec.trim().split(':');
+    let site = it.next()?.to_string();
+    let nth: u64 = it.next()?.parse().ok()?;
+    let mode = match it.next() {
+        None | Some("kill") => FaultMode::Kill,
+        Some("error") => FaultMode::Error,
+        Some("corrupt") => FaultMode::Corrupt,
+        Some(_) => return None,
+    };
+    if site.is_empty() || nth == 0 || it.next().is_some() {
+        return None;
+    }
+    Some((site, nth, mode))
+}
+
+/// Programmatically arms a fault: the `nth` (1-based) [`hit`] of `site`
+/// fires with `mode`. Test-oriented twin of the `SDEA_FAULT` variable.
+pub fn arm(site: &str, nth: u64, mode: FaultMode) {
+    let mut reg = registry().lock().unwrap();
+    reg.armed.push(Armed { site: site.to_string(), nth, mode, fired: false });
+}
+
+/// Disarms all programmatic and environment faults and zeroes the per-site
+/// hit counters. Used between tests.
+pub fn reset() {
+    let mut reg = registry().lock().unwrap();
+    reg.armed.clear();
+    reg.hits.clear();
+}
+
+/// Number of times `site` has been hit so far.
+pub fn hit_count(site: &str) -> u64 {
+    registry().lock().unwrap().hits.get(site).copied().unwrap_or(0)
+}
+
+/// Records one hit of `site` and returns what the caller must do. A `Kill`
+/// fault does not return: the process exits here, mid-operation, exactly
+/// like a crash.
+pub fn hit(site: &str) -> FaultAction {
+    let mut reg = registry().lock().unwrap();
+    let count = reg.hits.entry(site.to_string()).or_insert(0);
+    *count += 1;
+    let count = *count;
+    for a in reg.armed.iter_mut() {
+        if !a.fired && a.site == site && a.nth == count {
+            a.fired = true;
+            match a.mode {
+                FaultMode::Kill => {
+                    // Flush nothing, clean up nothing: a crash does neither.
+                    eprintln!("SDEA_FAULT: killing process at site {site:?} (hit {count})");
+                    std::process::exit(137);
+                }
+                FaultMode::Error => return FaultAction::InjectError,
+                FaultMode::Corrupt => return FaultAction::CorruptPayload,
+            }
+        }
+    }
+    FaultAction::Proceed
+}
+
+/// The `io::Error` an [`FaultAction::InjectError`] site should return.
+pub fn injected_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at site {site:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share the process-global registry, so each uses its own
+    // site names and calls `reset` defensively at the start.
+
+    #[test]
+    fn unarmed_sites_proceed() {
+        assert_eq!(hit("fault.test.unarmed"), FaultAction::Proceed);
+        assert_eq!(hit("fault.test.unarmed"), FaultAction::Proceed);
+        assert!(hit_count("fault.test.unarmed") >= 2);
+    }
+
+    #[test]
+    fn fires_on_nth_hit_exactly_once() {
+        arm("fault.test.nth", 2, FaultMode::Error);
+        assert_eq!(hit("fault.test.nth"), FaultAction::Proceed);
+        assert_eq!(hit("fault.test.nth"), FaultAction::InjectError);
+        assert_eq!(hit("fault.test.nth"), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn corrupt_mode_requests_payload_corruption() {
+        arm("fault.test.corrupt", 1, FaultMode::Corrupt);
+        assert_eq!(hit("fault.test.corrupt"), FaultAction::CorruptPayload);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(parse_spec("a.b:3"), Some(("a.b".into(), 3, FaultMode::Kill)));
+        assert_eq!(parse_spec("x:1:error"), Some(("x".into(), 1, FaultMode::Error)));
+        assert_eq!(parse_spec("x:1:corrupt"), Some(("x".into(), 1, FaultMode::Corrupt)));
+        assert_eq!(parse_spec("x:0"), None, "nth is 1-based");
+        assert_eq!(parse_spec(":1"), None);
+        assert_eq!(parse_spec("x:notanum"), None);
+        assert_eq!(parse_spec("x:1:bogus"), None);
+        assert_eq!(parse_spec("x:1:error:extra"), None);
+    }
+}

@@ -23,6 +23,7 @@
 //! assert_eq!(gx.shape(), &[1, 2]);
 //! ```
 
+pub mod fault;
 pub mod graph;
 pub mod init;
 pub mod kernels;

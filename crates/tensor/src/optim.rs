@@ -127,6 +127,44 @@ impl ParamStore {
             s.value = v.clone();
         }
     }
+
+    /// Copies every parameter value out of `saved` into this store, matched
+    /// by name. Used by checkpoint resume: the live store is rebuilt
+    /// deterministically by the model constructors, then its weights are
+    /// overwritten from the saved store. Errors (rather than panics) on any
+    /// arity, name, or shape mismatch so a stale checkpoint surfaces as
+    /// `InvalidData` at the IO boundary.
+    pub fn restore_from_named(&mut self, saved: &ParamStore) -> Result<(), String> {
+        if saved.len() != self.len() {
+            return Err(format!(
+                "checkpoint has {} parameters, model has {}",
+                saved.len(),
+                self.len()
+            ));
+        }
+        // Validate everything before touching any value: a mismatch must
+        // leave this store exactly as it was, never half-restored.
+        for (slot, other) in self.slots.iter().zip(&saved.slots) {
+            if slot.name != other.name {
+                return Err(format!(
+                    "checkpoint parameter {:?} does not match model parameter {:?}",
+                    other.name, slot.name
+                ));
+            }
+            if slot.value.shape() != other.value.shape() {
+                return Err(format!(
+                    "checkpoint parameter {:?} has shape {:?}, model expects {:?}",
+                    other.name,
+                    other.value.shape(),
+                    slot.value.shape()
+                ));
+            }
+        }
+        for (slot, other) in self.slots.iter_mut().zip(&saved.slots) {
+            slot.value = other.value.clone();
+        }
+        Ok(())
+    }
 }
 
 /// Gradient clipping configuration.
@@ -254,6 +292,22 @@ impl Adam {
             self.v = store.slots.iter().map(|s| Tensor::zeros(s.value.shape())).collect();
         }
     }
+
+    /// Captures the optimizer state (step count, first and second moments)
+    /// for checkpointing. Moments are positional: they only make sense for
+    /// a store with the same parameter layout.
+    pub fn state(&self) -> (u64, &[Tensor], &[Tensor]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`Adam::state`]; a resumed run then takes
+    /// bit-identical steps to an uninterrupted one.
+    pub fn set_state(&mut self, t: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "Adam moment arity mismatch");
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {
@@ -361,6 +415,66 @@ mod tests {
         store.value_mut(a).data_mut()[0] = 999.0;
         store.restore(&snap);
         assert_eq!(store.value(a), &orig);
+    }
+
+    #[test]
+    fn restore_from_named_checks_names_and_shapes() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut live = ParamStore::new();
+        live.add("a", Tensor::zeros(&[2, 2]));
+        live.add("b", Tensor::zeros(&[3]));
+        let mut saved = ParamStore::new();
+        saved.add("a", Tensor::rand_normal(&[2, 2], 1.0, &mut rng));
+        saved.add("b", Tensor::rand_normal(&[3], 1.0, &mut rng));
+        live.restore_from_named(&saved).unwrap();
+        assert_eq!(live.value(ParamId(0)), saved.value(ParamId(0)));
+        assert_eq!(live.value(ParamId(1)), saved.value(ParamId(1)));
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.add("a", Tensor::zeros(&[2, 2]));
+        wrong_name.add("c", Tensor::zeros(&[3]));
+        assert!(live.restore_from_named(&wrong_name).is_err());
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("a", Tensor::zeros(&[2, 2]));
+        wrong_shape.add("b", Tensor::zeros(&[4]));
+        assert!(live.restore_from_named(&wrong_shape).is_err());
+
+        let mut wrong_arity = ParamStore::new();
+        wrong_arity.add("a", Tensor::zeros(&[2, 2]));
+        assert!(live.restore_from_named(&wrong_arity).is_err());
+    }
+
+    /// Interrupt-and-restore of Adam state must continue bit-identically
+    /// with an uninterrupted optimizer — the resume determinism contract.
+    #[test]
+    fn adam_state_round_trip_is_bit_identical() {
+        let run = |resume_at: Option<usize>| -> Vec<f32> {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(vec![5.0, -2.0], &[2]));
+            let mut opt = Adam::new(0.05);
+            for step in 0..20 {
+                if Some(step) == resume_at {
+                    // Snapshot and rebuild both the optimizer and the
+                    // weights, as checkpoint resume does.
+                    let (t, m, v) = opt.state();
+                    let (m, v, weights) = (m.to_vec(), v.to_vec(), store.snapshot());
+                    store.restore(&weights);
+                    opt = Adam::new(0.05);
+                    opt.set_state(t, m, v);
+                }
+                let g = Graph::new();
+                let wv = g.param(&store, w);
+                let loss = g.sum_all(g.square(wv));
+                g.backward(loss);
+                g.accumulate_param_grads(&mut store);
+                opt.step(&mut store);
+            }
+            store.value(w).data().to_vec()
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(7));
+        assert_eq!(uninterrupted, resumed);
     }
 
     #[test]

@@ -28,4 +28,26 @@ done
 echo "=== kernel throughput (quick) ==="
 ./target/release/bench_kernels --kernels-only
 
+# Fault-injection suite: serialization atomicity/corruption at the tensor
+# layer, checkpoint quarantine-and-fall-back at the core layer.
+echo "=== fault-injection suite ==="
+cargo test -q --release -p sdea-tensor -- serialize:: fault::
+cargo test -q --release -p sdea-core -- checkpoint::
+
+# Kill-and-resume smoke: a training process killed mid-write by an
+# injected fault must resume bit-identically (drives the real binary as
+# child processes; covers SDEA_THREADS 1 and 8).
+echo "=== kill-and-resume smoke ==="
+cargo test -q --release --test checkpoint_resume
+
+# Lint gate: float comparisons must use total_cmp / desc_nan_last, never
+# partial_cmp().unwrap() — the latter panics on NaN (see DESIGN.md §10).
+echo "=== NaN-ordering lint gate ==="
+if grep -rEn 'partial_cmp\([^)]*\)[[:space:]]*\.unwrap\(\)' \
+    --include='*.rs' crates/ src/ tests/ examples/ 2>/dev/null \
+    | grep -vE ':[0-9]+:\s*//'; then
+  echo "ci.sh: FORBIDDEN partial_cmp(..).unwrap() on the lines above" >&2
+  exit 1
+fi
+
 echo "ci.sh: all checks passed"

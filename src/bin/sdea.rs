@@ -4,9 +4,12 @@
 //!
 //! * `generate <profile> <dir> [--links N] [--seed S]` — generate a
 //!   benchmark dataset and write it as OpenEA-style TSV files.
-//! * `align <dir> [--seed S] [--out model.sdt] [--matching]` — load a
-//!   dataset directory (as written by `generate`, or any OpenEA-format
-//!   dump), train SDEA, report metrics, optionally save the model.
+//! * `align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny]
+//!   [--checkpoint <ckpt-dir>] [--ckpt-every N]` — load a dataset directory
+//!   (as written by `generate`, or any OpenEA-format dump), train SDEA,
+//!   report metrics, optionally save the model. With `--checkpoint`,
+//!   training is crash-safe: rerunning the same command resumes from the
+//!   last intact checkpoint in the directory, bit-identically.
 //! * `rank <dir> <model.sdt> <entity-name> [--top K]` — load a trained
 //!   model and print the top-K aligned candidates for one KG1 entity.
 //! * `profiles` — list available dataset profiles.
@@ -34,7 +37,8 @@ fn main() {
             eprintln!(
                 "usage: sdea <generate|align|rank|profiles> ...\n\
                  \n  sdea generate <profile> <dir> [--links N] [--seed S]\
-                 \n  sdea align <dir> [--seed S] [--out model.sdt] [--matching]\
+                 \n  sdea align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny]\
+                 \n             [--checkpoint <ckpt-dir>] [--ckpt-every N]\
                  \n  sdea rank <dir> <model.sdt> <entity-name> [--top K]\
                  \n  sdea profiles"
             );
@@ -119,7 +123,10 @@ fn load_dir(dir: &Path) -> std::io::Result<(KnowledgeGraph, KnowledgeGraph, Alig
 
 fn cmd_align(args: &[String]) -> i32 {
     let Some(dir) = args.first() else {
-        eprintln!("usage: sdea align <dir> [--seed S] [--out model.sdt] [--matching]");
+        eprintln!(
+            "usage: sdea align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny] \
+             [--checkpoint <ckpt-dir>] [--ckpt-every N]"
+        );
         return 2;
     };
     let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
@@ -134,7 +141,21 @@ fn cmd_align(args: &[String]) -> i32 {
     let split = seeds.split_paper(&mut rng);
     let mut corpus: Vec<String> = kg1.attr_triples().iter().map(|t| t.value.clone()).collect();
     corpus.extend(kg2.attr_triples().iter().map(|t| t.value.clone()));
-    let cfg = SdeaConfig { seed, ..SdeaConfig::default() };
+    // --tiny trades quality for speed (the unit-test configuration):
+    // smoke runs, and the kill-and-resume integration test.
+    let base = if args.iter().any(|a| a == "--tiny") {
+        SdeaConfig::test_tiny()
+    } else {
+        SdeaConfig::default()
+    };
+    let mut cfg = SdeaConfig { seed, ..base };
+    // --checkpoint enables crash-safe training: checkpoints land in the
+    // directory, and a rerun pointed at the same directory resumes from
+    // the last intact state, bit-identically.
+    cfg.checkpoint_dir = flag_value(args, "--checkpoint").map(PathBuf::from);
+    if let Some(every) = flag_value(args, "--ckpt-every").and_then(|v| v.parse().ok()) {
+        cfg.checkpoint_every = every;
+    }
     eprintln!(
         "training SDEA on {} + {} entities ({} train / {} valid / {} test links)...",
         kg1.num_entities(),
@@ -143,15 +164,22 @@ fn cmd_align(args: &[String]) -> i32 {
         split.valid.len(),
         split.test.len()
     );
-    let model = SdeaPipeline {
+    let model = match (SdeaPipeline {
         kg1: &kg1,
         kg2: &kg2,
         split: &split,
         corpus: &corpus,
         cfg,
         variant: RelVariant::Full,
-    }
-    .run();
+    })
+    .try_run()
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("alignment failed: {e}");
+            return 1;
+        }
+    };
     let result = model.align_test(&split.test);
     let m = result.metrics();
     println!("Hits@1 {:.1}%  Hits@10 {:.1}%  MRR {:.2}", m.hits1 * 100.0, m.hits10 * 100.0, m.mrr);
