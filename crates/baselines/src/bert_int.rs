@@ -46,7 +46,7 @@ fn value_token_sets(kg: &KnowledgeGraph, tok: &sdea_text::Tokenizer) -> Vec<Vec<
                     set.insert(id);
                 }
             }
-            let mut v: Vec<u32> = set.into_iter().collect();
+            let mut v: Vec<u32> = set.into_iter().collect(); // lint: sorted (next line)
             v.sort_unstable();
             v
         })

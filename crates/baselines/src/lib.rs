@@ -28,6 +28,8 @@
 //! All methods implement [`method::AlignmentMethod`] so the bench harness
 //! can sweep them uniformly.
 
+#![forbid(unsafe_code)]
+
 pub mod bert_int;
 pub mod cea;
 pub mod emb;

@@ -27,18 +27,19 @@ pub fn generate_walks(
     rng: &mut Rng,
 ) -> Vec<Walk> {
     let (triples, _) = space.union_triples(kg1, kg2);
-    // adjacency by head row
-    let mut adj: std::collections::HashMap<usize, Vec<(usize, usize)>> =
-        std::collections::HashMap::new();
+    // Adjacency by head row. A BTreeMap, not a HashMap: walk starts are
+    // drawn from the key sequence, and HashMap iteration order is
+    // per-process random — that leaked into the RSN walk corpus once and
+    // made a test flaky. Ordered keys keep the whole corpus deterministic
+    // given the seed (adjacency lists stay in triple order either way).
+    let mut adj: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+        std::collections::BTreeMap::new();
     for &(h, r, t) in &triples {
         adj.entry(h).or_default().push((r, t));
         // biased walks also traverse inverse edges (standard in RSN)
         adj.entry(t).or_default().push((r, h));
     }
-    // HashMap iteration order is per-process random; sort so walk starts
-    // (and thus the whole RSN corpus) are deterministic given the seed.
-    let mut starts: Vec<usize> = adj.keys().copied().collect();
-    starts.sort_unstable();
+    let starts: Vec<usize> = adj.keys().copied().collect();
     if starts.is_empty() {
         return Vec::new();
     }

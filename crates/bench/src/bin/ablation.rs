@@ -10,6 +10,8 @@
 //! * SDEA w/ MLM pre-training enabled (documents the identity-collapse
 //!   finding of DESIGN.md)
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset, run_sdea};
 use sdea_core::rel_module::RelVariant;
 use sdea_synth::DatasetProfile;

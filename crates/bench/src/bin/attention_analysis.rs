@@ -5,6 +5,8 @@
 //! every test entity's neighbour list and compare the average weight mass
 //! assigned to concept-hub neighbours against the uniform baseline.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset, run_sdea};
 use sdea_core::rel_module::NeighborBatch;
 use sdea_core::rel_module::RelVariant;

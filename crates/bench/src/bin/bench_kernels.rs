@@ -11,6 +11,8 @@
 //! what `scripts/ci.sh` runs (seconds, not minutes); `scripts/bench_kernels.sh`
 //! runs the full version including the pipeline comparison.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_sdea_config, bench_seed, load_dataset, report_dir, run_sdea};
 use sdea_core::rel_module::RelVariant;
 use sdea_obs::json::Json;
@@ -148,7 +150,7 @@ fn main() {
     // The kernels-only smoke run gets its own file so it never clobbers
     // the full report's pipeline section.
     let path = dir.join(if kernels_only { "BENCH_pr3_kernels.json" } else { "BENCH_pr3.json" });
-    match std::fs::write(&path, out.encode()) {
+    match sdea_obs::fsio::atomic_write(&path, out.encode().as_bytes()) {
         Ok(()) => println!("bench report -> {}", path.display()),
         Err(e) => {
             eprintln!("bench report failed: {e}");

@@ -9,6 +9,8 @@
 //! finishes bit-identically to an uninterrupted one. Equivalent to setting
 //! `SDEA_CHECKPOINT_DIR`.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{
     bench_sdea_config, bench_seed, load_dataset, run_sdea, write_sdea_run_report,
 };

@@ -1,6 +1,8 @@
 //! Diagnostic: runs one named baseline on one dataset profile.
 //! Usage: `debug_baseline <method-index|name> <profile> [links]`.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{baseline_suite, bench_seed, load_dataset, run_baseline};
 use sdea_synth::DatasetProfile;
 

@@ -3,6 +3,8 @@
 //! of the attribute signal — what a perfect identity-preserving encoder
 //! could extract without any cross-lingual learning.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_seed, load_dataset};
 use sdea_core::attr_seq::AttrSequencer;
 use sdea_eval::evaluate_ranking;

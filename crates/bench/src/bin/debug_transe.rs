@@ -1,4 +1,6 @@
 //! Diagnostic: JAPE-Stru epoch/lr sweep on one profile.
+
+#![forbid(unsafe_code)]
 use sdea_baselines::transe::{JapeStru, TransEParams};
 use sdea_bench::runner::{bench_seed, load_dataset, run_baseline};
 use sdea_synth::DatasetProfile;

@@ -7,6 +7,8 @@
 //!   9% identifiers, 23% integers and floats, and 8% dates" — we report
 //!   the value-kind mix of the W side.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_seed};
 use sdea_kg::stats::value_kind_mix;
 use sdea_synth::profiles::matching_neighbor_fraction;

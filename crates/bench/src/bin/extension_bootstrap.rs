@@ -3,6 +3,8 @@
 //! composed with SDEA's attribute embeddings). Compares plain SDEA against
 //! `SdeaPipeline::run_bootstrapped` at several confidence thresholds.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset};
 use sdea_core::rel_module::RelVariant;
 use sdea_core::SdeaPipeline;

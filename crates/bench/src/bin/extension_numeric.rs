@@ -4,6 +4,8 @@
 //! channel into SDEA's similarity on D_W_15K_V1 — the dataset whose errors
 //! the paper attributes to numerals — and reports the delta.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset, run_sdea};
 use sdea_core::numeric::blend_numeric_channel;
 use sdea_core::rel_module::RelVariant;

@@ -2,6 +2,8 @@
 //! to SDEA's similarity matrix lifts Hits@1 (the paper reports
 //! 84.8 → 89.8 on JA-EN, overtaking CEA's 86.3).
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_sdea_config, bench_seed, load_dataset, run_sdea};
 use sdea_core::rel_module::RelVariant;
 use sdea_synth::DatasetProfile;

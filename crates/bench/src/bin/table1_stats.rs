@@ -2,6 +2,8 @@
 //! (entities, relations, attributes, relational and attributed triples) —
 //! over the generated reproduction-scale datasets.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::runner::{bench_scale, bench_seed};
 use sdea_kg::KgStatistics;
 use sdea_synth::{generate, DatasetProfile};

@@ -2,6 +2,8 @@
 //! benchmark (ZH-EN, JA-EN, FR-EN): H@1 / H@10 / MRR for the baseline
 //! suite, CEA's stable-matching row, SDEA, and SDEA w/o rel.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::paper::TABLE3;
 use sdea_bench::runner::{bench_scale, bench_seed, run_full_table};
 use sdea_synth::DatasetProfile;

@@ -1,6 +1,8 @@
 //! Regenerates **Table IV** — experimental results on the SRPRS benchmark
 //! (EN-FR, EN-DE, DBP-WD, DBP-YG).
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::paper::TABLE4;
 use sdea_bench::runner::{bench_scale, bench_seed, run_full_table};
 use sdea_synth::DatasetProfile;

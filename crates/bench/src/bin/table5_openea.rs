@@ -3,6 +3,8 @@
 //! (Wikidata Q-ids). The paper reports CEA (Emb), CEA, BERT-INT, SDEA and
 //! SDEA w/o rel; name-dependent methods collapse here.
 
+#![forbid(unsafe_code)]
+
 use sdea_baselines::bert_int::BertInt;
 use sdea_baselines::cea::Cea;
 use sdea_bench::paper::{paper_h1, TABLE5};

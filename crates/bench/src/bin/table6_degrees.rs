@@ -4,6 +4,8 @@
 //! that the generated benchmarks reproduce the long-tail structure the
 //! paper's analysis builds on.
 
+#![forbid(unsafe_code)]
+
 use sdea_bench::paper::TABLE6;
 use sdea_bench::runner::{bench_scale, bench_seed};
 use sdea_kg::DegreeBuckets;

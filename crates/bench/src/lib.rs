@@ -11,6 +11,8 @@
 //! fast pass (300 links) or `SDEA_SCALE=full` for the 1/10 scale explicitly.
 //! `SDEA_SEED` overrides the master seed.
 
+#![forbid(unsafe_code)]
+
 pub mod paper;
 pub mod runner;
 

@@ -103,7 +103,7 @@ impl AttrModule {
         let mut n_docs = 0.0f32;
         for line in corpus {
             let ids = tokenizer.text_to_ids(line);
-            let set: std::collections::HashSet<u32> = ids.into_iter().collect();
+            let set: std::collections::BTreeSet<u32> = ids.into_iter().collect();
             for t in set {
                 df[t as usize] += 1.0;
             }

@@ -26,6 +26,8 @@
 //! [`pipeline::SdeaPipeline`] wires everything end-to-end against any pair
 //! of [`sdea_kg::KnowledgeGraph`]s with seed alignments.
 
+#![forbid(unsafe_code)]
+
 pub mod align;
 pub mod attr_module;
 pub mod attr_seq;

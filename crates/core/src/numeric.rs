@@ -57,7 +57,7 @@ impl NumericProfiles {
             for t in kg.attr_triples_of(e) {
                 p.extend(extract_numbers(&t.value));
             }
-            p.sort_by(|a, b| a.partial_cmp(b).expect("finite numbers"));
+            p.sort_by(|a, b| a.total_cmp(b));
         }
         NumericProfiles { profiles }
     }

@@ -8,6 +8,8 @@
 //! Also provides CSLS re-ranking (a standard hubness correction used by
 //! several baselines) and paper-style table formatting.
 
+#![forbid(unsafe_code)]
+
 pub mod csls;
 pub mod metrics;
 pub mod report;

@@ -9,12 +9,18 @@
 
 use crate::alignment::AlignmentSeeds;
 use crate::graph::{KgBuilder, KnowledgeGraph};
-use std::io::{self, BufRead, BufWriter, Write};
+use sdea_tensor::serialize::atomic_write;
+use std::io::{self, BufRead, Write};
 use std::path::Path;
 
 /// Writes a KG's relational and attributed triples to two TSV files.
+///
+/// Each file is rendered in memory and landed with the atomic
+/// tmp+fsync+rename discipline from [`sdea_tensor::serialize`], so a crash
+/// mid-export can never leave a truncated dump behind (fault-injection
+/// sites `kg.save_rel` / `kg.save_attr`).
 pub fn save_kg(kg: &KnowledgeGraph, rel_path: &Path, attr_path: &Path) -> io::Result<()> {
-    let mut rel = BufWriter::new(std::fs::File::create(rel_path)?);
+    let mut rel = Vec::new();
     for t in kg.rel_triples() {
         writeln!(
             rel,
@@ -24,8 +30,8 @@ pub fn save_kg(kg: &KnowledgeGraph, rel_path: &Path, attr_path: &Path) -> io::Re
             escape(kg.entity_name(t.tail))
         )?;
     }
-    rel.flush()?;
-    let mut attr = BufWriter::new(std::fs::File::create(attr_path)?);
+    atomic_write(rel_path, &rel, "kg.save_rel")?;
+    let mut attr = Vec::new();
     for t in kg.attr_triples() {
         writeln!(
             attr,
@@ -35,7 +41,7 @@ pub fn save_kg(kg: &KnowledgeGraph, rel_path: &Path, attr_path: &Path) -> io::Re
             escape(&t.value)
         )?;
     }
-    attr.flush()
+    atomic_write(attr_path, &attr, "kg.save_attr")
 }
 
 /// Loads a KG from the two TSV files produced by [`save_kg`].
@@ -70,18 +76,19 @@ pub fn load_kg(rel_path: &Path, attr_path: &Path) -> io::Result<KnowledgeGraph> 
     Ok(b.build())
 }
 
-/// Writes seed links as `name1 \t name2` rows.
+/// Writes seed links as `name1 \t name2` rows, atomically (fault-injection
+/// site `kg.save_links`).
 pub fn save_links(
     seeds: &AlignmentSeeds,
     kg1: &KnowledgeGraph,
     kg2: &KnowledgeGraph,
     path: &Path,
 ) -> io::Result<()> {
-    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    let mut out = Vec::new();
     for &(e1, e2) in &seeds.pairs {
         writeln!(out, "{}\t{}", escape(kg1.entity_name(e1)), escape(kg2.entity_name(e2)))?;
     }
-    out.flush()
+    atomic_write(path, &out, "kg.save_links")
 }
 
 /// Reads seed links written by [`save_links`]; entity names must resolve in

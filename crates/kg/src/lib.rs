@@ -10,6 +10,8 @@
 //! interchange format, and seed-alignment handling with the paper's
 //! 2:1:7 train/validation/test split.
 
+#![forbid(unsafe_code)]
+
 pub mod alignment;
 pub mod graph;
 pub mod io;

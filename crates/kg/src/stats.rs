@@ -95,7 +95,7 @@ impl DegreeBuckets {
 /// Classification of attribute values for the paper's error analysis
 /// ("about 40% of attribute values in this dataset are numerical …
 /// 9% identifiers, 23% integers and floats, and 8% dates").
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ValueKind {
     /// Opaque identifiers (e.g. `Q36`, alphanumeric codes).
     Identifier,
@@ -159,15 +159,18 @@ fn is_identifier(v: &str) -> bool {
 
 /// Fraction of attribute triples per [`ValueKind`] for a KG.
 pub fn value_kind_mix(kg: &KnowledgeGraph) -> Vec<(ValueKind, f64)> {
-    use std::collections::HashMap;
-    let mut counts: HashMap<ValueKind, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<ValueKind, usize> = BTreeMap::new();
     for t in kg.attr_triples() {
         *counts.entry(ValueKind::classify(&t.value)).or_insert(0) += 1;
     }
     let total = kg.attr_triples().len().max(1) as f64;
     let mut mix: Vec<(ValueKind, f64)> =
         counts.into_iter().map(|(k, c)| (k, c as f64 / total)).collect();
-    mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+    // Stable sort over the BTreeMap's key order: equal fractions keep a
+    // deterministic relative order (a HashMap source made ties flap), and
+    // total_cmp keeps the comparator panic-free.
+    mix.sort_by(|a, b| b.1.total_cmp(&a.1));
     mix
 }
 

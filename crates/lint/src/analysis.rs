@@ -1,0 +1,306 @@
+//! Per-file analysis context: the cleaned source plus everything the rules
+//! need to scope themselves — crate attribution, test-code detection
+//! (`tests/` paths and `#[cfg(test)]` regions), line mapping and
+//! justification-comment lookup.
+
+use crate::lexer::{clean, CleanFile};
+
+/// Rust crates whose non-test code must be bit-deterministic (rule
+/// `D-HASH-ITER`): everything between input tensors and output metrics.
+pub const COMPUTE_CRATES: &[&str] = &["tensor", "core", "eval", "baselines", "lm"];
+
+/// Crates allowed to read wall clocks (rule `D-WALL-CLOCK`): observability
+/// and the benchmark harness, which exist to measure time.
+pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// The one file allowed to create threads (rule `D-THREAD-SPAWN`).
+pub const SPAWN_ALLOWED_FILE: &str = "crates/tensor/src/par.rs";
+
+/// Files implementing the atomic-write discipline itself (rule
+/// `A-RAW-WRITE` allowlist) — everything else must call through them.
+pub const ATOMIC_WRITE_IMPLS: &[&str] =
+    &["crates/tensor/src/serialize.rs", "crates/obs/src/fsio.rs"];
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Workspace-relative path with `/` separators (diagnostic prefix).
+    pub rel: String,
+    /// Crate attribution: `"tensor"`, `"core"`, …, `"root"` for `src/`,
+    /// `"tests"` / `"examples"` for the top-level dirs, `"vendor/<name>"`.
+    pub crate_key: String,
+    /// Under `vendor/` — only the `U-FORBID-UNSAFE` rule applies.
+    pub is_vendor: bool,
+    /// Under a `tests/` or `benches/` directory (integration tests).
+    pub is_test_path: bool,
+    /// Under `examples/` — demo code, exempt from production rules.
+    pub is_example: bool,
+    /// A crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) that
+    /// must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// Per-line code/comment channels.
+    pub clean: CleanFile,
+    /// The code channel, `\n`-joined (rules scan this).
+    pub joined: String,
+    /// Byte offset of each line start in `joined`.
+    pub line_starts: Vec<usize>,
+    /// `true` for lines inside `#[cfg(test)]` / `#[test]` regions.
+    pub test_mask: Vec<bool>,
+}
+
+impl Analysis {
+    /// Analyzes `src` as if it lived at workspace-relative path `rel`.
+    pub fn new(rel: &str, src: &str) -> Self {
+        let rel = rel.replace('\\', "/");
+        let clean = clean(src);
+        let joined = clean.joined();
+        let mut line_starts = vec![0usize];
+        for (i, b) in joined.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_mask = test_mask(&joined, &line_starts, clean.code_lines.len());
+        let crate_key = crate_key(&rel);
+        let parts: Vec<&str> = rel.split('/').collect();
+        let is_vendor = parts.first() == Some(&"vendor");
+        let is_test_path = parts.iter().any(|p| *p == "tests" || *p == "benches");
+        let is_example = parts.contains(&"examples");
+        let is_crate_root = rel.ends_with("src/lib.rs")
+            || rel.ends_with("src/main.rs")
+            || rel == "src/lib.rs"
+            || rel == "src/main.rs"
+            || parts.windows(2).any(|w| w == ["src", "bin"]);
+        Analysis {
+            rel,
+            crate_key,
+            is_vendor,
+            is_test_path,
+            is_example,
+            is_crate_root,
+            clean,
+            joined,
+            line_starts,
+            test_mask,
+        }
+    }
+
+    /// 0-based line of a byte offset into [`Self::joined`].
+    pub fn line_of(&self, byte: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= byte).saturating_sub(1)
+    }
+
+    /// True when `line` (0-based) is production code: not in a vendored
+    /// crate, test/example path, or `#[cfg(test)]` region.
+    pub fn is_prod_line(&self, line: usize) -> bool {
+        !self.is_vendor
+            && !self.is_test_path
+            && !self.is_example
+            && !self.test_mask.get(line).copied().unwrap_or(false)
+    }
+
+    /// True when `line` (0-based) carries the justification `marker` in a
+    /// trailing comment, or the line directly above is a comment-only line
+    /// carrying it.
+    pub fn justified(&self, line: usize, marker: &str) -> bool {
+        let has =
+            |l: usize| self.clean.comment_lines.get(l).map(|c| c.contains(marker)).unwrap_or(false);
+        if has(line) {
+            return true;
+        }
+        line > 0 && has(line - 1) && self.clean.code_lines[line - 1].trim().is_empty()
+    }
+}
+
+/// Derives the crate key from a workspace-relative path.
+fn crate_key(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        ["vendor", name, ..] => format!("vendor/{name}"),
+        ["src", ..] => "root".to_string(),
+        ["tests", ..] => "tests".to_string(),
+        ["examples", ..] => "examples".to_string(),
+        _ => "other".to_string(),
+    }
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` item: the
+/// attribute, any further attributes, and the item body through its
+/// matching closing brace (or terminating `;`).
+fn test_mask(joined: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines];
+    let line_of = |byte: usize| line_starts.partition_point(|&s| s <= byte).saturating_sub(1);
+    let b = joined.as_bytes();
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(p) = joined[from..].find(pat).map(|k| k + from) {
+            from = p + pat.len();
+            let mut i = p + pat.len();
+            // skip whitespace and any further attributes
+            loop {
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'#' {
+                    match joined[i..]
+                        .find('[')
+                        .map(|k| k + i)
+                        .and_then(|br| skip_balanced(joined, br))
+                    {
+                        Some(e) => {
+                            i = e;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                break;
+            }
+            // scan to the item body `{` (then match braces) or a `;`
+            let mut depth = 0i32;
+            let mut end = None;
+            let mut j = i;
+            while j < b.len() {
+                match b[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        end = skip_balanced(joined, j).map(|e| e - 1);
+                        break;
+                    }
+                    b';' if depth == 0 => {
+                        end = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(e) = end {
+                for line in mask.iter_mut().take(line_of(e) + 1).skip(line_of(p)) {
+                    *line = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// With `s[open]` an opening `(`/`[`/`{`, returns the index one past the
+/// matching close. Assumes literal contents were blanked by the lexer.
+pub fn skip_balanced(s: &str, open: usize) -> Option<usize> {
+    let b = s.as_bytes();
+    let (o, c) = match b.get(open)? {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (i, &x) in b.iter().enumerate().skip(open) {
+        if x == o {
+            depth += 1;
+        } else if x == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Byte offsets of `needle` in `hay` at identifier boundaries.
+pub fn find_word(hay: &str, needle: &str) -> Vec<usize> {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let h = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle).map(|k| k + from) {
+        let before_ok = p == 0 || !is_ident(h[p - 1]);
+        let after = p + needle.len();
+        let after_ok = after >= h.len() || !is_ident(h[after]);
+        if before_ok && after_ok {
+            out.push(p);
+        }
+        from = p + 1;
+    }
+    out
+}
+
+/// Byte offsets of all (plain substring) occurrences of `needle`.
+pub fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle).map(|k| k + from) {
+        out.push(p);
+        from = p + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(Analysis::new("crates/tensor/src/par.rs", "").crate_key, "tensor");
+        assert_eq!(Analysis::new("src/lib.rs", "").crate_key, "root");
+        assert_eq!(Analysis::new("vendor/proptest/src/lib.rs", "").crate_key, "vendor/proptest");
+        assert_eq!(Analysis::new("tests/properties.rs", "").crate_key, "tests");
+    }
+
+    #[test]
+    fn crate_roots_detected() {
+        assert!(Analysis::new("crates/kg/src/lib.rs", "").is_crate_root);
+        assert!(Analysis::new("src/bin/sdea.rs", "").is_crate_root);
+        assert!(Analysis::new("crates/bench/src/bin/calibrate.rs", "").is_crate_root);
+        assert!(!Analysis::new("crates/kg/src/io.rs", "").is_crate_root);
+    }
+
+    #[test]
+    fn cfg_test_region_masks_module_body() {
+        let src =
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn after() {}\n";
+        let a = Analysis::new("crates/core/src/x.rs", src);
+        assert!(a.is_prod_line(0));
+        assert!(!a.is_prod_line(1), "attribute line is test");
+        assert!(!a.is_prod_line(3), "module body is test");
+        assert!(a.is_prod_line(5), "code after the module is production");
+    }
+
+    #[test]
+    fn test_attribute_with_stacked_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() {\n    panic!()\n}\nfn fine() {}\n";
+        let a = Analysis::new("crates/core/src/x.rs", src);
+        assert!(!a.is_prod_line(3), "fn body under #[test] is test code");
+        assert!(a.is_prod_line(5));
+    }
+
+    #[test]
+    fn test_paths_are_never_production() {
+        let a = Analysis::new("crates/eval/tests/par_equivalence.rs", "fn x() {}");
+        assert!(!a.is_prod_line(0));
+        assert!(a.is_test_path);
+    }
+
+    #[test]
+    fn justification_same_line_and_line_above() {
+        let src =
+            "let a = m.keys(); // lint: sorted\n// lint: sorted\nlet b = m.keys();\nlet c = 1;\n";
+        let a = Analysis::new("crates/core/src/x.rs", src);
+        assert!(a.justified(0, "lint: sorted"));
+        assert!(a.justified(2, "lint: sorted"));
+        assert!(!a.justified(3, "lint: sorted"));
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let a = Analysis::new("src/x.rs", "a\nbb\nccc\n");
+        assert_eq!(a.line_of(0), 0);
+        assert_eq!(a.line_of(2), 1);
+        assert_eq!(a.line_of(5), 2);
+    }
+}

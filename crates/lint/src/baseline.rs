@@ -1,0 +1,127 @@
+//! The ratcheted baseline: committed per-crate panic-budget counts that may
+//! only decrease.
+//!
+//! `lint_baseline.toml` is a deliberately tiny TOML subset — one
+//! `[panic_budget]` table of `crate = count` integers — parsed and written
+//! by hand so the linter stays dependency-free. The ratchet direction is
+//! asymmetric: a run where a crate's live count exceeds its baseline fails
+//! CI, a run where it undershoots passes and prints a note suggesting
+//! `--update-baseline`, which rewrites the file (it refuses to launder an
+//! increase; raising a budget on purpose means editing the committed file
+//! in a reviewed diff).
+
+use std::collections::BTreeMap;
+
+/// Parsed `lint_baseline.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-crate counts of `unwrap()`/`expect(`/`panic!`/`todo!` in
+    /// non-test code.
+    pub panic_budget: BTreeMap<String, usize>,
+}
+
+/// Parses the TOML subset. Unknown sections or malformed lines are hard
+/// errors — the file is machine-written and any drift means trouble.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut b = Baseline::default();
+    let mut in_budget = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let at = |m: &str| format!("lint_baseline.toml:{}: {m} ({raw:?})", i + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_budget = section.trim() == "panic_budget";
+            if !in_budget {
+                return Err(at("unknown section"));
+            }
+            continue;
+        }
+        if !in_budget {
+            return Err(at("entry outside [panic_budget]"));
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| at("expected `crate = count`"))?;
+        let count: usize =
+            value.trim().parse().map_err(|_| at("count must be a non-negative integer"))?;
+        b.panic_budget.insert(key.trim().trim_matches('"').to_string(), count);
+    }
+    Ok(b)
+}
+
+/// Renders the baseline in the exact shape [`parse`] reads back.
+pub fn render(b: &Baseline) -> String {
+    let mut out = String::from(
+        "# Ratcheted panic budget, enforced by `sdea-lint` (rule P-PANIC-BUDGET).\n\
+         # Counts of unwrap()/expect(/panic!/todo! in non-test code, per crate.\n\
+         # They may only decrease; refresh with:\n\
+         #     cargo run --release -p sdea-lint -- --update-baseline\n\
+         # Raising a budget on purpose means editing this file in a reviewed diff.\n\
+         \n[panic_budget]\n",
+    );
+    for (k, v) in &b.panic_budget {
+        out.push_str(&format!("{k} = {v}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing live counts against the committed baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Crates over budget: `(crate, live, baseline)` — these fail the run.
+    pub exceeded: Vec<(String, usize, usize)>,
+    /// Crates under budget: `(crate, live, baseline)` — notes only.
+    pub improved: Vec<(String, usize, usize)>,
+}
+
+/// Ratchet check: every crate's live count must be at or below its
+/// baseline; a crate absent from the baseline has budget zero.
+pub fn check(live: &BTreeMap<String, usize>, base: &Baseline) -> RatchetReport {
+    let mut r = RatchetReport::default();
+    for (k, &n) in live {
+        let allowed = base.panic_budget.get(k).copied().unwrap_or(0);
+        if n > allowed {
+            r.exceeded.push((k.clone(), n, allowed));
+        } else if n < allowed {
+            r.improved.push((k.clone(), n, allowed));
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let b = Baseline { panic_budget: counts(&[("core", 17), ("tensor", 3), ("root", 0)]) };
+        assert_eq!(parse(&render(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("[panic_budget]\ncore = seventeen\n").is_err());
+        assert!(parse("[other_section]\n").is_err());
+        assert!(parse("core = 1\n").is_err(), "entry before any section");
+    }
+
+    #[test]
+    fn ratchet_directions() {
+        let base = Baseline { panic_budget: counts(&[("core", 5), ("eval", 2)]) };
+        let r = check(&counts(&[("core", 6), ("eval", 1), ("newcrate", 1)]), &base);
+        assert_eq!(r.exceeded, vec![("core".to_string(), 6, 5), ("newcrate".to_string(), 1, 0)]);
+        assert_eq!(r.improved, vec![("eval".to_string(), 1, 2)]);
+    }
+
+    #[test]
+    fn equal_counts_are_silent() {
+        let base = Baseline { panic_budget: counts(&[("core", 5)]) };
+        let r = check(&counts(&[("core", 5)]), &base);
+        assert!(r.exceeded.is_empty() && r.improved.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! A hand-rolled, comment- and string-literal-aware lexer for Rust sources.
+//!
+//! The linter's rules are textual, so the first job is separating the three
+//! channels a `.rs` file interleaves:
+//!
+//! * **code** — what the compiler sees; this is where rules match,
+//! * **comments** — stripped from code, but kept per line so justification
+//!   markers (`// lint: sorted`) can be looked up, and
+//! * **string/char literals** — blanked out of the code channel (the quotes
+//!   survive as anchors) so `"partial_cmp(x).unwrap()"` inside a test
+//!   fixture string or a doc example can never trip a rule.
+//!
+//! The lexer handles nested block comments, escaped string literals, raw
+//! (and byte/raw-byte) strings with arbitrary `#` fences, character
+//! literals, and the char-vs-lifetime ambiguity (`'a'` vs `<'a>`). It does
+//! *not* parse Rust — downstream rules work on the cleaned text with
+//! balanced-delimiter scanning, which is exactly as much syntax as the
+//! invariants need. No external parser dependencies: the repo builds
+//! offline (see `vendor/README.md`).
+
+/// One source file split into per-line code and comment channels.
+///
+/// Both vectors have identical length — one entry per source line — and the
+/// code channel preserves every newline of the original, so a byte offset
+/// into [`joined`](CleanFile::joined) maps 1:1 to a source line number.
+#[derive(Debug, Clone)]
+pub struct CleanFile {
+    /// Code with comments removed and literal contents blanked.
+    pub code_lines: Vec<String>,
+    /// Comment text (including the `//` / `/*` markers), per line.
+    pub comment_lines: Vec<String>,
+}
+
+impl CleanFile {
+    /// The code channel as one `\n`-joined string.
+    pub fn joined(&self) -> String {
+        self.code_lines.join("\n")
+    }
+}
+
+/// Lexes `src` into its code and comment channels. Never panics on
+/// malformed input (unterminated literals simply run to end of file).
+pub fn clean(src: &str) -> CleanFile {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    ch: Vec<char>,
+    i: usize,
+    code: Vec<String>,
+    com: Vec<String>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            ch: src.chars().collect(),
+            i: 0,
+            code: vec![String::new()],
+            com: vec![String::new()],
+        }
+    }
+
+    fn at(&self, k: usize) -> Option<char> {
+        self.ch.get(self.i + k).copied()
+    }
+
+    fn newline(&mut self) {
+        self.code.push(String::new());
+        self.com.push(String::new());
+    }
+
+    fn push_code(&mut self, c: char) {
+        self.code.last_mut().expect("line buffer").push(c);
+    }
+
+    fn push_com(&mut self, c: char) {
+        self.com.last_mut().expect("line buffer").push(c);
+    }
+
+    fn run(mut self) -> CleanFile {
+        while self.i < self.ch.len() {
+            let c = self.ch[self.i];
+            match c {
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                '/' if self.at(1) == Some('/') => self.line_comment(),
+                '/' if self.at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if !self.prev_is_ident() => {
+                    if !self.literal_prefix() {
+                        self.push_code(c);
+                        self.i += 1;
+                    }
+                }
+                _ => {
+                    self.push_code(c);
+                    self.i += 1;
+                }
+            }
+        }
+        CleanFile { code_lines: self.code, comment_lines: self.com }
+    }
+
+    /// True when the char before `self.i` continues an identifier, meaning
+    /// an `r`/`b` here is the tail of a name, not a literal prefix.
+    fn prev_is_ident(&self) -> bool {
+        self.i > 0 && {
+            let p = self.ch[self.i - 1];
+            p.is_alphanumeric() || p == '_'
+        }
+    }
+
+    /// Tries to consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'`
+    /// starting at the current `r`/`b`. Returns false if this is not a
+    /// literal prefix (plain identifier), consuming nothing.
+    fn literal_prefix(&mut self) -> bool {
+        let mut k = 1; // chars of prefix after the first
+        let mut raw = self.ch[self.i] == 'r';
+        if self.ch[self.i] == 'b' {
+            match self.at(1) {
+                Some('\'') => {
+                    // byte char literal: skip the `b`, lex the char part.
+                    self.i += 1;
+                    self.char_or_lifetime();
+                    return true;
+                }
+                Some('r') => {
+                    raw = true;
+                    k = 2;
+                }
+                Some('"') => {}
+                _ => return false,
+            }
+        }
+        if raw {
+            let mut hashes = 0;
+            while self.at(k) == Some('#') {
+                hashes += 1;
+                k += 1;
+            }
+            if self.at(k) != Some('"') {
+                return false;
+            }
+            self.i += k + 1; // past prefix, hashes and opening quote
+            self.push_code('"');
+            self.raw_string_tail(hashes);
+            true
+        } else {
+            if self.at(k) != Some('"') {
+                return false;
+            }
+            self.i += k; // position on the quote
+            self.string_literal();
+            true
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.ch.len() && self.ch[self.i] != '\n' {
+            self.push_com(self.ch[self.i]);
+            self.i += 1;
+        }
+        self.push_code(' ');
+    }
+
+    fn block_comment(&mut self) {
+        self.push_com('/');
+        self.push_com('*');
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.ch.len() && depth > 0 {
+            match self.ch[self.i] {
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                '/' if self.at(1) == Some('*') => {
+                    depth += 1;
+                    self.push_com('/');
+                    self.push_com('*');
+                    self.i += 2;
+                }
+                '*' if self.at(1) == Some('/') => {
+                    depth -= 1;
+                    self.push_com('*');
+                    self.push_com('/');
+                    self.i += 2;
+                }
+                c => {
+                    self.push_com(c);
+                    self.i += 1;
+                }
+            }
+        }
+        self.push_code(' ');
+    }
+
+    /// Consumes a `"…"` literal (cursor on the opening quote), blanking the
+    /// contents but keeping both quotes and any interior newlines.
+    fn string_literal(&mut self) {
+        self.push_code('"');
+        self.i += 1;
+        while self.i < self.ch.len() {
+            match self.ch[self.i] {
+                '"' => {
+                    self.push_code('"');
+                    self.i += 1;
+                    return;
+                }
+                '\\' => self.i += 2, // escaped char, never terminates
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Consumes the tail of a raw string whose fence is `hashes` `#`s
+    /// (cursor just past the opening quote).
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while self.i < self.ch.len() {
+            if self.ch[self.i] == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.at(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.push_code('"');
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            if self.ch[self.i] == '\n' {
+                self.newline();
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Disambiguates `'x'` / `'\n'` (char literals, blanked) from `'a`
+    /// (lifetimes, kept as code). Cursor on the `'`.
+    fn char_or_lifetime(&mut self) {
+        if self.at(1) == Some('\\') {
+            // escaped char literal: skip the escaped char, then scan to the
+            // closing quote (covers \', \u{…}, \x7f).
+            self.push_code('\'');
+            self.i += 3;
+            while self.i < self.ch.len() && self.ch[self.i] != '\'' && self.ch[self.i] != '\n' {
+                self.i += 1;
+            }
+            if self.at(0) == Some('\'') {
+                self.i += 1;
+            }
+            self.push_code('\'');
+        } else if self.at(2) == Some('\'') && self.at(1) != Some('\'') {
+            // simple one-char literal 'x'
+            self.push_code('\'');
+            self.push_code('\'');
+            self.i += 3;
+        } else {
+            // lifetime or loop label: keep the tick as code
+            self.push_code('\'');
+            self.i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> String {
+        clean(src).joined()
+    }
+
+    fn comments(src: &str) -> String {
+        clean(src).comment_lines.join("\n")
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let src = "let x = 1; // lint: sorted\nlet y = 2;";
+        assert!(!code(src).contains("sorted"));
+        assert!(comments(src).contains("lint: sorted"));
+        assert!(code(src).contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        let c = code(src);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(!c.contains("still"));
+        assert!(comments(src).contains("still comment"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let src = r#"let s = "partial_cmp(x).unwrap()"; s.len()"#;
+        let c = code(src);
+        assert!(!c.contains("partial_cmp"));
+        assert!(c.contains(r#"let s = """#));
+        assert!(c.contains("s.len()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"b// not a comment"; real()"#;
+        let c = code(src);
+        assert!(c.contains("real()"));
+        assert!(!c.contains("not a comment"));
+        assert!(comments(src).is_empty() || !comments(src).contains("not a comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"contains "quotes" and // slashes"#; tail()"###;
+        let c = code(src);
+        assert!(c.contains("tail()"));
+        assert!(!c.contains("slashes"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"HashMap"; let b2 = br#"HashSet"#; end()"##;
+        let c = code(src);
+        assert!(!c.contains("HashMap") && !c.contains("HashSet"));
+        assert!(c.contains("end()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src =
+            "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = '{'; 'l: loop { break 'l; } d }";
+        let c = code(src);
+        assert!(c.contains("<'a>"), "lifetime kept: {c}");
+        assert!(c.contains("&'a str"));
+        // the '{' char literal is blanked, so delimiters stay balanced
+        assert_eq!(c.matches('{').count(), c.matches('}').count(), "balanced braces in {c}");
+        assert!(c.contains("'l: loop"));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_count() {
+        let src = "let s = \"one\ntwo\nthree\";\nafter();";
+        let f = clean(src);
+        assert_eq!(f.code_lines.len(), 4);
+        assert_eq!(f.code_lines[3], "after();");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let src = "let var\" = 0;"; // pathological, but `var` must not eat the quote as r-prefix
+        let c = code(src);
+        assert!(c.contains("var\""));
+    }
+}

@@ -1,0 +1,38 @@
+//! # sdea-lint
+//!
+//! A workspace invariant checker for the SDEA codebase. The system's
+//! reproduction guarantees — bit-identical results at any thread budget,
+//! NaN-safe ranking, crash-atomic persistence — used to be enforced by a
+//! single-line grep in `ci.sh` and reviewer vigilance. This crate compiles
+//! them into named, individually-testable static-analysis rules over the
+//! whole workspace's Rust sources:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D-HASH-ITER` | no hash-ordered iteration in compute crates |
+//! | `D-THREAD-SPAWN` | all threads come from `sdea_tensor::par` |
+//! | `D-WALL-CLOCK` | wall time only in `obs`/`bench` |
+//! | `N-PARTIAL-CMP` | no `partial_cmp(..).unwrap()/.expect(..)`, multi-line included |
+//! | `N-FLOAT-SORT` | float comparators use `total_cmp`/`desc_nan_last` |
+//! | `A-RAW-WRITE` | file writes go through the atomic tmp+rename layer |
+//! | `P-PANIC-BUDGET` | per-crate panic counts ratchet down via `lint_baseline.toml` |
+//! | `U-FORBID-UNSAFE` | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! The analysis is textual but literal-aware: a hand-rolled lexer
+//! ([`lexer`]) strips comments and blanks string/char literals first (the
+//! repo builds offline, so no external parser dependencies), then rules
+//! ([`rules`]) match on the cleaned code channel with balanced-delimiter
+//! scanning, scoped per crate and outside `#[cfg(test)]` regions
+//! ([`analysis`]). The panic-budget ratchet lives in [`baseline`], and
+//! [`workspace`] drives a full run. See `DESIGN.md` §11.
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use analysis::Analysis;
+pub use rules::{check_file, panic_count, Diagnostic, RULES};

@@ -1,0 +1,145 @@
+//! `sdea-lint` — the workspace invariant checker. Exits nonzero with
+//! `file:line: rule-id` diagnostics when any invariant is violated. See
+//! `sdea-lint --help`, `--list-rules`, and DESIGN.md §11.
+
+#![forbid(unsafe_code)]
+
+use sdea_lint::{workspace, RULES};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+sdea-lint: static invariant checker for the SDEA workspace
+
+USAGE:
+    sdea-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>         workspace root (default: walk up from cwd to the
+                         first Cargo.toml containing [workspace])
+    --baseline <FILE>    ratchet file (default: <root>/lint_baseline.toml)
+    --update-baseline    rewrite the baseline when counts decreased or new
+                         crates appeared; refuses to record an increase
+    --list-rules         print the rule table and exit
+    -h, --help           this message
+
+EXIT CODES:
+    0  clean            1  violations found            2  usage or IO error
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--update-baseline" => update = true,
+            "--list-rules" => {
+                list_rules();
+                return 0;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| workspace::find_root(&cwd)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "sdea-lint: no workspace root found (no Cargo.toml with [workspace]); use --root"
+            );
+            return 2;
+        }
+    };
+    let baseline = baseline.unwrap_or_else(|| root.join("lint_baseline.toml"));
+    let res = match workspace::run(&root, &baseline, update) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdea-lint: {e}");
+            return 2;
+        }
+    };
+    for d in &res.diags {
+        println!("{d}");
+    }
+    for n in &res.notes {
+        eprintln!("sdea-lint: note: {n}");
+    }
+    if res.diags.is_empty() {
+        eprintln!(
+            "sdea-lint: clean ({} files, {} rules, {} crates in panic budget)",
+            res.files_scanned,
+            RULES.len(),
+            res.panic_counts.len()
+        );
+        0
+    } else {
+        eprintln!(
+            "sdea-lint: {} violation(s) across {} file(s); see DESIGN.md \u{a7}11",
+            res.diags.len(),
+            res.diags
+                .iter()
+                .map(|d| d.file.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+        1
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("sdea-lint: {msg}");
+    eprint!("{USAGE}");
+    2
+}
+
+fn list_rules() {
+    println!("{:<16} {:<28} DESCRIPTION", "RULE", "SCOPE");
+    for r in RULES {
+        let mut first = true;
+        for chunk in wrap(r.description, 70) {
+            if first {
+                println!("{:<16} {:<28} {chunk}", r.id, r.scope);
+                first = false;
+            } else {
+                println!("{:<16} {:<28} {chunk}", "", "");
+            }
+        }
+    }
+}
+
+/// Greedy word wrap for the rule table.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}

@@ -1,0 +1,161 @@
+//! Workspace discovery and the top-level lint run: walk the repo's Rust
+//! sources (deterministically — the linter practices what it preaches),
+//! analyze each file, apply every rule, and ratchet the panic budget
+//! against `lint_baseline.toml`.
+
+use crate::analysis::Analysis;
+use crate::baseline::{self, Baseline};
+use crate::rules::{self, Diagnostic};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned for `.rs` sources.
+const SCAN_DIRS: &[&str] = &["crates", "src", "tests", "examples", "vendor"];
+
+/// Directory names skipped wherever they appear: build output and the
+/// lint's own rule fixtures (which contain deliberate violations).
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// The result of one full lint run.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// All rule violations, sorted by (file, line, rule). Non-empty ⇒ fail.
+    pub diags: Vec<Diagnostic>,
+    /// Non-fatal notes (ratchet-improvement hints, baseline updates).
+    pub notes: Vec<String>,
+    /// Live per-crate panic counts.
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Whether `--update-baseline` rewrote the baseline file.
+    pub baseline_updated: bool,
+}
+
+/// Runs every rule over the workspace at `root` and ratchets against the
+/// baseline at `baseline_path`. With `update`, rewrites the baseline when
+/// counts decreased or new crates appeared (never to launder an increase).
+pub fn run(root: &Path, baseline_path: &Path, update: bool) -> io::Result<RunResult> {
+    let mut res = RunResult::default();
+    for path in source_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let a = Analysis::new(&rel, &src);
+        res.files_scanned += 1;
+        res.diags.extend(rules::check_file(&a));
+        if !a.is_vendor && !a.is_test_path && !a.is_example {
+            *res.panic_counts.entry(a.crate_key.clone()).or_insert(0) += rules::panic_count(&a);
+        }
+    }
+    ratchet(&mut res, baseline_path, update)?;
+    res.diags
+        .sort_by(|x, y| x.file.cmp(&y.file).then(x.line.cmp(&y.line)).then(x.rule.cmp(y.rule)));
+    Ok(res)
+}
+
+fn ratchet(res: &mut RunResult, baseline_path: &Path, update: bool) -> io::Result<()> {
+    let existing = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Some(baseline::parse(&text).map_err(io::Error::other)?),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    let Some(base) = existing else {
+        if update {
+            let new = Baseline { panic_budget: res.panic_counts.clone() };
+            write_baseline(baseline_path, &new)?;
+            res.baseline_updated = true;
+            res.notes.push(format!("created {} from live counts", baseline_path.display()));
+        } else {
+            res.diags.push(Diagnostic {
+                file: baseline_path.display().to_string(),
+                line: 1,
+                rule: "P-PANIC-BUDGET",
+                msg: "baseline file missing; bootstrap it with \
+                      `cargo run --release -p sdea-lint -- --update-baseline`"
+                    .to_string(),
+            });
+        }
+        return Ok(());
+    };
+    let report = baseline::check(&res.panic_counts, &base);
+    for (cr, live, allowed) in &report.exceeded {
+        res.diags.push(Diagnostic {
+            file: baseline_path.display().to_string(),
+            line: 1,
+            rule: "P-PANIC-BUDGET",
+            msg: format!(
+                "crate `{cr}` has {live} panic-capable call sites, baseline allows {allowed}: \
+                 the budget only ratchets down — remove unwrap/expect/panic!/todo! or raise the \
+                 committed baseline in a reviewed diff"
+            ),
+        });
+    }
+    for (cr, live, allowed) in &report.improved {
+        res.notes.push(format!(
+            "panic budget for `{cr}` can ratchet {allowed} -> {live}; run --update-baseline"
+        ));
+    }
+    if update {
+        if !report.exceeded.is_empty() {
+            // refuse to launder an increase into the committed file
+            return Ok(());
+        }
+        let new = Baseline { panic_budget: res.panic_counts.clone() };
+        if new != base {
+            write_baseline(baseline_path, &new)?;
+            res.baseline_updated = true;
+            res.notes.push(format!("ratcheted {} down", baseline_path.display()));
+        }
+    }
+    Ok(())
+}
+
+fn write_baseline(path: &Path, b: &Baseline) -> io::Result<()> {
+    sdea_obs::fsio::atomic_write(path, baseline::render(b).as_bytes())
+}
+
+/// All `.rs` files under the scan roots, in sorted (deterministic) order.
+pub fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for dir in SCAN_DIRS {
+        let d = root.join(dir);
+        if d.is_dir() {
+            walk(&d, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,11 @@
+//! A-RAW-WRITE firing fixture: raw destination writes that a crash can
+//! leave truncated.
+use std::path::Path;
+
+pub fn dump(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn open_for_write(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}

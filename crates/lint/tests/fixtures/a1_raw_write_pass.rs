@@ -1,0 +1,21 @@
+//! A-RAW-WRITE non-firing fixture: writes go through the atomic layer,
+//! reads are unrestricted, and test code may write scratch files freely.
+use std::path::Path;
+
+pub fn persist(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    sdea_tensor::serialize::atomic_write(path, bytes, "fixture.persist")
+}
+
+pub fn load(path: &Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_fine() {
+        let p = std::env::temp_dir().join("lint_fixture_scratch");
+        std::fs::write(&p, b"x").unwrap();
+        let _ = std::fs::remove_file(&p);
+    }
+}

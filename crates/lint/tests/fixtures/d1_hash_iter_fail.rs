@@ -1,0 +1,27 @@
+//! D-HASH-ITER firing fixture: hash-ordered iteration in (what the test
+//! presents as) a compute crate, three shapes — method call on a
+//! parameter binding, `for .. in` over a local, and a field receiver.
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_len: HashMap<usize, Vec<u32>>,
+}
+
+pub fn keys_of(table: &HashMap<String, u64>) -> Vec<String> {
+    table.keys().cloned().collect()
+}
+
+pub fn sum_all(items: &[u32]) -> u64 {
+    let dedup: HashSet<u32> = items.iter().copied().collect();
+    let mut total = 0u64;
+    for v in &dedup {
+        total += u64::from(*v);
+    }
+    total
+}
+
+impl Index {
+    pub fn flatten(&self) -> Vec<u32> {
+        self.by_len.values().flatten().copied().collect()
+    }
+}

@@ -1,0 +1,32 @@
+//! D-HASH-ITER non-firing fixture: lookups are fine, ordered collections
+//! are fine, justified iteration is fine, and test code is exempt.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(table: &HashMap<String, u64>, k: &str) -> Option<u64> {
+    table.get(k).copied()
+}
+
+pub fn ordered_values(tree: &BTreeMap<String, u64>) -> Vec<u64> {
+    tree.values().copied().collect()
+}
+
+pub fn justified(table: &HashMap<String, u64>) -> Vec<String> {
+    let mut ks: Vec<String> = table.keys().cloned().collect(); // lint: sorted (next line)
+    ks.sort();
+    ks
+}
+
+pub fn justified_above(table: &HashMap<String, u64>) -> u64 {
+    // Summation is order-free: + on u64 is commutative and associative.
+    // lint: sorted
+    table.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    pub fn test_code_is_exempt(m: &HashMap<u32, u32>) -> u32 {
+        m.values().sum()
+    }
+}

@@ -1,0 +1,6 @@
+//! D-THREAD-SPAWN firing fixture: ad-hoc thread creation in production
+//! code outside `sdea_tensor::par`.
+pub fn race_the_runtime() {
+    let h = std::thread::spawn(|| 40 + 2);
+    let _ = h.join();
+}

@@ -1,0 +1,14 @@
+//! D-THREAD-SPAWN non-firing fixture: no thread creation in production
+//! code; test regions may spawn (e.g. kill-and-resume child processes),
+//! and talking about spawn() in comments or strings is fine.
+pub fn describe() -> &'static str {
+    "workers are spawn(ed) by sdea_tensor::par only"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

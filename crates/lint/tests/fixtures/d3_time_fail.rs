@@ -1,0 +1,10 @@
+//! D-WALL-CLOCK firing fixture: wall-clock reads outside obs/bench.
+pub fn seed_from_clock() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|e| e.as_nanos() as u64).unwrap_or(0)
+}
+
+pub fn spin(us: u64) {
+    let start = std::time::Instant::now();
+    while start.elapsed().as_micros() < u128::from(us) {}
+}

@@ -1,0 +1,13 @@
+//! D-WALL-CLOCK non-firing fixture: Duration values (no clock read) are
+//! fine anywhere, and test code may time things.
+pub fn backoff() -> std::time::Duration {
+    std::time::Duration::from_millis(5)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_clocks() {
+        let _ = std::time::Instant::now();
+    }
+}

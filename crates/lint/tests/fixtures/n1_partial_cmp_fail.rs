@@ -1,0 +1,18 @@
+//! N-PARTIAL-CMP firing fixture. The second case spreads the call chain
+//! over two lines — exactly the shape the old single-line grep gate in
+//! ci.sh provably missed — and the third uses .expect(), which the grep
+//! never matched at all.
+use std::cmp::Ordering;
+
+pub fn single_line(a: f32, b: f32) -> Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn multi_line(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b)
+        .unwrap()
+}
+
+pub fn with_expect(a: f32, b: f32) -> Ordering {
+    a.partial_cmp(&b).expect("finite")
+}

@@ -1,0 +1,15 @@
+//! N-PARTIAL-CMP non-firing fixture: total_cmp is the sanctioned total
+//! order; partial_cmp is fine when its Option is handled; and mentioning
+//! partial_cmp(x).unwrap() in a comment or a string literal — like this
+//! doc sentence — must never trip the literal-aware lexer.
+use std::cmp::Ordering;
+
+pub fn total(a: f32, b: f32) -> Ordering {
+    a.total_cmp(&b)
+}
+
+pub fn handled(a: f32, b: f32) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+pub const ADVICE: &str = "never write partial_cmp(x).unwrap() on floats";

@@ -1,0 +1,13 @@
+//! N-FLOAT-SORT firing fixture: comparators built on partial_cmp without
+//! a NaN-total wrapper. `unwrap_or(Equal)` does not panic, so N-PARTIAL-CMP
+//! stays silent — but NaN still silently misorders, which is this rule's
+//! whole point.
+use std::cmp::Ordering;
+
+pub fn sneaky_sort(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}
+
+pub fn sneaky_max(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Less))
+}

@@ -1,0 +1,23 @@
+//! N-FLOAT-SORT non-firing fixture: total_cmp and desc_nan_last
+//! comparators, comparator-free sorts on Ord keys, and a justified
+//! partial_cmp comparator on data that is NaN-free by construction.
+use std::cmp::Ordering;
+
+fn desc_nan_last(a: f32, b: f32) -> Ordering {
+    b.total_cmp(&a)
+}
+
+pub fn sanctioned(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.sort_by(|a, b| desc_nan_last(*a, *b));
+}
+
+pub fn ord_keys(xs: &mut [(u32, String)]) {
+    xs.sort_by(|a, b| a.0.cmp(&b.0));
+}
+
+pub fn justified(xs: &mut [f32]) {
+    // Values come straight from ln(1 + n) over counts: finite by construction.
+    // lint: nan-ordered
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}

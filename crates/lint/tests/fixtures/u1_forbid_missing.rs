@@ -1,0 +1,2 @@
+//! U-FORBID-UNSAFE firing fixture: a crate root without the attribute.
+pub fn looks_innocent() {}

@@ -1,0 +1,5 @@
+//! U-FORBID-UNSAFE non-firing fixture: the attribute is present.
+
+#![forbid(unsafe_code)]
+
+pub fn safe() {}

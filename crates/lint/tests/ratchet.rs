@@ -1,0 +1,118 @@
+//! End-to-end ratchet tests against a miniature workspace on disk:
+//! baseline bootstrap, the only-decreases direction, and the refusal to
+//! launder an increase through `--update-baseline`.
+
+use sdea_lint::workspace;
+use std::path::PathBuf;
+
+/// One panic-capable call site, otherwise lint-clean.
+const CRATE_SRC: &str = "#![forbid(unsafe_code)]\n\n\
+    pub fn answer(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+
+struct MiniRepo {
+    root: PathBuf,
+}
+
+impl MiniRepo {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("sdea_lint_ratchet_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/foo/src")).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(root.join("crates/foo/src/lib.rs"), CRATE_SRC).unwrap();
+        MiniRepo { root }
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.root.join("lint_baseline.toml")
+    }
+
+    fn run(&self, update: bool) -> workspace::RunResult {
+        workspace::run(&self.root, &self.baseline(), update).unwrap()
+    }
+}
+
+impl Drop for MiniRepo {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn missing_baseline_fails_with_bootstrap_hint() {
+    let repo = MiniRepo::new("missing");
+    let res = repo.run(false);
+    assert_eq!(res.files_scanned, 1);
+    assert_eq!(res.diags.len(), 1, "{:?}", res.diags);
+    assert_eq!(res.diags[0].rule, "P-PANIC-BUDGET");
+    assert!(res.diags[0].msg.contains("--update-baseline"), "{}", res.diags[0].msg);
+    assert!(!repo.baseline().exists(), "a plain run must not write the baseline");
+}
+
+#[test]
+fn update_bootstraps_then_round_trips_clean() {
+    let repo = MiniRepo::new("bootstrap");
+    let res = repo.run(true);
+    assert!(res.baseline_updated);
+    assert!(res.diags.is_empty(), "{:?}", res.diags);
+
+    let text = std::fs::read_to_string(repo.baseline()).unwrap();
+    assert!(text.contains("foo = 1"), "{text}");
+
+    // A second plain run against the file just written is clean and silent.
+    let res = repo.run(false);
+    assert!(res.diags.is_empty(), "{:?}", res.diags);
+    assert!(res.notes.is_empty(), "{:?}", res.notes);
+    assert!(!res.baseline_updated);
+}
+
+#[test]
+fn decrease_passes_with_note_and_update_ratchets_down() {
+    let repo = MiniRepo::new("decrease");
+    std::fs::write(repo.baseline(), "[panic_budget]\nfoo = 5\n").unwrap();
+
+    let res = repo.run(false);
+    assert!(res.diags.is_empty(), "under budget must pass: {:?}", res.diags);
+    assert!(res.notes.iter().any(|n| n.contains("5 -> 1")), "{:?}", res.notes);
+
+    let res = repo.run(true);
+    assert!(res.baseline_updated);
+    let text = std::fs::read_to_string(repo.baseline()).unwrap();
+    assert!(text.contains("foo = 1") && !text.contains("foo = 5"), "{text}");
+}
+
+#[test]
+fn increase_fails_and_update_refuses_to_launder_it() {
+    let repo = MiniRepo::new("increase");
+    std::fs::write(repo.baseline(), "[panic_budget]\nfoo = 0\n").unwrap();
+
+    let res = repo.run(false);
+    assert_eq!(res.diags.len(), 1, "{:?}", res.diags);
+    assert_eq!(res.diags[0].rule, "P-PANIC-BUDGET");
+    assert!(res.diags[0].msg.contains("has 1") && res.diags[0].msg.contains("allows 0"));
+
+    // --update-baseline must not rewrite the file while over budget.
+    let res = repo.run(true);
+    assert!(!res.baseline_updated);
+    assert!(!res.diags.is_empty());
+    let text = std::fs::read_to_string(repo.baseline()).unwrap();
+    assert!(text.contains("foo = 0"), "baseline was laundered: {text}");
+}
+
+#[test]
+fn rule_violations_in_the_mini_repo_are_reported_with_paths() {
+    let repo = MiniRepo::new("violation");
+    std::fs::write(repo.baseline(), "[panic_budget]\nfoo = 1\n").unwrap();
+    std::fs::write(
+        repo.root.join("crates/foo/src/util.rs"),
+        "pub fn go() { std::thread::spawn(|| {}); }\n",
+    )
+    .unwrap();
+
+    let res = repo.run(false);
+    assert_eq!(res.files_scanned, 2);
+    assert_eq!(res.diags.len(), 1, "{:?}", res.diags);
+    assert_eq!(res.diags[0].rule, "D-THREAD-SPAWN");
+    assert_eq!(res.diags[0].file, "crates/foo/src/util.rs");
+}

@@ -1,0 +1,16 @@
+//! The linter's own acceptance gate: the real workspace at HEAD must be
+//! clean against the committed baseline. If this test fails, either a
+//! change introduced a violation or the baseline needs a reviewed edit.
+
+use sdea_lint::workspace;
+use std::path::Path;
+
+#[test]
+fn repository_head_is_lint_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = workspace::find_root(here).expect("workspace root above crates/lint");
+    let res = workspace::run(&root, &root.join("lint_baseline.toml"), false).unwrap();
+    let shown: Vec<String> = res.diags.iter().map(|d| d.to_string()).collect();
+    assert!(res.diags.is_empty(), "workspace is not lint-clean:\n{}", shown.join("\n"));
+    assert!(res.files_scanned > 100, "suspiciously few files scanned: {}", res.files_scanned);
+}

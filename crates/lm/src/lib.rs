@@ -16,6 +16,8 @@
 //! Capacity defaults are scaled for CPU training (2 layers, 128 hidden);
 //! everything is configurable via [`config::LmConfig`].
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod mlm;

@@ -121,7 +121,7 @@ impl MlmPretrainer {
                     let argmax = row
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(j, _)| j)
                         .expect("non-empty row");
                     argmax == lab

@@ -1,0 +1,70 @@
+//! Crash-atomic file writes for the layers *below* `sdea-tensor`.
+//!
+//! `sdea_tensor::serialize::atomic_write*` is the canonical atomic-write
+//! path (checksummed containers, fault-injection hooks, bounded retry), but
+//! `sdea-obs` sits underneath `sdea-tensor` in the dependency graph and
+//! still persists run reports. This module is the minimal shared helper the
+//! atomicity rule (`A-RAW-WRITE` in `sdea-lint`, DESIGN.md §11) allowlists
+//! alongside the tensor-layer writer: temp file, fsync, rename, then a
+//! best-effort fsync of the parent directory, so a crash mid-write can
+//! never leave a truncated file at the destination.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically via `<path>.tmp` + fsync + rename +
+/// parent-directory fsync. On any error the destination is untouched (a
+/// stale `.tmp` may remain; the next successful write replaces it).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (the directory entry), best effort: some
+    // filesystems reject opening a directory for sync.
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sdea_obs_fsio_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmpdir("basic");
+        let p = d.join("out.json");
+        atomic_write(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        atomic_write(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        assert!(!d.join("out.json.tmp").exists(), "tmp file renamed away");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_parent_is_an_error_and_leaves_no_file() {
+        let d = tmpdir("missing").join("nope");
+        let p = d.join("out.json");
+        assert!(atomic_write(&p, b"x").is_err());
+        assert!(!p.exists());
+    }
+}

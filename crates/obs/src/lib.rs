@@ -34,6 +34,9 @@
 //! assert!(snap.counters.get("steps").copied().unwrap_or(0) >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod fsio;
 pub mod json;
 pub mod registry;
 pub mod report;

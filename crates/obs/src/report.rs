@@ -59,12 +59,14 @@ impl RunReport {
     }
 
     /// Writes `run_report_<sanitized-run>.json` into `dir` (created if
-    /// missing) and returns the path.
+    /// missing) and returns the path. The write is atomic (tmp + fsync +
+    /// rename via [`crate::fsio`]) so a crash mid-report can never leave a
+    /// truncated JSON document behind.
     pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("run_report_{}.json", sanitize(&self.run)));
-        std::fs::write(&path, self.to_json())?;
+        crate::fsio::atomic_write(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
 

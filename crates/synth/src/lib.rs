@@ -26,6 +26,8 @@
 //! [`corpus`] builds the masked-LM pre-training corpus that stands in for
 //! BERT's pre-training data.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod derive;
 pub mod language;

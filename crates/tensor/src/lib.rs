@@ -23,6 +23,8 @@
 //! assert_eq!(gx.shape(), &[1, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod graph;
 pub mod init;

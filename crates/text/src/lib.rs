@@ -20,6 +20,8 @@
 //! assert_eq!(enc.ids[0], tok.vocab().cls_id());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
 pub mod pretokenize;
 pub mod vocab;

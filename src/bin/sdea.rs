@@ -17,6 +17,8 @@
 //! Dataset directory layout (`generate` writes, `align`/`rank` read):
 //! `rel_triples_1  attr_triples_1  rel_triples_2  attr_triples_2  ent_links`.
 
+#![forbid(unsafe_code)]
+
 use sdea::prelude::*;
 use std::path::{Path, PathBuf};
 use std::process::exit;

@@ -41,6 +41,8 @@
 //! println!("test H@1 = {:.1}%", model.test_metrics(&split.test).hits1 * 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sdea_baselines as baselines;
 pub use sdea_core as core;
 pub use sdea_eval as eval;

@@ -7,6 +7,8 @@
 //! vs. parallel kernels). Statistical outlier analysis, plotting and
 //! baselines are intentionally out of scope.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -9,6 +9,8 @@
 //! `prop_assert*` macros. Shrinking is intentionally not implemented: a
 //! failing case panics with the generated inputs instead.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 // ------------------------------------------------------------------ rng
