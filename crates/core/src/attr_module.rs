@@ -320,7 +320,13 @@ impl AttrModule {
                 let _span = sdea_obs::span("candidates");
                 let emb2_all = self.embed_all(cache2, rng);
                 let src_emb = self.embed_rows(cache1, &src_rows, rng);
-                CandidateSet::generate(&sources, &src_emb, &emb2_all, cfg.n_candidates)
+                CandidateSet::generate_with(
+                    &sources,
+                    &src_emb,
+                    &emb2_all,
+                    cfg.n_candidates,
+                    &cfg.index,
+                )
             };
 
             // Lines 5–10: margin-loss updates over shuffled train pairs.

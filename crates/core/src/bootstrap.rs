@@ -7,30 +7,48 @@
 //! high `H_a` cosine become additional (noisy) seeds for the relation
 //! stage. Exposed through [`crate::SdeaPipeline::run_bootstrapped`].
 
-use sdea_eval::{argmax_cols, argmax_rows, cosine_matrix};
+use sdea_index::{build_retriever, IndexConfig};
 use sdea_kg::EntityId;
 use sdea_tensor::Tensor;
 
 /// Mutual-nearest pairs above a cosine threshold between two embedding
-/// tables (rows = entity ids).
+/// tables (rows = entity ids), with the default (exact) retrieval backend.
 pub fn mutual_nearest_pairs(
     emb1: &Tensor,
     emb2: &Tensor,
     threshold: f32,
 ) -> Vec<(EntityId, EntityId)> {
-    let sim = cosine_matrix(emb1, emb2);
-    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    mutual_nearest_pairs_with(emb1, emb2, threshold, &IndexConfig::default())
+}
+
+/// [`mutual_nearest_pairs`] through the retrieval backend selected by
+/// `index` (`SdeaConfig::index`).
+///
+/// Each side's nearest neighbour comes from a top-1 search against the
+/// other side's index. Cosine is symmetric and both matmul orientations
+/// accumulate in ascending feature order, so the two directions see
+/// bitwise-equal scores; the mutual filter is therefore order-independent.
+/// With an approximate (IVF, `nprobe < nlist`) backend a pair is kept only
+/// when the two shortlists agree, which can drop — never fabricate —
+/// mutual pairs.
+pub fn mutual_nearest_pairs_with(
+    emb1: &Tensor,
+    emb2: &Tensor,
+    threshold: f32,
+    index: &IndexConfig,
+) -> Vec<(EntityId, EntityId)> {
+    let (n, m) = (emb1.shape()[0], emb2.shape()[0]);
     if n == 0 || m == 0 {
         return Vec::new();
     }
-    // Both argmax passes ride the blocked parallel scans in sdea-eval.
-    let best_row = argmax_rows(&sim);
-    let best_col = argmax_cols(&sim);
+    let _span = sdea_obs::span("bootstrap.mutual_nearest");
+    let fwd = build_retriever(emb2, index).search(emb1, 1);
+    let bwd = build_retriever(emb1, index).search(emb2, 1);
     (0..n)
         .filter_map(|i| {
-            let j = best_row[i];
-            (sim.at2(i, j) >= threshold && best_col[j] == i)
-                .then_some((EntityId(i as u32), EntityId(j as u32)))
+            let &(j, score) = fwd[i].first()?;
+            let &(back, _) = bwd[j].first()?;
+            (score >= threshold && back == i).then_some((EntityId(i as u32), EntityId(j as u32)))
         })
         .collect()
 }

@@ -3,7 +3,7 @@
 //! embeddings. Negatives sampled from this set are *hard* negatives, which
 //! is what makes the margin loss effective.
 
-use sdea_eval::{cosine_matrix, top_k_rows};
+use sdea_index::{build_retriever, IndexConfig, Retriever};
 use sdea_kg::EntityId;
 use sdea_tensor::{Rng, Tensor};
 
@@ -18,16 +18,45 @@ pub struct CandidateSet {
 }
 
 impl CandidateSet {
-    /// Builds candidate lists from embeddings.
+    /// Builds candidate lists from embeddings with the default (exact)
+    /// retrieval backend — bit-identical to the historical full-matrix
+    /// `cosine_matrix` + `top_k_rows` scan.
     ///
     /// `src_emb`: `[n_src, d]` embeddings of `sources`;
     /// `tgt_emb`: `[n_tgt, d]` embeddings of ALL target entities (row = id).
     pub fn generate(sources: &[EntityId], src_emb: &Tensor, tgt_emb: &Tensor, k: usize) -> Self {
+        Self::generate_with(sources, src_emb, tgt_emb, k, &IndexConfig::default())
+    }
+
+    /// [`CandidateSet::generate`] through the retrieval backend selected by
+    /// `index` (`SdeaConfig::index`): exact, or IVF with an optional int8
+    /// quantized member scan.
+    pub fn generate_with(
+        sources: &[EntityId],
+        src_emb: &Tensor,
+        tgt_emb: &Tensor,
+        k: usize,
+        index: &IndexConfig,
+    ) -> Self {
+        let retr = build_retriever(tgt_emb, index);
+        Self::from_retriever(sources, src_emb, retr.as_ref(), k)
+    }
+
+    /// Builds candidate lists from an already-built [`Retriever`] over the
+    /// target table (row = entity id), for callers that amortize one index
+    /// across many candidate generations.
+    pub fn from_retriever(
+        sources: &[EntityId],
+        src_emb: &Tensor,
+        retr: &dyn Retriever,
+        k: usize,
+    ) -> Self {
         assert_eq!(src_emb.shape()[0], sources.len());
-        let sim = cosine_matrix(src_emb, tgt_emb);
-        let lists = top_k_rows(&sim, k)
+        let _span = sdea_obs::span("candidates.generate");
+        let lists = retr
+            .search(src_emb, k)
             .into_iter()
-            .map(|row| row.into_iter().map(|j| EntityId(j as u32)).collect())
+            .map(|row| row.into_iter().map(|(j, _)| EntityId(j as u32)).collect())
             .collect();
         let index_of = sources.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         CandidateSet { lists, sources: sources.to_vec(), index_of }

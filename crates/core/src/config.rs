@@ -1,5 +1,6 @@
 //! SDEA hyper-parameters.
 
+use sdea_index::IndexConfig;
 use sdea_lm::LmConfig;
 
 /// Configuration of the full SDEA pipeline.
@@ -81,6 +82,13 @@ pub struct SdeaConfig {
     /// 0 checkpoints only at stage boundaries. Ignored without
     /// `checkpoint_dir`. Like `threads`/`obs`, this never changes results.
     pub checkpoint_every: usize,
+    /// Retrieval backend for every ranking path (candidate generation,
+    /// bootstrap mutual-nearest pairs). The default exact backend is
+    /// bit-identical to the historical full-matrix scans; an IVF backend
+    /// with `nprobe < nlist` changes which negatives and bootstrap pairs
+    /// training sees, so — unlike `threads`/`obs` — this participates in
+    /// the checkpoint config fingerprint.
+    pub index: IndexConfig,
 }
 
 /// Sequence pooling strategy of the attribute module.
@@ -138,6 +146,7 @@ impl Default for SdeaConfig {
             obs: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            index: IndexConfig::default(),
         }
     }
 }
@@ -175,6 +184,7 @@ impl SdeaConfig {
             obs: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            index: IndexConfig::default(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! similarity to the k nearest neighbours in the *other* domain.
 
 use crate::similarity::SimilarityMatrix;
-#[cfg(test)]
+use sdea_index::Retriever;
 use sdea_tensor::Tensor;
 use sdea_tensor::{par_map_collect, par_row_chunks};
 
@@ -31,6 +31,21 @@ pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
     let sim_t = sim.transpose2();
     let r_tgt =
         par_map_collect(m, n.max(1), |j| mean_top_k(&sim_t.data()[j * n..(j + 1) * n], k_col));
+    csls_rescale_with_means(sim, &r_src, &r_tgt)
+}
+
+/// The CSLS combination step alone: `out[i][j] = 2·sim[i][j] − r_src[i] −
+/// r_tgt[j]`, fanned out across the thread budget. Callers that already
+/// hold neighbourhood means — e.g. from [`neighborhood_means`] over a
+/// retriever shortlist — skip the full-matrix mean scans.
+pub fn csls_rescale_with_means(
+    sim: &SimilarityMatrix,
+    r_src: &[f32],
+    r_tgt: &[f32],
+) -> SimilarityMatrix {
+    let (n, m) = (sim.shape()[0], sim.shape()[1]);
+    assert_eq!(r_src.len(), n, "one source mean per row");
+    assert_eq!(r_tgt.len(), m, "one target mean per column");
     let mut out = sim.clone();
     if m > 0 {
         let src = sim.data();
@@ -45,6 +60,27 @@ pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
         });
     }
     out
+}
+
+/// CSLS neighbourhood term `r(·)` through a [`Retriever`]: for every query
+/// row, the mean cosine to its `k` nearest indexed neighbours, summed in
+/// rank order. With an exact backend this is bit-identical to the top-k
+/// row means [`csls_rescale`] computes from the full similarity matrix
+/// (same scores, same summation order); an IVF backend approximates the
+/// same term from its shortlist without materializing `n × m` cells.
+///
+/// `k` is clamped to the index size; an empty index yields all-zero means
+/// (nothing to average — matches `mean_top_k` of an empty row).
+pub fn neighborhood_means(retr: &dyn Retriever, queries: &Tensor, k: usize) -> Vec<f32> {
+    assert!(k >= 1, "CSLS needs k >= 1");
+    let _span = sdea_obs::span("eval.csls_means");
+    let hits = retr.search(queries, k);
+    hits.iter()
+        .map(|row| {
+            let sum: f32 = row.iter().map(|&(_, s)| s).sum();
+            sum / row.len().max(1) as f32
+        })
+        .collect()
 }
 
 fn mean_top_k(scores: &[f32], k: usize) -> f32 {
@@ -105,6 +141,33 @@ mod tests {
         assert_eq!(clamped, full);
         assert_eq!(clamped.shape(), &[2, 3]);
         assert!(clamped.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn retriever_means_match_matrix_means_bitwise() {
+        use crate::similarity::cosine_matrix;
+        use sdea_index::ExactRetriever;
+        use sdea_tensor::Rng;
+        let mut rng = Rng::seed_from_u64(17);
+        let a = Tensor::rand_normal(&[25, 8], 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[30, 8], 1.0, &mut rng);
+        let sim = cosine_matrix(&a, &b);
+        let k = 10;
+        // Row means from the b-index, column means from the a-index: the
+        // transposed-role scores are bitwise equal (IEEE multiplication
+        // commutes, both matmul orientations accumulate ascending k).
+        let r_src = neighborhood_means(&ExactRetriever::new(&b), &a, k);
+        let r_tgt = neighborhood_means(&ExactRetriever::new(&a), &b, k);
+        for (i, &r) in r_src.iter().enumerate() {
+            let expect = mean_top_k(&sim.data()[i * 30..(i + 1) * 30], k);
+            assert_eq!(r.to_bits(), expect.to_bits(), "row mean {i}");
+        }
+        let via_means = csls_rescale_with_means(&sim, &r_src, &r_tgt);
+        let direct = csls_rescale(&sim, k);
+        assert_eq!(via_means.shape(), direct.shape());
+        for (x, y) in via_means.data().iter().zip(direct.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Hits@K and MRR over similarity rankings (paper Section V-A2).
 
 use crate::similarity::{desc_nan_last, SimilarityMatrix};
+use sdea_index::Retriever;
+use sdea_tensor::Tensor;
 use std::cmp::Ordering;
 
 /// The paper's three reported metrics.
@@ -89,10 +91,59 @@ pub fn evaluate_ranking(sim: &SimilarityMatrix, gold: &[usize]) -> AlignmentMetr
     AlignmentMetrics { hits1: h1 as f64 / n, hits10: h10 as f64 / n, mrr: mrr / n }
 }
 
+/// Evaluates alignment through a [`Retriever`] shortlist instead of a
+/// materialized similarity matrix: `gold[i]` is the indexed row that is
+/// query `i`'s true match.
+///
+/// The gold's rank is its 1-based position in the top-`k` hit list when it
+/// appears there, else the lower bound `k + 1` (it lost to at least `k`
+/// candidates). With an exact backend and `k = retr.len()` this is
+/// bit-identical to [`evaluate_ranking`] over the full cosine matrix: the
+/// hit list is a stable descending sort under [`desc_nan_last`] with ties
+/// broken by lower index, exactly [`rank_of`]'s tie rule. With `k < len`
+/// (or an approximate backend) Hits@1/Hits@10 are unchanged as long as
+/// `k >= 10` and the shortlist recalls the gold; only the deep MRR tail is
+/// approximated — `k + 1` under-states a miss's true rank, so the
+/// truncated MRR upper-bounds the exact one.
+pub fn evaluate_retrieved(
+    retr: &dyn Retriever,
+    queries: &Tensor,
+    gold: &[usize],
+    k: usize,
+) -> AlignmentMetrics {
+    assert_eq!(queries.rank(), 2, "evaluate_retrieved expects rank-2 queries");
+    assert_eq!(queries.shape()[0], gold.len(), "one gold target per query row");
+    let m = retr.len();
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_retrieved: gold[{i}] row {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_retrieved");
+    let hits = retr.search(queries, k);
+    let n = gold.len().max(1) as f64;
+    let mut h1 = 0usize;
+    let mut h10 = 0usize;
+    let mut mrr = 0.0f64;
+    // Serial, in query order: MRR accumulation stays bit-stable.
+    for (row, &g) in hits.iter().zip(gold) {
+        let rank = match row.iter().position(|&(i, _)| i == g) {
+            Some(p) => p + 1,
+            None => k + 1,
+        };
+        if rank == 1 {
+            h1 += 1;
+        }
+        if rank <= 10 {
+            h10 += 1;
+        }
+        mrr += 1.0 / rank as f64;
+    }
+    AlignmentMetrics { hits1: h1 as f64 / n, hits10: h10 as f64 / n, mrr: mrr / n }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdea_tensor::Tensor;
+    use sdea_index::ExactRetriever;
 
     #[test]
     fn rank_of_basics() {
@@ -192,6 +243,34 @@ mod tests {
         let m = evaluate_ranking(&sim, &[1, 1]);
         assert!((m.hits1 - 0.5).abs() < 1e-12);
         assert!((m.mrr - (1.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_retrieved_with_full_k_matches_matrix_path_bitwise() {
+        use sdea_tensor::Rng;
+        let mut rng = Rng::seed_from_u64(9);
+        let src = Tensor::rand_normal(&[30, 8], 1.0, &mut rng);
+        let tgt = Tensor::rand_normal(&[40, 8], 1.0, &mut rng);
+        let gold: Vec<usize> = (0..30).map(|i| (i * 7) % 40).collect();
+        let via_matrix = evaluate_ranking(&crate::similarity::cosine_matrix(&src, &tgt), &gold);
+        let retr = ExactRetriever::new(&tgt);
+        let via_retr = evaluate_retrieved(&retr, &src, &gold, 40);
+        assert_eq!(via_matrix.hits1.to_bits(), via_retr.hits1.to_bits());
+        assert_eq!(via_matrix.hits10.to_bits(), via_retr.hits10.to_bits());
+        assert_eq!(via_matrix.mrr.to_bits(), via_retr.mrr.to_bits());
+    }
+
+    #[test]
+    fn evaluate_retrieved_misses_get_the_lower_bound_rank() {
+        // One target is the opposite of the query; with k = 1 the gold is
+        // outside the shortlist and must count as rank k + 1 = 2.
+        let tgt = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0], &[2, 2]);
+        let q = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let retr = ExactRetriever::new(&tgt);
+        let m = evaluate_retrieved(&retr, &q, &[1], 1);
+        assert_eq!(m.hits1, 0.0);
+        assert_eq!(m.hits10, 1.0, "rank 2 still counts for Hits@10");
+        assert!((m.mrr - 0.5).abs() < 1e-12);
     }
 
     #[test]

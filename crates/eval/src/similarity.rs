@@ -5,7 +5,6 @@
 //! `SdeaConfig::threads`) and are bit-identical at any thread count.
 
 use sdea_tensor::{par_map_collect, Tensor};
-use std::cmp::Ordering;
 
 /// A dense `[n, m]` similarity matrix between `n` source and `m` target
 /// entities. Row-major like [`Tensor`].
@@ -17,22 +16,10 @@ pub type SimilarityMatrix = Tensor;
 const COL_BLOCK: usize = 256;
 
 /// Total descending order over similarity scores with **NaN ranked last**
-/// (worst), the crate-wide comparison convention for ranking and matching.
-///
-/// `Less` means `a` ranks strictly before (better than) `b`. Unlike
-/// `partial_cmp(..).unwrap()` this never panics, and unlike raw
-/// [`f32::total_cmp`] it does not let `+NaN` outrank every real score: any
-/// NaN — from upstream numerical blow-ups or degenerate embeddings —
-/// compares worse than every finite or infinite value, and equal to every
-/// other NaN (callers tie-break equal scores by index).
-pub fn desc_nan_last(a: f32, b: f32) -> Ordering {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater,
-        (false, true) => Ordering::Less,
-        (false, false) => b.total_cmp(&a),
-    }
-}
+/// (worst). Historically defined here; now the workspace-wide convention
+/// lives in [`sdea_tensor::ord`] (the retrieval layer needs it below this
+/// crate) and this re-export keeps every existing call site compiling.
+pub use sdea_tensor::desc_nan_last;
 
 /// Cosine similarity of every row of `a: [n,d]` against every row of
 /// `b: [m,d]`: L2-normalize both then compute `a · bᵀ`, which rides the
@@ -49,30 +36,18 @@ pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
     assert_eq!(a.shape()[1], b.shape()[1], "embedding width mismatch");
     let _span = sdea_obs::span("eval.cosine_matrix");
     sdea_obs::add("eval.cosine_cells", (a.shape()[0] * b.shape()[0]) as u64);
-    a.l2_normalize_rows().matmul_t(&b.l2_normalize_rows())
+    a.normalized_view().matmul_t(&b.normalized_view())
 }
 
 /// Indices of the `k` largest values of `scores`, descending under
 /// [`desc_nan_last`] (NaN ranks worst), ties broken by lower index. `k` is
 /// clamped to `scores.len()`.
+///
+/// The selection kernel itself lives in the retrieval layer
+/// ([`sdea_index::top_k_scored`], which also returns the scores); this is
+/// the index-only view of it.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let k = k.min(scores.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    // Partial selection: maintain a small sorted buffer (k is small).
-    let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
-    for (i, &s) in scores.iter().enumerate() {
-        let beats = |t: f32| desc_nan_last(s, t) == Ordering::Less;
-        if best.len() < k || beats(best[best.len() - 1].1) {
-            let pos = best.iter().position(|&(_, bs)| beats(bs)).unwrap_or(best.len());
-            best.insert(pos, (i, s));
-            if best.len() > k {
-                best.pop();
-            }
-        }
-    }
-    best.into_iter().map(|(i, _)| i).collect()
+    sdea_index::top_k_scored(scores, k).into_iter().map(|(i, _)| i).collect()
 }
 
 /// Top-k column indices for every row of `sim`, rows fanned out across the
@@ -252,7 +227,7 @@ mod tests {
 
     #[test]
     fn desc_nan_last_is_a_total_order() {
-        use Ordering::*;
+        use std::cmp::Ordering::*;
         assert_eq!(desc_nan_last(1.0, 0.5), Less); // higher score ranks first
         assert_eq!(desc_nan_last(0.5, 1.0), Greater);
         assert_eq!(desc_nan_last(0.5, 0.5), Equal);

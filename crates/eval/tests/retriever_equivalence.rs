@@ -1,0 +1,90 @@
+//! End-to-end metric equivalence: Hits@1 / Hits@10 / MRR and the CSLS
+//! neighbourhood terms computed through the retrieval layer (IVF at
+//! `nprobe = all`, quantized or not) are bit-identical to the historical
+//! full-matrix path, at SDEA_THREADS budgets 1 and 8.
+
+use sdea_eval::{
+    cosine_matrix, csls_rescale, csls_rescale_with_means, evaluate_ranking, evaluate_retrieved,
+    neighborhood_means,
+};
+use sdea_index::{build_retriever, IndexConfig, IndexKind};
+use sdea_tensor::{with_thread_budget, Rng, Tensor};
+
+fn aligned_world(n: usize, d: usize, seed: u64) -> (Tensor, Tensor, Vec<usize>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let centers = Tensor::rand_normal(&[6, d], 1.0, &mut rng);
+    let mut src = Vec::with_capacity(n * d);
+    let mut tgt = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let base = centers.row(i % 6);
+        for &b in base {
+            tgt.push(b + 0.3 * rng.normal());
+            src.push(b + 0.3 * rng.normal());
+        }
+    }
+    let gold = (0..n).collect();
+    (Tensor::from_vec(src, &[n, d]), Tensor::from_vec(tgt, &[n, d]), gold)
+}
+
+fn configs() -> Vec<IndexConfig> {
+    vec![
+        IndexConfig::default(),
+        IndexConfig { kind: IndexKind::Ivf, nlist: 10, nprobe: 0, quantize: false },
+        IndexConfig { kind: IndexKind::Ivf, nlist: 10, nprobe: 0, quantize: true },
+    ]
+}
+
+#[test]
+fn metrics_via_any_exact_backend_match_the_matrix_path_bitwise() {
+    let (src, tgt, gold) = aligned_world(120, 16, 31);
+    let expected = evaluate_ranking(&cosine_matrix(&src, &tgt), &gold);
+    for cfg in configs() {
+        let retr = build_retriever(&tgt, &cfg);
+        for budget in [1usize, 8] {
+            let got = with_thread_budget(budget, || {
+                evaluate_retrieved(retr.as_ref(), &src, &gold, tgt.shape()[0])
+            });
+            let ctx = format!("{cfg:?} budget={budget}");
+            assert_eq!(expected.hits1.to_bits(), got.hits1.to_bits(), "hits1 {ctx}");
+            assert_eq!(expected.hits10.to_bits(), got.hits10.to_bits(), "hits10 {ctx}");
+            assert_eq!(expected.mrr.to_bits(), got.mrr.to_bits(), "mrr {ctx}");
+        }
+    }
+}
+
+#[test]
+fn csls_via_retriever_means_matches_the_matrix_path_bitwise() {
+    let (src, tgt, _) = aligned_world(90, 12, 32);
+    let sim = cosine_matrix(&src, &tgt);
+    let k = 10;
+    let direct = csls_rescale(&sim, k);
+    for cfg in configs() {
+        let tgt_index = build_retriever(&tgt, &cfg);
+        let src_index = build_retriever(&src, &cfg);
+        for budget in [1usize, 8] {
+            let rescaled = with_thread_budget(budget, || {
+                let r_src = neighborhood_means(tgt_index.as_ref(), &src, k);
+                let r_tgt = neighborhood_means(src_index.as_ref(), &tgt, k);
+                csls_rescale_with_means(&sim, &r_src, &r_tgt)
+            });
+            for (i, (x, y)) in rescaled.data().iter().zip(direct.data()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "cell {i} {cfg:?} budget={budget}");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_shortlists_preserve_shallow_metrics() {
+    // With k = 10 every hit that matters for Hits@1/Hits@10 is still in
+    // the shortlist; only MRR's deep tail is approximated (from below).
+    let (src, tgt, gold) = aligned_world(100, 16, 33);
+    let full = evaluate_ranking(&cosine_matrix(&src, &tgt), &gold);
+    let retr = build_retriever(&tgt, &IndexConfig::default());
+    let short = evaluate_retrieved(retr.as_ref(), &src, &gold, 10);
+    assert_eq!(full.hits1.to_bits(), short.hits1.to_bits());
+    assert_eq!(full.hits10.to_bits(), short.hits10.to_bits());
+    // A miss counts as rank k+1, a lower bound on the true rank — so the
+    // truncated MRR can only over-state the deep tail, never lose hits.
+    assert!(short.mrr >= full.mrr - 1e-12, "rank k+1 is a lower bound on the true rank");
+}

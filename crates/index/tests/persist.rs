@@ -1,0 +1,127 @@
+//! `SDIX` persistence: atomic save/load round-trips bit-for-bit, stale
+//! blobs rebuild in place, and corrupt blobs are quarantined to
+//! `<path>.corrupt` before a clean rebuild — the same crash discipline as
+//! the checkpoint store.
+
+use sdea_index::{IndexConfig, IndexKind, IvfRetriever, Retriever};
+use sdea_tensor::{Rng, Tensor};
+use std::io;
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdea_index_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn table(n: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let centers = Tensor::rand_normal(&[5, d], 1.0, &mut rng);
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let base = centers.row(i % 5);
+        data.extend(base.iter().map(|&b| b + 0.2 * rng.normal()));
+    }
+    Tensor::from_vec(data, &[n, d])
+}
+
+fn cfg(quantize: bool) -> IndexConfig {
+    IndexConfig { kind: IndexKind::Ivf, nlist: 9, nprobe: 2, quantize }
+}
+
+fn same_hits(a: &[Vec<(usize, f32)>], b: &[Vec<(usize, f32)>]) -> bool {
+    a.iter().zip(b).all(|(x, y)| {
+        x.len() == y.len()
+            && x.iter().zip(y).all(|(&(i, s), &(j, t))| i == j && s.to_bits() == t.to_bits())
+    })
+}
+
+#[test]
+fn save_load_round_trips_bitwise() {
+    for quantize in [false, true] {
+        let dir = test_dir(if quantize { "rt_q" } else { "rt" });
+        let path = dir.join("tgt.sdix");
+        let emb = table(120, 12, 21);
+        let qry = table(15, 12, 22);
+        let built = IvfRetriever::build(&emb, &cfg(quantize));
+        built.save(&path).unwrap();
+        let loaded = IvfRetriever::load(&path, &emb, &cfg(quantize)).unwrap();
+        assert_eq!(built.to_bytes(), loaded.to_bytes(), "quantize={quantize}");
+        assert!(same_hits(&built.search(&qry, 8), &loaded.search(&qry, 8)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn missing_file_builds_and_saves() {
+    let dir = test_dir("fresh");
+    let path = dir.join("tgt.sdix");
+    let emb = table(80, 8, 23);
+    let idx = IvfRetriever::load_or_build(&path, &emb, &cfg(true)).unwrap();
+    assert!(path.exists(), "load_or_build must persist a fresh build");
+    assert_eq!(idx.len(), 80);
+    let again = IvfRetriever::load_or_build(&path, &emb, &cfg(true)).unwrap();
+    assert_eq!(idx.to_bytes(), again.to_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_blob_is_quarantined_and_rebuilt() {
+    let dir = test_dir("corrupt");
+    let path = dir.join("tgt.sdix");
+    let emb = table(90, 8, 24);
+    IvfRetriever::build(&emb, &cfg(true)).save(&path).unwrap();
+
+    // Flip one payload byte — load must refuse with InvalidData...
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = IvfRetriever::load(&path, &emb, &cfg(true)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+    // ...and load_or_build must quarantine the damaged file, then rebuild.
+    let idx = IvfRetriever::load_or_build(&path, &emb, &cfg(true)).unwrap();
+    let quarantined = dir.join("tgt.sdix.corrupt");
+    assert!(quarantined.exists(), "corrupt blob must move to .corrupt");
+    assert_eq!(std::fs::read(&quarantined).unwrap(), bytes, "quarantine preserves evidence");
+    let reloaded = IvfRetriever::load(&path, &emb, &cfg(true)).unwrap();
+    assert_eq!(idx.to_bytes(), reloaded.to_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_blob_rebuilds_without_quarantine() {
+    let dir = test_dir("stale");
+    let path = dir.join("tgt.sdix");
+    let emb_old = table(70, 8, 25);
+    IvfRetriever::build(&emb_old, &cfg(false)).save(&path).unwrap();
+
+    // Same shape, different values: emb_crc catches the swap.
+    let emb_new = table(70, 8, 26);
+    let err = IvfRetriever::load(&path, &emb_new, &cfg(false)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+
+    let idx = IvfRetriever::load_or_build(&path, &emb_new, &cfg(false)).unwrap();
+    assert!(!dir.join("tgt.sdix.corrupt").exists(), "stale is not corrupt");
+    assert_eq!(idx.len(), 70);
+    let reloaded = IvfRetriever::load(&path, &emb_new, &cfg(false)).unwrap();
+    assert_eq!(idx.to_bytes(), reloaded.to_bytes());
+
+    // A config change (quantize flips) is also stale, not corrupt.
+    let err = IvfRetriever::load(&path, &emb_new, &cfg(true)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_shape_is_reported_as_stale() {
+    let dir = test_dir("shape");
+    let path = dir.join("tgt.sdix");
+    let emb = table(60, 8, 27);
+    IvfRetriever::build(&emb, &cfg(false)).save(&path).unwrap();
+    let wider = table(60, 16, 27);
+    let err = IvfRetriever::load(&path, &wider, &cfg(false)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,7 @@ use crate::lexer::{clean, CleanFile};
 
 /// Rust crates whose non-test code must be bit-deterministic (rule
 /// `D-HASH-ITER`): everything between input tensors and output metrics.
-pub const COMPUTE_CRATES: &[&str] = &["tensor", "core", "eval", "baselines", "lm"];
+pub const COMPUTE_CRATES: &[&str] = &["tensor", "core", "eval", "baselines", "lm", "index"];
 
 /// Crates allowed to read wall clocks (rule `D-WALL-CLOCK`): observability
 /// and the benchmark harness, which exist to measure time.

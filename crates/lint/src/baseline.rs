@@ -72,18 +72,27 @@ pub struct RatchetReport {
     pub exceeded: Vec<(String, usize, usize)>,
     /// Crates under budget: `(crate, live, baseline)` — notes only.
     pub improved: Vec<(String, usize, usize)>,
+    /// Scanned crates with no baseline entry at all: `(crate, live)` —
+    /// these fail the run with a dedicated "missing from baseline" message
+    /// (not a generic over-budget one), pointing at `--update-baseline`.
+    /// A new workspace crate must be enrolled explicitly; treating it as
+    /// budget-zero made the failure read like a regression in the crate.
+    pub missing: Vec<(String, usize)>,
 }
 
 /// Ratchet check: every crate's live count must be at or below its
-/// baseline; a crate absent from the baseline has budget zero.
+/// baseline. A crate with no baseline entry is reported in
+/// [`RatchetReport::missing`] — an enrollment error, distinct from an
+/// over-budget regression (an explicit `crate = 0` entry stays on the
+/// exceeded path).
 pub fn check(live: &BTreeMap<String, usize>, base: &Baseline) -> RatchetReport {
     let mut r = RatchetReport::default();
     for (k, &n) in live {
-        let allowed = base.panic_budget.get(k).copied().unwrap_or(0);
-        if n > allowed {
-            r.exceeded.push((k.clone(), n, allowed));
-        } else if n < allowed {
-            r.improved.push((k.clone(), n, allowed));
+        match base.panic_budget.get(k).copied() {
+            None => r.missing.push((k.clone(), n)),
+            Some(allowed) if n > allowed => r.exceeded.push((k.clone(), n, allowed)),
+            Some(allowed) if n < allowed => r.improved.push((k.clone(), n, allowed)),
+            Some(_) => {}
         }
     }
     r
@@ -114,8 +123,29 @@ mod tests {
     fn ratchet_directions() {
         let base = Baseline { panic_budget: counts(&[("core", 5), ("eval", 2)]) };
         let r = check(&counts(&[("core", 6), ("eval", 1), ("newcrate", 1)]), &base);
-        assert_eq!(r.exceeded, vec![("core".to_string(), 6, 5), ("newcrate".to_string(), 1, 0)]);
+        assert_eq!(r.exceeded, vec![("core".to_string(), 6, 5)]);
         assert_eq!(r.improved, vec![("eval".to_string(), 1, 2)]);
+        assert_eq!(r.missing, vec![("newcrate".to_string(), 1)]);
+    }
+
+    #[test]
+    fn explicit_zero_entry_is_enforced_not_missing() {
+        // `crate = 0` means "enrolled with zero budget": an overage is a
+        // regression, not an enrollment gap.
+        let base = Baseline { panic_budget: counts(&[("strict", 0)]) };
+        let r = check(&counts(&[("strict", 1)]), &base);
+        assert_eq!(r.exceeded, vec![("strict".to_string(), 1, 0)]);
+        assert!(r.missing.is_empty());
+    }
+
+    #[test]
+    fn clean_unenrolled_crate_is_still_missing() {
+        // Even a zero-count crate must be enrolled, or adding its first
+        // unwrap later would silently become an over-budget failure.
+        let base = Baseline::default();
+        let r = check(&counts(&[("newcrate", 0)]), &base);
+        assert_eq!(r.missing, vec![("newcrate".to_string(), 0)]);
+        assert!(r.exceeded.is_empty());
     }
 
     #[test]

@@ -90,6 +90,18 @@ fn ratchet(res: &mut RunResult, baseline_path: &Path, update: bool) -> io::Resul
             ),
         });
     }
+    for (cr, live) in &report.missing {
+        res.diags.push(Diagnostic {
+            file: baseline_path.display().to_string(),
+            line: 1,
+            rule: "P-PANIC-BUDGET",
+            msg: format!(
+                "crate `{cr}` is not enrolled in the panic-budget baseline (live count {live}): \
+                 enroll it with `cargo run --release -p sdea-lint -- --update-baseline` and \
+                 commit the result"
+            ),
+        });
+    }
     for (cr, live, allowed) in &report.improved {
         res.notes.push(format!(
             "panic budget for `{cr}` can ratchet {allowed} -> {live}; run --update-baseline"

@@ -101,6 +101,29 @@ fn increase_fails_and_update_refuses_to_launder_it() {
 }
 
 #[test]
+fn unenrolled_crate_fails_with_enrollment_hint_not_a_regression() {
+    let repo = MiniRepo::new("unenrolled");
+    // The baseline exists but only knows some other crate: `foo` is a new
+    // workspace crate that was never enrolled.
+    std::fs::write(repo.baseline(), "[panic_budget]\nbar = 3\n").unwrap();
+
+    let res = repo.run(false);
+    assert_eq!(res.diags.len(), 1, "{:?}", res.diags);
+    assert_eq!(res.diags[0].rule, "P-PANIC-BUDGET");
+    let msg = &res.diags[0].msg;
+    assert!(msg.contains("not enrolled"), "want the enrollment message, got: {msg}");
+    assert!(msg.contains("--update-baseline"), "{msg}");
+    assert!(!msg.contains("ratchets down"), "must not read as an over-budget regression: {msg}");
+
+    // --update-baseline is exactly how a new crate gets enrolled.
+    let res = repo.run(true);
+    assert!(res.baseline_updated);
+    let text = std::fs::read_to_string(repo.baseline()).unwrap();
+    assert!(text.contains("foo = 1"), "{text}");
+    assert!(repo.run(false).diags.is_empty());
+}
+
+#[test]
 fn rule_violations_in_the_mini_repo_are_reported_with_paths() {
     let repo = MiniRepo::new("violation");
     std::fs::write(repo.baseline(), "[panic_budget]\nfoo = 1\n").unwrap();

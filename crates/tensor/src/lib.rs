@@ -33,8 +33,10 @@ pub mod ops_fused;
 pub mod ops_nn;
 pub mod ops_shape;
 pub mod optim;
+pub mod ord;
 pub mod par;
 pub mod pool;
+pub mod qkernels;
 pub mod rng;
 pub mod serialize;
 pub mod sparse;
@@ -42,6 +44,7 @@ pub mod tensor;
 
 pub use graph::{Graph, Var};
 pub use optim::{Adam, GradClip, Optimizer, ParamId, ParamStore, Sgd};
+pub use ord::desc_nan_last;
 pub use par::{
     max_threads, par_map_collect, par_row_chunks, set_thread_budget, with_thread_budget,
 };

@@ -1,0 +1,225 @@
+//! Int8 scalar-quantization kernels for the retrieval layer.
+//!
+//! Companion of [`crate::kernels`]: where the tiled matmul microkernels
+//! serve the exact paths, these pack an embedding table into one signed
+//! byte per element (~4x memory cut versus `f32`) for the approximate
+//! candidate scan of `sdea-index`. The format is per-dimension affine:
+//! dimension `j` stores a midpoint `offset[j]` and a step `scale[j]`, and a
+//! code `c ∈ [-127, 127]` reconstructs to `offset[j] + scale[j]·c`. The
+//! reconstruction error is bounded by `scale[j]/2` per element, which the
+//! `property` suite asserts, and every quantized score is only ever used to
+//! pick a shortlist that is re-scored exactly in `f32` — quantization never
+//! decides a final ranking on its own.
+//!
+//! **Determinism.** Quantization and the dot kernels are branch-free
+//! element-wise loops in ascending index order: bit-identical at any
+//! `SDEA_THREADS` budget and across runs. [`quantized_dot`] performs
+//! exactly the same operations in the same order as the two-step oracle
+//! (dequantize, then [`reference`](crate::kernels::reference)-style dot),
+//! so the fused and unfused paths agree bitwise — the property suite's
+//! oracle check.
+
+/// Largest code magnitude: codes live in `[-127, 127]` so the range is
+/// symmetric around the per-dimension midpoint (`-128` is never produced).
+pub const QMAX: f32 = 127.0;
+
+/// Per-dimension affine quantization parameters for a `[n, d]` table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantParams {
+    /// Step size per dimension; `0.0` for a constant dimension (every code
+    /// is then 0 and reconstruction is exact).
+    pub scale: Vec<f32>,
+    /// Midpoint per dimension: `(min + max) / 2` of the column.
+    pub offset: Vec<f32>,
+}
+
+impl QuantParams {
+    /// The embedding width this parameter set quantizes.
+    pub fn dim(&self) -> usize {
+        self.scale.len()
+    }
+}
+
+/// Quantizes a row-major `[n, d]` table to one `i8` code per element with
+/// per-dimension scale/offset, returning `(codes, params)`.
+///
+/// Each dimension maps its observed `[min, max]` range symmetrically onto
+/// `[-QMAX, QMAX]`. Degenerate cases are exact by construction: a constant
+/// dimension (including all-zero rows in that dimension) gets
+/// `scale = 0.0`, code 0, and reconstructs to the constant itself; an
+/// empty table returns empty codes and zero-length params. Non-finite
+/// inputs clamp into the code range (NaN encodes as code 0).
+pub fn quantize_rows(data: &[f32], n: usize, d: usize) -> (Vec<i8>, QuantParams) {
+    assert_eq!(data.len(), n * d, "quantize_rows: data must be n * d");
+    let mut lo = vec![f32::INFINITY; d];
+    let mut hi = vec![f32::NEG_INFINITY; d];
+    for row in data.chunks_exact(d) {
+        for (j, &x) in row.iter().enumerate() {
+            // min/max ignore NaN (comparisons are false), so a stray NaN
+            // cannot poison a whole dimension's range.
+            if x < lo[j] {
+                lo[j] = x;
+            }
+            if x > hi[j] {
+                hi[j] = x;
+            }
+        }
+    }
+    let mut scale = vec![0.0f32; d];
+    let mut offset = vec![0.0f32; d];
+    for j in 0..d {
+        if n == 0 || !lo[j].is_finite() || !hi[j].is_finite() {
+            continue; // empty or all-NaN column: scale 0, offset 0
+        }
+        offset[j] = 0.5 * (lo[j] + hi[j]);
+        let half_range = 0.5 * (hi[j] - lo[j]);
+        if half_range > 0.0 {
+            scale[j] = half_range / QMAX;
+        }
+    }
+    let mut codes = vec![0i8; n * d];
+    for (row, crow) in data.chunks_exact(d).zip(codes.chunks_exact_mut(d)) {
+        for j in 0..d {
+            if scale[j] > 0.0 {
+                let q = (row[j] - offset[j]) / scale[j];
+                // NaN fails both clamps below and encodes as 0.
+                let q = if q > QMAX {
+                    QMAX
+                } else if q < -QMAX {
+                    -QMAX
+                } else if q.is_nan() {
+                    0.0
+                } else {
+                    q
+                };
+                crow[j] = q.round() as i8;
+            }
+        }
+    }
+    (codes, QuantParams { scale, offset })
+}
+
+/// Reconstructs one quantized row to `f32`: `offset[j] + scale[j]·code`.
+pub fn dequantize_row(codes: &[i8], p: &QuantParams) -> Vec<f32> {
+    assert_eq!(codes.len(), p.dim(), "dequantize_row: code width mismatch");
+    codes.iter().zip(p.scale.iter().zip(&p.offset)).map(|(&c, (&s, &o))| o + s * c as f32).collect()
+}
+
+/// Approximate dot product of an `f32` query row against one quantized
+/// row: `Σ_j q[j] · (offset[j] + scale[j]·code[j])` in ascending `j`.
+///
+/// Operation-for-operation identical to `dot(q, dequantize_row(codes, p))`
+/// — the fused form just skips the intermediate allocation — so the
+/// property suite can assert bitwise agreement with the unfused oracle.
+pub fn quantized_dot(q: &[f32], codes: &[i8], p: &QuantParams) -> f32 {
+    debug_assert_eq!(q.len(), codes.len());
+    debug_assert_eq!(q.len(), p.dim());
+    let mut acc = 0.0f32;
+    for j in 0..q.len() {
+        acc += q[j] * (p.offset[j] + p.scale[j] * codes[j] as f32);
+    }
+    acc
+}
+
+/// Exact `f32` dot product in ascending index order — the same per-element
+/// operation sequence as one output element of the matmul microkernels
+/// (see the determinism contract in [`crate::kernels`]), so shortlist
+/// re-scoring through this function is bit-identical to a full
+/// `matmul_t` row.
+pub fn exact_dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for j in 0..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_per_dim() {
+        let data: Vec<f32> = (0..64).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.37).collect();
+        let (codes, p) = quantize_rows(&data, 8, 8);
+        for (r, row) in data.chunks_exact(8).enumerate() {
+            let back = dequantize_row(&codes[r * 8..(r + 1) * 8], &p);
+            for j in 0..8 {
+                let bound = 0.5 * p.scale[j] + 1e-6;
+                assert!(
+                    (row[j] - back[j]).abs() <= bound,
+                    "row {r} dim {j}: {} vs {} (scale {})",
+                    row[j],
+                    back[j],
+                    p.scale[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dim_reconstructs_exactly() {
+        // Dimension 1 is the constant 0.75 in every row; dimension 0 varies.
+        let data = vec![0.1, 0.75, -0.4, 0.75, 0.9, 0.75];
+        let (codes, p) = quantize_rows(&data, 3, 2);
+        assert_eq!(p.scale[1], 0.0);
+        for r in 0..3 {
+            let back = dequantize_row(&codes[r * 2..(r + 1) * 2], &p);
+            assert_eq!(back[1], 0.75, "constant dims must be exact");
+        }
+    }
+
+    #[test]
+    fn single_row_reconstructs_exactly() {
+        // One row: every dimension is constant, so reconstruction is exact.
+        let data = vec![0.3, -1.7, 0.0, 42.5];
+        let (codes, p) = quantize_rows(&data, 1, 4);
+        assert_eq!(codes, vec![0, 0, 0, 0]);
+        assert_eq!(dequantize_row(&codes, &p), data);
+    }
+
+    #[test]
+    fn all_zero_row_stays_zero() {
+        let data = vec![0.0, 0.0, 0.0, 1.0, -1.0, 0.5];
+        let (codes, p) = quantize_rows(&data, 2, 3);
+        let back = dequantize_row(&codes[..3], &p);
+        // The zero row reconstructs within the bound; with a symmetric
+        // range its codes are the midpoint's nearest code.
+        for (j, &b) in back.iter().enumerate() {
+            assert!(b.abs() <= 0.5 * p.scale[j] + 1e-6, "dim {j}: {b}");
+        }
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let (codes, p) = quantize_rows(&[], 0, 4);
+        assert!(codes.is_empty());
+        assert_eq!(p.dim(), 4);
+        assert!(p.scale.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn fused_dot_matches_unfused_oracle_bitwise() {
+        let data: Vec<f32> = (0..48).map(|i| ((i * 29 % 17) as f32).sin()).collect();
+        let (codes, p) = quantize_rows(&data, 4, 12);
+        let q: Vec<f32> = (0..12).map(|i| ((i * 7 % 5) as f32).cos()).collect();
+        for r in 0..4 {
+            let crow = &codes[r * 12..(r + 1) * 12];
+            let fused = quantized_dot(&q, crow, &p);
+            let unfused = exact_dot(&q, &dequantize_row(crow, &p));
+            assert_eq!(fused.to_bits(), unfused.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn nan_input_encodes_without_poisoning() {
+        let data = vec![f32::NAN, 0.5, 1.0, -0.5, -1.0, 0.0];
+        let (codes, p) = quantize_rows(&data, 3, 2);
+        assert_eq!(codes[0], 0, "NaN encodes as the midpoint code");
+        assert!(p.scale[0].is_finite() && p.offset[0].is_finite());
+        // Other rows in the same dimension still reconstruct within bound.
+        let back = dequantize_row(&codes[2..4], &p);
+        assert!((back[0] - 1.0).abs() <= 0.5 * p.scale[0] + 1e-6);
+    }
+}

@@ -558,6 +558,21 @@ impl Tensor {
         out
     }
 
+    /// The canonical cosine-space view of a rank-2 embedding table: every
+    /// row L2-normalized, zero rows left as zero vectors (their cosine
+    /// against anything is exactly `0.0`, never NaN).
+    ///
+    /// This is *the* normalization helper for every similarity consumer —
+    /// `sdea_eval::cosine_matrix` and the `sdea-index` retrievers all call
+    /// it, so the zero-row convention and the exact operation sequence
+    /// (and therefore bit-identity between those paths) live in one place.
+    /// A thin wrapper over [`Tensor::l2_normalize_rows`], which is also a
+    /// differentiable graph op.
+    pub fn normalized_view(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "normalized_view expects a rank-2 table");
+        self.l2_normalize_rows()
+    }
+
     /// Gathers rows of a rank-2 table into a new rank-2 tensor.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         assert_eq!(self.rank(), 2);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Retrieval-layer benchmark: recall@10-vs-speedup curves for the IVF +
+# int8 index against the exact blocked scan.
+#
+# Runs the bench_index binary at 1/10 benchmark scale (n=1500, d=128),
+# sweeping nlist x nprobe x quantize, and writes the curve to
+# results/BENCH_index.json. Exits non-zero unless some swept setting
+# reaches >= 5x candidate-retrieval speedup at recall@10 >= 0.95 — the
+# retrieval layer's acceptance bar. The quick correctness-asserting
+# version (small world, bitwise nprobe=all check) is what scripts/ci.sh
+# runs as `bench_index --smoke`.
+#
+# SDEA_THREADS controls the thread budget (default 8; the par layer caps
+# it at the machine's cores).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SDEA_THREADS="${SDEA_THREADS:-8}"
+export SDEA_OBS=1
+
+echo "=== bench_index: IVF recall/speedup sweep -> results/BENCH_index.json ==="
+cargo build --release -p sdea-bench --bin bench_index
+./target/release/bench_index
+
+echo "bench_index.sh: done"

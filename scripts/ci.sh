@@ -23,10 +23,16 @@ cargo test -q --workspace --release
 
 # Budget equivalence with observability on: the instrumentation layer must
 # not perturb a single bit of any computed tensor at any thread count.
+# The retrieval suites additionally pin the nprobe=all exact bypass and the
+# retriever-backed metrics/CSLS paths to the matrix paths, bitwise.
 for threads in 1 8; do
   echo "=== budget equivalence: SDEA_THREADS=$threads SDEA_OBS=1 ==="
   SDEA_OBS=1 SDEA_THREADS="$threads" cargo test -q --release \
     -p sdea-tensor -p sdea-eval -p sdea-core --test par_equivalence
+  SDEA_OBS=1 SDEA_THREADS="$threads" cargo test -q --release \
+    -p sdea-index --test equivalence
+  SDEA_OBS=1 SDEA_THREADS="$threads" cargo test -q --release \
+    -p sdea-eval --test retriever_equivalence
 done
 
 # Quick kernel throughput check (seconds): tiled vs. reference matmul
@@ -34,6 +40,12 @@ done
 # including a pipeline run is scripts/bench_kernels.sh.
 echo "=== kernel throughput (quick) ==="
 ./target/release/bench_kernels --kernels-only
+
+# Retrieval-layer smoke (seconds): small-world IVF sweep with bitwise
+# nprobe=all assertions, written to results/BENCH_index_smoke.json. The
+# full recall/speedup curve is scripts/bench_index.sh.
+echo "=== retrieval index smoke ==="
+./target/release/bench_index --smoke
 
 # Fault-injection suite: serialization atomicity/corruption at the tensor
 # layer, checkpoint quarantine-and-fall-back at the core layer.
