@@ -79,12 +79,13 @@ fn bench_kernels_json() -> Json {
 /// The pre-optimization pipeline wall time to compare against. Prefers the
 /// `SDEA_BASELINE_WALL` env var (seconds — set it to a same-machine,
 /// same-arguments measurement of the previous revision, which is the only
-/// fair baseline); falls back to `wall_secs` scraped out of the committed
-/// calibrate run report with plain string scanning (the workspace has no
-/// JSON parser; the report encoder always writes `"wall_secs":<number>`).
+/// fair baseline; malformed values are a hard startup error); falls back to
+/// `wall_secs` scraped out of the committed calibrate run report with plain
+/// string scanning (the report encoder always writes
+/// `"wall_secs":<number>`).
 fn baseline_wall_secs() -> Option<(f64, &'static str)> {
     if let Some(v) =
-        std::env::var("SDEA_BASELINE_WALL").ok().and_then(|v| v.trim().parse::<f64>().ok())
+        sdea_obs::env::parse_or_exit::<f64>("SDEA_BASELINE_WALL", "a wall time in seconds")
     {
         return Some((v, "SDEA_BASELINE_WALL"));
     }

@@ -42,17 +42,19 @@ impl BenchScale {
     }
 }
 
-/// Reads `SDEA_SCALE` (`quick`/`full`; default `quick`).
+/// Reads `SDEA_SCALE` (`quick`/`full`; default `quick`; anything else is a
+/// hard startup error — `SDEA_SCALE=ful` used to silently run quick).
 pub fn bench_scale() -> BenchScale {
-    match std::env::var("SDEA_SCALE").as_deref() {
-        Ok("full") => BenchScale::Full,
+    match sdea_obs::env::enum_or_exit("SDEA_SCALE", &["quick", "full"]) {
+        Some("full") => BenchScale::Full,
         _ => BenchScale::Quick,
     }
 }
 
-/// Reads `SDEA_SEED` (default 2022, the paper's year).
+/// Reads `SDEA_SEED` (default 2022, the paper's year; malformed values are
+/// a hard startup error).
 pub fn bench_seed() -> u64 {
-    std::env::var("SDEA_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2022)
+    sdea_obs::env::parse_or_exit::<u64>("SDEA_SEED", "an unsigned integer seed").unwrap_or(2022)
 }
 
 /// A generated dataset together with its split and corpus — everything a
@@ -320,8 +322,10 @@ pub fn run_full_table(
 /// bit-identically); `SDEA_CKPT_EVERY` sets the mid-stage cadence.
 pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     let mut cfg = SdeaConfig { seed, ..SdeaConfig::default() };
-    let getu = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
-    let getf = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<f32>().ok());
+    // Strict parses: a typo'd override (`SDEA_ATTR_EPOCHS=1O`) used to be
+    // silently dropped, running the default config under the wrong label.
+    let getu = |k: &str| sdea_obs::env::parse_or_exit::<usize>(k, "an unsigned integer");
+    let getf = |k: &str| sdea_obs::env::parse_or_exit::<f32>(k, "a floating-point number");
     if let Some(v) = getu("SDEA_MLM_EPOCHS") {
         cfg.mlm_epochs = v;
     }

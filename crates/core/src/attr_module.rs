@@ -124,6 +124,82 @@ impl AttrModule {
         sequences.iter().map(|s| self.tokenizer.text_to_ids(s)).collect()
     }
 
+    /// The module's configuration (persisted by [`crate::encoder_io`]).
+    pub fn config(&self) -> &SdeaConfig {
+        &self.cfg
+    }
+
+    /// The per-token-id IDF table (persisted by [`crate::encoder_io`]).
+    pub fn idf(&self) -> &[f32] {
+        &self.idf
+    }
+
+    // --- query-time entry points (online serving) ---------------------
+
+    /// Tokenizes one free-text query — the cacheable half of
+    /// [`AttrModule::embed_one`]. Serving layers keep these rows warm
+    /// across requests instead of re-running the subword pass.
+    pub fn tokenize_query(&self, text: &str) -> Vec<u32> {
+        self.tokenizer.text_to_ids(text)
+    }
+
+    /// Embeds pre-tokenized query rows in eval mode: `H_a` as
+    /// `[rows.len(), embed_dim]`. Each row's embedding is independent of
+    /// the batch it rides in (fixed-length padding, per-row pooling), so a
+    /// serving batcher may coalesce arbitrary concurrent queries and still
+    /// return bitwise-identical vectors — pinned by the serve-layer
+    /// determinism suite.
+    pub fn embed_token_rows(&self, rows: &[Vec<u32>]) -> Tensor {
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        // Eval-mode forwards draw no randomness; see `embed_rows`.
+        let mut rng = Rng::seed_from_u64(0);
+        self.embed_rows(rows, &idx, &mut rng)
+    }
+
+    /// Embeds a batch of free-text queries (tokenize + embed in one call).
+    pub fn embed_batch(&self, texts: &[String]) -> Tensor {
+        let rows: Vec<Vec<u32>> = texts.iter().map(|t| self.tokenize_query(t)).collect();
+        self.embed_token_rows(&rows)
+    }
+
+    /// Embeds one free-text query: `H_a` as `[1, embed_dim]`.
+    pub fn embed_one(&self, text: &str) -> Tensor {
+        self.embed_token_rows(std::slice::from_ref(&self.tokenize_query(text)))
+    }
+
+    /// Rebuilds a module from persisted parts (see [`crate::encoder_io`]):
+    /// re-registers the transformer + MLP parameters deterministically by
+    /// name, then overwrites every tensor from `saved`. Fails (typed, no
+    /// panic) when the saved store disagrees with the architecture `cfg`
+    /// implies, or the IDF table does not cover the vocabulary.
+    pub fn from_parts(
+        cfg: SdeaConfig,
+        tokenizer: Tokenizer,
+        saved: &ParamStore,
+        idf: Vec<f32>,
+    ) -> Result<Self, String> {
+        let vocab_len = tokenizer.vocab().len();
+        cfg.lm_config(vocab_len).validate()?;
+        if idf.len() != vocab_len {
+            return Err(format!(
+                "idf table has {} entries for a {vocab_len}-token vocabulary",
+                idf.len()
+            ));
+        }
+        let mut store = ParamStore::new();
+        // Throwaway init: registration fixes names and shapes, then the
+        // saved store overwrites every value by name.
+        let mut init_rng = Rng::seed_from_u64(0);
+        let lm = TransformerLm::new(cfg.lm_config(vocab_len), &mut store, &mut init_rng);
+        let mlp_w = store.add(
+            "attr.mlp.w",
+            init::xavier_uniform(&[cfg.lm_hidden, cfg.embed_dim], &mut init_rng),
+        );
+        let mlp_b = store.add("attr.mlp.b", Tensor::zeros(&[cfg.embed_dim]));
+        store.restore_from_named(saved)?;
+        Ok(AttrModule { store, lm, tokenizer, mlp_w, mlp_b, idf, cfg })
+    }
+
     /// Forward pass on a batch of token rows: returns `H_a` as `[b, d]`.
     fn embed_batch_var(
         &self,
@@ -483,6 +559,25 @@ mod tests {
         );
         assert!(!report.epoch_losses.is_empty());
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn query_entry_points_match_bulk_path_bitwise() {
+        let (s1, _, _) = toy();
+        let mut rng = Rng::seed_from_u64(5);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        let module = AttrModule::build(&cfg, &s1, &mut rng);
+        let cache = module.token_cache(&s1);
+        let bulk = module.embed_all(&cache, &mut rng);
+        // Batch query path over the same texts.
+        assert_eq!(module.embed_batch(&s1), bulk);
+        // Single-query path matches its bulk row exactly.
+        let one = module.embed_one(&s1[3]);
+        assert_eq!(one.row(0), bulk.row(3));
+        // Warm token-cache path (tokenize once, embed later).
+        let rows: Vec<Vec<u32>> = s1.iter().map(|t| module.tokenize_query(t)).collect();
+        assert_eq!(module.embed_token_rows(&rows), bulk);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Persistence for the trained attribute encoder (query-time model).
+//!
+//! [`crate::model_io`] persists a trained model's embedding *tables*, which
+//! answers "rank this known entity". Online serving must also answer "rank
+//! this unseen attribute text", which needs the encoder itself: tokenizer
+//! vocabulary, transformer + MLP weights, IDF table and the config scalars
+//! the embed path depends on. This module packs all of that into one
+//! `SDQE` blob (same checksummed container as every other artifact) and
+//! rebuilds a working [`AttrModule`] from it via [`AttrModule::from_parts`].
+//!
+//! The master `seed` rides along in the config: a serving process re-derives
+//! the KG attribute sequences exactly as the training pipeline did
+//! (`Rng::seed_from_u64(seed)` → first split → [`crate::AttrSequencer`]),
+//! so a served embedding of a known entity is bitwise identical to the
+//! persisted table row.
+
+use crate::attr_module::AttrModule;
+use crate::config::{Pooling, SdeaConfig};
+use sdea_tensor::serialize::{
+    atomic_write_retry, blob_payload, blob_to_bytes, store_from_bytes, store_to_bytes, WireRead,
+    WireWrite,
+};
+use sdea_text::{Tokenizer, Vocab};
+use std::io;
+use std::path::Path;
+
+/// Blob kind tag of the persisted query encoder.
+pub const ENCODER_KIND: &[u8; 4] = b"SDQE";
+
+/// Payload layout version (bump on layout changes).
+const ENCODER_VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("SDQE: {}", msg.into()))
+}
+
+fn need(buf: &&[u8], n: usize, what: &str) -> io::Result<()> {
+    if buf.remaining() < n {
+        Err(invalid(format!("truncated {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn pooling_tag(p: Pooling) -> u8 {
+    match p {
+        Pooling::Cls => 0,
+        Pooling::Mean => 1,
+        Pooling::IdfMean => 2,
+    }
+}
+
+fn pooling_from_tag(t: u8) -> io::Result<Pooling> {
+    match t {
+        0 => Ok(Pooling::Cls),
+        1 => Ok(Pooling::Mean),
+        2 => Ok(Pooling::IdfMean),
+        other => Err(invalid(format!("unknown pooling tag {other}"))),
+    }
+}
+
+/// Serializes the encoder to bytes (blob container included).
+pub fn encoder_to_bytes(module: &AttrModule) -> Vec<u8> {
+    let cfg = module.config();
+    let mut p: Vec<u8> = Vec::new();
+    p.put_u32_le(ENCODER_VERSION);
+    p.put_u64_le(cfg.seed);
+    for v in [
+        cfg.vocab_budget,
+        cfg.lm_hidden,
+        cfg.lm_layers,
+        cfg.lm_heads,
+        cfg.lm_ffn,
+        cfg.max_seq,
+        cfg.embed_dim,
+    ] {
+        p.put_u32_le(v as u32);
+    }
+    p.put_f32_le(cfg.dropout);
+    p.put_u8(pooling_tag(cfg.pooling));
+    p.put_u8(cfg.normalize_embeddings as u8);
+    // Vocabulary: non-special subwords in id order (specials are implicit).
+    let subwords: Vec<&str> =
+        module.tokenizer().vocab().iter().filter(|&(id, _)| id >= 5).map(|(_, t)| t).collect();
+    p.put_u32_le(subwords.len() as u32);
+    for sw in subwords {
+        p.put_u32_le(sw.len() as u32);
+        p.put_slice(sw.as_bytes());
+    }
+    // IDF table.
+    let idf = module.idf();
+    p.put_u32_le(idf.len() as u32);
+    for &v in idf {
+        p.put_f32_le(v);
+    }
+    // All weights, nested as a named store.
+    let store = store_to_bytes(&module.store);
+    p.put_u64_le(store.len() as u64);
+    p.put_slice(&store);
+    blob_to_bytes(ENCODER_KIND, &p)
+}
+
+/// Rebuilds an encoder from [`encoder_to_bytes`] output. Every failure —
+/// corruption, version skew, architecture mismatch — is a typed
+/// `InvalidData` error, never a panic (a serving process hits this at
+/// startup).
+pub fn encoder_from_bytes(bytes: &[u8]) -> io::Result<AttrModule> {
+    let mut buf = blob_payload(bytes, ENCODER_KIND)?;
+    need(&buf, 4, "version")?;
+    let version = buf.get_u32_le();
+    if version != ENCODER_VERSION {
+        return Err(invalid(format!("unsupported encoder version {version}")));
+    }
+    need(&buf, 8 + 7 * 4 + 4 + 2, "config scalars")?;
+    let mut cfg = SdeaConfig { seed: buf.get_u64_le(), ..SdeaConfig::default() };
+    cfg.vocab_budget = buf.get_u32_le() as usize;
+    cfg.lm_hidden = buf.get_u32_le() as usize;
+    cfg.lm_layers = buf.get_u32_le() as usize;
+    cfg.lm_heads = buf.get_u32_le() as usize;
+    cfg.lm_ffn = buf.get_u32_le() as usize;
+    cfg.max_seq = buf.get_u32_le() as usize;
+    cfg.embed_dim = buf.get_u32_le() as usize;
+    cfg.dropout = buf.get_f32_le();
+    cfg.pooling = pooling_from_tag(buf.get_u8())?;
+    cfg.normalize_embeddings = buf.get_u8() != 0;
+    need(&buf, 4, "subword count")?;
+    let n_subwords = buf.get_u32_le() as usize;
+    let mut subwords = Vec::with_capacity(n_subwords.min(1 << 20));
+    for i in 0..n_subwords {
+        need(&buf, 4, "subword length")?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len, "subword bytes")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let sw = String::from_utf8(raw).map_err(|_| invalid(format!("subword {i} not UTF-8")))?;
+        subwords.push(sw);
+    }
+    need(&buf, 4, "idf count")?;
+    let n_idf = buf.get_u32_le() as usize;
+    need(&buf, n_idf * 4, "idf table")?;
+    let mut idf = Vec::with_capacity(n_idf);
+    for _ in 0..n_idf {
+        idf.push(buf.get_f32_le());
+    }
+    need(&buf, 8, "store length")?;
+    let store_len = buf.get_u64_le() as usize;
+    need(&buf, store_len, "weight store")?;
+    let store = store_from_bytes(&buf[..store_len])?;
+    let tokenizer = Tokenizer::new(Vocab::new(subwords));
+    AttrModule::from_parts(cfg, tokenizer, &store, idf).map_err(invalid)
+}
+
+/// Atomically writes the encoder to `path` (fault site `encoder.save`).
+pub fn save_encoder(module: &AttrModule, path: impl AsRef<Path>) -> io::Result<()> {
+    atomic_write_retry(path, &encoder_to_bytes(module), "encoder.save")
+}
+
+/// Loads an encoder written by [`save_encoder`].
+pub fn load_encoder(path: impl AsRef<Path>) -> io::Result<AttrModule> {
+    encoder_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_tensor::Rng;
+
+    fn toy_module() -> AttrModule {
+        let corpus: Vec<String> =
+            (0..20).map(|i| format!("entity nine{i} founded {} in place{i}", 1900 + i)).collect();
+        let mut rng = Rng::seed_from_u64(11);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        AttrModule::build(&cfg, &corpus, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_preserves_embeddings_bitwise() {
+        let module = toy_module();
+        let bytes = encoder_to_bytes(&module);
+        let loaded = encoder_from_bytes(&bytes).unwrap();
+        let texts: Vec<String> =
+            vec!["entity nine3 founded 1903".into(), "never seen query text".into(), "".into()];
+        assert_eq!(module.embed_batch(&texts), loaded.embed_batch(&texts));
+        assert_eq!(loaded.config().seed, module.config().seed);
+        assert_eq!(loaded.idf(), module.idf());
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let module = toy_module();
+        let dir = std::env::temp_dir().join(format!("sdea_encio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("encoder.sdqe");
+        save_encoder(&module, &path).unwrap();
+        let loaded = load_encoder(&path).unwrap();
+        assert_eq!(module.embed_one("entity nine7"), loaded.embed_one("entity nine7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let module = toy_module();
+        let mut bytes = encoder_to_bytes(&module);
+        // Wrong magic.
+        assert!(encoder_from_bytes(&bytes[1..]).is_err());
+        // Flip a payload byte: checksum catches it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = encoder_from_bytes(&bytes).err().expect("corrupt blob must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Truncation at every eighth prefix length parses or errors, never
+        // panics.
+        let good = encoder_to_bytes(&module);
+        for cut in (0..good.len()).step_by(good.len() / 8 + 1) {
+            let _ = encoder_from_bytes(&good[..cut]);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_architecture() {
+        let module = toy_module();
+        let mut cfg = module.config().clone();
+        cfg.lm_hidden = module.config().lm_hidden * 2; // store shapes disagree
+        let tok = module.tokenizer().clone();
+        let idf = module.idf().to_vec();
+        assert!(AttrModule::from_parts(cfg, tok, &module.store, idf).is_err());
+    }
+}

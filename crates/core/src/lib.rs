@@ -35,6 +35,7 @@ pub mod bootstrap;
 pub mod candidates;
 pub mod checkpoint;
 pub mod config;
+pub mod encoder_io;
 pub mod joint;
 pub mod loss;
 pub mod model_io;

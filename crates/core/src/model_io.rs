@@ -57,6 +57,7 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<SdeaModel> {
         attr_report: Default::default(),
         rel_report: Default::default(),
         rel_stage: None,
+        attr_module: None,
     })
 }
 
@@ -117,6 +118,7 @@ mod tests {
             attr_report: Default::default(),
             rel_report: Default::default(),
             rel_stage: None,
+            attr_module: None,
         }
     }
 

@@ -47,6 +47,11 @@ pub struct SdeaModel {
     /// The trained relation stage (for attention introspection). Absent on
     /// models loaded from disk.
     pub rel_stage: Option<crate::trainer::RelStage>,
+    /// The trained attribute encoder (for query-time serving; persist with
+    /// [`crate::encoder_io::save_encoder`]). Absent on models loaded from
+    /// disk and on runs resumed past the attribute stage (the stage
+    /// boundary artifact carries only the embedding tables).
+    pub attr_module: Option<crate::attr_module::AttrModule>,
 }
 
 impl SdeaModel {
@@ -145,8 +150,8 @@ impl<'a> SdeaPipeline<'a> {
         // and embedding outright — everything downstream only consumes the
         // tables, never `seq_rng`/`build_rng`/`fit_rng`.
         let done = ckpt.as_mut().and_then(|c| c.attr_done());
-        let (attr_report, h_a1, h_a2) = match done {
-            Some((h_a1, h_a2, attr_report)) => (attr_report, h_a1, h_a2),
+        let (attr_report, h_a1, h_a2, attr_module) = match done {
+            Some((h_a1, h_a2, attr_report)) => (attr_report, h_a1, h_a2, None),
             None => {
                 let (seq1, seq2) = {
                     let _span = sdea_obs::span("sequencing");
@@ -175,7 +180,7 @@ impl<'a> SdeaPipeline<'a> {
                         sdea_obs::add("ckpt.write_failures", 1);
                     }
                 }
-                (attr_report, h_a1, h_a2)
+                (attr_report, h_a1, h_a2, Some(attr))
             }
         };
 
@@ -246,7 +251,16 @@ impl<'a> SdeaPipeline<'a> {
             (stage.full_embeddings(&h_a1, true, &ids1), stage.full_embeddings(&h_a2, false, &ids2))
         };
 
-        Ok(SdeaModel { h_a1, h_a2, ent1, ent2, attr_report, rel_report, rel_stage: Some(stage) })
+        Ok(SdeaModel {
+            h_a1,
+            h_a2,
+            ent1,
+            ent2,
+            attr_report,
+            rel_report,
+            rel_stage: Some(stage),
+            attr_module,
+        })
     }
 }
 

@@ -232,12 +232,12 @@ impl RelModule {
             RelVariant::NoGru => {
                 outputs = xs.clone();
                 // mean of valid inputs as the global context
-                h_n = masked_mean(g, &xs, &masks);
+                h_n = masked_mean(g, &xs, &masks, zero);
             }
         }
 
         match self.variant {
-            RelVariant::MeanPool => (masked_mean_v(g, &outputs, &masks), None),
+            RelVariant::MeanPool => (masked_mean_v(g, &outputs, &masks, zero), None),
             RelVariant::Full | RelVariant::NoGru => {
                 // attention (Eq. 12–14)
                 let aw = g.param(store, self.att_w);
@@ -256,43 +256,44 @@ impl RelModule {
                     g.constant(m)
                 };
                 let alpha = g.softmax_lastdim(g.add(score_mat, bias)); // Eq. 14
-                                                                       // H_r = sum_t alpha_t * h_t (Eq. 15)
-                let mut acc: Option<Var> = None;
-                for (j, &o) in outputs.iter().enumerate() {
+                                                                       // H_r = sum_t alpha_t * h_t (Eq. 15). The fold seeds from
+                                                                       // the first step (a NeighborBatch always carries t >= 1
+                                                                       // slots), with the shape-correct `zero` as the fallback —
+                                                                       // no panic-capable accumulator unwrap on the forward path.
+                let mut terms = outputs.iter().enumerate().map(|(j, &o)| {
                     let a_j = g.select_col(alpha, j);
-                    let term = g.mul_col(o, a_j);
-                    acc = Some(match acc {
-                        Some(s) => g.add(s, term),
-                        None => term,
-                    });
+                    g.mul_col(o, a_j)
+                });
+                let mut acc = terms.next().unwrap_or(zero);
+                for term in terms {
+                    acc = g.add(acc, term);
                 }
-                (acc.expect("t >= 1"), Some(g.value_cloned(alpha)))
+                (acc, Some(g.value_cloned(alpha)))
             }
         }
     }
 }
 
-/// Masked mean over a list of `[b,d]` step tensors.
-fn masked_mean(g: &Graph, xs: &[Var], masks: &[Var]) -> Var {
-    masked_mean_v(g, xs, masks)
+/// Masked mean over a list of `[b,d]` step tensors; `empty` is the
+/// shape-correct result for a (structurally impossible) zero-step list.
+fn masked_mean(g: &Graph, xs: &[Var], masks: &[Var], empty: Var) -> Var {
+    masked_mean_v(g, xs, masks, empty)
 }
 
-fn masked_mean_v(g: &Graph, xs: &[Var], masks: &[Var]) -> Var {
-    let mut num: Option<Var> = None;
-    let mut den: Option<Var> = None;
-    for (&x, &m) in xs.iter().zip(masks) {
-        let xm = g.mul_col(x, m);
-        num = Some(match num {
-            Some(s) => g.add(s, xm),
-            None => xm,
-        });
-        den = Some(match den {
-            Some(s) => g.add(s, m),
-            None => m,
-        });
+fn masked_mean_v(g: &Graph, xs: &[Var], masks: &[Var], empty: Var) -> Var {
+    // Seed the two folds from the first step so the accumulators are never
+    // panic-capable options (a NeighborBatch always carries t >= 1 slots;
+    // `empty` covers the unreachable case without an unwrap).
+    let mut it = xs.iter().zip(masks);
+    let Some((&x0, &m0)) = it.next() else {
+        return empty;
+    };
+    let mut num = g.mul_col(x0, m0);
+    let mut den = m0;
+    for (&x, &m) in it {
+        num = g.add(num, g.mul_col(x, m));
+        den = g.add(den, m);
     }
-    let num = num.expect("non-empty");
-    let den = den.expect("non-empty");
     // 1 / max(den, 1): implemented via reciprocal on (den + tiny) after
     // clamping zeros to one (zero-neighbour rows produce zero output).
     let inv = g.recip_clamped(den);

@@ -273,6 +273,67 @@ mod tests {
         assert!((m.mrr - 0.5).abs() < 1e-12);
     }
 
+    /// Regression (serving hardening): zero-norm embedding rows — e.g. an
+    /// empty attribute text after normalization — must behave identically
+    /// in the matrix path and every retriever backend, and can never push
+    /// NaN into MRR. The convention ([`Tensor::normalized_view`]) is that
+    /// a zero row's cosine against anything is exactly `0.0`.
+    #[test]
+    fn zero_norm_rows_agree_across_paths_and_keep_mrr_finite() {
+        use sdea_index::{IndexConfig, IndexKind, IvfRetriever};
+        // src row 1 and tgt rows 0, 2 are all-zero.
+        let src = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.6, 0.8], &[3, 2]);
+        let tgt =
+            Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 1.0], &[5, 2]);
+        let gold = vec![1, 0, 4];
+        let sim = crate::similarity::cosine_matrix(&src, &tgt);
+        // Zero rows and zero columns score exactly 0.0 — bitwise, not NaN.
+        for j in 0..5 {
+            assert_eq!(sim.row(1)[j].to_bits(), 0.0f32.to_bits(), "zero query vs target {j}");
+        }
+        for (i, row) in (0..3).map(|i| sim.row(i)).enumerate() {
+            assert_eq!(row[0].to_bits(), 0.0f32.to_bits(), "query {i} vs zero target");
+            assert_eq!(row[2].to_bits(), 0.0f32.to_bits(), "query {i} vs zero target");
+        }
+        let via_matrix = evaluate_ranking(&sim, &gold);
+        assert!(via_matrix.mrr.is_finite() && via_matrix.mrr > 0.0, "MRR must stay finite");
+        // Exact retriever: per-hit scores bitwise equal the matrix cells.
+        let exact = ExactRetriever::new(&tgt);
+        for (i, hits) in exact.search(&src, 5).iter().enumerate() {
+            assert_eq!(hits.len(), 5);
+            for &(j, s) in hits {
+                assert_eq!(s.to_bits(), sim.row(i)[j].to_bits(), "query {i} target {j}");
+            }
+        }
+        // Both backends produce the same metrics as the matrix, bitwise.
+        let ivf = IvfRetriever::build(
+            &tgt,
+            &IndexConfig { kind: IndexKind::Ivf, nlist: 2, nprobe: 0, quantize: true },
+        );
+        for (name, m) in [
+            ("exact", evaluate_retrieved(&exact, &src, &gold, 5)),
+            ("ivf", evaluate_retrieved(&ivf, &src, &gold, 5)),
+        ] {
+            assert_eq!(m.hits1.to_bits(), via_matrix.hits1.to_bits(), "{name} hits1");
+            assert_eq!(m.hits10.to_bits(), via_matrix.hits10.to_bits(), "{name} hits10");
+            assert_eq!(m.mrr.to_bits(), via_matrix.mrr.to_bits(), "{name} mrr");
+        }
+    }
+
+    /// An all-zero gold row still ranks deterministically: every score in
+    /// its row is an exact 0.0 tie, so rank falls back to index order.
+    #[test]
+    fn all_zero_query_row_ranks_by_index_ties() {
+        let src = Tensor::zeros(&[1, 3]);
+        let tgt = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]);
+        let sim = crate::similarity::cosine_matrix(&src, &tgt);
+        assert_eq!(rank_of(sim.row(0), 0), 1);
+        assert_eq!(rank_of(sim.row(0), 1), 2);
+        let m = evaluate_ranking(&sim, &[1]);
+        assert!(m.mrr.is_finite());
+        assert!((m.mrr - 0.5).abs() < 1e-12);
+    }
+
     #[test]
     fn paper_row_format() {
         let m = AlignmentMetrics { hits1: 0.87, hits10: 0.966, mrr: 0.91 };

@@ -6,12 +6,16 @@
 use crate::lexer::{clean, CleanFile};
 
 /// Rust crates whose non-test code must be bit-deterministic (rule
-/// `D-HASH-ITER`): everything between input tensors and output metrics.
-pub const COMPUTE_CRATES: &[&str] = &["tensor", "core", "eval", "baselines", "lm", "index"];
+/// `D-HASH-ITER`): everything between input tensors and output metrics,
+/// including the serving data path (batched queries must score
+/// bit-identically to offline ranking).
+pub const COMPUTE_CRATES: &[&str] =
+    &["tensor", "core", "eval", "baselines", "lm", "index", "serve"];
 
-/// Crates allowed to read wall clocks (rule `D-WALL-CLOCK`): observability
-/// and the benchmark harness, which exist to measure time.
-pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench"];
+/// Crates allowed to read wall clocks (rule `D-WALL-CLOCK`): observability,
+/// the benchmark harness, and the server (batching windows and request
+/// deadlines are wall-clock by nature and never feed a computation).
+pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench", "serve"];
 
 /// The one file allowed to create threads (rule `D-THREAD-SPAWN`).
 pub const SPAWN_ALLOWED_FILE: &str = "crates/tensor/src/par.rs";

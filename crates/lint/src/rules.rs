@@ -48,11 +48,13 @@ pub const RULES: &[RuleInfo] = &[
         id: "D-THREAD-SPAWN",
         scope: "all crates, non-test",
         description: "no thread spawning outside sdea_tensor::par — the deterministic fork-join \
-                      runtime owns the thread budget (SDEA_THREADS)",
+                      runtime owns the thread budget (SDEA_THREADS); sdea-serve I/O threads \
+                      (accept loop, batch worker) are the one sanctioned exception, and each \
+                      site must justify with `// lint: serve-spawn`",
     },
     RuleInfo {
         id: "D-WALL-CLOCK",
-        scope: "all but obs/bench, non-test",
+        scope: "all but obs/bench/serve, non-test",
         description: "no Instant/SystemTime outside observability and benchmarks: wall time must \
                       never feed a computation",
     },
@@ -274,16 +276,26 @@ fn thread_spawn(a: &Analysis, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let line = a.line_of(p);
-        if a.is_prod_line(line) {
-            out.push(diag(
-                a,
-                p,
-                "D-THREAD-SPAWN",
-                "thread creation outside sdea_tensor::par breaks the deterministic fork-join \
-                 budget (SDEA_THREADS); use par::map_chunks/join instead"
-                    .to_string(),
-            ));
+        if !a.is_prod_line(line) {
+            continue;
         }
+        // The serving layer is the one sanctioned concurrency consumer
+        // outside the fork-join runtime: connection threads and the batch
+        // worker are I/O-driven and never feed a deterministic
+        // computation. Each spawn site still carries an explicit marker
+        // so new ones are a reviewed decision, not an accident.
+        if a.crate_key == "serve" && a.justified(line, "lint: serve-spawn") {
+            continue;
+        }
+        out.push(diag(
+            a,
+            p,
+            "D-THREAD-SPAWN",
+            "thread creation outside sdea_tensor::par breaks the deterministic fork-join \
+             budget (SDEA_THREADS); use par::map_chunks/join (or, in sdea-serve only, \
+             justify with `// lint: serve-spawn`)"
+                .to_string(),
+        ));
     }
 }
 
@@ -487,6 +499,10 @@ mod tests {
                        m.keys().cloned().collect()\n\
                    }\n";
         assert!(diags("crates/core/src/x.rs", src).iter().any(|d| d.rule == "D-HASH-ITER"));
+        assert!(
+            diags("crates/serve/src/x.rs", src).iter().any(|d| d.rule == "D-HASH-ITER"),
+            "the serving data path is a compute crate"
+        );
         assert!(diags("crates/kg/src/x.rs", src).is_empty(), "kg is not a compute crate");
     }
 
@@ -498,11 +514,33 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_allowed_in_obs_and_bench() {
+    fn serve_spawn_needs_the_justification_marker() {
+        let unjustified = "pub fn go() { std::thread::spawn(|| {}); }\n";
+        assert!(
+            diags("crates/serve/src/server.rs", unjustified)
+                .iter()
+                .any(|d| d.rule == "D-THREAD-SPAWN"),
+            "a bare spawn in serve still fires"
+        );
+        let justified = "pub fn go() {\n\
+                         // lint: serve-spawn — connection thread\n\
+                         std::thread::spawn(|| {});\n\
+                         }\n";
+        assert!(diags("crates/serve/src/server.rs", justified).is_empty());
+        // The marker does not travel: other crates stay locked down.
+        assert!(
+            diags("crates/core/src/x.rs", justified).iter().any(|d| d.rule == "D-THREAD-SPAWN"),
+            "the serve carve-out must not apply to core"
+        );
+    }
+
+    #[test]
+    fn wall_clock_allowed_in_obs_bench_and_serve() {
         let src = "pub fn t() { let _ = std::time::Instant::now(); }\n";
         assert!(diags("crates/synth/src/x.rs", src).iter().any(|d| d.rule == "D-WALL-CLOCK"));
         assert!(diags("crates/obs/src/x.rs", src).is_empty());
         assert!(diags("crates/bench/src/x.rs", src).is_empty());
+        assert!(diags("crates/serve/src/batcher.rs", src).is_empty());
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! A minimal JSON encoder — the workspace builds air-gapped, so no serde.
+//! A minimal JSON encoder and parser — the workspace builds air-gapped, so
+//! no serde.
 //!
-//! Only what run reports need: objects with ordered keys, arrays, strings,
-//! numbers, booleans and null. Non-finite numbers encode as `null` (JSON
-//! has no NaN/Infinity), which is the behavior consumers of
-//! `run_report_*.json` should expect for e.g. a `stable_hits1` that was
-//! never computed.
+//! Only what run reports and the serving wire format need: objects with
+//! ordered keys, arrays, strings, numbers, booleans and null. Non-finite
+//! numbers encode as `null` (JSON has no NaN/Infinity), which is the
+//! behavior consumers of `run_report_*.json` should expect for e.g. a
+//! `stable_hits1` that was never computed. The parser ([`Json::parse`])
+//! accepts standard JSON text and is used by `sdea-serve` to decode
+//! request bodies.
 
 use std::fmt::Write as _;
 
@@ -43,6 +46,51 @@ impl Json {
         out
     }
 
+    /// Parses JSON text into a tree. Strict on structure (rejects trailing
+    /// garbage, unterminated strings, bare words), lenient on whitespace.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -77,6 +125,176 @@ impl Json {
                     v.write(out);
                 }
                 out.push('}');
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected {:?} at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not needed by any SDEA
+                            // producer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is a &str, so the
+                    // byte boundaries are valid by construction)
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    if let Some(c) = s.chars().next() {
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
         }
     }
@@ -135,5 +353,57 @@ mod tests {
         assert_eq!(Json::Num(0.1).encode(), "0.1");
         assert_eq!(Json::Num(2022.0).encode(), "2022");
         assert_eq!(Json::Num(-3.25).encode(), "-3.25");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null"), Ok(Json::Null));
+        assert_eq!(Json::parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(Json::parse("false"), Ok(Json::Bool(false)));
+        assert_eq!(Json::parse("1.5"), Ok(Json::Num(1.5)));
+        assert_eq!(Json::parse("-3e2"), Ok(Json::Num(-300.0)));
+        assert_eq!(Json::parse("\"hi\""), Ok(Json::str("hi")));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = Json::parse(r#"{"queries":["a","b"],"k":5,"deep":{"x":[1,2,3]}}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_f64), Some(5.0));
+        let q = v.get("queries").and_then(Json::as_array).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].as_str(), Some("a"));
+        assert_eq!(
+            v.get("deep").and_then(|d| d.get("x")).and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(Json::parse("{}"), Ok(Json::Obj(vec![])));
+        assert_eq!(Json::parse("[]"), Ok(Json::Arr(vec![])));
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        assert_eq!(Json::parse(r#""a\"b\\c\nd""#), Ok(Json::str("a\"b\\c\nd")));
+        assert_eq!(Json::parse(r#""A""#), Ok(Json::str("A")));
+        assert_eq!(Json::parse("\"héllo\""), Ok(Json::str("héllo")));
+    }
+
+    #[test]
+    fn parse_round_trips_encode() {
+        let v = Json::obj(vec![
+            ("s", Json::str("line\nbreak \"q\"")),
+            ("n", Json::Num(-0.125)),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(7.0)])),
+            ("o", Json::obj(vec![("k", Json::str("v"))])),
+        ]);
+        assert_eq!(Json::parse(&v.encode()), Ok(v));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in
+            ["", "{", "[1,", "\"open", "{\"a\":}", "tru", "1 2", "{'a':1}", "[1,2] extra", "nan"]
+        {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 }

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod env;
 pub mod fsio;
 pub mod json;
 pub mod registry;

@@ -120,17 +120,16 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 fn env_enabled() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        !matches!(
-            std::env::var("SDEA_OBS").as_deref().map(str::trim),
-            Ok("0") | Ok("false") | Ok("off")
-        )
-    })
+    // Strict: only the documented spellings are accepted. A typo like
+    // `SDEA_OBS=of` used to silently *enable* observability; now it is a
+    // hard startup error (crate::env exits with a clear message).
+    *ENV.get_or_init(|| crate::env::bool_or_exit("SDEA_OBS").unwrap_or(true))
 }
 
 /// Whether instrumentation records anything. Resolution order: programmatic
 /// override ([`set_enabled`]) → the `SDEA_OBS` environment variable
-/// (`0`/`false`/`off` disable) → enabled.
+/// (`0`/`false`/`off` disable, `1`/`true`/`on` enable, anything else is a
+/// hard error) → enabled.
 pub fn enabled() -> bool {
     match OVERRIDE.load(Ordering::Relaxed) {
         1 => true,

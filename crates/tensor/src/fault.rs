@@ -71,7 +71,12 @@ fn registry() -> &'static Mutex<Registry> {
                     Some((site, nth, mode)) => {
                         reg.armed.push(Armed { site, nth, mode, fired: false })
                     }
-                    None => eprintln!("SDEA_FAULT: ignoring malformed spec {part:?}"),
+                    // A malformed spec used to be skipped with a warning,
+                    // which silently disarms the fault a test meant to
+                    // inject; hard-error like every other SDEA_* variable.
+                    None => sdea_obs::env::die(&format!(
+                        "invalid SDEA_FAULT spec {part:?}: expected <site>:<nth>[:kill|error|corrupt]"
+                    )),
                 }
             }
         }

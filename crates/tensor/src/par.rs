@@ -49,7 +49,13 @@ fn env_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
     *ENV.get_or_init(|| {
         let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        match std::env::var("SDEA_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        // Strict parse: a malformed value (`SDEA_THREADS=banana`) used to be
+        // silently ignored, leaving a server running on the default budget —
+        // now it is a hard startup error. `0`, unset and blank mean "auto".
+        match sdea_obs::env::parse_or_exit::<usize>(
+            "SDEA_THREADS",
+            "a non-negative integer worker count (0 = auto)",
+        ) {
             // The env var expresses "use up to N": budgets past the hardware
             // would only buy spawn + context-switch overhead (measured ~25%
             // of a pipeline run on a 1-core container), so it is capped.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: client-observed latency (p50/p99) and
+# throughput (QPS) for the sdea-serve HTTP server, per concurrency level.
+#
+# bench_serve is self-contained: it trains the tiny fixture model
+# in-process, serves it on an ephemeral loopback port, fires closed-loop
+# client threads at it, and writes the report to
+# results/BENCH_serve.json. Concurrency > 1 exercises the request
+# batcher — the coalesced batch sizes show up under `serve.batch_size`
+# in GET /metrics.
+#
+# SDEA_THREADS controls the model's thread budget (default 8);
+# SDEA_BATCH_WINDOW_US / SDEA_MAX_BATCH tune the batcher itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SDEA_THREADS="${SDEA_THREADS:-8}"
+export SDEA_OBS=1
+
+echo "=== bench_serve: serving latency/QPS -> results/BENCH_serve.json ==="
+cargo build --release -p sdea-serve --bin bench_serve
+./target/release/bench_serve --levels 1,4 "$@"
+
+echo "bench_serve.sh: done"

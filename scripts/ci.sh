@@ -59,4 +59,54 @@ cargo test -q --release -p sdea-core -- checkpoint::
 echo "=== kill-and-resume smoke ==="
 cargo test -q --release --test checkpoint_resume
 
+# Serving smoke (drives the real binaries): train a tiny model, export
+# the query encoder, serve it over HTTP, and require the served top-1 to
+# equal the offline query path's answer for the same text. `wait` then
+# checks the server exited 0 — a clean graceful shutdown, not a kill.
+echo "=== serving smoke ==="
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+./target/release/sdea generate zh_en "$SERVE_TMP/ds" --links 60 --seed 7
+./target/release/sdea align "$SERVE_TMP/ds" --tiny --seed 7 \
+  --out "$SERVE_TMP/model.sdt" --encoder-out "$SERVE_TMP/encoder.sdqe"
+QUERY="capital city founded 1850 population 120000"
+OFFLINE=$(./target/release/sdea rank "$SERVE_TMP/ds" "$SERVE_TMP/model.sdt" \
+  --query "$QUERY" --encoder "$SERVE_TMP/encoder.sdqe" --top 1 | sed -n '2p' | awk '{print $2}')
+[ -n "$OFFLINE" ] || { echo "serve smoke: offline rank produced no answer"; exit 1; }
+./target/release/sdea_serve serve "$SERVE_TMP/ds" "$SERVE_TMP/model.sdt" \
+  "$SERVE_TMP/encoder.sdqe" --addr 127.0.0.1:0 --port-file "$SERVE_TMP/port" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_TMP/port" ] && break; sleep 0.1; done
+[ -s "$SERVE_TMP/port" ] || { echo "serve smoke: server never wrote its port file"; exit 1; }
+PORT="$(cat "$SERVE_TMP/port")"
+SERVED=$(./target/release/sdea_serve query "127.0.0.1:$PORT" "$QUERY" --k 1 | awk 'NR==1{print $2}')
+if [ -z "$SERVED" ] || [ "$SERVED" != "$OFFLINE" ]; then
+  echo "serve smoke: served top-1 '$SERVED' != offline answer '$OFFLINE'"
+  exit 1
+fi
+./target/release/sdea_serve shutdown "127.0.0.1:$PORT"
+wait "$SERVE_PID"
+echo "serve smoke: served top-1 '$SERVED' matches offline; graceful shutdown clean"
+
+# Serving latency smoke: closed-loop load at 2 concurrency levels,
+# report to results/BENCH_serve.json. Full run is scripts/bench_serve.sh.
+echo "=== serving latency smoke ==="
+./target/release/bench_serve --smoke
+
+# Env strictness: a malformed SDEA_* value must abort startup with a
+# diagnostic naming the variable — never be silently ignored.
+echo "=== env strictness smoke ==="
+if SDEA_MAX_BATCH=banana ./target/release/sdea_serve serve x y z 2>"$SERVE_TMP/env_err"; then
+  echo "env smoke: malformed SDEA_MAX_BATCH was accepted"
+  exit 1
+fi
+grep -q "SDEA_MAX_BATCH" "$SERVE_TMP/env_err" \
+  || { echo "env smoke: diagnostic does not name SDEA_MAX_BATCH"; cat "$SERVE_TMP/env_err"; exit 1; }
+if SDEA_THREADS=-3 ./target/release/sdea_serve serve x y z 2>"$SERVE_TMP/env_err"; then
+  echo "env smoke: malformed SDEA_THREADS was accepted"
+  exit 1
+fi
+grep -q "SDEA_THREADS" "$SERVE_TMP/env_err" \
+  || { echo "env smoke: diagnostic does not name SDEA_THREADS"; cat "$SERVE_TMP/env_err"; exit 1; }
+
 echo "ci.sh: all checks passed"

@@ -4,14 +4,22 @@
 //!
 //! * `generate <profile> <dir> [--links N] [--seed S]` — generate a
 //!   benchmark dataset and write it as OpenEA-style TSV files.
-//! * `align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny]
-//!   [--checkpoint <ckpt-dir>] [--ckpt-every N]` — load a dataset directory
-//!   (as written by `generate`, or any OpenEA-format dump), train SDEA,
-//!   report metrics, optionally save the model. With `--checkpoint`,
-//!   training is crash-safe: rerunning the same command resumes from the
-//!   last intact checkpoint in the directory, bit-identically.
-//! * `rank <dir> <model.sdt> <entity-name> [--top K]` — load a trained
-//!   model and print the top-K aligned candidates for one KG1 entity.
+//! * `align <dir> [--seed S] [--out model.sdt] [--encoder-out enc.sdqe]
+//!   [--matching] [--tiny] [--checkpoint <ckpt-dir>] [--ckpt-every N]` —
+//!   load a dataset directory (as written by `generate`, or any
+//!   OpenEA-format dump), train SDEA, report metrics, optionally save the
+//!   model and/or the query encoder (the artifact `sdea_serve` loads).
+//!   With `--checkpoint`, training is crash-safe: rerunning the same
+//!   command resumes from the last intact checkpoint in the directory,
+//!   bit-identically.
+//! * `rank <dir> <model.sdt> <entity-name> [--top K] [--attr]` — load a
+//!   trained model and print the top-K aligned candidates for one KG1
+//!   entity. `--attr` ranks in the attribute-embedding space (the space
+//!   the serving path queries in) instead of the fused entity space.
+//!   With `--query <text> --encoder <enc.sdqe>` the positional entity
+//!   name is dropped and the query *text* is embedded through the saved
+//!   encoder instead — the offline twin of `sdea_serve`'s `/v1/align`,
+//!   used by CI to prove the served answer matches this path.
 //! * `profiles` — list available dataset profiles.
 //!
 //! Dataset directory layout (`generate` writes, `align`/`rank` read):
@@ -39,9 +47,10 @@ fn main() {
             eprintln!(
                 "usage: sdea <generate|align|rank|profiles> ...\n\
                  \n  sdea generate <profile> <dir> [--links N] [--seed S]\
-                 \n  sdea align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny]\
-                 \n             [--checkpoint <ckpt-dir>] [--ckpt-every N]\
-                 \n  sdea rank <dir> <model.sdt> <entity-name> [--top K]\
+                 \n  sdea align <dir> [--seed S] [--out model.sdt] [--encoder-out enc.sdqe]\
+                 \n             [--matching] [--tiny] [--checkpoint <ckpt-dir>] [--ckpt-every N]\
+                 \n  sdea rank <dir> <model.sdt> <entity-name> [--top K] [--attr]\
+                 \n  sdea rank <dir> <model.sdt> --query <text> --encoder <enc.sdqe> [--top K]\
                  \n  sdea profiles"
             );
             2
@@ -126,8 +135,8 @@ fn load_dir(dir: &Path) -> std::io::Result<(KnowledgeGraph, KnowledgeGraph, Alig
 fn cmd_align(args: &[String]) -> i32 {
     let Some(dir) = args.first() else {
         eprintln!(
-            "usage: sdea align <dir> [--seed S] [--out model.sdt] [--matching] [--tiny] \
-             [--checkpoint <ckpt-dir>] [--ckpt-every N]"
+            "usage: sdea align <dir> [--seed S] [--out model.sdt] [--encoder-out enc.sdqe] \
+             [--matching] [--tiny] [--checkpoint <ckpt-dir>] [--ckpt-every N]"
         );
         return 2;
     };
@@ -195,16 +204,36 @@ fn cmd_align(args: &[String]) -> i32 {
         }
         println!("model saved to {out}");
     }
+    if let Some(out) = flag_value(args, "--encoder-out") {
+        // The encoder only exists when the attribute stage ran in this
+        // process; a resume past attr_done has tables but no weights.
+        let Some(module) = model.attr_module.as_ref() else {
+            eprintln!(
+                "cannot save encoder: the attribute stage was skipped (checkpoint resume); \
+                 retrain from scratch to export the encoder"
+            );
+            return 1;
+        };
+        if let Err(e) = sdea::core::encoder_io::save_encoder(module, &out) {
+            eprintln!("cannot save encoder: {e}");
+            return 1;
+        }
+        println!("encoder saved to {out}");
+    }
     0
 }
 
 fn cmd_rank(args: &[String]) -> i32 {
-    let (Some(dir), Some(model_path), Some(entity)) = (args.first(), args.get(1), args.get(2))
-    else {
-        eprintln!("usage: sdea rank <dir> <model.sdt> <entity-name> [--top K]");
+    let query_text = flag_value(args, "--query");
+    let (Some(dir), Some(model_path)) = (args.first(), args.get(1)) else {
+        eprintln!(
+            "usage: sdea rank <dir> <model.sdt> <entity-name> [--top K] [--attr]\n\
+             \x20      sdea rank <dir> <model.sdt> --query <text> --encoder <enc.sdqe> [--top K]"
+        );
         return 2;
     };
     let top = flag_value(args, "--top").and_then(|v| v.parse().ok()).unwrap_or(5usize);
+    let attr_space = args.iter().any(|a| a == "--attr");
     let (kg1, kg2, _) = match load_dir(Path::new(dir)) {
         Ok(x) => x,
         Err(e) => {
@@ -219,14 +248,40 @@ fn cmd_rank(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let Some(e1) = kg1.find_entity(entity) else {
-        eprintln!("entity {entity:?} not found in KG1");
-        return 1;
+    // Two query modes: a KG1 entity looked up in its table, or free text
+    // embedded through the saved encoder (the serving path's offline twin
+    // — always attribute-space).
+    let (src, dst_table, label) = if let Some(text) = query_text {
+        let Some(encoder_path) = flag_value(args, "--encoder") else {
+            eprintln!("--query needs --encoder <enc.sdqe> (from `sdea align --encoder-out`)");
+            return 2;
+        };
+        let encoder = match sdea::core::encoder_io::load_encoder(&encoder_path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot load encoder: {e}");
+                return 1;
+            }
+        };
+        (encoder.embed_one(&text), &model.h_a2, format!("{text:?}"))
+    } else {
+        let Some(entity) = args.get(2) else {
+            eprintln!("usage: sdea rank <dir> <model.sdt> <entity-name> [--top K] [--attr]");
+            return 2;
+        };
+        let Some(e1) = kg1.find_entity(entity) else {
+            eprintln!("entity {entity:?} not found in KG1");
+            return 1;
+        };
+        // --attr ranks in the attribute space (what `sdea_serve` queries
+        // in); the default is the fused [H_r; H_a; H_m] entity space.
+        let (src_table, dst_table) =
+            if attr_space { (&model.h_a1, &model.h_a2) } else { (&model.ent1, &model.ent2) };
+        (src_table.gather_rows(&[e1.0 as usize]), dst_table, entity.clone())
     };
-    let src = model.ent1.gather_rows(&[e1.0 as usize]);
-    let sim = sdea::eval::cosine_matrix(&src, &model.ent2);
+    let sim = sdea::eval::cosine_matrix(&src, dst_table);
     let best = sdea::eval::top_k_indices(sim.data(), top);
-    println!("top {top} candidates for {entity}:");
+    println!("top {top} candidates for {label}:");
     for (rank, &j) in best.iter().enumerate() {
         println!(
             "  {}. {:<30} cosine {:+.3}",
