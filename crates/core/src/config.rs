@@ -82,6 +82,19 @@ pub struct SdeaConfig {
     /// 0 checkpoints only at stage boundaries. Ignored without
     /// `checkpoint_dir`. Like `threads`/`obs`, this never changes results.
     pub checkpoint_every: usize,
+    /// Rows per spilled embedding shard when the final `H_a` tables stream
+    /// through the out-of-core path (`AttrModule::embed_all_spill`); 0
+    /// means one shard holding the whole table. Execution knob: per-row
+    /// embeddings are independent of batch and shard composition, so any
+    /// value yields bit-identical tables (pinned by the equivalence
+    /// suites) and this never enters the config fingerprint.
+    pub embed_shard_rows: usize,
+    /// Query rows per block in blocked evaluation (`sdea_eval`'s
+    /// `evaluate_ranking_blocked` family); 0 evaluates all queries in one
+    /// block. Execution knob: blocked evaluation is bit-identical to the
+    /// materialized-matrix path at any value, only the peak memory of the
+    /// similarity block changes.
+    pub eval_block_rows: usize,
     /// Retrieval backend for every ranking path (candidate generation,
     /// bootstrap mutual-nearest pairs). The default exact backend is
     /// bit-identical to the historical full-matrix scans; an IVF backend
@@ -146,6 +159,8 @@ impl Default for SdeaConfig {
             obs: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            embed_shard_rows: 2048,
+            eval_block_rows: 512,
             index: IndexConfig::default(),
         }
     }
@@ -184,6 +199,8 @@ impl SdeaConfig {
             obs: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            embed_shard_rows: 2048,
+            eval_block_rows: 512,
             index: IndexConfig::default(),
         }
     }

@@ -12,7 +12,7 @@ use crate::config::SdeaConfig;
 use crate::joint::JointHead;
 use crate::loss::margin_ranking_loss;
 use crate::rel_module::{NeighborBatch, RelModule, RelVariant};
-use sdea_eval::{cosine_matrix, evaluate_ranking};
+use sdea_eval::evaluate_ranking_blocked;
 use sdea_kg::{EntityId, KnowledgeGraph};
 use sdea_tensor::{Adam, GradClip, Graph, Optimizer, ParamStore, Rng, Tensor};
 
@@ -251,7 +251,7 @@ impl RelStage {
             // stopping never discards trained weights.
             let hits1 = if has_valid {
                 let _span = sdea_obs::span("validate");
-                self.validate(h_a1, h_a2, valid)
+                self.validate(h_a1, h_a2, valid, cfg.eval_block_rows)
             } else {
                 0.0
             };
@@ -302,8 +302,17 @@ impl RelStage {
         report
     }
 
-    /// Validation Hits@1 on the full `H_ent`.
-    pub fn validate(&self, h_a1: &Tensor, h_a2: &Tensor, valid: &[(EntityId, EntityId)]) -> f64 {
+    /// Validation Hits@1 on the full `H_ent`. The similarity scan runs in
+    /// blocks of `block_rows` query rows (`0` = one block), so only an
+    /// `block_rows × n2` slab is ever resident — bit-identical to the
+    /// materialized matrix path at any block size.
+    pub fn validate(
+        &self,
+        h_a1: &Tensor,
+        h_a2: &Tensor,
+        valid: &[(EntityId, EntityId)],
+        block_rows: usize,
+    ) -> f64 {
         if valid.is_empty() {
             return 0.0;
         }
@@ -311,9 +320,8 @@ impl RelStage {
         let all_targets: Vec<EntityId> = (0..h_a2.shape()[0] as u32).map(EntityId).collect();
         let src = self.full_embeddings(h_a1, true, &sources);
         let tgt = self.full_embeddings(h_a2, false, &all_targets);
-        let sim = cosine_matrix(&src, &tgt);
         let gold: Vec<usize> = valid.iter().map(|&(_, e)| e.0 as usize).collect();
-        evaluate_ranking(&sim, &gold).hits1
+        evaluate_ranking_blocked(&src, &tgt, &gold, block_rows).hits1
     }
 }
 
@@ -358,9 +366,9 @@ mod tests {
             (0..n as u32).map(|i| (EntityId(i), EntityId(i))).collect();
         let train = &pairs[..24];
         let valid = &pairs[24..];
-        let before = stage.validate(&h1, &h2, valid);
+        let before = stage.validate(&h1, &h2, valid, cfg.eval_block_rows);
         let report = stage.fit(&cfg, &h1, &h2, train, valid, &mut rng);
-        let after = stage.validate(&h1, &h2, valid);
+        let after = stage.validate(&h1, &h2, valid, cfg.eval_block_rows);
         assert!(after >= before * 0.9, "rel stage regressed: {before} -> {after}");
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     }

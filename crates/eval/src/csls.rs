@@ -83,6 +83,91 @@ pub fn neighborhood_means(retr: &dyn Retriever, queries: &Tensor, k: usize) -> V
         .collect()
 }
 
+/// CSLS-corrected alignment metrics computed **blocked**: takes the raw
+/// embeddings, streams the similarity in `block_rows`-high query blocks (0
+/// means one block) and never materializes the full `n × m` matrix — not
+/// for the row means, not for the column means, not for the rescale.
+///
+/// Bit-identical to
+/// `evaluate_ranking(&csls_rescale(&cosine_matrix(src, tgt), k), gold)` at
+/// any block size and thread budget:
+///
+/// * row means — each block row equals the full-matrix row bitwise
+///   (per-row normalization, per-element `matmul_t`), so `mean_top_k`
+///   sees identical data;
+/// * column means — the matrix path scans `simᵀ` rows; here each target
+///   block is scored against *all* sources, giving the same cells because
+///   IEEE multiplication commutes and both matmul orientations accumulate
+///   ascending over the embedding dimension (the same argument pinned
+///   bitwise by `retriever_means_match_matrix_means_bitwise` below);
+/// * rescale + ranking — [`csls_rescale_with_means`] is per-cell
+///   arithmetic and the rank accumulation replays the serial f64 additions
+///   in global row order ([`crate::metrics::RankAccum`]).
+pub fn csls_metrics_blocked(
+    src: &Tensor,
+    tgt: &Tensor,
+    gold: &[usize],
+    k: usize,
+    block_rows: usize,
+) -> crate::metrics::AlignmentMetrics {
+    assert!(k >= 1, "CSLS needs k >= 1");
+    assert_eq!(src.rank(), 2, "csls_metrics_blocked expects rank-2 src");
+    assert_eq!(tgt.rank(), 2, "csls_metrics_blocked expects rank-2 tgt");
+    assert_eq!(src.shape()[1], tgt.shape()[1], "embedding width mismatch");
+    assert_eq!(src.shape()[0], gold.len(), "one gold target per source row");
+    let (n, m) = (src.shape()[0], tgt.shape()[0]);
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_ranking: gold[{i}] column {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.csls_blocked");
+    let block = if block_rows == 0 { n.max(m).max(1) } else { block_rows };
+    let (k_row, k_col) = (k.min(m), k.min(n));
+    // The normalized embedding tables are O((n + m)·d) — embedding-scale,
+    // not matrix-scale — and shared by all three passes.
+    let src_n = src.normalized_view();
+    let tgt_n = tgt.normalized_view();
+    // Pass 1 — r_src[i]: mean of the top-k entries of similarity row i,
+    // one query block at a time.
+    let mut r_src = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let sim_b = crate::metrics::row_block(&src_n, start, end).matmul_t(&tgt_n);
+        r_src.extend(par_map_collect(end - start, m.max(1), |r| {
+            mean_top_k(&sim_b.data()[r * m..(r + 1) * m], k_row)
+        }));
+        start = end;
+    }
+    // Pass 2 — r_tgt[j]: mean of the top-k entries of similarity column j,
+    // one *target* block at a time scored against all sources.
+    let mut r_tgt = Vec::with_capacity(m);
+    let mut tstart = 0usize;
+    while tstart < m {
+        let tend = (tstart + block).min(m);
+        let cols = crate::metrics::row_block(&tgt_n, tstart, tend).matmul_t(&src_n);
+        r_tgt.extend(par_map_collect(tend - tstart, n.max(1), |r| {
+            mean_top_k(&cols.data()[r * n..(r + 1) * n], k_col)
+        }));
+        tstart = tend;
+    }
+    // Pass 3 — rescale each query block with the global means and rank it.
+    let mut acc = crate::metrics::RankAccum::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let sim_b = crate::metrics::row_block(&src_n, start, end).matmul_t(&tgt_n);
+        let rescaled = csls_rescale_with_means(&sim_b, &r_src[start..end], &r_tgt);
+        let ranks = par_map_collect(end - start, m.max(1), |r| {
+            crate::metrics::rank_of(&rescaled.data()[r * m..(r + 1) * m], gold[start + r])
+        });
+        for rank in ranks {
+            acc.push(rank);
+        }
+        start = end;
+    }
+    acc.finish()
+}
+
 fn mean_top_k(scores: &[f32], k: usize) -> f32 {
     let idx = crate::similarity::top_k_indices(scores, k);
     let sum: f32 = idx.iter().map(|&i| scores[i]).sum();
@@ -167,6 +252,29 @@ mod tests {
         assert_eq!(via_means.shape(), direct.shape());
         for (x, y) in via_means.data().iter().zip(direct.data()) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_csls_metrics_match_matrix_path_bitwise() {
+        use crate::similarity::cosine_matrix;
+        use sdea_tensor::{with_thread_budget, Rng};
+        let mut rng = Rng::seed_from_u64(23);
+        let src = Tensor::rand_normal(&[30, 8], 1.0, &mut rng);
+        let tgt = Tensor::rand_normal(&[40, 8], 1.0, &mut rng);
+        let gold: Vec<usize> = (0..30).map(|i| (i * 11) % 40).collect();
+        let k = 10;
+        let via_matrix = evaluate_ranking(&csls_rescale(&cosine_matrix(&src, &tgt), k), &gold);
+        for threads in [1usize, 8] {
+            with_thread_budget(threads, || {
+                for block in [0usize, 1, 7, 30, 1000] {
+                    let b = csls_metrics_blocked(&src, &tgt, &gold, k, block);
+                    let ctx = format!("threads {threads} block {block}");
+                    assert_eq!(via_matrix.hits1.to_bits(), b.hits1.to_bits(), "{ctx}: hits1");
+                    assert_eq!(via_matrix.hits10.to_bits(), b.hits10.to_bits(), "{ctx}: hits10");
+                    assert_eq!(via_matrix.mrr.to_bits(), b.mrr.to_bits(), "{ctx}: mrr");
+                }
+            });
         }
     }
 

@@ -16,8 +16,11 @@ pub mod report;
 pub mod similarity;
 pub mod strings;
 
-pub use csls::{csls_rescale, csls_rescale_with_means, neighborhood_means};
-pub use metrics::{evaluate_ranking, evaluate_retrieved, rank_of, AlignmentMetrics};
+pub use csls::{csls_metrics_blocked, csls_rescale, csls_rescale_with_means, neighborhood_means};
+pub use metrics::{
+    evaluate_ranking, evaluate_ranking_blocked, evaluate_ranking_shards, evaluate_retrieved,
+    evaluate_retrieved_blocked, rank_of, AlignmentMetrics,
+};
 pub use report::{format_table, TableRow};
 pub use similarity::{
     argmax_cols, argmax_rows, argsort_rows_desc, cosine_matrix, desc_nan_last, top_k_indices,

@@ -1,8 +1,19 @@
 //! Hits@K and MRR over similarity rankings (paper Section V-A2).
+//!
+//! Two evaluation families live here. The *materialized* path
+//! ([`evaluate_ranking`]) scores a pre-computed `n × m` similarity matrix.
+//! The *blocked* path ([`evaluate_ranking_blocked`],
+//! [`evaluate_retrieved_blocked`], [`evaluate_ranking_shards`]) walks the
+//! queries in bounded row blocks so only one `block × m` (or `block ×
+//! shard`) slab is ever resident — the full matrix never exists. Both
+//! families rank every row with the same [`rank_of`] tie rule and
+//! accumulate metrics serially in global row order through [`RankAccum`],
+//! so the blocked results are **bit-identical** to the materialized ones at
+//! any block size and any `SDEA_THREADS` budget.
 
 use crate::similarity::{desc_nan_last, SimilarityMatrix};
 use sdea_index::Retriever;
-use sdea_tensor::Tensor;
+use sdea_tensor::{EmbeddingShards, Tensor};
 use std::cmp::Ordering;
 
 /// The paper's three reported metrics.
@@ -20,6 +31,41 @@ impl AlignmentMetrics {
     /// Formats as the paper's percentage row `H@1 H@10 MRR`.
     pub fn paper_row(&self) -> String {
         format!("{:5.1} {:5.1} {:.2}", self.hits1 * 100.0, self.hits10 * 100.0, self.mrr)
+    }
+}
+
+/// Serial metric accumulator shared by every evaluation path. Ranks are
+/// integers, so the only floating-point state is the MRR sum; pushing ranks
+/// one at a time in global row order makes a blocked evaluation reproduce
+/// the one-shot f64 addition sequence exactly — that is what buys bitwise
+/// equality between the materialized and blocked paths.
+#[derive(Default)]
+pub(crate) struct RankAccum {
+    rows: usize,
+    h1: usize,
+    h10: usize,
+    mrr: f64,
+}
+
+impl RankAccum {
+    pub(crate) fn push(&mut self, rank: usize) {
+        self.rows += 1;
+        if rank == 1 {
+            self.h1 += 1;
+        }
+        if rank <= 10 {
+            self.h10 += 1;
+        }
+        self.mrr += 1.0 / rank as f64;
+    }
+
+    pub(crate) fn finish(self) -> AlignmentMetrics {
+        let n = self.rows.max(1) as f64;
+        AlignmentMetrics {
+            hits1: self.h1 as f64 / n,
+            hits10: self.h10 as f64 / n,
+            mrr: self.mrr / n,
+        }
     }
 }
 
@@ -70,25 +116,125 @@ pub fn evaluate_ranking(sim: &SimilarityMatrix, gold: &[usize]) -> AlignmentMetr
         assert!(g < m, "evaluate_ranking: gold[{i}] column {g} out of range for {m} targets");
     }
     let _span = sdea_obs::span("eval.evaluate_ranking");
-    let n = gold.len().max(1) as f64;
     // Per-row ranks fan out across the thread budget; the f64 accumulation
     // below stays serial and in row order, so MRR is bit-stable.
     let ranks = sdea_tensor::par_map_collect(gold.len(), m.max(1), |i| {
         rank_of(&sim.data()[i * m..(i + 1) * m], gold[i])
     });
-    let mut h1 = 0usize;
-    let mut h10 = 0usize;
-    let mut mrr = 0.0f64;
-    for &rank in &ranks {
-        if rank == 1 {
-            h1 += 1;
-        }
-        if rank <= 10 {
-            h10 += 1;
-        }
-        mrr += 1.0 / rank as f64;
+    let mut acc = RankAccum::default();
+    for rank in ranks {
+        acc.push(rank);
     }
-    AlignmentMetrics { hits1: h1 as f64 / n, hits10: h10 as f64 / n, mrr: mrr / n }
+    acc.finish()
+}
+
+/// Blocked form of the matrix evaluation: takes the *embeddings* rather
+/// than a pre-computed similarity matrix, walks the source rows in
+/// `block_rows`-high blocks (0 means one block), and scores each `block ×
+/// m` cosine slab as it is produced — the full `n × m` matrix is never
+/// materialized.
+///
+/// Bit-identical to `evaluate_ranking(&cosine_matrix(src, tgt), gold)` at
+/// any block size and thread budget: row normalization and the `matmul_t`
+/// kernel are per-row/per-element operations (a block row equals the
+/// corresponding full-matrix row bitwise), [`rank_of`] is pure per row, and
+/// [`RankAccum`] replays the same serial f64 additions in global row order.
+pub fn evaluate_ranking_blocked(
+    src: &Tensor,
+    tgt: &Tensor,
+    gold: &[usize],
+    block_rows: usize,
+) -> AlignmentMetrics {
+    assert_eq!(src.rank(), 2, "evaluate_ranking_blocked expects rank-2 src");
+    assert_eq!(tgt.rank(), 2, "evaluate_ranking_blocked expects rank-2 tgt");
+    assert_eq!(src.shape()[1], tgt.shape()[1], "embedding width mismatch");
+    assert_eq!(src.shape()[0], gold.len(), "one gold target per source row");
+    let m = tgt.shape()[0];
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_ranking: gold[{i}] column {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_ranking_blocked");
+    let n = src.shape()[0];
+    let block = if block_rows == 0 { n.max(1) } else { block_rows };
+    // Normalize the target side once; each source block is normalized on
+    // its own (row-wise, so block rows match the full-matrix rows bitwise).
+    let tgt_n = tgt.normalized_view();
+    let mut acc = RankAccum::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let sim_b = row_block(src, start, end).normalized_view().matmul_t(&tgt_n);
+        sdea_obs::add("eval.cosine_cells", ((end - start) * m) as u64);
+        let ranks = sdea_tensor::par_map_collect(end - start, m.max(1), |r| {
+            rank_of(&sim_b.data()[r * m..(r + 1) * m], gold[start + r])
+        });
+        for rank in ranks {
+            acc.push(rank);
+        }
+        start = end;
+    }
+    acc.finish()
+}
+
+/// Blocked matrix evaluation against a **sharded** target table: the target
+/// embeddings stream in from an [`EmbeddingShards`] spill directory one
+/// shard at a time, so neither the full target tensor nor the full `n × m`
+/// similarity matrix is ever resident. Each query block's similarity slab
+/// is assembled column-segment by column-segment (one segment per shard),
+/// then ranked exactly like the other paths.
+///
+/// Bit-identical to `evaluate_ranking(&cosine_matrix(src, &tgt.to_tensor()?),
+/// gold)` at any block size, shard height and thread budget, by the same
+/// argument as [`evaluate_ranking_blocked`] — a shard's normalized rows
+/// equal the full table's normalized rows, and every similarity cell is the
+/// same `matmul_t` dot product either way.
+pub fn evaluate_ranking_shards(
+    src: &Tensor,
+    tgt: &EmbeddingShards,
+    gold: &[usize],
+    block_rows: usize,
+) -> std::io::Result<AlignmentMetrics> {
+    assert_eq!(src.rank(), 2, "evaluate_ranking_shards expects rank-2 src");
+    assert_eq!(src.shape()[1], tgt.dim(), "embedding width mismatch");
+    assert_eq!(src.shape()[0], gold.len(), "one gold target per source row");
+    let m = tgt.len();
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_ranking: gold[{i}] column {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_ranking_shards");
+    let n = src.shape()[0];
+    let block = if block_rows == 0 { n.max(1) } else { block_rows };
+    let mut acc = RankAccum::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let qb = end - start;
+        let q_n = row_block(src, start, end).normalized_view();
+        let mut slab = vec![0.0f32; qb * m];
+        for s in 0..tgt.n_shards() {
+            let (c0, c1) = tgt.shard_range(s);
+            let w = c1 - c0;
+            let cols = q_n.matmul_t(&tgt.read_shard(s)?.normalized_view());
+            for r in 0..qb {
+                slab[r * m + c0..r * m + c1].copy_from_slice(&cols.data()[r * w..(r + 1) * w]);
+            }
+        }
+        sdea_obs::add("eval.cosine_cells", (qb * m) as u64);
+        let ranks = sdea_tensor::par_map_collect(qb, m.max(1), |r| {
+            rank_of(&slab[r * m..(r + 1) * m], gold[start + r])
+        });
+        for rank in ranks {
+            acc.push(rank);
+        }
+        start = end;
+    }
+    Ok(acc.finish())
+}
+
+/// Copies rows `r0..r1` of a rank-2 tensor into a standalone block tensor.
+pub(crate) fn row_block(t: &Tensor, r0: usize, r1: usize) -> Tensor {
+    let d = t.shape()[1];
+    Tensor::from_vec(t.data()[r0 * d..r1 * d].to_vec(), &[r1 - r0, d])
 }
 
 /// Evaluates alignment through a [`Retriever`] shortlist instead of a
@@ -119,25 +265,59 @@ pub fn evaluate_retrieved(
     }
     let _span = sdea_obs::span("eval.evaluate_retrieved");
     let hits = retr.search(queries, k);
-    let n = gold.len().max(1) as f64;
-    let mut h1 = 0usize;
-    let mut h10 = 0usize;
-    let mut mrr = 0.0f64;
+    let mut acc = RankAccum::default();
     // Serial, in query order: MRR accumulation stays bit-stable.
     for (row, &g) in hits.iter().zip(gold) {
-        let rank = match row.iter().position(|&(i, _)| i == g) {
-            Some(p) => p + 1,
-            None => k + 1,
-        };
-        if rank == 1 {
-            h1 += 1;
-        }
-        if rank <= 10 {
-            h10 += 1;
-        }
-        mrr += 1.0 / rank as f64;
+        acc.push(retrieved_rank(row, g, k));
     }
-    AlignmentMetrics { hits1: h1 as f64 / n, hits10: h10 as f64 / n, mrr: mrr / n }
+    acc.finish()
+}
+
+/// Rank of `gold` in a retriever hit list: its 1-based position when
+/// present, else the lower bound `k + 1`.
+fn retrieved_rank(row: &[(usize, f32)], gold: usize, k: usize) -> usize {
+    match row.iter().position(|&(i, _)| i == gold) {
+        Some(p) => p + 1,
+        None => k + 1,
+    }
+}
+
+/// Blocked form of [`evaluate_retrieved`]: the queries walk through the
+/// retriever in `block_rows`-high blocks (0 means one block), so at most
+/// one block's hit lists are resident at a time instead of all `n`.
+///
+/// Bit-identical to [`evaluate_retrieved`] at any block size for every
+/// backend in this workspace: retriever search is a per-query-row
+/// operation (normalization, probing and scoring of query `i` never look
+/// at query `j`), so block composition cannot change any hit list, and
+/// [`RankAccum`] replays the same serial accumulation in global row order.
+pub fn evaluate_retrieved_blocked(
+    retr: &dyn Retriever,
+    queries: &Tensor,
+    gold: &[usize],
+    k: usize,
+    block_rows: usize,
+) -> AlignmentMetrics {
+    assert_eq!(queries.rank(), 2, "evaluate_retrieved expects rank-2 queries");
+    assert_eq!(queries.shape()[0], gold.len(), "one gold target per query row");
+    let m = retr.len();
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_retrieved: gold[{i}] row {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_retrieved_blocked");
+    let n = queries.shape()[0];
+    let block = if block_rows == 0 { n.max(1) } else { block_rows };
+    let mut acc = RankAccum::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let hits = retr.search(&row_block(queries, start, end), k);
+        for (row, &g) in hits.iter().zip(&gold[start..end]) {
+            acc.push(retrieved_rank(row, g, k));
+        }
+        start = end;
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -258,6 +438,78 @@ mod tests {
         assert_eq!(via_matrix.hits1.to_bits(), via_retr.hits1.to_bits());
         assert_eq!(via_matrix.hits10.to_bits(), via_retr.hits10.to_bits());
         assert_eq!(via_matrix.mrr.to_bits(), via_retr.mrr.to_bits());
+    }
+
+    fn assert_bitwise(a: &AlignmentMetrics, b: &AlignmentMetrics, ctx: &str) {
+        assert_eq!(a.hits1.to_bits(), b.hits1.to_bits(), "{ctx}: hits1");
+        assert_eq!(a.hits10.to_bits(), b.hits10.to_bits(), "{ctx}: hits10");
+        assert_eq!(a.mrr.to_bits(), b.mrr.to_bits(), "{ctx}: mrr");
+    }
+
+    fn random_pair() -> (Tensor, Tensor, Vec<usize>) {
+        use sdea_tensor::Rng;
+        let mut rng = Rng::seed_from_u64(9);
+        let src = Tensor::rand_normal(&[30, 8], 1.0, &mut rng);
+        let tgt = Tensor::rand_normal(&[40, 8], 1.0, &mut rng);
+        let gold: Vec<usize> = (0..30).map(|i| (i * 7) % 40).collect();
+        (src, tgt, gold)
+    }
+
+    #[test]
+    fn blocked_ranking_matches_matrix_path_bitwise_at_any_block_and_threads() {
+        use sdea_tensor::with_thread_budget;
+        let (src, tgt, gold) = random_pair();
+        let via_matrix = evaluate_ranking(&crate::similarity::cosine_matrix(&src, &tgt), &gold);
+        for threads in [1usize, 8] {
+            with_thread_budget(threads, || {
+                for block in [0usize, 1, 7, 30, 1000] {
+                    let b = evaluate_ranking_blocked(&src, &tgt, &gold, block);
+                    assert_bitwise(&via_matrix, &b, &format!("threads {threads} block {block}"));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn blocked_retrieval_matches_one_shot_retrieval_bitwise() {
+        use sdea_index::{IndexConfig, IndexKind, IvfRetriever};
+        let (src, tgt, gold) = random_pair();
+        let exact = ExactRetriever::new(&tgt);
+        let ivf = IvfRetriever::build(
+            &tgt,
+            &IndexConfig { kind: IndexKind::Ivf, nlist: 4, nprobe: 2, quantize: true },
+        );
+        for (name, retr) in [("exact", &exact as &dyn Retriever), ("ivf", &ivf)] {
+            for k in [5usize, 40] {
+                let one_shot = evaluate_retrieved(retr, &src, &gold, k);
+                for block in [0usize, 1, 7, 30, 1000] {
+                    let b = evaluate_retrieved_blocked(retr, &src, &gold, k, block);
+                    assert_bitwise(&one_shot, &b, &format!("{name} k {k} block {block}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_target_evaluation_matches_matrix_path_bitwise() {
+        let (src, tgt, gold) = random_pair();
+        let via_matrix = evaluate_ranking(&crate::similarity::cosine_matrix(&src, &tgt), &gold);
+        let base = std::env::temp_dir().join(format!("sdea_eval_shards_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        for shard_rows in [1usize, 7, 40] {
+            let dir = base.join(format!("h{shard_rows}"));
+            let shards = EmbeddingShards::open_or_create(&dir, 40, 8, shard_rows, 0xfeed)
+                .expect("create shards");
+            for s in 0..shards.n_shards() {
+                let (r0, r1) = shards.shard_range(s);
+                shards.write_shard(s, &row_block(&tgt, r0, r1)).expect("write shard");
+            }
+            for block in [0usize, 1, 7, 30] {
+                let b = evaluate_ranking_shards(&src, &shards, &gold, block).expect("sharded eval");
+                assert_bitwise(&via_matrix, &b, &format!("shards {shard_rows} block {block}"));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

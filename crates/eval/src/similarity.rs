@@ -45,9 +45,20 @@ pub fn cosine_matrix(a: &Tensor, b: &Tensor) -> SimilarityMatrix {
 ///
 /// The selection kernel itself lives in the retrieval layer
 /// ([`sdea_index::top_k_scored`], which also returns the scores); this is
-/// the index-only view of it.
+/// the index-only view of it. The scored selection buffer is a per-thread
+/// scratch reused across rows ([`sdea_index::top_k_scored_into`]), so the
+/// only allocation per call is the returned index vector — visible in the
+/// `sdea_obs::mem` allocation counters on hot ranking paths.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    sdea_index::top_k_scored(scores, k).into_iter().map(|(i, _)| i).collect()
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<(usize, f32)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|s| {
+        let mut best = s.borrow_mut();
+        sdea_index::top_k_scored_into(scores, k, &mut best);
+        best.iter().map(|&(i, _)| i).collect()
+    })
 }
 
 /// Top-k column indices for every row of `sim`, rows fanned out across the
@@ -112,6 +123,14 @@ pub fn argmax_cols(sim: &SimilarityMatrix) -> Vec<usize> {
 /// Column indices of every row sorted by descending score under
 /// [`desc_nan_last`] (NaN columns sort to the back), ties broken by lower
 /// column index; rows fanned out across the thread budget.
+///
+/// Sorting is unstable in place: the comparator's index tie-break makes it
+/// a strict total order with no equal elements, so the result is identical
+/// to a stable sort — without the stable sort's `O(m)` merge buffer, which
+/// used to be allocated and freed once *per row*. The only per-row
+/// allocation left is the returned index vector (pinned by the
+/// `argsort_allocates_one_vector_per_row` test via the `sdea_obs::mem`
+/// counters).
 pub fn argsort_rows_desc(sim: &SimilarityMatrix) -> Vec<Vec<usize>> {
     assert_eq!(sim.rank(), 2);
     let (n, m) = (sim.shape()[0], sim.shape()[1]);
@@ -119,7 +138,7 @@ pub fn argsort_rows_desc(sim: &SimilarityMatrix) -> Vec<Vec<usize>> {
     par_map_collect(n, m.saturating_mul(8).max(1), |i| {
         let row = sim.row(i);
         let mut idx: Vec<usize> = (0..m).collect();
-        idx.sort_by(|&a, &b| desc_nan_last(row[a], row[b]).then(a.cmp(&b)));
+        idx.sort_unstable_by(|&a, &b| desc_nan_last(row[a], row[b]).then(a.cmp(&b)));
         idx
     })
 }
@@ -223,6 +242,33 @@ mod tests {
         let sim = Tensor::from_vec(vec![0.5, 0.9, 0.5, -0.1], &[1, 4]);
         let order = argsort_rows_desc(&sim);
         assert_eq!(order, vec![vec![1, 0, 2, 3]]); // 0.5-tie broken by index
+    }
+
+    /// The scratch-churn regression guard: a full argsort over `n` rows
+    /// must allocate essentially one index vector per row — not the extra
+    /// per-row merge buffer the old stable sort used, which doubled the
+    /// allocated bytes. The bound is measured with the `sdea_obs::mem`
+    /// counting allocator; it is generous enough (+1 MiB) to absorb
+    /// allocations from tests running concurrently in this binary, while
+    /// the old two-buffers-per-row behavior (~2x the payload) would still
+    /// blow through it.
+    #[test]
+    fn argsort_allocates_one_vector_per_row() {
+        if !sdea_obs::mem::counting_enabled() {
+            return; // counting disabled for this process; nothing to measure
+        }
+        let (n, m) = (256usize, 1024usize);
+        let mut rng = Rng::seed_from_u64(5);
+        let sim = Tensor::rand_normal(&[n, m], 1.0, &mut rng);
+        let before = sdea_obs::mem::total_allocated_bytes();
+        let order = with_thread_budget(1, || argsort_rows_desc(&sim));
+        let delta = sdea_obs::mem::total_allocated_bytes() - before;
+        assert_eq!(order.len(), n);
+        let payload = (n * m * std::mem::size_of::<usize>()) as u64;
+        assert!(
+            delta < payload + payload / 2 + (1 << 20),
+            "argsort allocated {delta} bytes for a {payload}-byte result"
+        );
     }
 
     #[test]

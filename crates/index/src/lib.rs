@@ -135,11 +135,21 @@ pub fn build_retriever(emb: &Tensor, cfg: &IndexConfig) -> Box<dyn Retriever> {
 /// selection over a small sorted buffer — `O(len · k)` worst case, which
 /// beats a full sort for the small `k` retrieval uses.
 pub fn top_k_scored(scores: &[f32], k: usize) -> Vec<Hit> {
+    let mut best = Vec::new();
+    top_k_scored_into(scores, k, &mut best);
+    best
+}
+
+/// [`top_k_scored`] writing into a caller-owned buffer (cleared first).
+/// Hot per-row loops reuse one selection buffer across thousands of rows
+/// instead of allocating a fresh one per row; the result is identical.
+pub fn top_k_scored_into(scores: &[f32], k: usize, best: &mut Vec<Hit>) {
+    best.clear();
     let k = k.min(scores.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut best: Vec<Hit> = Vec::with_capacity(k + 1);
+    best.reserve(k + 1);
     for (i, &s) in scores.iter().enumerate() {
         let beats = |t: f32| desc_nan_last(s, t) == Ordering::Less;
         if best.len() < k || beats(best[best.len() - 1].1) {
@@ -150,7 +160,6 @@ pub fn top_k_scored(scores: &[f32], k: usize) -> Vec<Hit> {
             }
         }
     }
-    best
 }
 
 /// Pre-registered observability counters for the retrieval layer, so hot

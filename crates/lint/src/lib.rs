@@ -16,7 +16,7 @@
 //! | `N-FLOAT-SORT` | float comparators use `total_cmp`/`desc_nan_last` |
 //! | `A-RAW-WRITE` | file writes go through the atomic tmp+rename layer |
 //! | `P-PANIC-BUDGET` | per-crate panic counts ratchet down via `lint_baseline.toml` |
-//! | `U-FORBID-UNSAFE` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `U-FORBID-UNSAFE` | every crate root carries `#![forbid(unsafe_code)]` (the obs counting-allocator root alone may carry `deny`) |
 //!
 //! The analysis is textual but literal-aware: a hand-rolled lexer
 //! ([`lexer`]) strips comments and blanks string/char literals first (the

@@ -9,7 +9,7 @@
 
 use crate::analysis::{
     find_all, find_word, skip_balanced, Analysis, ATOMIC_WRITE_IMPLS, COMPUTE_CRATES,
-    SPAWN_ALLOWED_FILE, WALL_CLOCK_CRATES,
+    SPAWN_ALLOWED_FILE, UNSAFE_DENY_ROOTS, WALL_CLOCK_CRATES,
 };
 use std::collections::BTreeSet;
 
@@ -86,7 +86,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "U-FORBID-UNSAFE",
         scope: "every crate root",
         description: "crate roots must carry #![forbid(unsafe_code)] so future unsafe needs an \
-                      explicit, reviewed opt-out",
+                      explicit, reviewed opt-out (the obs counting-allocator root alone may \
+                      carry #![deny(unsafe_code)])",
     },
 ];
 
@@ -415,16 +416,22 @@ fn raw_write(a: &Analysis, out: &mut Vec<Diagnostic>) {
 // ------------------------------------------------------------ U-FORBID-UNSAFE
 
 fn forbid_unsafe(a: &Analysis, out: &mut Vec<Diagnostic>) {
-    if a.is_crate_root && !a.joined.contains("#![forbid(unsafe_code)]") {
-        out.push(Diagnostic {
-            file: a.rel.clone(),
-            line: 1,
-            rule: "U-FORBID-UNSAFE",
-            msg: "crate root is missing #![forbid(unsafe_code)]; the workspace is unsafe-free \
-                  and future unsafe requires an explicit, reviewed opt-out"
-                .to_string(),
-        });
+    if !a.is_crate_root || a.joined.contains("#![forbid(unsafe_code)]") {
+        return;
     }
+    // The counting-allocator host may weaken to `deny` (still a hard
+    // compile error outside its one sanctioned `allow` scope).
+    if UNSAFE_DENY_ROOTS.contains(&a.rel.as_str()) && a.joined.contains("#![deny(unsafe_code)]") {
+        return;
+    }
+    out.push(Diagnostic {
+        file: a.rel.clone(),
+        line: 1,
+        rule: "U-FORBID-UNSAFE",
+        msg: "crate root is missing #![forbid(unsafe_code)]; the workspace is unsafe-free \
+              and future unsafe requires an explicit, reviewed opt-out"
+            .to_string(),
+    });
 }
 
 // ------------------------------------------------------------ P-PANIC-BUDGET
@@ -504,6 +511,25 @@ mod tests {
             "the serving data path is a compute crate"
         );
         assert!(diags("crates/kg/src/x.rs", src).is_empty(), "kg is not a compute crate");
+    }
+
+    #[test]
+    fn unsafe_deny_is_accepted_only_for_the_allocator_root() {
+        let deny = "#![deny(unsafe_code)]\npub mod mem;\n";
+        assert!(
+            diags("crates/obs/src/lib.rs", deny).iter().all(|d| d.rule != "U-FORBID-UNSAFE"),
+            "the obs root may weaken to deny for the counting allocator"
+        );
+        assert!(
+            diags("crates/core/src/lib.rs", deny).iter().any(|d| d.rule == "U-FORBID-UNSAFE"),
+            "deny is not accepted for any other crate root"
+        );
+        assert!(
+            diags("crates/obs/src/lib.rs", "pub mod mem;\n")
+                .iter()
+                .any(|d| d.rule == "U-FORBID-UNSAFE"),
+            "the obs root still needs at least deny"
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * **No dependencies.** JSON is written by a ~100-line encoder in
 //!   [`json`]; the registry is `std` synchronization only, so the crate
 //!   builds air-gapped like the rest of the workspace.
+//! * **Memory is a metric.** [`mem`] installs a counting global allocator
+//!   (bytes allocated / live / peak, `SDEA_MEM=0` to switch off) and
+//!   samples the kernel's `VmHWM` peak RSS; both land in every
+//!   [`RunReport`].
 //!
 //! ## Usage
 //!
@@ -34,14 +38,21 @@
 //! assert!(snap.counters.get("steps").copied().unwrap_or(0) >= 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not the workspace-standard `forbid`: the counting global
+// allocator in [`mem`] is necessarily an `unsafe impl GlobalAlloc`, and
+// `forbid` cannot be overridden locally. The single sanctioned opt-out
+// lives at the top of `mem.rs`; sdea-lint's U-FORBID-UNSAFE rule accepts
+// `deny` for exactly this crate root and no other.
+#![deny(unsafe_code)]
 
 pub mod env;
 pub mod fsio;
 pub mod json;
+pub mod mem;
 pub mod registry;
 pub mod report;
 
+pub use mem::MemStats;
 pub use registry::{
     add, clear_enabled_override, counter, enabled, record, reset, set_enabled, snapshot, Counter,
     HistogramStats, ObsSnapshot, Span, SpanStats,

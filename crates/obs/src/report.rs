@@ -139,11 +139,26 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("memory", memory_json()),
             ("spans", spans),
             ("counters", counters),
             ("histograms", histograms),
         ])
     }
+}
+
+/// The memory section of a report: allocator counters (see [`crate::mem`])
+/// plus the kernel's `VmHWM` peak RSS (`null` where unavailable).
+fn memory_json() -> Json {
+    let m = crate::mem::stats();
+    Json::obj(vec![
+        ("counting_enabled", Json::Bool(m.counting)),
+        ("total_allocated_bytes", Json::Num(m.total_allocated_bytes as f64)),
+        ("current_bytes", Json::Num(m.current_bytes as f64)),
+        ("peak_bytes", Json::Num(m.peak_bytes as f64)),
+        ("allocations", Json::Num(m.allocations as f64)),
+        ("vm_hwm_bytes", m.vm_hwm_bytes.map(|b| Json::Num(b as f64)).unwrap_or(Json::Null)),
+    ])
 }
 
 /// Keeps `[A-Za-z0-9._-]`, maps everything else (path separators included)
@@ -175,6 +190,8 @@ mod tests {
             "\"loss\":[1,0.5,0.25]",
             "\"spans\":",
             "\"counters\":",
+            "\"memory\":",
+            "\"peak_bytes\":",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

@@ -293,6 +293,19 @@ impl DatasetProfile {
         }
     }
 
+    /// Grows the profile `factor`× by multiplying its link target.
+    /// [`generate`] oversizes the world proportionally to `n_links`, so
+    /// entity and triple counts scale near-linearly while every
+    /// distributional phenomenon the profile encodes (density, long tails,
+    /// name formats) is preserved — the knob behind the `--scale` CLI flag
+    /// and the out-of-core scaling benchmarks. `factor = 1` is the
+    /// identity; determinism is unchanged (same seed ⇒ same bytes).
+    pub fn scaled(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be >= 1");
+        self.n_links *= factor;
+        self
+    }
+
     /// All nine datasets of the paper at reproduction scale.
     pub fn all_paper_datasets(seed: u64) -> Vec<DatasetProfile> {
         vec![
@@ -466,6 +479,35 @@ mod tests {
         let b = generate(&p);
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.kg1().rel_triples(), b.kg1().rel_triples());
+        assert_eq!(a.kg2().attr_triples(), b.kg2().attr_triples());
+    }
+
+    #[test]
+    fn scaled_profile_roughly_doubles_entities_at_2x() {
+        let base = DatasetProfile::dbp15k_zh_en(150, 3);
+        let ds1 = generate(&base);
+        let ds2 = generate(&DatasetProfile::dbp15k_zh_en(150, 3).scaled(2));
+        assert_eq!(ds2.seeds.len(), 300, "2x scale doubles the link target exactly");
+        for (n1, n2) in [
+            (ds1.kg1().num_entities(), ds2.kg1().num_entities()),
+            (ds1.kg2().num_entities(), ds2.kg2().num_entities()),
+        ] {
+            let ratio = n2 as f64 / n1 as f64;
+            assert!(
+                (1.7..=2.3).contains(&ratio),
+                "entities should ~double at 2x scale, got {n1} -> {n2} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic() {
+        let a = generate(&DatasetProfile::srprs_en_fr(80, 21).scaled(3));
+        let b = generate(&DatasetProfile::srprs_en_fr(80, 21).scaled(3));
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.kg1().rel_triples(), b.kg1().rel_triples());
+        assert_eq!(a.kg1().attr_triples(), b.kg1().attr_triples());
+        assert_eq!(a.kg2().rel_triples(), b.kg2().rel_triples());
         assert_eq!(a.kg2().attr_triples(), b.kg2().attr_triples());
     }
 

@@ -39,6 +39,7 @@ pub mod pool;
 pub mod qkernels;
 pub mod rng;
 pub mod serialize;
+pub mod shards;
 pub mod sparse;
 pub mod tensor;
 
@@ -50,5 +51,6 @@ pub use par::{
 };
 pub use pool::BufferPool;
 pub use rng::Rng;
+pub use shards::EmbeddingShards;
 pub use sparse::CsrMatrix;
 pub use tensor::Tensor;

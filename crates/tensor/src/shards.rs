@@ -1,0 +1,479 @@
+//! Sharded on-disk embedding tables: spill-as-you-go storage for
+//! embedding runs too large to hold in memory.
+//!
+//! An [`EmbeddingShards`] directory holds one logical `[n, d]` tensor cut
+//! into fixed-height row shards, each persisted as its own checksummed
+//! blob through the same atomic-write discipline as checkpoints
+//! (`serialize::atomic_write_retry`: tmp + fsync + rename, bounded
+//! retry, fault-injection sites `shards.write` / `shards.manifest`).
+//! Producers embed one bounded window of rows at a time and call
+//! [`EmbeddingShards::write_shard`]; every completed shard write *is* a
+//! checkpoint, so a run killed mid-table resumes by skipping the shards
+//! already on disk ([`EmbeddingShards::missing`]). Consumers — the IVF
+//! builder, blocked evaluation — stream the table back one shard at a
+//! time ([`EmbeddingShards::read_shard`]) and never materialize all `n`
+//! rows unless they explicitly ask ([`EmbeddingShards::to_tensor`]).
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/shards.sdem          manifest blob (kind SDEM):
+//!                            u32 n | u32 d | u32 shard_rows | u64 fingerprint
+//! <dir>/shard_000000.sdes    shard blob (kind SDES):
+//!                            u32 shard_index | tensor wire format
+//! ```
+//!
+//! The manifest binds the geometry and a caller-supplied `fingerprint`
+//! (the checkpoint config fingerprint upstream), so shards written under
+//! a different configuration are discarded on open rather than silently
+//! resumed. Each shard payload embeds its own slot index, so a shard
+//! file copied or renamed into the wrong slot fails validation instead
+//! of returning the wrong rows. Corrupt files are quarantined aside as
+//! `*.corrupt` — mirroring the checkpoint layer — and simply count as
+//! missing, so one flipped bit costs one re-embedded shard, never the
+//! table.
+
+use crate::serialize::{
+    atomic_write_retry, blob_payload, blob_to_bytes, read_tensor, write_tensor, WireRead, WireWrite,
+};
+use crate::tensor::Tensor;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Blob kind of the shard-directory manifest.
+pub const SHARD_MANIFEST_KIND: &[u8; 4] = b"SDEM";
+/// Blob kind of one embedding shard.
+pub const SHARD_KIND: &[u8; 4] = b"SDES";
+/// File name of the manifest inside a shard directory.
+pub const MANIFEST_FILE: &str = "shards.sdem";
+
+/// A sharded `[n, d]` embedding table on disk. See the module docs.
+#[derive(Debug, Clone)]
+pub struct EmbeddingShards {
+    dir: PathBuf,
+    n: usize,
+    d: usize,
+    shard_rows: usize,
+    fingerprint: u64,
+}
+
+impl EmbeddingShards {
+    /// Opens `dir` as a shard directory for an `[n, d]` table cut into
+    /// `shard_rows`-row shards, creating or re-initializing it as needed.
+    ///
+    /// * No manifest → a fresh one is written (new run).
+    /// * A matching manifest (same `n`, `d`, `shard_rows`, `fingerprint`)
+    ///   → reused as-is; shards already on disk will be resumed.
+    /// * A mismatched manifest → the directory belongs to a different run
+    ///   or configuration: every shard file is removed and a fresh
+    ///   manifest written.
+    /// * A corrupt manifest → quarantined to `*.corrupt`, shards removed,
+    ///   fresh manifest written.
+    ///
+    /// `shard_rows` must be ≥ 1 (callers map "0 = whole table" before
+    /// getting here).
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        n: usize,
+        d: usize,
+        shard_rows: usize,
+        fingerprint: u64,
+    ) -> io::Result<Self> {
+        assert!(shard_rows >= 1, "shard_rows must be >= 1");
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let this = EmbeddingShards { dir, n, d, shard_rows, fingerprint };
+        let manifest = this.manifest_path();
+        match std::fs::read(&manifest) {
+            Ok(bytes) => match parse_manifest(&bytes) {
+                Ok(m) if m == (n, d, shard_rows, fingerprint) => return Ok(this),
+                Ok(_) => {
+                    // Stale geometry or configuration: the shards answer a
+                    // different question; start over.
+                    this.remove_all_shards()?;
+                }
+                Err(_) => {
+                    sdea_obs::add("shards.quarantined", 1);
+                    quarantine(&manifest);
+                    this.remove_all_shards()?;
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        atomic_write_retry(&manifest, &this.manifest_bytes(), "shards.manifest")?;
+        Ok(this)
+    }
+
+    /// Opens an existing shard directory, reading geometry and fingerprint
+    /// from its manifest. Fails with `NotFound` when no manifest exists and
+    /// `InvalidData` when it is corrupt (no quarantine here — `open` is a
+    /// read-only entry point).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+        let (n, d, shard_rows, fingerprint) = parse_manifest(&bytes)?;
+        Ok(EmbeddingShards { dir, n, d, shard_rows, fingerprint })
+    }
+
+    /// Total rows of the logical table.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the logical table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Rows per shard (the last shard may be shorter).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// The caller-supplied configuration fingerprint bound at creation.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The shard directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards covering the table.
+    pub fn n_shards(&self) -> usize {
+        self.n.div_ceil(self.shard_rows)
+    }
+
+    /// Row range `[start, end)` of shard `s`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        let start = s * self.shard_rows;
+        (start, (start + self.shard_rows).min(self.n))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    fn shard_path(&self, s: usize) -> PathBuf {
+        self.dir.join(format!("shard_{s:06}.sdes"))
+    }
+
+    fn manifest_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(4 + 4 + 4 + 8);
+        payload.put_u32_le(self.n as u32);
+        payload.put_u32_le(self.d as u32);
+        payload.put_u32_le(self.shard_rows as u32);
+        payload.put_u64_le(self.fingerprint);
+        blob_to_bytes(SHARD_MANIFEST_KIND, &payload)
+    }
+
+    fn remove_all_shards(&self) -> io::Result<()> {
+        for s in 0..self.n_shards() {
+            match std::fs::remove_file(self.shard_path(s)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists shard `s` atomically. `t` must be exactly the rows of
+    /// [`EmbeddingShards::shard_range`]`(s)`, shape `[end - start, d]`.
+    pub fn write_shard(&self, s: usize, t: &Tensor) -> io::Result<()> {
+        let (start, end) = self.shard_range(s);
+        if s >= self.n_shards() || t.shape() != [end - start, self.d] {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "shard {s} expects shape [{}, {}], got {:?}",
+                    end - start,
+                    self.d,
+                    t.shape()
+                ),
+            ));
+        }
+        let mut payload = Vec::with_capacity(8 + t.data().len() * 4);
+        payload.put_u32_le(s as u32);
+        write_tensor(&mut payload, t);
+        let blob = blob_to_bytes(SHARD_KIND, &payload);
+        atomic_write_retry(self.shard_path(s), &blob, "shards.write")?;
+        sdea_obs::add("shards.written", 1);
+        Ok(())
+    }
+
+    /// Reads and validates shard `s`. `NotFound` when never written;
+    /// `InvalidData` on any corruption, slot mismatch or wrong shape.
+    pub fn read_shard(&self, s: usize) -> io::Result<Tensor> {
+        let (start, end) = self.shard_range(s);
+        if s >= self.n_shards() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard index {s} out of range ({} shards)", self.n_shards()),
+            ));
+        }
+        let bytes = std::fs::read(self.shard_path(s))?;
+        let mut payload = blob_payload(&bytes, SHARD_KIND)?;
+        if payload.remaining() < 4 {
+            return Err(bad("truncated shard header"));
+        }
+        let slot = payload.get_u32_le() as usize;
+        if slot != s {
+            return Err(bad(&format!("shard file for slot {slot} found in slot {s}")));
+        }
+        let t = read_tensor(&mut payload)?;
+        if t.shape() != [end - start, self.d] {
+            return Err(bad(&format!(
+                "shard {s} has shape {:?}, expected [{}, {}]",
+                t.shape(),
+                end - start,
+                self.d
+            )));
+        }
+        Ok(t)
+    }
+
+    /// [`EmbeddingShards::read_shard`] that treats any invalid file as
+    /// absent: corrupt or mis-slotted shards are quarantined aside as
+    /// `*.corrupt` (counted under `shards.quarantined`) and `None` is
+    /// returned, so the producer re-embeds exactly that window.
+    pub fn try_read_shard(&self, s: usize) -> Option<Tensor> {
+        match self.read_shard(s) {
+            Ok(t) => Some(t),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(_) => {
+                sdea_obs::add("shards.quarantined", 1);
+                quarantine(&self.shard_path(s));
+                None
+            }
+        }
+    }
+
+    /// Indices of shards not yet validly on disk — the resume work-list.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.n_shards()).filter(|&s| self.try_read_shard(s).is_none()).collect()
+    }
+
+    /// Whether every shard is validly on disk.
+    pub fn is_complete(&self) -> bool {
+        self.missing().is_empty()
+    }
+
+    /// Assembles the full `[n, d]` table in memory. Only for consumers
+    /// that genuinely need all rows at once; streaming consumers should
+    /// iterate [`EmbeddingShards::read_shard`] instead.
+    pub fn to_tensor(&self) -> io::Result<Tensor> {
+        let mut out = Tensor::zeros(&[self.n, self.d]);
+        for s in 0..self.n_shards() {
+            let t = self.read_shard(s)?;
+            let (start, _) = self.shard_range(s);
+            let off = start * self.d;
+            out.data_mut()[off..off + t.data().len()].copy_from_slice(t.data());
+        }
+        Ok(out)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("embedding shards: {msg}"))
+}
+
+fn parse_manifest(bytes: &[u8]) -> io::Result<(usize, usize, usize, u64)> {
+    let mut payload = blob_payload(bytes, SHARD_MANIFEST_KIND)?;
+    if payload.remaining() != 4 + 4 + 4 + 8 {
+        return Err(bad("manifest payload has the wrong length"));
+    }
+    let n = payload.get_u32_le() as usize;
+    let d = payload.get_u32_le() as usize;
+    let shard_rows = payload.get_u32_le() as usize;
+    if shard_rows == 0 {
+        return Err(bad("manifest declares zero shard_rows"));
+    }
+    let fingerprint = payload.get_u64_le();
+    Ok((n, d, shard_rows, fingerprint))
+}
+
+/// Renames `path` aside as `<path>.corrupt` (best effort) so the bad bytes
+/// stay available for diagnosis without blocking recovery.
+fn quarantine(path: &Path) {
+    let mut corrupt = path.as_os_str().to_os_string();
+    corrupt.push(".corrupt");
+    let _ = std::fs::rename(path, &corrupt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{self, FaultMode};
+    use crate::rng::Rng;
+
+    /// Every test here hits the shared `shards.write` fault site; the
+    /// fault registry counts hits globally per site, so the injection test
+    /// below can only arm a precise `nth` while no sibling test writes.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdea_shards_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn random_table(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * d).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+        Tensor::from_vec(data, &[n, d])
+    }
+
+    fn spill(table: &Tensor, shards: &EmbeddingShards) {
+        let d = shards.dim();
+        for s in shards.missing() {
+            let (start, end) = shards.shard_range(s);
+            let rows =
+                Tensor::from_vec(table.data()[start * d..end * d].to_vec(), &[end - start, d]);
+            shards.write_shard(s, &rows).unwrap();
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_at_any_shard_height() {
+        let _g = lock();
+        let table = random_table(23, 5, 1);
+        for shard_rows in [1usize, 7, 23, 100] {
+            let dir = test_dir(&format!("rt{shard_rows}"));
+            let shards = EmbeddingShards::open_or_create(&dir, 23, 5, shard_rows, 0xF00D).unwrap();
+            assert!(!shards.is_complete());
+            spill(&table, &shards);
+            assert!(shards.is_complete());
+            assert_eq!(shards.to_tensor().unwrap(), table);
+            // Streaming read sees exactly the same rows.
+            for s in 0..shards.n_shards() {
+                let (start, end) = shards.shard_range(s);
+                let t = shards.read_shard(s).unwrap();
+                assert_eq!(t.data(), &table.data()[start * 5..end * 5]);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn reopen_resumes_only_missing_shards() {
+        let _g = lock();
+        let dir = test_dir("resume");
+        let table = random_table(20, 4, 2);
+        let shards = EmbeddingShards::open_or_create(&dir, 20, 4, 6, 7).unwrap();
+        // Write shards 0 and 2 only, "crash", reopen.
+        for s in [0usize, 2] {
+            let (start, end) = shards.shard_range(s);
+            let rows =
+                Tensor::from_vec(table.data()[start * 4..end * 4].to_vec(), &[end - start, 4]);
+            shards.write_shard(s, &rows).unwrap();
+        }
+        let reopened = EmbeddingShards::open_or_create(&dir, 20, 4, 6, 7).unwrap();
+        assert_eq!(reopened.missing(), vec![1, 3], "done shards must survive reopen");
+        spill(&table, &reopened);
+        assert_eq!(reopened.to_tensor().unwrap(), table);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_discards_stale_shards() {
+        let _g = lock();
+        let dir = test_dir("fp");
+        let table = random_table(12, 3, 3);
+        let shards = EmbeddingShards::open_or_create(&dir, 12, 3, 5, 111).unwrap();
+        spill(&table, &shards);
+        assert!(shards.is_complete());
+        let other = EmbeddingShards::open_or_create(&dir, 12, 3, 5, 222).unwrap();
+        assert_eq!(other.missing().len(), other.n_shards(), "stale shards must not resume");
+        // The original handle's manifest is gone too: reopening under the
+        // old fingerprint starts fresh again rather than mixing runs.
+        let back = EmbeddingShards::open_or_create(&dir, 12, 3, 5, 111).unwrap();
+        assert_eq!(back.missing().len(), back.n_shards());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shard_is_quarantined_and_re_embedded() {
+        let _g = lock();
+        let dir = test_dir("corrupt");
+        let table = random_table(10, 4, 4);
+        let shards = EmbeddingShards::open_or_create(&dir, 10, 4, 4, 9).unwrap();
+        spill(&table, &shards);
+        // Flip a payload byte in shard 1.
+        let p = dir.join("shard_000001.sdes");
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() - 3;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&p, &bytes).unwrap();
+        assert_eq!(shards.missing(), vec![1]);
+        assert!(dir.join("shard_000001.sdes.corrupt").exists(), "bad bytes kept for diagnosis");
+        spill(&table, &shards);
+        assert_eq!(shards.to_tensor().unwrap(), table);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_file_in_the_wrong_slot_is_rejected() {
+        let _g = lock();
+        let dir = test_dir("slot");
+        let table = random_table(8, 2, 5);
+        let shards = EmbeddingShards::open_or_create(&dir, 8, 2, 4, 1).unwrap();
+        spill(&table, &shards);
+        std::fs::rename(dir.join("shard_000000.sdes"), dir.join("shard_000001.sdes")).unwrap();
+        let err = shards.read_shard(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("slot"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_no_partial_shard() {
+        let _g = lock();
+        let dir = test_dir("fault");
+        let table = random_table(6, 3, 6);
+        let shards = EmbeddingShards::open_or_create(&dir, 6, 3, 3, 2).unwrap();
+        // Exhaust every retry attempt so write_shard surfaces the error.
+        let base = fault::hit_count("shards.write");
+        for i in 1..=crate::serialize::WRITE_ATTEMPTS as u64 {
+            fault::arm("shards.write", base + i, FaultMode::Error);
+        }
+        let rows = Tensor::from_vec(table.data()[..9].to_vec(), &[3, 3]);
+        let r = shards.write_shard(0, &rows);
+        assert!(r.is_err());
+        assert_eq!(shards.missing(), vec![0, 1], "failed write must not leave a shard behind");
+        spill(&table, &shards);
+        assert_eq!(shards.to_tensor().unwrap(), table);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_table_has_no_shards() {
+        let _g = lock();
+        let dir = test_dir("empty");
+        let shards = EmbeddingShards::open_or_create(&dir, 0, 8, 4, 0).unwrap();
+        assert_eq!(shards.n_shards(), 0);
+        assert!(shards.is_complete());
+        assert_eq!(shards.to_tensor().unwrap().shape(), [0, 8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_shape_write_is_invalid_input() {
+        let _g = lock();
+        let dir = test_dir("shape");
+        let shards = EmbeddingShards::open_or_create(&dir, 10, 4, 4, 0).unwrap();
+        let bad = Tensor::zeros(&[3, 4]);
+        assert_eq!(shards.write_shard(0, &bad).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

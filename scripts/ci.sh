@@ -47,6 +47,13 @@ echo "=== kernel throughput (quick) ==="
 echo "=== retrieval index smoke ==="
 ./target/release/bench_index --smoke
 
+# Out-of-core scaling smoke (seconds): sharded embed + blocked-shard
+# evaluation vs full materialization at two small scale points, asserting
+# bitwise-equal metrics, written to results/BENCH_scale_smoke.json. The
+# full memory-tracked curve is scripts/bench_scale.sh.
+echo "=== out-of-core scaling smoke ==="
+./target/release/bench_scale --smoke
+
 # Fault-injection suite: serialization atomicity/corruption at the tensor
 # layer, checkpoint quarantine-and-fall-back at the core layer.
 echo "=== fault-injection suite ==="
@@ -58,6 +65,31 @@ cargo test -q --release -p sdea-core -- checkpoint::
 # child processes; covers SDEA_THREADS 1 and 8).
 echo "=== kill-and-resume smoke ==="
 cargo test -q --release --test checkpoint_resume
+
+# Shard-spill kill-and-resume smoke (drives the real binary as child
+# processes): with a checkpoint directory the final embedding tables
+# stream to disk shards, and every shard write is a checkpoint. A run
+# killed by an injected fault during the second shard write (exit 137)
+# must, on rerun, resume at the first missing shard and produce a model
+# byte-identical to an uninterrupted reference run.
+echo "=== shard-spill kill-and-resume smoke ==="
+SPILL_TMP="$(mktemp -d)"
+trap 'rm -rf "$SPILL_TMP"' EXIT
+./target/release/sdea generate zh_en "$SPILL_TMP/ds" --links 60 --seed 7
+SDEA_SHARD_ROWS=8 ./target/release/sdea align "$SPILL_TMP/ds" --tiny --seed 7 \
+  --checkpoint "$SPILL_TMP/ckpt_ref" --out "$SPILL_TMP/ref.sdt"
+set +e
+SDEA_SHARD_ROWS=8 SDEA_FAULT=shards.write:2:kill ./target/release/sdea align \
+  "$SPILL_TMP/ds" --tiny --seed 7 --checkpoint "$SPILL_TMP/ckpt" --out "$SPILL_TMP/resumed.sdt"
+STATUS=$?
+set -e
+[ "$STATUS" -eq 137 ] || { echo "spill smoke: expected kill exit 137, got $STATUS"; exit 1; }
+SDEA_SHARD_ROWS=8 ./target/release/sdea align "$SPILL_TMP/ds" --tiny --seed 7 \
+  --checkpoint "$SPILL_TMP/ckpt" --out "$SPILL_TMP/resumed.sdt"
+cmp "$SPILL_TMP/ref.sdt" "$SPILL_TMP/resumed.sdt" \
+  || { echo "spill smoke: resumed model differs from uninterrupted reference"; exit 1; }
+echo "spill smoke: resumed model byte-identical after mid-shard kill"
+rm -rf "$SPILL_TMP"
 
 # Serving smoke (drives the real binaries): train a tiny model, export
 # the query encoder, serve it over HTTP, and require the served top-1 to

@@ -2,8 +2,9 @@
 //!
 //! Subcommands:
 //!
-//! * `generate <profile> <dir> [--links N] [--seed S]` — generate a
-//!   benchmark dataset and write it as OpenEA-style TSV files.
+//! * `generate <profile> <dir> [--links N] [--seed S] [--scale F]` —
+//!   generate a benchmark dataset and write it as OpenEA-style TSV files;
+//!   `--scale F` grows the profile F× for out-of-core scale testing.
 //! * `align <dir> [--seed S] [--out model.sdt] [--encoder-out enc.sdqe]
 //!   [--matching] [--tiny] [--checkpoint <ckpt-dir>] [--ckpt-every N]` —
 //!   load a dataset directory (as written by `generate`, or any
@@ -46,7 +47,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: sdea <generate|align|rank|profiles> ...\n\
-                 \n  sdea generate <profile> <dir> [--links N] [--seed S]\
+                 \n  sdea generate <profile> <dir> [--links N] [--seed S] [--scale F]\
                  \n  sdea align <dir> [--seed S] [--out model.sdt] [--encoder-out enc.sdqe]\
                  \n             [--matching] [--tiny] [--checkpoint <ckpt-dir>] [--ckpt-every N]\
                  \n  sdea rank <dir> <model.sdt> <entity-name> [--top K] [--attr]\
@@ -90,16 +91,26 @@ fn profile_by_name(name: &str, links: usize, seed: u64) -> Option<DatasetProfile
 
 fn cmd_generate(args: &[String]) -> i32 {
     let (Some(profile_name), Some(dir)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: sdea generate <profile> <dir> [--links N] [--seed S]");
+        eprintln!("usage: sdea generate <profile> <dir> [--links N] [--seed S] [--scale F]");
         return 2;
     };
     let links = flag_value(args, "--links").and_then(|v| v.parse().ok()).unwrap_or(300);
     let seed = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    // --scale F grows the profile F× (entities and triples scale
+    // near-linearly with the link target; see DatasetProfile::scaled).
+    let scale = match flag_value(args, "--scale").map(|v| v.parse::<usize>()) {
+        None => 1,
+        Some(Ok(f)) if f >= 1 => f,
+        Some(_) => {
+            eprintln!("--scale expects an integer factor >= 1");
+            return 2;
+        }
+    };
     let Some(profile) = profile_by_name(profile_name, links, seed) else {
         eprintln!("unknown profile {profile_name}; see `sdea profiles`");
         return 2;
     };
-    let ds = sdea::synth::generate(&profile);
+    let ds = sdea::synth::generate(&profile.scaled(scale));
     let dir = PathBuf::from(dir);
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("cannot create {}: {e}", dir.display());
@@ -166,6 +177,14 @@ fn cmd_align(args: &[String]) -> i32 {
     cfg.checkpoint_dir = flag_value(args, "--checkpoint").map(PathBuf::from);
     if let Some(every) = flag_value(args, "--ckpt-every").and_then(|v| v.parse().ok()) {
         cfg.checkpoint_every = every;
+    }
+    // SDEA_SHARD_ROWS overrides the embedding spill shard height — an
+    // execution knob (bit-identical results at any value) exposed for the
+    // out-of-core smoke tests; strict parse, exit 2 on a malformed value.
+    if let Some(rows) =
+        sdea::obs::env::parse_or_exit::<usize>("SDEA_SHARD_ROWS", "a non-negative integer")
+    {
+        cfg.embed_shard_rows = rows;
     }
     eprintln!(
         "training SDEA on {} + {} entities ({} train / {} valid / {} test links)...",

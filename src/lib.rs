@@ -48,6 +48,7 @@ pub use sdea_core as core;
 pub use sdea_eval as eval;
 pub use sdea_kg as kg;
 pub use sdea_lm as lm;
+pub use sdea_obs as obs;
 pub use sdea_synth as synth;
 pub use sdea_tensor as tensor;
 pub use sdea_text as text;
