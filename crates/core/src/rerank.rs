@@ -1,0 +1,838 @@
+//! Cross-encoder reranking of stage-1 candidate shortlists.
+//!
+//! The bi-encoder pipeline scores a pair by the cosine of two embeddings
+//! computed *without seeing each other* — fast (one forward per entity,
+//! then an index lookup) but blind to token-level interactions between the
+//! two attribute sequences. The [`CrossEncoder`] closes that gap at the
+//! price the literature pays for it: a full transformer forward **per
+//! pair**, affordable only on a shortlist. Each pair is encoded BERT-style
+//! as `[CLS] a [SEP] b [SEP]` with segment embeddings
+//! ([`sdea_text::Tokenizer::encode_pair_ids`], `LmConfig::segments == 2`),
+//! the transformer is warm-started from the fine-tuned attribute encoder,
+//! and a 2-logit match/no-match head reads the pooled `[CLS]` state.
+//!
+//! **Scoring.** The autograd graph has no `log` op, so the head trains as
+//! two logits `(z0, z1)` under log-softmax + NLL — exactly binary cross
+//! entropy — and at inference the match probability is
+//! `sigmoid(z1 - z0)` (algebraically the same posterior). The final
+//! preference score fuses both stages:
+//! `alpha * cosine + (1 - alpha) * sigmoid(head)`; entities outside the
+//! shortlist keep their pure `alpha * cosine` score, so the head only ever
+//! *adds* evidence for candidates stage 1 already surfaced.
+//!
+//! **Determinism.** Pair scoring runs in eval mode in fixed 64-row chunks
+//! over `sdea_tensor::par`: every pair is padded to the same `max_seq` and
+//! pooled per row, so its score is bitwise identical alone, permuted, or
+//! batched alongside any other pairs, at any thread budget (pinned by
+//! `tests/rerank_property.rs`). Training consumes one seeded RNG stream
+//! and checkpoints on the stage protocol ([`crate::checkpoint`], stage
+//! `Rerank`), so a killed-and-resumed fit is bit-identical to an
+//! uninterrupted one.
+
+use crate::attr_module::AttrModule;
+use crate::candidates::CandidateSet;
+use crate::checkpoint::{self, Checkpointer};
+use crate::config::SdeaConfig;
+use sdea_index::{Hit, Retriever};
+use sdea_kg::EntityId;
+use sdea_lm::{TokenBatch, TransformerLm};
+use sdea_tensor::serialize::{
+    atomic_write_retry, blob_payload, blob_to_bytes, store_from_bytes, store_to_bytes, WireRead,
+    WireWrite,
+};
+use sdea_tensor::{
+    desc_nan_last, init, Adam, GradClip, Graph, Optimizer, ParamId, ParamStore, Rng, Tensor, Var,
+};
+use sdea_text::{EncodedPair, Tokenizer, Vocab};
+use std::io;
+use std::path::Path;
+
+/// Progress record of one reranker fine-tuning run.
+#[derive(Clone, Debug, Default)]
+pub struct RerankFitReport {
+    /// Mean NLL per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Reranked validation Hits@1 per epoch.
+    pub valid_hits1: Vec<f64>,
+    /// Epoch whose snapshot was restored.
+    pub best_epoch: usize,
+}
+
+/// The cross-encoder reranker: pair tokenizer + warm-started transformer +
+/// match/no-match head.
+pub struct CrossEncoder {
+    /// All weights (transformer, segment table, pair head).
+    pub store: ParamStore,
+    lm: TransformerLm,
+    tokenizer: Tokenizer,
+    head_w: ParamId,
+    head_b: ParamId,
+    cfg: SdeaConfig,
+}
+
+/// Rows per eval-mode scoring chunk (matches the embed path's batching;
+/// per-pair scores are independent of the chunking either way).
+const SCORE_CHUNK: usize = 64;
+
+impl CrossEncoder {
+    /// Builds a cross-encoder warm-started from a fine-tuned attribute
+    /// encoder: same tokenizer, same transformer architecture plus a
+    /// 2-entry segment table, every same-named/shaped `lm.*` weight copied
+    /// from the bi-encoder. Only the segment table and the head start
+    /// fresh from `rng`.
+    pub fn from_encoder(module: &AttrModule, rng: &mut Rng) -> Self {
+        let cfg = module.config().clone();
+        let tokenizer = module.tokenizer().clone();
+        let mut lm_cfg = cfg.lm_config(tokenizer.vocab().len());
+        lm_cfg.segments = 2;
+        let mut store = ParamStore::new();
+        let lm = TransformerLm::new(lm_cfg, &mut store, rng);
+        let head_w = store.add("rerank.head.w", init::xavier_uniform(&[cfg.lm_hidden, 2], rng));
+        let head_b = store.add("rerank.head.b", Tensor::zeros(&[2]));
+        let mut ce = CrossEncoder { store, lm, tokenizer, head_w, head_b, cfg };
+        ce.warm_start(&module.store);
+        ce
+    }
+
+    /// Copies every donor parameter whose name and shape match ours.
+    /// `restore_from_named` is deliberately not used: it is strict about
+    /// the *full* name set, and this store legitimately has parameters the
+    /// bi-encoder lacks (`lm.seg_emb`, the head) and lacks ones it has
+    /// (`attr.mlp.*`).
+    fn warm_start(&mut self, donor: &ParamStore) {
+        let by_name: std::collections::BTreeMap<String, sdea_tensor::ParamId> =
+            donor.ids().map(|id| (donor.name(id).to_string(), id)).collect();
+        let mine: Vec<ParamId> = self.store.ids().collect();
+        let mut copied = 0u64;
+        for id in mine {
+            let name = self.store.name(id).to_string();
+            if let Some(&src) = by_name.get(&name) {
+                if donor.value(src).shape() == self.store.value(id).shape() {
+                    *self.store.value_mut(id) = donor.value(src).clone();
+                    copied += 1;
+                }
+            }
+        }
+        sdea_obs::add("rerank.warm_started_params", copied);
+    }
+
+    /// Rebuilds a cross-encoder from persisted parts: re-registers the
+    /// transformer + head deterministically by name, then overwrites every
+    /// tensor from `saved`. Typed failure on any architecture mismatch.
+    pub fn from_parts(
+        cfg: SdeaConfig,
+        tokenizer: Tokenizer,
+        saved: &ParamStore,
+    ) -> Result<Self, String> {
+        let mut lm_cfg = cfg.lm_config(tokenizer.vocab().len());
+        lm_cfg.segments = 2;
+        lm_cfg.validate()?;
+        let mut store = ParamStore::new();
+        let mut init_rng = Rng::seed_from_u64(0);
+        let lm = TransformerLm::new(lm_cfg, &mut store, &mut init_rng);
+        let head_w =
+            store.add("rerank.head.w", init::xavier_uniform(&[cfg.lm_hidden, 2], &mut init_rng));
+        let head_b = store.add("rerank.head.b", Tensor::zeros(&[2]));
+        store.restore_from_named(saved)?;
+        Ok(CrossEncoder { store, lm, tokenizer, head_w, head_b, cfg })
+    }
+
+    /// The pair tokenizer (shared with the bi-encoder it came from).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The configuration the encoder was built under.
+    pub fn config(&self) -> &SdeaConfig {
+        &self.cfg
+    }
+
+    /// Encodes one token-id pair at the model's fixed length.
+    fn encode_pair(&self, a: &[u32], b: &[u32]) -> EncodedPair {
+        self.tokenizer.encode_pair_ids(a, b, self.cfg.max_seq)
+    }
+
+    /// Pair logits `[b, 2]` on the graph (shared by training and scoring).
+    fn pair_logits(&self, g: &Graph, batch: &TokenBatch, training: bool, rng: &mut Rng) -> Var {
+        let hidden = self.lm.forward(g, &self.store, batch, training, rng);
+        let cls = self.lm.cls_states(g, hidden, batch);
+        let w = g.param(&self.store, self.head_w);
+        let b = g.param(&self.store, self.head_b);
+        g.add_bias(g.matmul(cls, w), b)
+    }
+
+    /// Match probability `sigmoid(z1 - z0)` per pair, in eval mode.
+    /// `queries[i]` is scored against `cands[i]`. Chunked over the thread
+    /// budget; each pair's probability is independent of every other pair
+    /// in the call (order- and padding-invariant, bitwise).
+    pub fn score_pairs(&self, queries: &[Vec<u32>], cands: &[Vec<u32>]) -> Vec<f32> {
+        assert_eq!(queries.len(), cands.len(), "score_pairs length mismatch");
+        let _span = sdea_obs::span("rerank.score_pairs");
+        sdea_obs::add("rerank.pairs_scored", queries.len() as u64);
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_chunks = n.div_ceil(SCORE_CHUNK);
+        let parts = sdea_tensor::par_map_collect(n_chunks, 1 << 20, |ci| {
+            let start = ci * SCORE_CHUNK;
+            let end = (start + SCORE_CHUNK).min(n);
+            let rows: Vec<EncodedPair> =
+                (start..end).map(|i| self.encode_pair(&queries[i], &cands[i])).collect();
+            let batch = TokenBatch::from_encoded_pairs(&rows);
+            // Eval-mode forwards draw no randomness; the RNG only
+            // satisfies the signature (mirrors `AttrModule::embed_rows`).
+            let mut chunk_rng = Rng::seed_from_u64(0x5dea_ce00 ^ ci as u64);
+            let g = Graph::new();
+            let logits = self.pair_logits(&g, &batch, false, &mut chunk_rng);
+            let v = g.value_cloned(logits);
+            (0..batch.b)
+                .map(|i| {
+                    let z0 = v.data()[i * 2];
+                    let z1 = v.data()[i * 2 + 1];
+                    sigmoid(z1 - z0)
+                })
+                .collect::<Vec<f32>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Reranks stage-1 shortlists: fuses each hit's cosine with the pair
+    /// head (`alpha * cosine + (1 - alpha) * sigmoid(head)`) and re-sorts
+    /// descending under [`desc_nan_last`], ties broken by lower candidate
+    /// index — the same order contract as [`Retriever::search`].
+    /// `cand_tokens` is the target side's token cache (row = entity id).
+    pub fn rerank_hits(
+        &self,
+        queries: &[Vec<u32>],
+        cand_tokens: &[Vec<u32>],
+        hits: &[Vec<Hit>],
+        alpha: f32,
+    ) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len(), hits.len(), "rerank_hits query/hit mismatch");
+        let mut q_flat = Vec::new();
+        let mut c_flat = Vec::new();
+        for (q, row) in queries.iter().zip(hits) {
+            for &(j, _) in row {
+                q_flat.push(q.clone());
+                c_flat.push(cand_tokens[j].clone());
+            }
+        }
+        let probs = self.score_pairs(&q_flat, &c_flat);
+        let mut out = Vec::with_capacity(hits.len());
+        let mut off = 0usize;
+        for row in hits {
+            let mut fused: Vec<Hit> = row
+                .iter()
+                .zip(&probs[off..off + row.len()])
+                .map(|(&(j, cos), &p)| (j, alpha * cos + (1.0 - alpha) * p))
+                .collect();
+            off += row.len();
+            fused.sort_by(|a, b| desc_nan_last(a.1, b.1).then(a.0.cmp(&b.0)));
+            out.push(fused);
+        }
+        out
+    }
+
+    /// Fuses the head into a full similarity matrix for stable matching:
+    /// every cell becomes `alpha * sim`, and the per-row top-`k` shortlist
+    /// cells additionally gain `(1 - alpha) * sigmoid(head)`. Because the
+    /// head's contribution is strictly positive, shortlist candidates can
+    /// only move *up* relative to the tail — Gale–Shapley preferences see
+    /// exactly the fused score the reranked shortlist ranks by.
+    pub fn fused_similarity(
+        &self,
+        sim: &Tensor,
+        queries: &[Vec<u32>],
+        cand_tokens: &[Vec<u32>],
+        k: usize,
+        alpha: f32,
+    ) -> Tensor {
+        assert_eq!(sim.rank(), 2, "fused_similarity expects [n1, n2]");
+        let (n1, n2) = (sim.shape()[0], sim.shape()[1]);
+        assert_eq!(queries.len(), n1, "fused_similarity query count");
+        assert_eq!(cand_tokens.len(), n2, "fused_similarity candidate count");
+        let hits: Vec<Vec<Hit>> = (0..n1)
+            .map(|i| {
+                let row = &sim.data()[i * n2..(i + 1) * n2];
+                let mut idx: Vec<usize> = (0..n2).collect();
+                idx.sort_by(|&a, &b| desc_nan_last(row[a], row[b]).then(a.cmp(&b)));
+                idx.truncate(k.min(n2));
+                idx.into_iter().map(|j| (j, row[j])).collect()
+            })
+            .collect();
+        let mut q_flat = Vec::new();
+        let mut c_flat = Vec::new();
+        for (q, row) in queries.iter().zip(&hits) {
+            for &(j, _) in row {
+                q_flat.push(q.clone());
+                c_flat.push(cand_tokens[j].clone());
+            }
+        }
+        let probs = self.score_pairs(&q_flat, &c_flat);
+        let mut out = sim.scale(alpha);
+        let mut off = 0usize;
+        for (i, row) in hits.iter().enumerate() {
+            for (&(j, _), &p) in row.iter().zip(&probs[off..off + row.len()]) {
+                out.data_mut()[i * n2 + j] += (1.0 - alpha) * p;
+            }
+            off += row.len();
+        }
+        out
+    }
+
+    /// Reranked validation Hits@1 over precomputed stage-1 shortlists.
+    fn validate_shortlists(
+        &self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        valid: &[(EntityId, EntityId)],
+        shortlists: &[Vec<Hit>],
+        alpha: f32,
+    ) -> f64 {
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let queries: Vec<Vec<u32>> =
+            valid.iter().map(|&(e, _)| cache1[e.0 as usize].clone()).collect();
+        let reranked = self.rerank_hits(&queries, cache2, shortlists, alpha);
+        let hits = valid
+            .iter()
+            .zip(&reranked)
+            .filter(|(&(_, gold), row)| row.first().is_some_and(|&(j, _)| j == gold.0 as usize))
+            .count();
+        hits as f64 / valid.len() as f64
+    }
+
+    /// Fine-tunes the pair head (and warm-started transformer) on the seed
+    /// alignments: each train pair is a positive, plus
+    /// `cfg.rerank.negatives` hard negatives per positive drawn
+    /// deterministically from its stage-1 shortlist (the shortlist a
+    /// mistaken bi-encoder would actually confuse it with). See
+    /// [`CrossEncoder::fit_resumable`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &mut self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        h_a1: &Tensor,
+        retr: &dyn Retriever,
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+    ) -> RerankFitReport {
+        self.fit_resumable(cache1, cache2, h_a1, retr, train, valid, rng, None)
+    }
+
+    /// [`CrossEncoder::fit`] with checkpoint/resume on the stage protocol:
+    /// with a [`Checkpointer`], the loop restores the latest intact
+    /// `Rerank` [`checkpoint::StageState`] (weights, Adam moments, RNG
+    /// stream, early-stopping bookkeeping) and continues bit-identically
+    /// to the uninterrupted run; a new state lands every
+    /// `checkpoint_every` epochs. `h_a1` is the frozen stage-1 table of
+    /// KG1 (row = entity id); `retr` indexes the frozen KG2 table, so
+    /// shortlists are computed once up front — they cannot drift across
+    /// epochs or resumes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable(
+        &mut self,
+        cache1: &[Vec<u32>],
+        cache2: &[Vec<u32>],
+        h_a1: &Tensor,
+        retr: &dyn Retriever,
+        train: &[(EntityId, EntityId)],
+        valid: &[(EntityId, EntityId)],
+        rng: &mut Rng,
+        mut ckpt: Option<&mut Checkpointer>,
+    ) -> RerankFitReport {
+        let _span = sdea_obs::span("rerank.fit");
+        let rr = self.cfg.rerank.clone();
+        let has_valid = !valid.is_empty();
+        if !has_valid {
+            sdea_obs::add("rerank.no_validation", 1);
+        }
+        let mut opt = Adam::new(rr.lr).with_clip(GradClip::GlobalNorm(1.0));
+        let mut report = RerankFitReport::default();
+        let n_targets = cache2.len();
+
+        // Stage-1 shortlists, once: hard-negative pools for train sources,
+        // rerank candidates for validation sources.
+        let sources: Vec<EntityId> = train.iter().map(|&(e, _)| e).collect();
+        let src_rows: Vec<usize> = sources.iter().map(|e| e.0 as usize).collect();
+        let cands = {
+            let _span = sdea_obs::span("rerank.shortlists");
+            CandidateSet::from_retriever(&sources, &h_a1.gather_rows(&src_rows), retr, rr.k)
+        };
+        let valid_rows: Vec<usize> = valid.iter().map(|&(e, _)| e.0 as usize).collect();
+        let valid_shortlists =
+            if has_valid { retr.search(&h_a1.gather_rows(&valid_rows), rr.k) } else { Vec::new() };
+
+        let mut best_hits = -1.0f64;
+        let mut best_loss = f64::INFINITY;
+        let mut best_snapshot = self.store.snapshot();
+        let mut strikes = 0usize;
+        let mut start_epoch = 0usize;
+        let resume = ckpt.as_mut().and_then(|c| c.latest_stage_state(checkpoint::Stage::Rerank));
+        if let Some(st) = resume {
+            match self.store.restore_from_named(&st.store) {
+                Ok(()) => {
+                    opt.set_state(st.adam_t, st.adam_m, st.adam_v);
+                    *rng = Rng::from_state(st.rng);
+                    best_hits = st.best_hits;
+                    best_loss = st.best_loss;
+                    best_snapshot = st.best_snapshot;
+                    strikes = st.strikes as usize;
+                    report.epoch_losses = st.epoch_losses;
+                    report.valid_hits1 = st.valid_hits1;
+                    report.best_epoch = st.best_epoch as usize;
+                    start_epoch = st.next_epoch as usize;
+                    sdea_obs::add("ckpt.stage_resumes", 1);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "rerank checkpoint incompatible with rebuilt model ({e}); starting fresh"
+                    )
+                }
+            }
+        }
+        if start_epoch == 0 {
+            // The warm-started state itself is the first early-stopping
+            // candidate: if pair fine-tuning only hurts, it rolls back.
+            best_hits =
+                self.validate_shortlists(cache1, cache2, valid, &valid_shortlists, rr.alpha);
+        }
+
+        let pool = sdea_tensor::BufferPool::new();
+        for epoch in start_epoch..rr.epochs {
+            let _span = sdea_obs::span("epoch");
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            let mut steps = 0usize;
+            for chunk in order.chunks(rr.batch.max(1)) {
+                let mut rows: Vec<EncodedPair> =
+                    Vec::with_capacity(chunk.len() * (1 + rr.negatives));
+                let mut labels: Vec<usize> = Vec::with_capacity(rows.capacity());
+                for &i in chunk {
+                    let (a, gold) = train[i];
+                    let q = &cache1[a.0 as usize];
+                    rows.push(self.encode_pair(q, &cache2[gold.0 as usize]));
+                    labels.push(1);
+                    for _ in 0..rr.negatives {
+                        let neg = cands.sample_negative(a, gold, n_targets, rng);
+                        rows.push(self.encode_pair(q, &cache2[neg.0 as usize]));
+                        labels.push(0);
+                    }
+                }
+                let batch = TokenBatch::from_encoded_pairs(&rows);
+                let g = Graph::with_pool(std::rc::Rc::clone(&pool));
+                let logits = self.pair_logits(&g, &batch, true, rng);
+                let logp = g.log_softmax_lastdim(logits);
+                let loss = g.nll_mean(logp, &labels);
+                let lv = g.value_cloned(loss).item();
+                g.backward(loss);
+                g.accumulate_param_grads(&mut self.store);
+                opt.step(&mut self.store);
+                epoch_loss += lv as f64;
+                steps += 1;
+                sdea_obs::add("rerank.steps", 1);
+                sdea_obs::record("rerank.batch_loss", lv as f64);
+            }
+            let mean_loss = epoch_loss / steps.max(1) as f64;
+            report.epoch_losses.push(mean_loss as f32);
+            sdea_obs::add("rerank.epochs", 1);
+
+            let hits1 = if has_valid {
+                let _span = sdea_obs::span("validate");
+                self.validate_shortlists(cache1, cache2, valid, &valid_shortlists, rr.alpha)
+            } else {
+                0.0
+            };
+            report.valid_hits1.push(hits1);
+            let improved = if has_valid { hits1 > best_hits } else { mean_loss < best_loss };
+            let mut stop = false;
+            if improved {
+                best_hits = hits1;
+                best_loss = mean_loss;
+                best_snapshot = self.store.snapshot();
+                report.best_epoch = epoch;
+                strikes = 0;
+            } else {
+                strikes += 1;
+                if strikes >= self.cfg.patience {
+                    sdea_obs::add("rerank.early_stops", 1);
+                    stop = true;
+                }
+            }
+            if let Some(c) = ckpt.as_mut() {
+                if c.due(epoch) && !stop {
+                    let (t, m, v) = opt.state();
+                    let state = checkpoint::StageState {
+                        next_epoch: (epoch + 1) as u32,
+                        rng: rng.state(),
+                        store: self.store.clone(),
+                        adam_t: t,
+                        adam_m: m.to_vec(),
+                        adam_v: v.to_vec(),
+                        best_snapshot: best_snapshot.clone(),
+                        best_hits,
+                        best_loss,
+                        strikes: strikes as u32,
+                        epoch_losses: report.epoch_losses.clone(),
+                        valid_hits1: report.valid_hits1.clone(),
+                        best_epoch: report.best_epoch as u32,
+                    };
+                    if let Err(e) = c.record_stage_epoch(checkpoint::Stage::Rerank, &state) {
+                        eprintln!("rerank checkpoint at epoch {epoch} failed: {e}; continuing");
+                    }
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+        self.store.restore(&best_snapshot);
+        report
+    }
+}
+
+/// Plain (non-graph) logistic function; inference-only, so it needs no
+/// autograd support.
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+// --- persistence (`SDCE` blob, mirroring `crate::encoder_io`) -----------
+
+/// Blob kind tag of the persisted cross-encoder.
+pub const CROSS_ENCODER_KIND: &[u8; 4] = b"SDCE";
+
+/// Payload layout version (bump on layout changes).
+const CROSS_ENCODER_VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("SDCE: {}", msg.into()))
+}
+
+fn need(buf: &&[u8], n: usize, what: &str) -> io::Result<()> {
+    if buf.remaining() < n {
+        Err(invalid(format!("truncated {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes the cross-encoder to bytes (blob container included).
+pub fn cross_encoder_to_bytes(ce: &CrossEncoder) -> Vec<u8> {
+    let cfg = ce.config();
+    let mut p: Vec<u8> = Vec::new();
+    p.put_u32_le(CROSS_ENCODER_VERSION);
+    p.put_u64_le(cfg.seed);
+    for v in [cfg.lm_hidden, cfg.lm_layers, cfg.lm_heads, cfg.lm_ffn, cfg.max_seq] {
+        p.put_u32_le(v as u32);
+    }
+    p.put_f32_le(cfg.dropout);
+    p.put_u32_le(cfg.rerank.k as u32);
+    p.put_f32_le(cfg.rerank.alpha);
+    // Vocabulary: non-special subwords in id order (specials implicit).
+    let subwords: Vec<&str> =
+        ce.tokenizer().vocab().iter().filter(|&(id, _)| id >= 5).map(|(_, t)| t).collect();
+    p.put_u32_le(subwords.len() as u32);
+    for sw in subwords {
+        p.put_u32_le(sw.len() as u32);
+        p.put_slice(sw.as_bytes());
+    }
+    let store = store_to_bytes(&ce.store);
+    p.put_u64_le(store.len() as u64);
+    p.put_slice(&store);
+    blob_to_bytes(CROSS_ENCODER_KIND, &p)
+}
+
+/// Rebuilds a cross-encoder from [`cross_encoder_to_bytes`] output. Every
+/// failure — corruption, version skew, architecture mismatch — is a typed
+/// `InvalidData` error, never a panic.
+pub fn cross_encoder_from_bytes(bytes: &[u8]) -> io::Result<CrossEncoder> {
+    let mut buf = blob_payload(bytes, CROSS_ENCODER_KIND)?;
+    need(&buf, 4, "version")?;
+    let version = buf.get_u32_le();
+    if version != CROSS_ENCODER_VERSION {
+        return Err(invalid(format!("unsupported cross-encoder version {version}")));
+    }
+    need(&buf, 8 + 5 * 4 + 4 + 4 + 4, "config scalars")?;
+    let mut cfg = SdeaConfig { seed: buf.get_u64_le(), ..SdeaConfig::default() };
+    cfg.lm_hidden = buf.get_u32_le() as usize;
+    cfg.lm_layers = buf.get_u32_le() as usize;
+    cfg.lm_heads = buf.get_u32_le() as usize;
+    cfg.lm_ffn = buf.get_u32_le() as usize;
+    cfg.max_seq = buf.get_u32_le() as usize;
+    cfg.dropout = buf.get_f32_le();
+    cfg.rerank.enabled = true;
+    cfg.rerank.k = buf.get_u32_le() as usize;
+    cfg.rerank.alpha = buf.get_f32_le();
+    need(&buf, 4, "subword count")?;
+    let n_subwords = buf.get_u32_le() as usize;
+    let mut subwords = Vec::with_capacity(n_subwords.min(1 << 20));
+    for i in 0..n_subwords {
+        need(&buf, 4, "subword length")?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len, "subword bytes")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let sw = String::from_utf8(raw).map_err(|_| invalid(format!("subword {i} not UTF-8")))?;
+        subwords.push(sw);
+    }
+    need(&buf, 8, "store length")?;
+    let store_len = buf.get_u64_le() as usize;
+    need(&buf, store_len, "weight store")?;
+    let store = store_from_bytes(&buf[..store_len])?;
+    let tokenizer = Tokenizer::new(Vocab::new(subwords));
+    CrossEncoder::from_parts(cfg, tokenizer, &store).map_err(invalid)
+}
+
+/// Atomically writes the cross-encoder to `path` (fault site
+/// `rerank.save`).
+pub fn save_cross_encoder(ce: &CrossEncoder, path: impl AsRef<Path>) -> io::Result<()> {
+    atomic_write_retry(path, &cross_encoder_to_bytes(ce), "rerank.save")
+}
+
+/// Loads a cross-encoder written by [`save_cross_encoder`].
+pub fn load_cross_encoder(path: impl AsRef<Path>) -> io::Result<CrossEncoder> {
+    cross_encoder_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdea_index::ExactRetriever;
+
+    /// Two toy "KGs" whose aligned entities share anchor tokens, as in the
+    /// attr_module tests, plus a trained bi-encoder over them.
+    type Toy = (AttrModule, Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<(EntityId, EntityId)>);
+
+    fn toy() -> Toy {
+        let n = 24usize;
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            s1.push(format!("person alpha{i} born {}", 1900 + i));
+            s2.push(format!("celui beta{i} naissance {}", 1900 + i));
+            pairs.push((EntityId(i as u32), EntityId(i as u32)));
+        }
+        let mut rng = Rng::seed_from_u64(21);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        let corpus: Vec<String> = s1.iter().chain(&s2).cloned().collect();
+        let module = AttrModule::build(&cfg, &corpus, &mut rng);
+        let cache1 = module.token_cache(&s1);
+        let cache2 = module.token_cache(&s2);
+        (module, cache1, cache2, pairs)
+    }
+
+    #[test]
+    fn warm_start_copies_lm_weights() {
+        let (module, ..) = toy();
+        let mut rng = Rng::seed_from_u64(1);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        // Every lm.* weight the bi-encoder has must be bitwise shared.
+        let donor_names: std::collections::BTreeMap<String, Tensor> = module
+            .store
+            .ids()
+            .map(|id| (module.store.name(id).to_string(), module.store.value(id).clone()))
+            .collect();
+        let mut checked = 0;
+        let ids: Vec<ParamId> = ce.store.ids().collect();
+        for id in ids {
+            let name = ce.store.name(id);
+            if let Some(donor) = donor_names.get(name) {
+                assert_eq!(ce.store.value(id), donor, "{name} not warm-started");
+                checked += 1;
+            }
+        }
+        assert!(checked > 4, "warm start matched only {checked} params");
+        // The extras exist and were not in the donor.
+        assert!(ce.store.ids().any(|id| ce.store.name(id) == "lm.seg_emb"));
+        assert!(ce.store.ids().any(|id| ce.store.name(id) == "rerank.head.w"));
+        assert!(!donor_names.contains_key("lm.seg_emb"));
+    }
+
+    #[test]
+    fn score_pairs_shapes_and_range() {
+        let (module, cache1, cache2, _) = toy();
+        let mut rng = Rng::seed_from_u64(2);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let probs = ce.score_pairs(&cache1[..5], &cache2[..5]);
+        assert_eq!(probs.len(), 5);
+        assert!(probs.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1.0), "{probs:?}");
+        assert!(ce.score_pairs(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn rerank_hits_orders_by_fused_score() {
+        let (module, cache1, cache2, _) = toy();
+        let mut rng = Rng::seed_from_u64(3);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let hits = vec![vec![(0usize, 0.9f32), (1, 0.8), (2, 0.7)]];
+        let queries = vec![cache1[0].clone()];
+        // alpha = 1.0: the head contributes nothing, stage-1 order holds.
+        let same = ce.rerank_hits(&queries, &cache2, &hits, 1.0);
+        assert_eq!(same[0].iter().map(|&(j, _)| j).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Scores stay sorted under the contract at any alpha.
+        let fused = ce.rerank_hits(&queries, &cache2, &hits, 0.5);
+        assert_eq!(fused[0].len(), 3);
+        for w in fused[0].windows(2) {
+            assert_ne!(desc_nan_last(w[0].1, w[1].1), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn fit_improves_reranked_validation() {
+        let (module, cache1, cache2, pairs) = toy();
+        let mut rng = Rng::seed_from_u64(4);
+        let h_a1 = module.embed_all(&cache1, &mut rng);
+        let h_a2 = module.embed_all(&cache2, &mut rng);
+        let retr = ExactRetriever::new(&h_a2);
+        let mut ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let train = &pairs[..16];
+        let valid = &pairs[16..];
+        let report = ce.fit(&cache1, &cache2, &h_a1, &retr, train, valid, &mut rng);
+        assert!(!report.epoch_losses.is_empty());
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(!report.valid_hits1.is_empty());
+        // The restored snapshot never scores below the warm-started state
+        // (epoch 0's baseline is the first early-stopping candidate).
+        let shortlists =
+            retr.search(&h_a1.gather_rows(&[16, 17, 18, 19, 20, 21, 22, 23]), ce.cfg.rerank.k);
+        let after =
+            ce.validate_shortlists(&cache1, &cache2, valid, &shortlists, ce.cfg.rerank.alpha);
+        let fresh = CrossEncoder::from_encoder(&module, &mut Rng::seed_from_u64(4));
+        let before =
+            fresh.validate_shortlists(&cache1, &cache2, valid, &shortlists, ce.cfg.rerank.alpha);
+        assert!(after >= before, "rerank fit regressed: {before} -> {after} ({report:?})");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (module, cache1, cache2, pairs) = toy();
+        let mut rng = Rng::seed_from_u64(5);
+        let h_a1 = module.embed_all(&cache1, &mut rng);
+        let h_a2 = module.embed_all(&cache2, &mut rng);
+        let retr = ExactRetriever::new(&h_a2);
+        let run = |seed: u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut ce = CrossEncoder::from_encoder(&module, &mut rng);
+            ce.fit(&cache1, &cache2, &h_a1, &retr, &pairs[..16], &pairs[16..], &mut rng);
+            ce.store.snapshot()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let (module, cache1, cache2, pairs) = toy();
+        let mut rng = Rng::seed_from_u64(6);
+        let h_a1 = module.embed_all(&cache1, &mut rng);
+        let h_a2 = module.embed_all(&cache2, &mut rng);
+        let retr = ExactRetriever::new(&h_a2);
+        let fp = 0x5dce;
+
+        // Uninterrupted reference.
+        let mut ce_ref = CrossEncoder::from_encoder(&module, &mut Rng::seed_from_u64(7));
+        let mut rng_ref = Rng::seed_from_u64(8);
+        ce_ref.fit(&cache1, &cache2, &h_a1, &retr, &pairs[..16], &pairs[16..], &mut rng_ref);
+
+        // Run epochs 0..2 with checkpoints, then "die" and resume fresh.
+        let dir = std::env::temp_dir().join(format!("sdea_rerank_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ce_a = CrossEncoder::from_encoder(&module, &mut Rng::seed_from_u64(7));
+        let mut truncated = ce_a.cfg.clone();
+        truncated.rerank.epochs = 2;
+        ce_a.cfg = truncated;
+        let mut ck = Checkpointer::open(&dir, fp, 1).expect("open ckpt");
+        let mut rng_a = Rng::seed_from_u64(8);
+        ce_a.fit_resumable(
+            &cache1,
+            &cache2,
+            &h_a1,
+            &retr,
+            &pairs[..16],
+            &pairs[16..],
+            &mut rng_a,
+            Some(&mut ck),
+        );
+        drop(ck);
+        let mut ce_b = CrossEncoder::from_encoder(&module, &mut Rng::seed_from_u64(7));
+        let mut ck = Checkpointer::open(&dir, fp, 1).expect("reopen ckpt");
+        let mut rng_b = Rng::seed_from_u64(999); // overwritten by the resume
+        ce_b.fit_resumable(
+            &cache1,
+            &cache2,
+            &h_a1,
+            &retr,
+            &pairs[..16],
+            &pairs[16..],
+            &mut rng_b,
+            Some(&mut ck),
+        );
+        assert_eq!(ce_b.store.snapshot(), ce_ref.store.snapshot(), "resume diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sdce_round_trip_preserves_scores_bitwise() {
+        let (module, cache1, cache2, _) = toy();
+        let mut rng = Rng::seed_from_u64(10);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let bytes = cross_encoder_to_bytes(&ce);
+        let loaded = cross_encoder_from_bytes(&bytes).expect("round trip");
+        assert_eq!(
+            ce.score_pairs(&cache1[..4], &cache2[..4]),
+            loaded.score_pairs(&cache1[..4], &cache2[..4]),
+        );
+        assert_eq!(loaded.config().rerank.k, ce.config().rerank.k);
+    }
+
+    #[test]
+    fn sdce_corruption_is_a_typed_error() {
+        let (module, ..) = toy();
+        let mut rng = Rng::seed_from_u64(11);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let good = cross_encoder_to_bytes(&ce);
+        let mut bad_bytes = good.clone();
+        let mid = bad_bytes.len() / 2;
+        bad_bytes[mid] ^= 0xFF;
+        let err = cross_encoder_from_bytes(&bad_bytes).err().expect("corrupt blob must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncation never panics.
+        for cut in (0..good.len()).step_by(good.len() / 8 + 1) {
+            let _ = cross_encoder_from_bytes(&good[..cut]);
+        }
+    }
+
+    #[test]
+    fn fused_similarity_respects_alpha_extremes() {
+        let (module, cache1, cache2, _) = toy();
+        let mut rng = Rng::seed_from_u64(12);
+        let ce = CrossEncoder::from_encoder(&module, &mut rng);
+        let n = 6usize;
+        let sim = Tensor::rand_normal(&[n, n], 1.0, &mut rng);
+        let q: Vec<Vec<u32>> = cache1[..n].to_vec();
+        let c: Vec<Vec<u32>> = cache2[..n].to_vec();
+        // alpha = 1: bitwise the stage-1 matrix.
+        assert_eq!(ce.fused_similarity(&sim, &q, &c, 3, 1.0), sim);
+        // Fused cells outside the shortlist keep alpha * sim exactly.
+        let fused = ce.fused_similarity(&sim, &q, &c, 2, 0.5);
+        let mut boosted = 0;
+        for i in 0..n {
+            for j in 0..n {
+                let base = 0.5 * sim.data()[i * n + j];
+                let got = fused.data()[i * n + j];
+                if got != base {
+                    assert!(got > base, "head must only add evidence");
+                    boosted += 1;
+                }
+            }
+        }
+        assert_eq!(boosted, n * 2, "exactly top-k cells per row boosted");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the cross-encoder's batching contract.
+//!
+//! `CrossEncoder::score_pairs` promises that a pair's match probability is
+//! a function of that pair alone — **bitwise** — because every pair is
+//! padded to the model's fixed `max_seq` and all pooling is per row. These
+//! properties pin the contract the serving batcher and the blocked
+//! evaluator both lean on: scores survive permutation, batch composition
+//! (scored alone vs alongside any other pairs, longer or shorter), and
+//! chunk-boundary placement, at the bit level.
+
+use proptest::prelude::*;
+use sdea_core::attr_module::AttrModule;
+use sdea_core::{CrossEncoder, SdeaConfig};
+use sdea_tensor::Rng;
+use std::sync::OnceLock;
+
+/// One warm-started cross-encoder shared by every case (building the toy
+/// encoder is the expensive part; the properties only exercise scoring).
+fn ce() -> &'static CrossEncoder {
+    static CE: OnceLock<CrossEncoder> = OnceLock::new();
+    CE.get_or_init(|| {
+        let corpus: Vec<String> =
+            (0..12).map(|i| format!("entity name{i} value {} tag {}", 100 * i, 1900 + i)).collect();
+        let mut rng = Rng::seed_from_u64(77);
+        let mut cfg = SdeaConfig::test_tiny();
+        cfg.mlm_epochs = 0;
+        let module = AttrModule::build(&cfg, &corpus, &mut rng);
+        CrossEncoder::from_encoder(&module, &mut rng)
+    })
+}
+
+/// Arbitrary token bodies: real (non-special) ids from the toy vocabulary,
+/// any length from empty to past the pair budget (so truncation paths are
+/// exercised too).
+fn token_body() -> impl Strategy<Value = Vec<u32>> {
+    // The toy vocab always has more than 10 subwords; ids 5.. are real.
+    prop::collection::vec(5u32..10, 0..20)
+}
+
+fn pairs(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(Vec<u32>, Vec<u32>)>> {
+    prop::collection::vec((token_body(), token_body()), n)
+}
+
+fn score_all(ps: &[(Vec<u32>, Vec<u32>)]) -> Vec<f32> {
+    let q: Vec<Vec<u32>> = ps.iter().map(|(a, _)| a.clone()).collect();
+    let c: Vec<Vec<u32>> = ps.iter().map(|(_, b)| b.clone()).collect();
+    ce().score_pairs(&q, &c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Permuting a batch permutes the scores — bitwise.
+    #[test]
+    fn scores_are_order_invariant(ps in pairs(2..7), rot in 1usize..6) {
+        let base = score_all(&ps);
+        let n = ps.len();
+        let rot = rot % n.max(1);
+        let permuted: Vec<_> = (0..n).map(|i| ps[(i + rot) % n].clone()).collect();
+        let got = score_all(&permuted);
+        for i in 0..n {
+            prop_assert_eq!(
+                got[i].to_bits(),
+                base[(i + rot) % n].to_bits(),
+                "pair {} moved by rotation {}", i, rot
+            );
+        }
+    }
+
+    /// A pair scores identically alone and inside any batch — including
+    /// batches whose other pairs are longer (more real tokens), i.e.
+    /// padding alongside longer pairs changes nothing, bitwise.
+    #[test]
+    fn scores_are_batch_composition_invariant(ps in pairs(2..7), long_len in 10usize..20) {
+        let batched = score_all(&ps);
+        for (i, p) in ps.iter().enumerate() {
+            let alone = score_all(std::slice::from_ref(p));
+            prop_assert_eq!(alone[0].to_bits(), batched[i].to_bits(), "pair {} alone", i);
+            // Same pair next to a maximally long neighbour.
+            let long: Vec<u32> = (0..long_len as u32).map(|t| 5 + t % 5).collect();
+            let padded = score_all(&[p.clone(), (long.clone(), long)]);
+            prop_assert_eq!(padded[0].to_bits(), batched[i].to_bits(), "pair {} padded", i);
+        }
+    }
+
+    /// Duplicating a pair inside one call gives bitwise-equal rows for the
+    /// duplicates (no position-in-batch dependence).
+    #[test]
+    fn duplicate_pairs_score_identically(p in (token_body(), token_body()), n in 2usize..5) {
+        let batch: Vec<_> = (0..n).map(|_| p.clone()).collect();
+        let scores = score_all(&batch);
+        for w in scores.windows(2) {
+            prop_assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+    }
+}
+
+/// Chunk boundaries (64 rows) are part of the contract too: a batch long
+/// enough to span two scoring chunks still equals per-pair singleton
+/// scoring. Plain test — one fixed case is enough and proptest shrinkage
+/// on 70-row inputs is wasteful.
+#[test]
+fn scores_cross_chunk_boundaries_bitwise() {
+    let ps: Vec<(Vec<u32>, Vec<u32>)> = (0..70)
+        .map(|i| {
+            let a: Vec<u32> = (0..(i % 7)).map(|t| 5 + (i + t) % 5).collect();
+            let b: Vec<u32> = (0..(i % 5)).map(|t| 5 + (i * 3 + t) % 5).collect();
+            (a, b)
+        })
+        .collect();
+    let batched = score_all(&ps);
+    assert_eq!(batched.len(), 70);
+    for (i, p) in ps.iter().enumerate() {
+        let alone = score_all(std::slice::from_ref(p));
+        assert_eq!(alone[0].to_bits(), batched[i].to_bits(), "pair {i} vs chunked batch");
+    }
+}

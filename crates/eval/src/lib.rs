@@ -19,7 +19,8 @@ pub mod strings;
 pub use csls::{csls_metrics_blocked, csls_rescale, csls_rescale_with_means, neighborhood_means};
 pub use metrics::{
     evaluate_ranking, evaluate_ranking_blocked, evaluate_ranking_shards, evaluate_retrieved,
-    evaluate_retrieved_blocked, rank_of, AlignmentMetrics,
+    evaluate_retrieved_blocked, evaluate_retrieved_reranked_blocked, rank_of, AlignmentMetrics,
+    RescoreFn,
 };
 pub use report::{format_table, TableRow};
 pub use similarity::{

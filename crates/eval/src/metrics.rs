@@ -320,6 +320,55 @@ pub fn evaluate_retrieved_blocked(
     acc.finish()
 }
 
+/// Per-block shortlist rescoring hook for
+/// [`evaluate_retrieved_reranked_blocked`]: receives the block's global
+/// starting query row and its `(target_row, score)` hit lists, returns the
+/// rescored lists (same outer length).
+pub type RescoreFn<'a> = dyn FnMut(usize, Vec<Vec<(usize, f32)>>) -> Vec<Vec<(usize, f32)>> + 'a;
+
+/// Blocked retrieval evaluation with a second-stage rescoring pass: each
+/// block's hit lists are handed to `rescore` (typically a cross-encoder
+/// reranker — `sdea_core::CrossEncoder::rerank_hits` behind a closure; this
+/// crate deliberately does not depend on `sdea-core`) together with the
+/// global index of the block's first query, and the *returned* lists are
+/// ranked. Like [`evaluate_retrieved_blocked`], only one block's hit lists
+/// are ever resident, so the `n × m` matrix never materializes.
+///
+/// With the identity closure `|_, hits| hits` this is bit-identical to
+/// [`evaluate_retrieved_blocked`] at any block size and thread budget
+/// (pinned by a test below). A real rescorer must itself be per-row for the
+/// block decomposition to stay exact — the cross-encoder's pair scores are.
+pub fn evaluate_retrieved_reranked_blocked(
+    retr: &dyn Retriever,
+    queries: &Tensor,
+    gold: &[usize],
+    k: usize,
+    block_rows: usize,
+    rescore: &mut RescoreFn<'_>,
+) -> AlignmentMetrics {
+    assert_eq!(queries.rank(), 2, "evaluate_retrieved expects rank-2 queries");
+    assert_eq!(queries.shape()[0], gold.len(), "one gold target per query row");
+    let m = retr.len();
+    for (i, &g) in gold.iter().enumerate() {
+        assert!(g < m, "evaluate_retrieved: gold[{i}] row {g} out of range for {m} targets");
+    }
+    let _span = sdea_obs::span("eval.evaluate_retrieved_reranked_blocked");
+    let n = queries.shape()[0];
+    let block = if block_rows == 0 { n.max(1) } else { block_rows };
+    let mut acc = RankAccum::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        let hits = rescore(start, retr.search(&row_block(queries, start, end), k));
+        assert_eq!(hits.len(), end - start, "rescore must keep one hit list per query");
+        for (row, &g) in hits.iter().zip(&gold[start..end]) {
+            acc.push(retrieved_rank(row, g, k));
+        }
+        start = end;
+    }
+    acc.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +537,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reranked_blocked_with_identity_rescore_matches_plain_blocked_bitwise() {
+        use sdea_index::{IndexConfig, IndexKind, IvfRetriever};
+        use sdea_tensor::with_thread_budget;
+        let (src, tgt, gold) = random_pair();
+        let exact = ExactRetriever::new(&tgt);
+        let ivf = IvfRetriever::build(
+            &tgt,
+            &IndexConfig { kind: IndexKind::Ivf, nlist: 4, nprobe: 2, quantize: true },
+        );
+        for (name, retr) in [("exact", &exact as &dyn Retriever), ("ivf", &ivf)] {
+            for threads in [1usize, 8] {
+                with_thread_budget(threads, || {
+                    for block in [0usize, 1, 7, 30] {
+                        let plain = evaluate_retrieved_blocked(retr, &src, &gold, 10, block);
+                        let rr = evaluate_retrieved_reranked_blocked(
+                            retr,
+                            &src,
+                            &gold,
+                            10,
+                            block,
+                            &mut |_, hits| hits,
+                        );
+                        assert_bitwise(&plain, &rr, &format!("{name} t{threads} block {block}"));
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn reranked_blocked_applies_the_rescorer() {
+        // A rescorer that moves the gold to the front everywhere must give
+        // perfect Hits@1, whatever stage 1 said. The `start` offset indexes
+        // the gold slice — that is the contract the closure relies on.
+        let (src, tgt, gold) = random_pair();
+        let retr = ExactRetriever::new(&tgt);
+        let gold_ref = gold.clone();
+        let m =
+            evaluate_retrieved_reranked_blocked(&retr, &src, &gold, 40, 7, &mut |start, hits| {
+                hits.into_iter()
+                    .enumerate()
+                    .map(|(r, mut row)| {
+                        let g = gold_ref[start + r];
+                        row.sort_by_key(|&(j, _)| (j != g) as u8);
+                        row
+                    })
+                    .collect()
+            });
+        assert_eq!(m.hits1, 1.0);
     }
 
     #[test]

@@ -513,6 +513,32 @@ mod tests {
         assert!(diags("crates/kg/src/x.rs", src).is_empty(), "kg is not a compute crate");
     }
 
+    /// The reranker lives in a compute crate, so every determinism rule
+    /// covers it: hash iteration, wall clocks, and (via `lint_baseline.toml`,
+    /// core = 2, both already spent elsewhere) the panic budget.
+    #[test]
+    fn rerank_module_is_enrolled_in_the_determinism_rules() {
+        let hash = "use std::collections::HashMap;\n\
+                    pub fn ks(m: &HashMap<String, u64>) -> Vec<String> {\n\
+                        m.keys().cloned().collect()\n\
+                    }\n";
+        assert!(
+            diags("crates/core/src/rerank.rs", hash).iter().any(|d| d.rule == "D-HASH-ITER"),
+            "hash iteration in the reranker must fire"
+        );
+        let clock = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+        assert!(
+            diags("crates/core/src/rerank.rs", clock).iter().any(|d| d.rule == "D-WALL-CLOCK"),
+            "wall clocks in the reranker must fire"
+        );
+        let panics = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(
+            panic_count(&Analysis::new("crates/core/src/rerank.rs", panics)),
+            1,
+            "reranker unwraps must count against core's panic budget"
+        );
+    }
+
     #[test]
     fn unsafe_deny_is_accepted_only_for_the_allocator_root() {
         let deny = "#![deny(unsafe_code)]\npub mod mem;\n";

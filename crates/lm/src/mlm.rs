@@ -160,16 +160,24 @@ impl MlmPretrainer {
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             let mut steps = 0usize;
-            last_total = 0;
-            last_correct = 0;
+            let mut epoch_total = 0usize;
+            let mut epoch_correct = 0usize;
             for chunk in order.chunks(batch_size) {
                 let rows: Vec<(Vec<u32>, Vec<u8>)> =
                     chunk.iter().map(|&i| corpus[i].clone()).collect();
                 let (loss, n, c) = self.step(lm, store, &mut opt, &rows, vocab, rng);
                 epoch_loss += loss as f64;
                 steps += 1;
-                last_total += n;
-                last_correct += c;
+                epoch_total += n;
+                epoch_correct += c;
+            }
+            // An epoch that masked zero tokens (possible with an
+            // all-special corpus or an unlucky final shuffle) carries no
+            // accuracy signal: keep the last epoch that had one instead of
+            // collapsing "no data" into "all wrong" (0.0).
+            if epoch_total > 0 {
+                last_total = epoch_total;
+                last_correct = epoch_correct;
             }
             epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
         }
@@ -243,5 +251,51 @@ mod tests {
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first * 0.8, "MLM loss should drop: first {first}, last {last}");
         assert!(last.is_finite());
+    }
+
+    /// Regression: a final epoch that happens to mask zero tokens must not
+    /// collapse `final_accuracy` to 0.0 — the report carries the last epoch
+    /// that actually had maskable targets.
+    #[test]
+    fn final_accuracy_carries_last_nonempty_epoch() {
+        // A one-word corpus: every maskable target is the same subword
+        // sequence, so an overfitted model scores accuracy 1.0 on any
+        // epoch that masks at least one token.
+        let mut rng = Rng::seed_from_u64(5);
+        let vocab = WordPieceTrainer::new(40).train(["a a a a a a a a"]);
+        let tok = Tokenizer::new(vocab);
+        let mut store = ParamStore::new();
+        let lm = TransformerLm::new(LmConfig::tiny(tok.vocab().len()), &mut store, &mut rng);
+        let pre = MlmPretrainer::new(&lm, &mut store, &mut rng);
+        let long = tok.encode("a a a a a a a a", 12);
+        let warm = vec![(long.ids.clone(), long.mask.clone())];
+        let report = pre.pretrain(&lm, &mut store, &warm, tok.vocab(), 40, 1, 1e-2, &mut rng);
+        assert_eq!(report.final_accuracy, 1.0, "overfit warm-up should hit accuracy 1.0");
+        // One maskable token per row: each epoch independently masks it
+        // with p = 0.15, so a short run whose *last* epoch masked nothing
+        // (loss exactly 0.0) while an earlier epoch did is easy to find by
+        // scanning seeds. The run is deterministic per seed.
+        let short = tok.encode("a", 12);
+        let corpus = vec![(short.ids, short.mask)];
+        let mut exercised = false;
+        for seed in 0..200 {
+            // Continued training on the same one-token objective (tiny lr,
+            // at most one masked target per run) cannot unlearn the
+            // overfit, so accuracy stays 1.0 on every non-empty epoch.
+            let mut r = Rng::seed_from_u64(seed);
+            let rep = pre.pretrain(&lm, &mut store, &corpus, tok.vocab(), 2, 1, 1e-4, &mut r);
+            let (first, last) = (rep.epoch_losses[0], rep.epoch_losses[1]);
+            if first > 0.0 && last == 0.0 {
+                // Old code reported 0/max(0,1) = 0.0 here; the carried
+                // accuracy of the non-empty first epoch is 1.0.
+                assert_eq!(
+                    rep.final_accuracy, 1.0,
+                    "seed {seed}: empty final epoch must carry the non-empty one"
+                );
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no seed in 0..200 produced a non-empty-then-empty epoch pair");
     }
 }

@@ -5,8 +5,12 @@
 //! amortize. The [`Batcher`] funnels all requests through one bounded
 //! queue into a single worker thread that coalesces whatever arrives
 //! within a short window (`SDEA_BATCH_WINDOW_US`, capped at
-//! `SDEA_MAX_BATCH` rows) into one `embed_token_rows` call and one
-//! retriever search.
+//! `SDEA_MAX_BATCH` rows) into one `embed_token_rows` call plus one
+//! retriever search per distinct requested `k` (searching once at the
+//! batch max-k and truncating is not bitwise faithful for the quantized
+//! backend, whose rescore pool is sized from `k`). When the model state
+//! carries a reranker, each sub-batch's shortlist then takes the
+//! cross-encoder rerank pass under the `serve.rerank` span.
 //!
 //! Batching is invisible in the results: the encoder pads every row to
 //! the same fixed `max_seq` and pools per-row, so a query's embedding —
@@ -19,6 +23,7 @@
 
 use crate::state::ModelState;
 use sdea_index::Hit;
+use sdea_tensor::Tensor;
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -165,13 +170,39 @@ fn batch_loop(state: &ModelState, rx: &mpsc::Receiver<Job>, window: Duration, ma
             let _span = sdea_obs::span("serve.embed");
             state.encoder.embed_token_rows(&rows)
         };
-        let k_max = jobs.iter().map(|j| j.k).max().unwrap_or(0);
-        let hits = {
-            let _span = sdea_obs::span("serve.retrieve");
-            state.retriever.search(&emb, k_max)
-        };
-        for (job, mut row) in jobs.into_iter().zip(hits) {
-            row.truncate(job.k);
+        // Search each distinct k as its own sub-batch. Searching once at
+        // the batch max-k and truncating per job is NOT equivalent for
+        // every backend: the quantized IVF path sizes its exact-rescore
+        // pool from k (`RESCORE_MULT * k`), so a truncated max-k answer
+        // can differ from what the same request would get alone. Per-k
+        // sub-searches make a batched answer bitwise equal to a
+        // sequential one (pinned by `tests/determinism.rs`).
+        let d = emb.shape()[1];
+        let mut ks: Vec<usize> = jobs.iter().map(|j| j.k).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        let mut results: Vec<Vec<Hit>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+        for &k in &ks {
+            let idx: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].k == k).collect();
+            let mut sub = Vec::with_capacity(idx.len() * d);
+            for &i in &idx {
+                sub.extend_from_slice(&emb.data()[i * d..(i + 1) * d]);
+            }
+            let sub = Tensor::from_vec(sub, &[idx.len(), d]);
+            let mut hits = {
+                let _span = sdea_obs::span("serve.retrieve");
+                state.retriever.search(&sub, k)
+            };
+            if let Some(rr) = &state.reranker {
+                let _span = sdea_obs::span("serve.rerank");
+                let qtok: Vec<Vec<u32>> = idx.iter().map(|&i| rows[i].clone()).collect();
+                hits = rr.rerank_hits(&qtok, &hits);
+            }
+            for (i, row) in idx.into_iter().zip(hits) {
+                results[i] = row;
+            }
+        }
+        for (job, row) in jobs.into_iter().zip(results) {
             // A requester that already timed out dropped its receiver;
             // that's fine, the result is simply discarded.
             let _ = job.reply.send(row);

@@ -135,8 +135,10 @@ fn build_fixture() -> (ServeState, Vec<String>) {
         .map(|i| ds.kg2().entity_name(sdea_kg::EntityId(i as u32)).to_string())
         .collect();
     let queries: Vec<String> = corpus.iter().take(64).cloned().collect();
-    let state =
-        ServeState { model: Arc::new(sdea_serve::ModelState { encoder, retriever }), names };
+    let state = ServeState {
+        model: Arc::new(sdea_serve::ModelState { encoder, retriever, reranker: None }),
+        names,
+    };
     (state, queries)
 }
 

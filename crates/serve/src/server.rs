@@ -156,6 +156,30 @@ fn route(
     }
 }
 
+/// Parses the optional `"k"` field of an align request. Absent means the
+/// default of 5; present means it must be a finite JSON number that is a
+/// whole value `>= 1` (values above [`MAX_K`] clamp). Every invalid shape
+/// — wrong type, non-finite, fractional, zero, negative — is a distinct
+/// 400 diagnostic naming the field, never a silent default.
+fn parse_k(parsed: &Json) -> Result<usize, String> {
+    let Some(v) = parsed.get("k") else {
+        return Ok(5);
+    };
+    let Some(f) = v.as_f64() else {
+        return Err("\"k\" must be a number".into());
+    };
+    if !f.is_finite() {
+        return Err("\"k\" must be finite".into());
+    }
+    if f.fract() != 0.0 {
+        return Err("\"k\" must be an integer".into());
+    }
+    if f < 1.0 {
+        return Err("\"k\" must be >= 1".into());
+    }
+    Ok((f as usize).min(MAX_K))
+}
+
 fn align(request: &Request, state: &ServeState, batcher: &Batcher) -> (u16, String) {
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return (400, err_body("body is not UTF-8"));
@@ -167,12 +191,9 @@ fn align(request: &Request, state: &ServeState, batcher: &Batcher) -> (u16, Stri
     let Some(query) = parsed.get("text").and_then(|v| v.as_str()) else {
         return (400, err_body("missing required string field \"text\""));
     };
-    let k = match parsed.get("k") {
-        None => 5,
-        Some(v) => match v.as_f64() {
-            Some(f) if f >= 1.0 && f.fract() == 0.0 => (f as usize).min(MAX_K),
-            _ => return (400, err_body("\"k\" must be a positive integer")),
-        },
+    let k = match parse_k(&parsed) {
+        Ok(k) => k,
+        Err(msg) => return (400, err_body(&msg)),
     };
     // Tokenize here on the connection thread; the batch worker only runs
     // the model.
@@ -241,4 +262,72 @@ fn metrics_json() -> Json {
         ("spans".to_string(), Json::Obj(spans)),
         ("histograms".to_string(), Json::Obj(histograms)),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k_of(body: &str) -> Result<usize, String> {
+        parse_k(&Json::parse(body).expect("test body parses"))
+    }
+
+    #[test]
+    fn absent_k_defaults_to_five() {
+        assert_eq!(k_of(r#"{"text":"q"}"#), Ok(5));
+    }
+
+    #[test]
+    fn valid_k_is_accepted_and_clamped() {
+        assert_eq!(k_of(r#"{"k":1}"#), Ok(1));
+        assert_eq!(k_of(r#"{"k":7}"#), Ok(7));
+        assert_eq!(k_of(r#"{"k":100}"#), Ok(MAX_K));
+        // Above the cap: clamp, not reject (documented API behavior).
+        assert_eq!(k_of(r#"{"k":5000}"#), Ok(MAX_K));
+        assert_eq!(k_of(r#"{"k":1e3}"#), Ok(MAX_K), "whole-valued exponent form is an integer");
+    }
+
+    #[test]
+    fn zero_k_is_a_400_naming_the_field() {
+        let err = k_of(r#"{"k":0}"#).unwrap_err();
+        assert!(err.contains("\"k\""), "diagnostic must name the field: {err}");
+    }
+
+    #[test]
+    fn negative_k_is_a_400_naming_the_field() {
+        for body in [r#"{"k":-1}"#, r#"{"k":-100}"#, r#"{"k":-0.5}"#] {
+            let err = k_of(body).unwrap_err();
+            assert!(err.contains("\"k\""), "{body}: diagnostic must name the field: {err}");
+        }
+    }
+
+    #[test]
+    fn fractional_k_is_a_400_naming_the_field() {
+        for body in [r#"{"k":1.5}"#, r#"{"k":2.0000001}"#, r#"{"k":0.9999}"#] {
+            let err = k_of(body).unwrap_err();
+            assert!(err.contains("\"k\""), "{body}: diagnostic must name the field: {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_k_is_a_400_naming_the_field() {
+        // JSON has no Infinity literal, but an overflowing exponent parses
+        // to one; it must be rejected as non-finite, not silently clamped
+        // (inf.fract() is NaN, so the old integer guard happened to reject
+        // it — this pins the behavior with an explicit diagnostic).
+        for body in [r#"{"k":1e999}"#, r#"{"k":-1e999}"#] {
+            let err = k_of(body).unwrap_err();
+            assert!(err.contains("\"k\""), "{body}: diagnostic must name the field: {err}");
+        }
+    }
+
+    #[test]
+    fn non_number_k_is_a_400_naming_the_field() {
+        for body in
+            [r#"{"k":"5"}"#, r#"{"k":true}"#, r#"{"k":null}"#, r#"{"k":[5]}"#, r#"{"k":{}}"#]
+        {
+            let err = k_of(body).unwrap_err();
+            assert!(err.contains("\"k\""), "{body}: diagnostic must name the field: {err}");
+        }
+    }
 }

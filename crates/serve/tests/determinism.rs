@@ -4,15 +4,27 @@
 //! concurrent threads — at any thread budget.
 
 use sdea_core::attr_module::AttrModule;
-use sdea_core::SdeaConfig;
-use sdea_index::{ExactRetriever, Hit, Retriever};
-use sdea_serve::{BatchConfig, Batcher, ModelState};
+use sdea_core::{CrossEncoder, SdeaConfig};
+use sdea_index::{ExactRetriever, Hit, IndexConfig, IndexKind, IvfRetriever, Retriever};
+use sdea_serve::{BatchConfig, Batcher, ModelState, Reranker};
 use sdea_tensor::par::with_thread_budget;
 use sdea_tensor::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn fixture() -> (Arc<ModelState>, Vec<String>) {
+/// Which serving stack a fixture builds; every variant must be equally
+/// batch-invisible.
+enum Stack {
+    /// Exact scan, no second stage.
+    Exact,
+    /// Quantized IVF — the backend whose rescore pool is sized from `k`.
+    QuantizedIvf,
+    /// Exact scan plus a (warm-started, untrained) cross-encoder rerank
+    /// pass over every shortlist.
+    Reranked,
+}
+
+fn fixture_with(stack: Stack) -> (Arc<ModelState>, Vec<String>) {
     let corpus: Vec<String> = (0..24)
         .map(|i| format!("city ville{i} population {} founded {}", 1000 * i, 1800 + i))
         .collect();
@@ -22,14 +34,41 @@ fn fixture() -> (Arc<ModelState>, Vec<String>) {
     let encoder = AttrModule::build(&cfg, &corpus, &mut rng);
     // Index the embeddings of the first 16 texts as the "KG2 table".
     let table = encoder.embed_batch(&corpus[..16]);
-    let retriever: Box<dyn Retriever> = Box::new(ExactRetriever::new(&table));
+    let retriever: Box<dyn Retriever> = match stack {
+        Stack::QuantizedIvf => Box::new(IvfRetriever::build(
+            &table,
+            &IndexConfig { kind: IndexKind::Ivf, nlist: 4, nprobe: 2, quantize: true },
+        )),
+        Stack::Exact | Stack::Reranked => Box::new(ExactRetriever::new(&table)),
+    };
+    let reranker = match stack {
+        Stack::Reranked => Some(Reranker {
+            cross: CrossEncoder::from_encoder(&encoder, &mut rng),
+            cand_tokens: encoder.token_cache(&corpus[..16]),
+            alpha: 0.5,
+        }),
+        _ => None,
+    };
     let queries: Vec<String> = corpus[16..].to_vec();
-    (Arc::new(ModelState { encoder, retriever }), queries)
+    (Arc::new(ModelState { encoder, retriever, reranker }), queries)
 }
 
-/// Ground truth: embed all queries in one direct call, search once.
+fn fixture() -> (Arc<ModelState>, Vec<String>) {
+    fixture_with(Stack::Exact)
+}
+
+/// Ground truth: embed all queries in one direct call, search once, and
+/// apply the same rerank pass the worker would.
 fn direct(state: &ModelState, queries: &[String], k: usize) -> Vec<Vec<Hit>> {
-    state.retriever.search(&state.encoder.embed_batch(queries), k)
+    let hits = state.retriever.search(&state.encoder.embed_batch(queries), k);
+    match &state.reranker {
+        None => hits,
+        Some(rr) => {
+            let qtok: Vec<Vec<u32>> =
+                queries.iter().map(|q| state.encoder.tokenize_query(q)).collect();
+            rr.rerank_hits(&qtok, &hits)
+        }
+    }
 }
 
 /// Pushes every query through a batcher configured to coalesce them all.
@@ -96,6 +135,83 @@ fn batching_is_bitwise_invisible_single_thread() {
 #[test]
 fn batching_is_bitwise_invisible_eight_threads() {
     check_at_budget(8);
+}
+
+/// The cross-encoder rerank pass must be exactly as batch-invisible as
+/// stage 1: pair scores are per-row (fixed padding, per-row pooling), so a
+/// reranked shortlist is bitwise the same alone, coalesced, or raced —
+/// at any thread budget.
+#[test]
+fn reranked_serving_is_bitwise_invisible_at_both_budgets() {
+    for budget in [1usize, 8] {
+        with_thread_budget(budget, || {
+            let (state, queries) = fixture_with(Stack::Reranked);
+            let k = 4;
+            let expected = direct(&state, &queries, k);
+            let sequential = via_sequential(&state, &queries, k);
+            assert_bitwise_equal(&sequential, &expected, "rerank sequential vs direct");
+            let batched = via_one_batch(&state, &queries, k);
+            assert_bitwise_equal(&batched, &expected, "rerank coalesced vs direct");
+        });
+    }
+}
+
+/// Regression (quantized IVF): the backend sizes its exact-rescore pool
+/// from `k`, so answering a mixed-k batch with one max-k search and
+/// truncating per request is NOT bitwise faithful — a k=1 request could
+/// see different hits batched vs alone. The worker's per-distinct-k
+/// sub-searches must make every mixed-k batched answer bitwise equal to
+/// the same request running sequentially, at any thread budget.
+#[test]
+fn mixed_k_quantized_batches_match_sequential_bitwise() {
+    for budget in [1usize, 8] {
+        with_thread_budget(budget, || {
+            let (state, queries) = fixture_with(Stack::QuantizedIvf);
+            let ks: Vec<usize> =
+                [1usize, 3, 5, 2].iter().cycle().take(queries.len()).copied().collect();
+            // Sequential reference: each request in its own batch.
+            let cfg = BatchConfig {
+                window: Duration::from_micros(0),
+                max_batch: 1,
+                request_timeout: Duration::from_secs(30),
+            };
+            let batcher = Batcher::new(state.clone(), &cfg);
+            let expected: Vec<Vec<Hit>> = queries
+                .iter()
+                .zip(&ks)
+                .map(|(q, &k)| {
+                    batcher.submit(state.encoder.tokenize_query(q), k).expect("no timeout")
+                })
+                .collect();
+            drop(batcher);
+            // Concurrent: all requests coalesced into one mixed-k batch.
+            let cfg = BatchConfig {
+                window: Duration::from_millis(200),
+                max_batch: queries.len(),
+                request_timeout: Duration::from_secs(30),
+            };
+            let batcher = Arc::new(Batcher::new(state.clone(), &cfg));
+            let handles: Vec<_> = queries
+                .iter()
+                .zip(&ks)
+                .map(|(q, &k)| {
+                    let batcher = batcher.clone();
+                    let tokens = state.encoder.tokenize_query(q);
+                    std::thread::spawn(move || batcher.submit(tokens, k).expect("no timeout"))
+                })
+                .collect();
+            let got: Vec<Vec<Hit>> =
+                handles.into_iter().map(|h| h.join().expect("client thread ok")).collect();
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(g.len(), ks[i].min(state.retriever.len()), "hit count for query {i}");
+                assert_bitwise_equal(
+                    std::slice::from_ref(g),
+                    std::slice::from_ref(e),
+                    &format!("mixed-k batch, query {i} (k={}, threads={budget})", ks[i]),
+                );
+            }
+        });
+    }
 }
 
 /// Mixed-k batches truncate per request without changing scores.

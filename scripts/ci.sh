@@ -54,6 +54,26 @@ echo "=== retrieval index smoke ==="
 echo "=== out-of-core scaling smoke ==="
 ./target/release/bench_scale --smoke
 
+# Cross-encoder rerank smoke (seconds): small world, trains the pair head
+# on stage-1 hard negatives, asserts the rerank-off path is bitwise the
+# plain blocked path and that the rerank pass itself is deterministic,
+# written to results/BENCH_rerank_smoke.json. The full ΔHits@1/latency
+# sweep at reproduction scale is a plain bench_rerank run.
+echo "=== rerank smoke ==="
+./target/release/bench_rerank --smoke
+
+# Rerank-off bitwise equivalence: with no reranker configured, serving and
+# evaluation answers must be bit-identical to the stage-1-only paths at
+# both thread budgets (the serve suite also pins the reranked path's
+# batch-invisibility; the core property suite pins pair-scoring's
+# order/padding invariance).
+for threads in 1 8; do
+  echo "=== rerank equivalence: SDEA_THREADS=$threads ==="
+  SDEA_THREADS="$threads" cargo test -q --release -p sdea-serve --test determinism
+  SDEA_THREADS="$threads" cargo test -q --release -p sdea-eval reranked_blocked
+  SDEA_THREADS="$threads" cargo test -q --release -p sdea-core --test rerank_property
+done
+
 # Fault-injection suite: serialization atomicity/corruption at the tensor
 # layer, checkpoint quarantine-and-fall-back at the core layer.
 echo "=== fault-injection suite ==="
