@@ -123,7 +123,7 @@ pub fn run_sdea(
 /// `results` (relative to the working directory, which the experiment
 /// scripts pin to the repo root).
 pub fn report_dir() -> std::path::PathBuf {
-    std::env::var("SDEA_REPORT_DIR").unwrap_or_else(|_| "results".into()).into()
+    sdea_obs::env::string_or_exit("SDEA_REPORT_DIR").unwrap_or_else(|| "results".into()).into()
 }
 
 /// Assembles and writes the JSON run report of one SDEA run: config, seed,
@@ -355,10 +355,8 @@ pub fn bench_sdea_config(seed: u64) -> SdeaConfig {
     if let Some(v) = getf("SDEA_MARGIN") {
         cfg.margin = v;
     }
-    if let Ok(dir) = std::env::var("SDEA_CHECKPOINT_DIR") {
-        if !dir.is_empty() {
-            cfg.checkpoint_dir = Some(dir.into());
-        }
+    if let Some(dir) = sdea_obs::env::string_or_exit("SDEA_CHECKPOINT_DIR") {
+        cfg.checkpoint_dir = Some(dir.into());
     }
     if let Some(v) = getu("SDEA_CKPT_EVERY") {
         cfg.checkpoint_every = v;

@@ -685,14 +685,18 @@ mod tests {
         let h2 = Tensor::rand_normal(&[6, 4], 1.0, &mut rng);
         let report =
             AttrFitReport { epoch_losses: vec![0.5], valid_hits1: vec![0.3], best_epoch: 0 };
-        let (b1, b2, br) = attr_done_from_bytes(&attr_done_bytes(&h1, &h2, &report)).unwrap();
+        let attr_bytes = attr_done_bytes(&h1, &h2, &report);
+        assert_eq!(&attr_bytes[..4], ATTR_DONE_KIND, "boundary artifact carries its kind");
+        let (b1, b2, br) = attr_done_from_bytes(&attr_bytes).unwrap();
         assert_eq!(b1, h1);
         assert_eq!(b2, h2);
         assert_eq!(br.epoch_losses, report.epoch_losses);
         assert_eq!(br.valid_hits1, report.valid_hits1);
 
         let pairs = vec![(EntityId(0), EntityId(3)), (EntityId(9), EntityId(1))];
-        assert_eq!(pairs_from_bytes(&pairs_bytes(&pairs)).unwrap(), pairs);
+        let pb = pairs_bytes(&pairs);
+        assert_eq!(&pb[..4], PAIRS_KIND, "pair artifact carries its kind");
+        assert_eq!(pairs_from_bytes(&pb).unwrap(), pairs);
     }
 
     #[test]
@@ -737,6 +741,7 @@ mod tests {
         // Corrupt the newest file on disk.
         let newest = dir.join("rel_ep00002.ckpt");
         let mut bytes = std::fs::read(&newest).unwrap();
+        assert_eq!(&bytes[..4], STAGE_KIND, "epoch snapshot carries its kind");
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&newest, &bytes).unwrap();
@@ -756,6 +761,7 @@ mod tests {
         c.record_train_pairs(&[(EntityId(1), EntityId(2))]).unwrap();
         let manifest = dir.join("manifest.sdm");
         let mut bytes = std::fs::read(&manifest).unwrap();
+        assert_eq!(&bytes[..4], MANIFEST_KIND, "manifest carries its kind");
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&manifest, &bytes).unwrap();

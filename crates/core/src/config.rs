@@ -65,11 +65,13 @@ pub struct SdeaConfig {
     /// Worker-thread budget for the fork-join layer (`sdea_tensor::par`);
     /// 0 defers to the `SDEA_THREADS` environment variable, then the
     /// hardware parallelism. Results are identical at any setting.
+    // fingerprint: excluded(execution knob; results identical at any thread count)
     pub threads: usize,
     /// Enables the `sdea_obs` instrumentation layer (span timers, counters,
     /// run reports). `false` force-disables it for this process regardless
     /// of `SDEA_OBS`; observability never changes any computed tensor
     /// either way.
+    // fingerprint: excluded(instrumentation toggle; never changes computed tensors)
     pub obs: bool,
     /// Checkpoint directory for crash-safe training. `None` (the default)
     /// disables checkpointing; `Some(dir)` writes stage-boundary and
@@ -77,10 +79,12 @@ pub struct SdeaConfig {
     /// directory already holds a manifest written under an identical
     /// configuration. A resumed run is bit-identical to an uninterrupted
     /// one (see `crate::checkpoint`).
+    // fingerprint: excluded(storage location; a resumed run is bit-identical)
     pub checkpoint_dir: Option<std::path::PathBuf>,
     /// Fine-tuning epochs between mid-stage checkpoints (both stages);
     /// 0 checkpoints only at stage boundaries. Ignored without
     /// `checkpoint_dir`. Like `threads`/`obs`, this never changes results.
+    // fingerprint: excluded(checkpoint cadence; never changes results)
     pub checkpoint_every: usize,
     /// Rows per spilled embedding shard when the final `H_a` tables stream
     /// through the out-of-core path (`AttrModule::embed_all_spill`); 0
@@ -88,12 +92,14 @@ pub struct SdeaConfig {
     /// embeddings are independent of batch and shard composition, so any
     /// value yields bit-identical tables (pinned by the equivalence
     /// suites) and this never enters the config fingerprint.
+    // fingerprint: excluded(spill granularity; shard composition never changes tables)
     pub embed_shard_rows: usize,
     /// Query rows per block in blocked evaluation (`sdea_eval`'s
     /// `evaluate_ranking_blocked` family); 0 evaluates all queries in one
     /// block. Execution knob: blocked evaluation is bit-identical to the
     /// materialized-matrix path at any value, only the peak memory of the
     /// similarity block changes.
+    // fingerprint: excluded(blocking factor; bit-identical to the materialized path)
     pub eval_block_rows: usize,
     /// Retrieval backend for every ranking path (candidate generation,
     /// bootstrap mutual-nearest pairs). The default exact backend is

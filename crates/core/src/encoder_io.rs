@@ -202,6 +202,7 @@ mod tests {
     fn corruption_is_a_typed_error() {
         let module = toy_module();
         let mut bytes = encoder_to_bytes(&module);
+        assert_eq!(&bytes[..4], ENCODER_KIND, "encoder blob carries its kind");
         // Wrong magic.
         assert!(encoder_from_bytes(&bytes[1..]).is_err());
         // Flip a payload byte: checksum catches it.

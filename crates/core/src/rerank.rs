@@ -798,6 +798,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(11);
         let ce = CrossEncoder::from_encoder(&module, &mut rng);
         let good = cross_encoder_to_bytes(&ce);
+        assert_eq!(&good[..4], CROSS_ENCODER_KIND, "cross-encoder blob carries its kind");
         let mut bad_bytes = good.clone();
         let mid = bad_bytes.len() / 2;
         bad_bytes[mid] ^= 0xFF;

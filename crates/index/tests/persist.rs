@@ -74,6 +74,7 @@ fn corrupt_blob_is_quarantined_and_rebuilt() {
 
     // Flip one payload byte — load must refuse with InvalidData...
     let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], sdea_index::INDEX_KIND, "index blob carries its kind");
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x20;
     std::fs::write(&path, &bytes).unwrap();

@@ -110,6 +110,25 @@ impl Analysis {
             && !self.test_mask.get(line).copied().unwrap_or(false)
     }
 
+    /// The literal whose opening-quote anchor sits at byte `offset` of
+    /// [`Self::joined`] (i.e. the `"` a rule matched in the blanked code).
+    pub fn literal_at(&self, offset: usize) -> Option<&crate::lexer::Literal> {
+        self.clean
+            .literals
+            .iter()
+            .find(|l| self.line_starts.get(l.line).map(|s| s + l.col) == Some(offset))
+    }
+
+    /// Every literal paired with its anchor byte offset into
+    /// [`Self::joined`] (workspace extraction iterates these).
+    pub fn literals_with_offsets(&self) -> Vec<(usize, &crate::lexer::Literal)> {
+        self.clean
+            .literals
+            .iter()
+            .filter_map(|l| self.line_starts.get(l.line).map(|s| (s + l.col, l)))
+            .collect()
+    }
+
     /// True when `line` (0-based) carries the justification `marker` in a
     /// trailing comment, or the line directly above is a comment-only line
     /// carrying it.

@@ -29,6 +29,24 @@ pub struct CleanFile {
     pub code_lines: Vec<String>,
     /// Comment text (including the `//` / `/*` markers), per line.
     pub comment_lines: Vec<String>,
+    /// Every string literal's contents, anchored to its opening quote in
+    /// the code channel (the cross-file contract rules read names —
+    /// `SDEA_*` variables, obs metric paths, blob kinds — back out of the
+    /// blanked code through these).
+    pub literals: Vec<Literal>,
+}
+
+/// One string literal captured during lexing.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    /// 0-based line of the opening quote anchor in the code channel.
+    pub line: usize,
+    /// Byte column of the opening quote anchor within that code line.
+    pub col: usize,
+    /// The literal's contents (escape sequences kept verbatim).
+    pub text: String,
+    /// Was this a byte (`b"…"` / `br"…"`) string?
+    pub byte_string: bool,
 }
 
 impl CleanFile {
@@ -49,6 +67,7 @@ struct Lexer {
     i: usize,
     code: Vec<String>,
     com: Vec<String>,
+    lits: Vec<Literal>,
 }
 
 impl Lexer {
@@ -58,6 +77,21 @@ impl Lexer {
             i: 0,
             code: vec![String::new()],
             com: vec![String::new()],
+            lits: Vec::new(),
+        }
+    }
+
+    /// Opens a literal record anchored at the *next* code-channel byte
+    /// (call just before pushing the opening quote anchor).
+    fn open_literal(&mut self, byte_string: bool) {
+        let line = self.code.len() - 1;
+        let col = self.code.last().map(|l| l.len()).unwrap_or(0);
+        self.lits.push(Literal { line, col, text: String::new(), byte_string });
+    }
+
+    fn push_lit(&mut self, c: char) {
+        if let Some(l) = self.lits.last_mut() {
+            l.text.push(c);
         }
     }
 
@@ -88,7 +122,7 @@ impl Lexer {
                 }
                 '/' if self.at(1) == Some('/') => self.line_comment(),
                 '/' if self.at(1) == Some('*') => self.block_comment(),
-                '"' => self.string_literal(),
+                '"' => self.string_literal(false),
                 '\'' => self.char_or_lifetime(),
                 'r' | 'b' if !self.prev_is_ident() => {
                     if !self.literal_prefix() {
@@ -102,7 +136,7 @@ impl Lexer {
                 }
             }
         }
-        CleanFile { code_lines: self.code, comment_lines: self.com }
+        CleanFile { code_lines: self.code, comment_lines: self.com, literals: self.lits }
     }
 
     /// True when the char before `self.i` continues an identifier, meaning
@@ -119,8 +153,9 @@ impl Lexer {
     /// literal prefix (plain identifier), consuming nothing.
     fn literal_prefix(&mut self) -> bool {
         let mut k = 1; // chars of prefix after the first
+        let byte_string = self.ch[self.i] == 'b';
         let mut raw = self.ch[self.i] == 'r';
-        if self.ch[self.i] == 'b' {
+        if byte_string {
             match self.at(1) {
                 Some('\'') => {
                     // byte char literal: skip the `b`, lex the char part.
@@ -146,6 +181,7 @@ impl Lexer {
                 return false;
             }
             self.i += k + 1; // past prefix, hashes and opening quote
+            self.open_literal(byte_string);
             self.push_code('"');
             self.raw_string_tail(hashes);
             true
@@ -154,7 +190,7 @@ impl Lexer {
                 return false;
             }
             self.i += k; // position on the quote
-            self.string_literal();
+            self.string_literal(byte_string);
             true
         }
     }
@@ -200,8 +236,10 @@ impl Lexer {
     }
 
     /// Consumes a `"…"` literal (cursor on the opening quote), blanking the
-    /// contents but keeping both quotes and any interior newlines.
-    fn string_literal(&mut self) {
+    /// contents but keeping both quotes and any interior newlines. The
+    /// contents are recorded on the literal channel, escapes verbatim.
+    fn string_literal(&mut self, byte_string: bool) {
+        self.open_literal(byte_string);
         self.push_code('"');
         self.i += 1;
         while self.i < self.ch.len() {
@@ -211,12 +249,23 @@ impl Lexer {
                     self.i += 1;
                     return;
                 }
-                '\\' => self.i += 2, // escaped char, never terminates
+                '\\' => {
+                    // escaped char, never terminates
+                    self.push_lit('\\');
+                    if let Some(e) = self.at(1) {
+                        self.push_lit(e);
+                    }
+                    self.i += 2;
+                }
                 '\n' => {
+                    self.push_lit('\n');
                     self.newline();
                     self.i += 1;
                 }
-                _ => self.i += 1,
+                c => {
+                    self.push_lit(c);
+                    self.i += 1;
+                }
             }
         }
     }
@@ -239,7 +288,9 @@ impl Lexer {
                     return;
                 }
             }
-            if self.ch[self.i] == '\n' {
+            let c = self.ch[self.i];
+            self.push_lit(c);
+            if c == '\n' {
                 self.newline();
             }
             self.i += 1;
@@ -355,6 +406,34 @@ mod tests {
         let f = clean(src);
         assert_eq!(f.code_lines.len(), 4);
         assert_eq!(f.code_lines[3], "after();");
+    }
+
+    #[test]
+    fn literal_channel_captures_contents_and_anchor() {
+        let src = "const K: &[u8; 4] = b\"SDT2\";\nlet s = \"eval.hits\";";
+        let f = clean(src);
+        assert_eq!(f.literals.len(), 2);
+        let k = &f.literals[0];
+        assert_eq!(k.text, "SDT2");
+        assert!(k.byte_string);
+        assert_eq!(k.line, 0);
+        // anchor points at the opening quote in the blanked code channel
+        assert_eq!(f.code_lines[k.line].as_bytes()[k.col], b'"');
+        let s = &f.literals[1];
+        assert_eq!(s.text, "eval.hits");
+        assert!(!s.byte_string);
+        assert_eq!(s.line, 1);
+        assert_eq!(f.code_lines[s.line].as_bytes()[s.col], b'"');
+    }
+
+    #[test]
+    fn literal_channel_raw_and_escaped() {
+        let src = r###"let a = r#"raw "stuff""#; let b = "tab\tend";"###;
+        let f = clean(src);
+        assert_eq!(f.literals.len(), 2);
+        assert_eq!(f.literals[0].text, r#"raw "stuff""#);
+        assert!(!f.literals[0].byte_string);
+        assert_eq!(f.literals[1].text, r"tab\tend");
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! | `A-RAW-WRITE` | file writes go through the atomic tmp+rename layer |
 //! | `P-PANIC-BUDGET` | per-crate panic counts ratchet down via `lint_baseline.toml` |
 //! | `U-FORBID-UNSAFE` | every crate root carries `#![forbid(unsafe_code)]` (the obs counting-allocator root alone may carry `deny`) |
+//! | `R-ENV-STRICT` | every `SDEA_*` env read goes through `sdea_obs::env` strict helpers |
+//! | `R-ENV-REGISTRY` | `SDEA_*` variables are committed in `env_registry.toml` and documented in README |
+//! | `R-OBS-NAMES` | obs span/counter/histogram names are registered with dotted-prefix owners, no near-duplicates |
+//! | `R-BLOB-KIND` | `b"SD.."` container tags are unique, versioned in `blob_registry.toml`, and pinned by a test |
+//! | `R-FPRINT-COVERAGE` | every public config field flows into the checkpoint fingerprint or is explicitly excluded |
 //!
 //! The analysis is textual but literal-aware: a hand-rolled lexer
 //! ([`lexer`]) strips comments and blanks string/char literals first (the
@@ -30,7 +35,10 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod contracts;
 pub mod lexer;
+pub mod model;
+pub mod registry;
 pub mod rules;
 pub mod workspace;
 

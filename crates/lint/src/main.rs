@@ -19,6 +19,12 @@ OPTIONS:
     --baseline <FILE>    ratchet file (default: <root>/lint_baseline.toml)
     --update-baseline    rewrite the baseline when counts decreased or new
                          crates appeared; refuses to record an increase
+    --env-registry <F>   env-var registry (default: <root>/env_registry.toml)
+    --obs-registry <F>   obs-name registry (default: <root>/obs_registry.toml)
+    --blob-registry <F>  blob-kind registry (default: <root>/blob_registry.toml)
+    --json               write machine-readable findings to
+                         <root>/results/lint_report.json
+    --json-out <FILE>    like --json, to an explicit path
     --list-rules         print the rule table and exit
     -h, --help           this message
 
@@ -34,6 +40,9 @@ fn real_main() -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut update = false;
+    let mut opts = workspace::Options::default();
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,6 +53,23 @@ fn real_main() -> i32 {
             "--baseline" => match args.next() {
                 Some(v) => baseline = Some(PathBuf::from(v)),
                 None => return usage_error("--baseline needs a value"),
+            },
+            "--env-registry" => match args.next() {
+                Some(v) => opts.env_registry = Some(PathBuf::from(v)),
+                None => return usage_error("--env-registry needs a value"),
+            },
+            "--obs-registry" => match args.next() {
+                Some(v) => opts.obs_registry = Some(PathBuf::from(v)),
+                None => return usage_error("--obs-registry needs a value"),
+            },
+            "--blob-registry" => match args.next() {
+                Some(v) => opts.blob_registry = Some(PathBuf::from(v)),
+                None => return usage_error("--blob-registry needs a value"),
+            },
+            "--json" => json = true,
+            "--json-out" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage_error("--json-out needs a value"),
             },
             "--update-baseline" => update = true,
             "--list-rules" => {
@@ -69,13 +95,21 @@ fn real_main() -> i32 {
         }
     };
     let baseline = baseline.unwrap_or_else(|| root.join("lint_baseline.toml"));
-    let res = match workspace::run(&root, &baseline, update) {
+    let res = match workspace::run_with(&root, &baseline, update, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sdea-lint: {e}");
             return 2;
         }
     };
+    if json || json_out.is_some() {
+        let out = json_out.unwrap_or_else(|| root.join("results").join("lint_report.json"));
+        if let Err(e) = workspace::write_json_report(&out, &res) {
+            eprintln!("sdea-lint: writing {}: {e}", out.display());
+            return 2;
+        }
+        eprintln!("sdea-lint: report written to {}", out.display());
+    }
     for d in &res.diags {
         println!("{d}");
     }

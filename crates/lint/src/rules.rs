@@ -89,6 +89,44 @@ pub const RULES: &[RuleInfo] = &[
                       explicit, reviewed opt-out (the obs counting-allocator root alone may \
                       carry #![deny(unsafe_code)])",
     },
+    RuleInfo {
+        id: "R-ENV-STRICT",
+        scope: "workspace, non-test",
+        description: "SDEA_* environment reads must go through the sdea_obs::env strict helpers \
+                      (a malformed value is a hard startup error, never a silent default); raw \
+                      std::env access is allowed only inside the helper implementation",
+    },
+    RuleInfo {
+        id: "R-ENV-REGISTRY",
+        scope: "workspace + env_registry.toml + README.md",
+        description: "every SDEA_* variable read in production code is committed in \
+                      env_registry.toml (type, default, owning crate) and documented in \
+                      README.md; unknown reads, dead entries, stale owners and stale docs all \
+                      fail",
+    },
+    RuleInfo {
+        id: "R-OBS-NAMES",
+        scope: "workspace + obs_registry.toml",
+        description: "every obs span/counter/histogram name is committed in obs_registry.toml \
+                      with a dotted-prefix owner (serve.* records only in serve, rerank.* only \
+                      in core::rerank); unregistered names, dead entries, cross-crate records \
+                      and edit-distance-1 near-duplicates all fail",
+    },
+    RuleInfo {
+        id: "R-BLOB-KIND",
+        scope: "workspace + blob_registry.toml",
+        description: "every 4-byte b\"SD..\" container tag is globally unique, registered in \
+                      blob_registry.toml with a version and its defining file, and referenced \
+                      by name from a corruption/round-trip test",
+    },
+    RuleInfo {
+        id: "R-FPRINT-COVERAGE",
+        scope: "SdeaConfig/IndexConfig/RerankConfig",
+        description: "every public config field flows into the checkpoint fingerprint \
+                      (config_fingerprint) or carries an explicit `// fingerprint: \
+                      excluded(<reason>)` justification; stale exclusions on covered fields \
+                      also fail",
+    },
 ];
 
 /// Runs every per-file rule (all but the cross-file panic-budget ratchet).

@@ -5,6 +5,9 @@
 
 use crate::analysis::Analysis;
 use crate::baseline::{self, Baseline};
+use crate::contracts::{self, Registries};
+use crate::model::WorkspaceModel;
+use crate::registry;
 use crate::rules::{self, Diagnostic};
 use std::collections::BTreeMap;
 use std::io;
@@ -32,25 +35,89 @@ pub struct RunResult {
     pub baseline_updated: bool,
 }
 
+/// Registry-path overrides for [`run_with`] (each defaults to the
+/// same-named file at the workspace root). CI's corrupted-registry smoke
+/// points one of these at a doctored copy.
+#[derive(Debug, Default)]
+pub struct Options {
+    pub env_registry: Option<PathBuf>,
+    pub obs_registry: Option<PathBuf>,
+    pub blob_registry: Option<PathBuf>,
+}
+
 /// Runs every rule over the workspace at `root` and ratchets against the
 /// baseline at `baseline_path`. With `update`, rewrites the baseline when
 /// counts decreased or new crates appeared (never to launder an increase).
 pub fn run(root: &Path, baseline_path: &Path, update: bool) -> io::Result<RunResult> {
+    run_with(root, baseline_path, update, &Options::default())
+}
+
+/// [`run`] with explicit registry locations.
+pub fn run_with(
+    root: &Path,
+    baseline_path: &Path,
+    update: bool,
+    opts: &Options,
+) -> io::Result<RunResult> {
     let mut res = RunResult::default();
+    let mut model = WorkspaceModel::default();
     for path in source_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
         let a = Analysis::new(&rel, &src);
         res.files_scanned += 1;
         res.diags.extend(rules::check_file(&a));
+        model.absorb(&a);
         if !a.is_vendor && !a.is_test_path && !a.is_example {
             *res.panic_counts.entry(a.crate_key.clone()).or_insert(0) += rules::panic_count(&a);
         }
     }
+    match std::fs::read_to_string(root.join("README.md")) {
+        Ok(text) => model.set_readme(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let regs = load_registries(root, opts)?;
+    res.diags.extend(contracts::check(&model, &regs));
     ratchet(&mut res, baseline_path, update)?;
     res.diags
         .sort_by(|x, y| x.file.cmp(&y.file).then(x.line.cmp(&y.line)).then(x.rule.cmp(y.rule)));
     Ok(res)
+}
+
+/// Loads the three contract registries. A missing file parses as an empty
+/// registry (every live contract name then fires as unregistered — nothing
+/// is waved through); a malformed file is a hard error.
+fn load_registries(root: &Path, opts: &Options) -> io::Result<Registries> {
+    let path = |over: &Option<PathBuf>, name: &str| over.clone().unwrap_or_else(|| root.join(name));
+    let read = |p: &Path| match std::fs::read_to_string(p) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    };
+    let env_path = path(&opts.env_registry, "env_registry.toml");
+    let obs_path = path(&opts.obs_registry, "obs_registry.toml");
+    let blob_path = path(&opts.blob_registry, "blob_registry.toml");
+    Ok(Registries {
+        env: read(&env_path)?
+            .map(|t| registry::parse_env(&t))
+            .transpose()
+            .map_err(io::Error::other)?
+            .unwrap_or_default(),
+        env_path: env_path.display().to_string(),
+        obs: read(&obs_path)?
+            .map(|t| registry::parse_obs(&t))
+            .transpose()
+            .map_err(io::Error::other)?
+            .unwrap_or_default(),
+        obs_path: obs_path.display().to_string(),
+        blob: read(&blob_path)?
+            .map(|t| registry::parse_blob(&t))
+            .transpose()
+            .map_err(io::Error::other)?
+            .unwrap_or_default(),
+        blob_path: blob_path.display().to_string(),
+    })
 }
 
 fn ratchet(res: &mut RunResult, baseline_path: &Path, update: bool) -> io::Result<()> {
@@ -124,6 +191,52 @@ fn ratchet(res: &mut RunResult, baseline_path: &Path, update: bool) -> io::Resul
 
 fn write_baseline(path: &Path, b: &Baseline) -> io::Result<()> {
     sdea_obs::fsio::atomic_write(path, baseline::render(b).as_bytes())
+}
+
+/// Renders a run as the machine-readable CI artifact
+/// (`results/lint_report.json`).
+pub fn json_report(res: &RunResult) -> String {
+    use sdea_obs::json::Json;
+    let diags = res
+        .diags
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("file", Json::str(&d.file)),
+                ("line", Json::Num(d.line as f64)),
+                ("rule", Json::str(d.rule)),
+                ("msg", Json::str(&d.msg)),
+            ])
+        })
+        .collect();
+    let counts = res.panic_counts.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect();
+    let mut report = Json::obj(vec![
+        ("tool", Json::str("sdea-lint")),
+        ("clean", Json::Bool(res.diags.is_empty())),
+        ("files_scanned", Json::Num(res.files_scanned as f64)),
+        ("rules", Json::Num(crate::rules::RULES.len() as f64)),
+        ("violations", Json::Arr(diags)),
+        ("panic_counts", Json::Obj(counts)),
+    ]);
+    if !res.notes.is_empty() {
+        if let Json::Obj(fields) = &mut report {
+            fields
+                .push(("notes".to_string(), Json::Arr(res.notes.iter().map(Json::str).collect())));
+        }
+    }
+    let mut text = report.encode();
+    text.push('\n');
+    text
+}
+
+/// Atomically writes the JSON report, creating the parent directory.
+pub fn write_json_report(path: &Path, res: &RunResult) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    sdea_obs::fsio::atomic_write(path, json_report(res).as_bytes())
 }
 
 /// All `.rs` files under the scan roots, in sorted (deterministic) order.

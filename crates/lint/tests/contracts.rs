@@ -1,0 +1,216 @@
+//! Fixture-driven tests for the cross-file contract rules
+//! (R-ENV-STRICT, R-ENV-REGISTRY, R-OBS-NAMES, R-BLOB-KIND,
+//! R-FPRINT-COVERAGE), plus the registry-completeness gate: deleting any
+//! single entry from a committed registry must fail the lint, so the
+//! registries provably describe the code at HEAD.
+
+use sdea_lint::contracts::{self, Registries};
+use sdea_lint::model::{ObsKind, WorkspaceModel};
+use sdea_lint::registry::{parse_blob, parse_env, parse_obs};
+use sdea_lint::rules::Diagnostic;
+use sdea_lint::{workspace, Analysis};
+use std::path::Path;
+
+fn model(files: &[(&str, &str)]) -> WorkspaceModel {
+    let mut m = WorkspaceModel::default();
+    for (rel, src) in files {
+        m.absorb(&Analysis::new(rel, src));
+    }
+    m
+}
+
+fn regs(env: &str, obs: &str, blob: &str) -> Registries {
+    Registries {
+        env: parse_env(env).expect("env fixture registry"),
+        env_path: "env_registry.toml".into(),
+        obs: parse_obs(obs).expect("obs fixture registry"),
+        obs_path: "obs_registry.toml".into(),
+        blob: parse_blob(blob).expect("blob fixture registry"),
+        blob_path: "blob_registry.toml".into(),
+    }
+}
+
+fn fired(diags: &[Diagnostic], rule: &str) -> bool {
+    diags.iter().any(|d| d.rule == rule)
+}
+
+#[test]
+fn r1_env_strict_fires_on_raw_reads_only() {
+    let fail = include_str!("fixtures/r1_env_strict_fail.rs");
+    let d =
+        contracts::check(&model(&[("crates/bench/src/fixture.rs", fail)]), &Registries::default());
+    assert_eq!(d.iter().filter(|x| x.rule == "R-ENV-STRICT").count(), 2, "{d:?}");
+
+    let pass = include_str!("fixtures/r1_env_strict_pass.rs");
+    let d =
+        contracts::check(&model(&[("crates/bench/src/fixture.rs", pass)]), &Registries::default());
+    assert!(!fired(&d, "R-ENV-STRICT"), "{d:?}");
+
+    // The strict-helper implementation itself is the one sanctioned caller.
+    let d = contracts::check(&model(&[("crates/obs/src/env.rs", fail)]), &Registries::default());
+    assert!(!fired(&d, "R-ENV-STRICT"), "{d:?}");
+}
+
+#[test]
+fn r2_env_registry_fires_in_both_directions() {
+    let fail = include_str!("fixtures/r2_env_registry_fail.rs");
+    let m = model(&[("crates/core/src/fixture.rs", fail)]);
+    let r = regs("[env]\nSDEA_FIXTURE_DEAD = \"usize | 1 | core\"\n", "", "[blob]\n");
+    let d = contracts::check(&m, &r);
+    assert!(d.iter().any(|x| x.msg.contains("`SDEA_FIXTURE_UNREG` is read here")), "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("dead registry entry: `SDEA_FIXTURE_DEAD`")), "{d:?}");
+
+    let pass = include_str!("fixtures/r2_env_registry_pass.rs");
+    let mut m = model(&[("crates/core/src/fixture.rs", pass)]);
+    m.set_readme("| `SDEA_FIXTURE_REG` | usize | 1 | core |");
+    let r = regs("[env]\nSDEA_FIXTURE_REG = \"usize | 1 | core\"\n", "", "[blob]\n");
+    let d = contracts::check(&m, &r);
+    assert!(!fired(&d, "R-ENV-REGISTRY"), "{d:?}");
+}
+
+#[test]
+fn r3_obs_names_fires_on_unregistered_and_foreign_names() {
+    let fail = include_str!("fixtures/r3_obs_names_fail.rs");
+    let m = model(&[("crates/core/src/fixture.rs", fail)]);
+    let r = regs("[env]\n", "[counter]\n\"serve.requests\" = \"serve\"\n", "[blob]\n");
+    let d = contracts::check(&m, &r);
+    assert!(
+        d.iter().any(|x| x.msg.contains("unregistered span name `fixture.unregistered`")),
+        "{d:?}"
+    );
+    assert!(d.iter().any(|x| x.msg.contains("owned by `serve`")), "{d:?}");
+
+    let pass = include_str!("fixtures/r3_obs_names_pass.rs");
+    let m = model(&[("crates/core/src/fixture.rs", pass)]);
+    let r = regs(
+        "[env]\n",
+        "[span]\n\"fixture.work\" = \"core\"\n[counter]\n\"fixture.items\" = \"core\"\n",
+        "[blob]\n",
+    );
+    let d = contracts::check(&m, &r);
+    assert!(!fired(&d, "R-OBS-NAMES"), "{d:?}");
+}
+
+#[test]
+fn r4_blob_kind_fires_on_unregistered_duplicate_untested() {
+    let fail = include_str!("fixtures/r4_blob_kind_fail.rs");
+    let m = model(&[("crates/tensor/src/fixture.rs", fail)]);
+    let d = contracts::check(&m, &Registries::default());
+    assert!(d.iter().any(|x| x.msg.contains("unregistered blob kind `SDFX`")), "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("defined more than once")), "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("no corruption/round-trip test")), "{d:?}");
+
+    let pass = include_str!("fixtures/r4_blob_kind_pass.rs");
+    let m = model(&[("crates/tensor/src/fixture.rs", pass)]);
+    let r = regs("[env]\n", "", "[blob]\nSDFX = \"v1 | crates/tensor/src/fixture.rs\"\n");
+    let d = contracts::check(&m, &r);
+    assert!(!fired(&d, "R-BLOB-KIND"), "{d:?}");
+}
+
+#[test]
+fn r5_fprint_coverage_fires_on_uncovered_and_stale_fields() {
+    let ckpt = include_str!("fixtures/r5_fprint_ckpt.rs");
+    let fail = include_str!("fixtures/r5_fprint_config_fail.rs");
+    let m = model(&[("crates/core/src/config.rs", fail), ("crates/core/src/checkpoint.rs", ckpt)]);
+    let d = contracts::check(&m, &Registries::default());
+    assert!(d.iter().any(|x| x.msg.contains("`SdeaConfig.uncovered`")), "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("stale annotation")), "{d:?}");
+
+    let pass = include_str!("fixtures/r5_fprint_config_pass.rs");
+    let m = model(&[("crates/core/src/config.rs", pass), ("crates/core/src/checkpoint.rs", ckpt)]);
+    let d = contracts::check(&m, &Registries::default());
+    assert!(!fired(&d, "R-FPRINT-COVERAGE"), "{d:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Registry completeness at HEAD: every committed entry is load-bearing.
+
+fn head_model(root: &Path) -> WorkspaceModel {
+    let mut m = WorkspaceModel::default();
+    for path in workspace::source_files(root).expect("walk workspace") {
+        let rel = path.strip_prefix(root).expect("under root").to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(&path).expect("read source");
+        m.absorb(&Analysis::new(&rel, &src));
+    }
+    m.set_readme(&std::fs::read_to_string(root.join("README.md")).expect("README.md"));
+    m
+}
+
+fn head_registries(root: &Path) -> Registries {
+    let read = |name: &str| std::fs::read_to_string(root.join(name)).expect(name);
+    Registries {
+        env: parse_env(&read("env_registry.toml")).expect("env registry parses"),
+        env_path: "env_registry.toml".into(),
+        obs: parse_obs(&read("obs_registry.toml")).expect("obs registry parses"),
+        obs_path: "obs_registry.toml".into(),
+        blob: parse_blob(&read("blob_registry.toml")).expect("blob registry parses"),
+        blob_path: "blob_registry.toml".into(),
+    }
+}
+
+#[test]
+fn deleting_any_single_registry_entry_fails_the_lint() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = workspace::find_root(here).expect("workspace root above crates/lint");
+    let m = head_model(&root);
+    let full = head_registries(&root);
+    assert!(
+        contracts::check(&m, &full).is_empty(),
+        "HEAD must be contract-clean before the deletion sweep: {:?}",
+        contracts::check(&m, &full)
+    );
+
+    let env_vars: Vec<String> = full.env.vars.keys().cloned().collect();
+    assert!(!env_vars.is_empty(), "env registry must not be empty");
+    for var in env_vars {
+        let mut r = clone_regs(&full);
+        r.env.vars.remove(&var);
+        let d = contracts::check(&m, &r);
+        assert!(
+            d.iter().any(|x| x.rule == "R-ENV-REGISTRY" && x.msg.contains(&var)),
+            "removing env entry `{var}` did not fail the lint"
+        );
+    }
+
+    for kind in [ObsKind::Span, ObsKind::Counter, ObsKind::Histogram] {
+        let names: Vec<String> = full.obs.table(kind).keys().cloned().collect();
+        assert!(!names.is_empty(), "{} table must not be empty", kind.label());
+        for name in names {
+            let mut r = clone_regs(&full);
+            match kind {
+                ObsKind::Span => r.obs.spans.remove(&name),
+                ObsKind::Counter => r.obs.counters.remove(&name),
+                ObsKind::Histogram => r.obs.histograms.remove(&name),
+            };
+            let d = contracts::check(&m, &r);
+            assert!(
+                d.iter().any(|x| x.rule == "R-OBS-NAMES" && x.msg.contains(&name)),
+                "removing {} `{name}` did not fail the lint",
+                kind.label()
+            );
+        }
+    }
+
+    let kinds: Vec<String> = full.blob.kinds.keys().cloned().collect();
+    assert!(!kinds.is_empty(), "blob registry must not be empty");
+    for kind in kinds {
+        let mut r = clone_regs(&full);
+        r.blob.kinds.remove(&kind);
+        let d = contracts::check(&m, &r);
+        assert!(
+            d.iter().any(|x| x.rule == "R-BLOB-KIND" && x.msg.contains(&kind)),
+            "removing blob kind `{kind}` did not fail the lint"
+        );
+    }
+}
+
+fn clone_regs(r: &Registries) -> Registries {
+    Registries {
+        env: r.env.clone(),
+        env_path: r.env_path.clone(),
+        obs: r.obs.clone(),
+        obs_path: r.obs_path.clone(),
+        blob: r.blob.clone(),
+        blob_path: r.blob_path.clone(),
+    }
+}

@@ -1,0 +1,12 @@
+//! R-ENV-STRICT firing fixture: raw `std::env` reads of `SDEA_*`
+//! variables in production code silently fall back on malformed values.
+
+pub fn report_dir() -> std::path::PathBuf {
+    std::env::var("SDEA_FIXTURE_DIR").unwrap_or_else(|_| "results".into()).into()
+}
+
+pub fn arm_faults() {
+    if let Ok(spec) = std::env::var("SDEA_FIXTURE_FAULT") {
+        drop(spec);
+    }
+}

@@ -1,0 +1,25 @@
+//! R-ENV-STRICT non-firing fixture: strict helpers, error-message
+//! mentions, and test-only raw reads are all fine.
+
+pub fn threads() -> Option<usize> {
+    sdea_obs::env::parse_or_exit::<usize>("SDEA_FIXTURE_THREADS", "a thread count")
+}
+
+pub fn fixture_dir() -> Option<String> {
+    sdea_obs::env::string_or_exit("SDEA_FIXTURE_DIR")
+}
+
+pub fn explain() -> &'static str {
+    // A variable name inside a message is a mention, not a read site.
+    "set SDEA_FIXTURE_DIR to override the output directory"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_the_raw_environment() {
+        std::env::set_var("SDEA_FIXTURE_DIR", "x");
+        let _ = std::env::var("SDEA_FIXTURE_DIR");
+        std::env::remove_var("SDEA_FIXTURE_DIR");
+    }
+}

@@ -1,0 +1,7 @@
+//! R-ENV-REGISTRY firing fixture: the variable is read through a strict
+//! helper but has no registry entry (and the paired test registry holds a
+//! dead entry for a variable nothing reads).
+
+pub fn knob() -> Option<usize> {
+    sdea_obs::env::parse_or_exit::<usize>("SDEA_FIXTURE_UNREG", "a count")
+}

@@ -1,0 +1,6 @@
+//! R-ENV-REGISTRY non-firing fixture: the read, the registry entry, and
+//! the README row all agree.
+
+pub fn knob() -> Option<usize> {
+    sdea_obs::env::parse_or_exit::<usize>("SDEA_FIXTURE_REG", "a count")
+}

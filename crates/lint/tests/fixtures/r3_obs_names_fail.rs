@@ -1,0 +1,7 @@
+//! R-OBS-NAMES firing fixture: an unregistered span name, plus a counter
+//! recorded from outside its owning crate.
+
+pub fn record() {
+    let _span = sdea_obs::span("fixture.unregistered");
+    sdea_obs::add("serve.requests", 1);
+}

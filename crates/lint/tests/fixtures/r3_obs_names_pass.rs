@@ -1,0 +1,7 @@
+//! R-OBS-NAMES non-firing fixture: both names are registered to the
+//! crate this fixture is analyzed under.
+
+pub fn record() {
+    let _span = sdea_obs::span("fixture.work");
+    sdea_obs::add("fixture.items", 1);
+}

@@ -1,0 +1,5 @@
+//! R-BLOB-KIND firing fixture: the kind is unregistered, defined twice,
+//! and no test references the constant.
+
+pub const FIXTURE_KIND: &[u8; 4] = b"SDFX";
+pub const FIXTURE_KIND_COPY: &[u8; 4] = b"SDFX";

@@ -1,0 +1,12 @@
+//! R-BLOB-KIND non-firing fixture: one registered kind, pinned by a
+//! round-trip test that names the constant.
+
+pub const FIXTURE_KIND: &[u8; 4] = b"SDFX";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_round_trip() {
+        assert_eq!(super::FIXTURE_KIND, b"SDFX");
+    }
+}

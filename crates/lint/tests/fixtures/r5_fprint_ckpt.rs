@@ -1,0 +1,7 @@
+//! Shared fingerprint-body fixture for R-FPRINT-COVERAGE (analyzed as
+//! crates/core/src/checkpoint.rs): references `dim` and `covered` only.
+
+pub fn config_fingerprint(cfg: &SdeaConfig) -> u64 {
+    let text = format!("{}|{}", cfg.dim, cfg.covered);
+    text.len() as u64
+}

@@ -1,0 +1,11 @@
+//! R-FPRINT-COVERAGE firing fixture (analyzed as
+//! crates/core/src/config.rs): `uncovered` neither enters the
+//! fingerprint nor carries a justification, and `covered` carries a
+//! stale exclusion while the fingerprint still references it.
+
+pub struct SdeaConfig {
+    pub dim: usize,
+    pub uncovered: usize,
+    // fingerprint: excluded(stale — the fingerprint references this)
+    pub covered: usize,
+}

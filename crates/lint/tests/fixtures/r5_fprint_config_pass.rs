@@ -1,0 +1,10 @@
+//! R-FPRINT-COVERAGE non-firing fixture (analyzed as
+//! crates/core/src/config.rs): every field is fingerprinted or
+//! justified.
+
+pub struct SdeaConfig {
+    pub dim: usize,
+    pub covered: usize,
+    // fingerprint: excluded(execution knob; never shapes results)
+    pub threads: usize,
+}

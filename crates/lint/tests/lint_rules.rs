@@ -139,7 +139,12 @@ fn every_rule_has_a_stable_id_and_description() {
             "N-FLOAT-SORT",
             "A-RAW-WRITE",
             "P-PANIC-BUDGET",
-            "U-FORBID-UNSAFE"
+            "U-FORBID-UNSAFE",
+            "R-ENV-STRICT",
+            "R-ENV-REGISTRY",
+            "R-OBS-NAMES",
+            "R-BLOB-KIND",
+            "R-FPRINT-COVERAGE"
         ]
     );
     assert!(RULES.iter().all(|r| !r.description.is_empty() && !r.scope.is_empty()));

@@ -13,4 +13,25 @@ fn repository_head_is_lint_clean() {
     let shown: Vec<String> = res.diags.iter().map(|d| d.to_string()).collect();
     assert!(res.diags.is_empty(), "workspace is not lint-clean:\n{}", shown.join("\n"));
     assert!(res.files_scanned > 100, "suspiciously few files scanned: {}", res.files_scanned);
+    // The contract registries are committed at the root — a clean run with
+    // them missing is impossible (every live name would be unregistered),
+    // but check explicitly so a rename fails with a clear message.
+    for reg in ["env_registry.toml", "obs_registry.toml", "blob_registry.toml"] {
+        assert!(root.join(reg).is_file(), "{reg} missing from the workspace root");
+    }
+}
+
+#[test]
+fn json_report_of_a_clean_run_parses_and_says_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = workspace::find_root(here).expect("workspace root above crates/lint");
+    let res = workspace::run(&root, &root.join("lint_baseline.toml"), false).unwrap();
+    let report = sdea_obs::json::Json::parse(&workspace::json_report(&res)).expect("report parses");
+    let field = |k: &str| report.get(k).cloned().expect(k);
+    assert_eq!(field("tool"), sdea_obs::json::Json::str("sdea-lint"));
+    assert_eq!(field("clean"), sdea_obs::json::Json::Bool(true));
+    match field("violations") {
+        sdea_obs::json::Json::Arr(v) => assert!(v.is_empty()),
+        other => panic!("violations should be an array, got {other:?}"),
+    }
 }

@@ -103,6 +103,27 @@ pub fn enum_or_exit(var: &str, allowed: &[&'static str]) -> Option<&'static str>
     }
 }
 
+/// Reads a free-form string value (paths, fault specs); `None` when unset
+/// or blank, the trimmed value otherwise. The one way a string can be
+/// malformed is a non-UTF-8 value, and that exits like every other
+/// `SDEA_*` parse failure instead of silently falling back to the default.
+pub fn string_or_exit(var: &str) -> Option<String> {
+    match std::env::var(var) {
+        Ok(raw) => {
+            let t = raw.trim();
+            if t.is_empty() {
+                None
+            } else {
+                Some(t.to_string())
+            }
+        }
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            die(&format!("invalid {var}={raw:?}: expected UTF-8 text"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

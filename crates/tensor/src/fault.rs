@@ -65,7 +65,7 @@ fn registry() -> &'static Mutex<Registry> {
     static R: OnceLock<Mutex<Registry>> = OnceLock::new();
     R.get_or_init(|| {
         let mut reg = Registry::default();
-        if let Ok(spec) = std::env::var("SDEA_FAULT") {
+        if let Some(spec) = sdea_obs::env::string_or_exit("SDEA_FAULT") {
             for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
                 match parse_spec(part) {
                     Some((site, nth, mode)) => {

@@ -32,8 +32,8 @@
 //! any instant leaves either the old file or the new file, plus at worst a
 //! stale `.tmp`. [`atomic_write_retry`] adds bounded retry with exponential
 //! backoff around transient IO errors. Both are instrumented with
-//! `sdea_obs` counters (`ckpt.writes`, `ckpt.bytes_written`,
-//! `ckpt.retries`, `ckpt.write_failures`) and carry [`crate::fault`]
+//! `sdea_obs` counters (`store.writes`, `store.bytes_written`,
+//! `store.retries`, `store.write_failures`) and carry [`crate::fault`]
 //! injection sites (`<site>` before the write, `<site>.rename` before the
 //! rename) so crash tests can kill or corrupt a write at a chosen point.
 
@@ -346,8 +346,8 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> io::Res
             }
         }
     }
-    sdea_obs::add("ckpt.writes", 1);
-    sdea_obs::add("ckpt.bytes_written", bytes.len() as u64);
+    sdea_obs::add("store.writes", 1);
+    sdea_obs::add("store.bytes_written", bytes.len() as u64);
     Ok(())
 }
 
@@ -355,8 +355,8 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> io::Res
 pub const WRITE_ATTEMPTS: u32 = 3;
 
 /// [`atomic_write`] with bounded retry and exponential backoff (5 ms, then
-/// 10 ms) around transient IO errors. Counts `ckpt.retries` per retry and
-/// `ckpt.write_failures` when all attempts are exhausted.
+/// 10 ms) around transient IO errors. Counts `store.retries` per retry and
+/// `store.write_failures` when all attempts are exhausted.
 pub fn atomic_write_retry(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> io::Result<()> {
     let path = path.as_ref();
     let mut delay = std::time::Duration::from_millis(5);
@@ -365,7 +365,7 @@ pub fn atomic_write_retry(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> i
         match atomic_write(path, bytes, site) {
             Ok(()) => return Ok(()),
             Err(e) if attempt < WRITE_ATTEMPTS => {
-                sdea_obs::add("ckpt.retries", 1);
+                sdea_obs::add("store.retries", 1);
                 eprintln!(
                     "checkpoint write to {} failed (attempt {attempt}/{WRITE_ATTEMPTS}): {e}; retrying",
                     path.display()
@@ -375,7 +375,7 @@ pub fn atomic_write_retry(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> i
                 attempt += 1;
             }
             Err(e) => {
-                sdea_obs::add("ckpt.write_failures", 1);
+                sdea_obs::add("store.write_failures", 1);
                 return Err(e);
             }
         }
@@ -393,17 +393,17 @@ pub fn tmp_path(path: &Path) -> PathBuf {
 /// temp-file + fsync + rename, bounded retry). Never leaves a partial file
 /// at `path`.
 pub fn save_store(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
-    let _span = sdea_obs::span("ckpt.save");
+    let _span = sdea_obs::span("store.save");
     atomic_write_retry(path, &store_to_bytes(store), "ckpt.store")
 }
 
 /// Reads a parameter store from disk, verifying the container checksum.
 pub fn load_store(path: impl AsRef<Path>) -> io::Result<ParamStore> {
-    let _span = sdea_obs::span("ckpt.load");
+    let _span = sdea_obs::span("store.load");
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)?;
-    sdea_obs::add("ckpt.loads", 1);
+    sdea_obs::add("store.loads", 1);
     store_from_bytes(&bytes)
 }
 
@@ -468,6 +468,7 @@ mod tests {
         let mut store = ParamStore::new();
         store.add("w", Tensor::scalar(1.0));
         let mut bytes = store_to_bytes(&store);
+        assert_eq!(&bytes[..4], STORE_KIND, "store header starts with the registered kind");
         bytes[0] = b'X';
         assert!(store_from_bytes(&bytes).is_err());
     }

@@ -412,6 +412,9 @@ mod tests {
         // Flip a payload byte in shard 1.
         let p = dir.join("shard_000001.sdes");
         let mut bytes = std::fs::read(&p).unwrap();
+        assert_eq!(&bytes[..4], SHARD_KIND, "shard header starts with the registered kind");
+        let manifest = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(&manifest[..4], SHARD_MANIFEST_KIND, "manifest carries its own kind");
         let mid = bytes.len() - 3;
         bytes[mid] ^= 0x20;
         std::fs::write(&p, &bytes).unwrap();

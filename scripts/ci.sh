@@ -10,12 +10,36 @@ cargo fmt --all --check
 echo "=== cargo clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Workspace invariant gates (DESIGN.md §11): determinism (hash-order
-# iteration, ad-hoc threads, wall clocks), NaN ordering across line breaks,
-# atomic-write discipline, the ratcheted panic budget in lint_baseline.toml
-# and #![forbid(unsafe_code)] on every crate root.
+# Workspace invariant gates (DESIGN.md §11 and §16): determinism
+# (hash-order iteration, ad-hoc threads, wall clocks), NaN ordering across
+# line breaks, atomic-write discipline, the ratcheted panic budget in
+# lint_baseline.toml, #![forbid(unsafe_code)] on every crate root, and the
+# cross-file contracts (env/obs/blob registries, fingerprint coverage).
+# --json leaves the machine-readable findings in results/lint_report.json.
 echo "=== sdea-lint (workspace invariant gates) ==="
-cargo run --release -q -p sdea-lint
+cargo run --release -q -p sdea-lint -- --json
+test -s results/lint_report.json || {
+  echo "sdea-lint did not write results/lint_report.json" >&2
+  exit 1
+}
+grep -q '"clean":true' results/lint_report.json || {
+  echo "results/lint_report.json does not say clean" >&2
+  exit 1
+}
+
+# Registry smoke: the contract analyses must actually be armed. Deleting
+# one committed env entry has to turn the lint red — if this passes green,
+# the registry gate is dead code.
+echo "=== sdea-lint (corrupted-registry smoke) ==="
+LINT_SMOKE_DIR="$(mktemp -d)"
+grep -v '^SDEA_THREADS' env_registry.toml > "$LINT_SMOKE_DIR/env_registry.toml"
+if cargo run --release -q -p sdea-lint -- \
+    --env-registry "$LINT_SMOKE_DIR/env_registry.toml" >/dev/null 2>&1; then
+  echo "sdea-lint passed with a gutted env registry: contract gate is dead" >&2
+  rm -rf "$LINT_SMOKE_DIR"
+  exit 1
+fi
+rm -rf "$LINT_SMOKE_DIR"
 
 echo "=== tier-1: release build + tests ==="
 cargo build --workspace --release
